@@ -1,0 +1,47 @@
+"""E10 — index degradation under update churn."""
+
+import random
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items
+from repro.datasets import uniform_points
+from repro.geometry.rect import Rect
+
+CHURN_N = 2048
+
+
+@pytest.fixture(scope="module")
+def packed_tree_items():
+    points = uniform_points(CHURN_N, seed=110)
+    return points_as_items(points)
+
+
+def test_e10_churn_round_benchmark(benchmark, packed_tree_items):
+    """Time one churn round (25% deletes + reinserts) on a packed tree."""
+
+    def churn():
+        tree = build_tree(packed_tree_items, method="bulk")
+        rng = random.Random(111)
+        victims = rng.sample(range(CHURN_N), k=CHURN_N // 4)
+        for victim in victims:
+            rect, payload = packed_tree_items[victim]
+            assert tree.delete(rect, payload=payload)
+        for i, victim in enumerate(victims):
+            point = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tree.insert(Rect.from_point(point), payload=CHURN_N + i)
+        return tree
+
+    tree = benchmark(churn)
+    assert len(tree) == CHURN_N
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E10").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    fills = [float(v) for v in table.column("avg fill")]
+    # Churn dilutes fill; the rebuild restores the packed level.
+    assert fills[1] < fills[0]
+    assert fills[-1] == pytest.approx(fills[0], rel=0.05)

@@ -1,0 +1,36 @@
+"""E11 — window query selectivity (Guttman-style range queries)."""
+
+import math
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.datasets.queries import query_points_uniform
+from repro.geometry.rect import Rect
+
+
+@pytest.mark.parametrize("selectivity", [0.0001, 0.01, 0.1])
+def test_e11_window_benchmark(benchmark, uniform_tree, selectivity):
+    side = math.sqrt(selectivity * 1000.0 * 1000.0)
+    centers = query_points_uniform(16, seed=112)
+    windows = [
+        Rect(
+            (c[0] - side / 2, c[1] - side / 2),
+            (c[0] + side / 2, c[1] + side / 2),
+        )
+        for c in centers
+    ]
+
+    def run():
+        return [uniform_tree.search(w) for w in windows]
+
+    results = benchmark(run)
+    assert len(results) == len(windows)
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E11").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    pages = [float(v.replace(",", "")) for v in table.column("pages (packed)")]
+    assert pages == sorted(pages)

@@ -1,0 +1,29 @@
+"""E12 — buffer replacement policies vs Belady's optimal."""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import run_query_batch
+from repro.storage.replay import TraceRecorder, replay
+
+
+@pytest.fixture(scope="module")
+def trace(uniform_tree, query_batch):
+    recorder = TraceRecorder()
+    run_query_batch(uniform_tree, query_batch, k=4, shared_tracker=recorder)
+    return recorder.trace
+
+
+@pytest.mark.parametrize("policy", ["fifo", "lru", "optimal"])
+def test_e12_replay_benchmark(benchmark, trace, policy):
+    result = benchmark(replay, trace, 32, policy)
+    assert result.accesses == len(trace)
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E12").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    lru = [float(v) for v in table.column("LRU misses/q")]
+    opt = [float(v) for v in table.column("OPT misses/q")]
+    assert all(o <= l + 1e-9 for l, o in zip(lru, opt))

@@ -1,0 +1,37 @@
+"""E13 — queries against the on-disk tree (physical page reads)."""
+
+import pytest
+
+from repro import nearest
+from repro.datasets import uniform_points
+from repro.datasets.queries import query_points_uniform
+from repro.bench.experiments import get_experiment
+from repro.rtree.disk import DiskRTree, build_disk_index
+
+
+@pytest.fixture(scope="module")
+def disk_tree_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("e13") / "tree.rnn"
+    points = uniform_points(16384, seed=113)
+    with build_disk_index([(p, i) for i, p in enumerate(points)], path):
+        pass
+    return path
+
+
+@pytest.mark.parametrize("cache_nodes", [1, 32, 512])
+def test_e13_disk_query_benchmark(benchmark, disk_tree_path, cache_nodes):
+    queries = query_points_uniform(16, seed=114)
+    with DiskRTree(disk_tree_path, cache_nodes=cache_nodes) as disk:
+        def run():
+            return [nearest(disk, q, k=4) for q in queries]
+
+        results = benchmark(run)
+        assert all(len(r) == 4 for r in results)
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E13").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    reads = [float(v.replace(",", "")) for v in table.column("file reads/q")]
+    assert reads == sorted(reads, reverse=True)

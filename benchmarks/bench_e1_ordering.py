@@ -1,0 +1,28 @@
+"""E1 — MINDIST vs MINMAXDIST ABL ordering (paper Fig. "ordering").
+
+Timing benchmark: the DFS query under each ordering.  Regeneration: the E1
+tables (pages accessed vs dataset size for both orderings).
+"""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import run_query_batch
+
+
+@pytest.mark.parametrize("ordering", ["mindist", "minmaxdist"])
+def test_e1_query_benchmark(benchmark, uniform_tree, query_batch, ordering):
+    result = benchmark(
+        run_query_batch, uniform_tree, query_batch, k=1, ordering=ordering
+    )
+    assert result.avg_pages > 0
+
+
+def test_regenerate_table(quick_scale, capsys):
+    for table in get_experiment("E1").run(quick_scale):
+        with capsys.disabled():
+            print("\n" + table.render())
+        # The paper's claim: MINDIST ordering never loses.
+        mindist = [float(v) for v in table.column("mindist pages")]
+        minmaxdist = [float(v) for v in table.column("minmaxdist pages")]
+        assert all(a <= b + 1e-9 for a, b in zip(mindist, minmaxdist))

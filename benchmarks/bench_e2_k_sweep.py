@@ -1,0 +1,21 @@
+"""E2 — pages accessed vs number of neighbors k (paper Fig. "k sweep")."""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import run_query_batch
+
+
+@pytest.mark.parametrize("k", [1, 4, 8, 16])
+def test_e2_query_benchmark(benchmark, uniform_tree, query_batch, k):
+    result = benchmark(run_query_batch, uniform_tree, query_batch, k=k)
+    assert len(query_batch) == result.queries
+
+
+def test_regenerate_table(quick_scale, capsys):
+    for table in get_experiment("E2").run(quick_scale):
+        with capsys.disabled():
+            print("\n" + table.render())
+        pages = [float(v) for v in table.column("DFS pages")]
+        # Pages grow (weakly) with k.
+        assert pages[0] <= pages[-1] + 1e-9

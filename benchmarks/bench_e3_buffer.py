@@ -1,0 +1,34 @@
+"""E3 — effect of an LRU buffer on disk reads (paper Fig. "buffering")."""
+
+import pytest
+
+from repro.bench.experiments import get_experiment, segment_distance_sq
+from repro.bench.harness import run_query_batch
+from repro.storage.buffer import LruBufferPool
+
+
+@pytest.mark.parametrize("capacity", [0, 16, 128])
+def test_e3_buffered_batch_benchmark(benchmark, road_tree, query_batch, capacity):
+    def run():
+        pool = LruBufferPool(capacity)
+        return run_query_batch(
+            road_tree,
+            query_batch,
+            k=4,
+            shared_tracker=pool,
+            object_distance_sq=segment_distance_sq,
+        )
+
+    result = benchmark(run)
+    if capacity == 0:
+        assert result.buffer_hit_ratio == 0.0
+    else:
+        assert result.buffer_hit_ratio > 0.0
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E3").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    reads = [float(v.replace(",", "")) for v in table.column("disk reads")]
+    assert reads == sorted(reads, reverse=True)

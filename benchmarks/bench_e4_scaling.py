@@ -1,0 +1,31 @@
+"""E4 — scaling with dataset size (paper Fig. "size scaling")."""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items, run_query_batch
+from repro.datasets import uniform_points
+from repro.datasets.queries import query_points_uniform
+
+
+@pytest.fixture(scope="module", params=[1024, 8192, 32768])
+def sized_tree(request):
+    n = request.param
+    return n, build_tree(points_as_items(uniform_points(n, seed=104)))
+
+
+def test_e4_scaling_benchmark(benchmark, sized_tree):
+    n, tree = sized_tree
+    queries = query_points_uniform(16, seed=105)
+    result = benchmark(run_query_batch, tree, queries, k=10)
+    assert result.avg_pages >= 1
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E4").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    pages = [float(v) for v in table.column("k=1 pages")]
+    sizes = [float(v.replace(",", "")) for v in table.column("n")]
+    # Sub-linear growth: 16x data must cost far less than 16x pages.
+    assert pages[-1] / pages[0] < (sizes[-1] / sizes[0]) / 2

@@ -1,0 +1,34 @@
+"""E5 — pruning strategy ablation (paper Sec. 4, promoted to a table)."""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import run_query_batch
+from repro.core.pruning import PruningConfig
+
+CONFIGS = {
+    "all": PruningConfig.all(),
+    "p3-only": PruningConfig.only_p3(),
+    "none": PruningConfig.none(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_e5_pruning_benchmark(benchmark, uniform_tree, query_batch, name):
+    result = benchmark(
+        run_query_batch,
+        uniform_tree,
+        query_batch[:8],  # the 'none' row walks the whole tree per query
+        k=1,
+        pruning=CONFIGS[name],
+    )
+    if name == "none":
+        assert result.avg_pages == uniform_tree.node_count
+
+
+def test_regenerate_table(quick_scale, capsys):
+    for table in get_experiment("E5").run(quick_scale):
+        with capsys.disabled():
+            print("\n" + table.render())
+        pages = [float(v.replace(",", "")) for v in table.column("pages")]
+        assert pages[-1] > pages[0]  # exhaustive worst, full pruning best

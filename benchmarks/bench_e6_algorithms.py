@@ -1,0 +1,52 @@
+"""E6 — algorithm comparison (paper evaluation tables)."""
+
+import pytest
+
+from repro.baselines.kdtree import KdTree
+from repro.baselines.linear_scan import linear_scan_items
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import run_query_batch
+from repro.datasets import uniform_points
+
+
+@pytest.mark.parametrize("algorithm", ["dfs", "best-first"])
+def test_e6_rtree_benchmark(benchmark, uniform_tree, query_batch, algorithm):
+    result = benchmark(
+        run_query_batch, uniform_tree, query_batch, k=4, algorithm=algorithm
+    )
+    assert result.avg_pages > 0
+
+
+def test_e6_kdtree_benchmark(benchmark, query_batch):
+    points = uniform_points(16384, seed=101)
+    tree = KdTree([(p, i) for i, p in enumerate(points)])
+
+    def run():
+        return [tree.nearest(q, k=4) for q in query_batch]
+
+    results = benchmark(run)
+    assert len(results) == len(query_batch)
+
+
+def test_e6_linear_scan_benchmark(benchmark, query_batch):
+    from repro.geometry.rect import Rect
+
+    points = uniform_points(4096, seed=101)  # smaller: linear scan is O(n)
+    items = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+
+    def run():
+        return [linear_scan_items(items, q, k=4) for q in query_batch[:8]]
+
+    results = benchmark(run)
+    assert len(results) == 8
+
+
+def test_regenerate_table(quick_scale, capsys):
+    for table in get_experiment("E6").run(quick_scale):
+        with capsys.disabled():
+            print("\n" + table.render())
+        # Deterministic shape check: pages touched, not wall-clock.
+        rows = dict(zip(table.column("algorithm"), table.column("pages/nodes")))
+        dfs_pages = float(rows["R-tree DFS (paper)"].replace(",", ""))
+        scanned = float(rows["linear scan"].replace(",", ""))
+        assert dfs_pages < scanned / 10

@@ -1,0 +1,40 @@
+"""E7 — index construction ablation (split strategies and bulk loading)."""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items
+from repro.datasets import uniform_points
+
+BUILD_N = 2048
+
+
+@pytest.fixture(scope="module")
+def build_items():
+    return points_as_items(uniform_points(BUILD_N, seed=106))
+
+
+@pytest.mark.parametrize("split", ["linear", "quadratic", "rstar"])
+def test_e7_dynamic_build_benchmark(benchmark, build_items, split):
+    tree = benchmark(build_tree, build_items, method="insert", split=split)
+    assert len(tree) == BUILD_N
+
+
+def test_e7_bulk_build_benchmark(benchmark, build_items):
+    tree = benchmark(build_tree, build_items, method="bulk")
+    assert len(tree) == BUILD_N
+
+
+def test_regenerate_table(quick_scale, capsys):
+    for table in get_experiment("E7").run(quick_scale):
+        with capsys.disabled():
+            print("\n" + table.render())
+        variants = table.column("variant")
+        builds = [float(v.replace(",", "")) for v in table.column("build s")]
+        by_name = dict(zip(variants, builds))
+        dynamic = [
+            build for name, build in by_name.items() if "split" in name
+        ]
+        # Every bulk loader beats every dynamic build by a wide margin.
+        for name in ("STR bulk load", "Hilbert bulk load", "Morton bulk load"):
+            assert by_name[name] < min(dynamic) / 5

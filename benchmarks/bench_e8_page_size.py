@@ -1,0 +1,26 @@
+"""E8 — page size ablation (branching factor vs pages per query)."""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items, run_query_batch
+from repro.datasets import uniform_points
+from repro.datasets.queries import query_points_uniform
+from repro.storage.pager import PageModel
+
+
+@pytest.mark.parametrize("page_size", [512, 1024, 4096])
+def test_e8_page_size_benchmark(benchmark, page_size):
+    items = points_as_items(uniform_points(8192, seed=108))
+    tree = build_tree(items, page_model=PageModel(page_size=page_size))
+    queries = query_points_uniform(16, seed=109)
+    result = benchmark(run_query_batch, tree, queries, k=4)
+    assert result.avg_pages >= tree.height - 1
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E8").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    pages = [float(v) for v in table.column("pages")]
+    assert pages[-1] <= pages[0]

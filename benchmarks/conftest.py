@@ -1,0 +1,43 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_eN_*.py`` file wraps one experiment from DESIGN.md's index:
+the ``test_*_benchmark`` functions measure the hot path with
+pytest-benchmark, and each file's ``test_regenerate_table`` reproduces the
+corresponding paper figure/table at quick scale (skipped under
+``--benchmark-only``, where only timings run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import Scale
+from repro.bench.harness import build_tree, points_as_items
+from repro.datasets import road_segments, uniform_points
+from repro.datasets.queries import query_points_uniform
+
+#: Dataset size used by the timing benchmarks (large enough for a height-3
+#: tree at fanout 28, small enough to keep the whole suite under a minute).
+BENCH_N = 16384
+BENCH_QUERIES = 32
+
+
+@pytest.fixture(scope="session")
+def quick_scale() -> Scale:
+    return Scale.by_name("quick")
+
+
+@pytest.fixture(scope="session")
+def uniform_tree():
+    return build_tree(points_as_items(uniform_points(BENCH_N, seed=101)))
+
+
+@pytest.fixture(scope="session")
+def road_tree():
+    segments = road_segments(BENCH_N, seed=102)
+    return build_tree([(s.mbr(), s) for s in segments])
+
+
+@pytest.fixture(scope="session")
+def query_batch():
+    return query_points_uniform(BENCH_QUERIES, seed=103)

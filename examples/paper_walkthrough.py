@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The paper's algorithm, narrated: watch one query prune its way down.
+
+Executable companion to docs/ALGORITHM.md — builds the tiny worked example
+from that document, prints the metrics and pruning decisions the search
+makes, and contrasts the orderings and the no-pruning traversal.
+
+Run with::
+
+    python examples/paper_walkthrough.py
+"""
+
+from repro import (
+    PruningConfig,
+    RTree,
+    mindist,
+    minmaxdist,
+    nearest,
+)
+
+
+def build_example_tree() -> RTree:
+    """Three spatial clusters so the root has three children (fanout 3)."""
+    tree = RTree(max_entries=3, min_entries=1)
+    clusters = {
+        "A": [(1.2, 1.1), (2.8, 2.9), (1.9, 2.4)],
+        "B": [(5.2, 0.3), (6.8, 1.7), (6.1, 0.9)],
+        "C": [(2.3, 6.4), (3.8, 7.9), (3.1, 7.0)],
+    }
+    for name, points in clusters.items():
+        for index, point in enumerate(points):
+            tree.insert(point, payload=f"{name}{index}")
+    return tree
+
+
+def main() -> None:
+    tree = build_example_tree()
+    query = (0.0, 0.0)
+    print(f"Tree: {tree}\nQuery point: {query}\n")
+
+    print("Root-level Active Branch List (the paper's Section 4 table):")
+    print(f"{'child MBR':<34} {'MINDIST':>8} {'MINMAXDIST':>11}")
+    entries = sorted(
+        tree.root.entries, key=lambda e: mindist(query, e.rect)
+    )
+    best_guarantee = min(minmaxdist(query, e.rect) for e in entries)
+    for entry in entries:
+        md = mindist(query, entry.rect)
+        mmd = minmaxdist(query, entry.rect)
+        verdict = "visit" if md <= best_guarantee else "pruned by P1"
+        print(
+            f"  {str(entry.rect):<32} {md:8.3f} {mmd:11.3f}   -> {verdict}"
+        )
+    print(
+        f"\nP2 bound: some object is guaranteed within {best_guarantee:.3f} "
+        "of the query (the smallest MINMAXDIST above)."
+    )
+
+    result = nearest(tree, query, k=1)
+    print(
+        f"\n1-NN: {result.payloads()[0]} at {result.distances()[0]:.3f}, "
+        f"reading {result.stats.nodes_accessed} of {tree.node_count} pages "
+        f"(P1 pruned {result.stats.pruning.p1_pruned} branches, "
+        f"P3 pruned {result.stats.pruning.p3_pruned})."
+    )
+
+    exhaustive = nearest(tree, query, k=1, pruning=PruningConfig.none())
+    print(
+        f"Without pruning the same answer costs "
+        f"{exhaustive.stats.nodes_accessed} pages — every node."
+    )
+
+    pessimistic = nearest(tree, query, k=1, ordering="minmaxdist")
+    print(
+        f"MINMAXDIST (pessimistic) ordering reads "
+        f"{pessimistic.stats.nodes_accessed} pages on this query; the "
+        "paper's E1 experiment shows the gap growing with data size."
+    )
+
+    three = nearest(tree, query, k=3)
+    print(
+        f"\nk=3 (P1/P2 auto-disabled, P3 only): {three.payloads()} at "
+        f"{[round(d, 3) for d in three.distances()]}, "
+        f"{three.stats.nodes_accessed} pages."
+    )
+
+
+if __name__ == "__main__":
+    main()

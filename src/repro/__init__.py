@@ -1,0 +1,152 @@
+"""repro — Nearest Neighbor Queries on R-trees (SIGMOD 1995 reproduction).
+
+A from-scratch implementation of Roussopoulos, Kelley & Vincent's
+branch-and-bound k-nearest-neighbor algorithm, together with everything it
+runs on: a dynamic R-tree with multiple split strategies, a page/buffer
+simulation for I/O accounting, baselines (linear scan, kd-tree), workload
+generators, and a bench harness reproducing the paper's evaluation.
+
+Quickstart::
+
+    from repro import RTree, nearest
+
+    tree = RTree(max_entries=8)
+    for i, (x, y) in enumerate([(1, 1), (5, 5), (9, 9)]):
+        tree.insert((x, y), payload=f"poi-{i}")
+
+    result = nearest(tree, (4.0, 4.0), k=2)
+    print(result.payloads())        # ['poi-1', 'poi-0']
+    print(result.stats.nodes_accessed)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of each figure and table in the paper.
+"""
+
+from repro.core import (
+    NNResult,
+    NearestNeighborQuery,
+    Neighbor,
+    NeighborBuffer,
+    PruningConfig,
+    PruningStats,
+    SearchStats,
+    aggregate_nearest,
+    count_within_distance,
+    farthest_best_first,
+    maxdist,
+    maxdist_squared,
+    mindist,
+    mindist_squared,
+    minmaxdist,
+    minmaxdist_squared,
+    nearest,
+    nearest_batch,
+    nearest_best_first,
+    nearest_dfs,
+    intersection_join,
+    knn_join,
+    lp_distance,
+    mindist_lp,
+    minmaxdist_lp,
+    nearest_dfs_lp,
+    nearest_incremental,
+    within_distance,
+)
+from repro.errors import (
+    DimensionMismatchError,
+    EmptyIndexError,
+    GeometryError,
+    InvalidParameterError,
+    InvalidRectError,
+    ReproError,
+    TreeInvariantError,
+)
+from repro.geometry import Point, Rect, Segment
+from repro.rtree import (
+    DiskRTree,
+    RTree,
+    write_tree,
+    TreeQuality,
+    measure_quality,
+    bulk_load,
+    load_tree,
+    save_tree,
+    validate_tree,
+)
+from repro.storage import (
+    AccessTracker,
+    PageFile,
+    CountingTracker,
+    DiskCostModel,
+    FifoBufferPool,
+    LruBufferPool,
+    NullTracker,
+    PageModel,
+)
+from repro.baselines import GridIndex, KdTree, QuadTree, linear_scan, linear_scan_items
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessTracker",
+    "CountingTracker",
+    "DiskCostModel",
+    "aggregate_nearest",
+    "count_within_distance",
+    "farthest_best_first",
+    "maxdist",
+    "maxdist_squared",
+    "within_distance",
+    "intersection_join",
+    "knn_join",
+    "lp_distance",
+    "mindist_lp",
+    "minmaxdist_lp",
+    "nearest_dfs_lp",
+    "TreeQuality",
+    "measure_quality",
+    "DiskRTree",
+    "write_tree",
+    "PageFile",
+    "DimensionMismatchError",
+    "EmptyIndexError",
+    "FifoBufferPool",
+    "GeometryError",
+    "InvalidParameterError",
+    "InvalidRectError",
+    "GridIndex",
+    "KdTree",
+    "QuadTree",
+    "LruBufferPool",
+    "NNResult",
+    "NearestNeighborQuery",
+    "Neighbor",
+    "NeighborBuffer",
+    "NullTracker",
+    "PageModel",
+    "Point",
+    "PruningConfig",
+    "PruningStats",
+    "RTree",
+    "Rect",
+    "ReproError",
+    "SearchStats",
+    "Segment",
+    "TreeInvariantError",
+    "bulk_load",
+    "linear_scan",
+    "linear_scan_items",
+    "load_tree",
+    "mindist",
+    "mindist_squared",
+    "minmaxdist",
+    "minmaxdist_squared",
+    "nearest",
+    "nearest_batch",
+    "nearest_best_first",
+    "nearest_dfs",
+    "nearest_incremental",
+    "save_tree",
+    "validate_tree",
+    "__version__",
+]

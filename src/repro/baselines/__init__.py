@@ -1,0 +1,20 @@
+"""Baseline k-NN algorithms the experiments compare against.
+
+- :func:`linear_scan` — exhaustive scan; the correctness oracle for every
+  property-based test and the pure-CPU baseline of experiment E6.
+- :class:`KdTree` — the kd-tree with the Friedman-Bentley-Finkel search the
+  paper cites as its point of departure (works on points, not extended
+  objects, which is exactly the limitation the paper's R-tree algorithm
+  lifts).
+- :class:`GridIndex` — a fixed-grid bucket index with expanding-ring k-NN
+  search; strong on uniform data, collapses under skew.
+- :class:`QuadTree` — a point-region quadtree (space-splitting, depth
+  adapts to density) with best-first k-NN.
+"""
+
+from repro.baselines.linear_scan import linear_scan, linear_scan_items
+from repro.baselines.gridfile import GridIndex
+from repro.baselines.kdtree import KdTree
+from repro.baselines.quadtree import QuadTree
+
+__all__ = ["GridIndex", "KdTree", "QuadTree", "linear_scan", "linear_scan_items"]

@@ -1,0 +1,187 @@
+"""A kd-tree with the Friedman-Bentley-Finkel nearest-neighbor search.
+
+The SIGMOD'95 paper explicitly generalizes the FBF kd-tree search to
+R-trees; this module provides the original as a baseline.  It indexes
+*points* only (kd-trees have no native notion of extended objects), stores
+them in leaf buckets, and answers k-NN queries with the classic
+ball-overlaps-bounds recursive search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import mindist_squared
+from repro.core.neighbors import Neighbor, NeighborBuffer
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import Point, as_point, euclidean_squared
+from repro.geometry.rect import Rect
+
+__all__ = ["KdTree", "KdTreeStats"]
+
+_DEFAULT_BUCKET_SIZE = 8
+
+
+@dataclass
+class KdTreeStats:
+    """Counters for one kd-tree query (nodes == buckets for leaves)."""
+
+    nodes_visited: int = 0
+    leaves_visited: int = 0
+    points_examined: int = 0
+
+
+class _KdNode:
+    __slots__ = ("axis", "threshold", "left", "right", "points", "bounds")
+
+    def __init__(
+        self,
+        axis: int = -1,
+        threshold: float = 0.0,
+        left: Optional["_KdNode"] = None,
+        right: Optional["_KdNode"] = None,
+        points: Optional[List[Tuple[Point, Any]]] = None,
+        bounds: Optional[Rect] = None,
+    ) -> None:
+        self.axis = axis
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.points = points
+        self.bounds = bounds
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.points is not None
+
+
+class KdTree:
+    """A static, bucketed kd-tree over ``(point, payload)`` pairs.
+
+    Built once from its input (median splits on the widest-spread axis,
+    the FBF construction); queries never mutate it.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Tuple[Sequence[float], Any]],
+        bucket_size: int = _DEFAULT_BUCKET_SIZE,
+    ) -> None:
+        if bucket_size < 1:
+            raise InvalidParameterError(
+                f"bucket_size must be >= 1, got {bucket_size}"
+            )
+        self.bucket_size = bucket_size
+        normalized = [(as_point(p), payload) for p, payload in items]
+        self._size = len(normalized)
+        self._dimension = len(normalized[0][0]) if normalized else None
+        for p, _ in normalized:
+            if len(p) != self._dimension:
+                raise DimensionMismatchError(self._dimension, len(p), "kd build")
+        self._root = self._build(normalized) if normalized else None
+        self._node_count = self._count_nodes(self._root)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def dimension(self) -> Optional[int]:
+        """Dimensionality of the indexed points (``None`` if empty)."""
+        return self._dimension
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes, internal plus leaf buckets."""
+        return self._node_count
+
+    def _build(self, items: List[Tuple[Point, Any]]) -> _KdNode:
+        if len(items) <= self.bucket_size:
+            return _KdNode(
+                points=list(items),
+                bounds=Rect.from_points([p for p, _ in items]),
+            )
+        axis = self._widest_axis(items)
+        items.sort(key=lambda item: item[0][axis])
+        # A median cut keeps both sides non-empty for len > bucket_size >= 1.
+        # Duplicate coordinates straddling the cut are harmless: the search
+        # prunes with each child's true bounding box, not the threshold.
+        mid = len(items) // 2
+        threshold = items[mid][0][axis]
+        left_items = items[:mid]
+        right_items = items[mid:]
+        node = _KdNode(
+            axis=axis,
+            threshold=threshold,
+            left=self._build(left_items),
+            right=self._build(right_items),
+        )
+        node.bounds = node.left.bounds.union(node.right.bounds)
+        return node
+
+    @staticmethod
+    def _widest_axis(items: List[Tuple[Point, Any]]) -> int:
+        dim = len(items[0][0])
+        best_axis = 0
+        best_spread = -1.0
+        for axis in range(dim):
+            values = [p[axis] for p, _ in items]
+            spread = max(values) - min(values)
+            if spread > best_spread:
+                best_spread = spread
+                best_axis = axis
+        return best_axis
+
+    @staticmethod
+    def _count_nodes(node: Optional[_KdNode]) -> int:
+        if node is None:
+            return 0
+        if node.is_leaf:
+            return 1
+        return 1 + KdTree._count_nodes(node.left) + KdTree._count_nodes(node.right)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest(
+        self, point: Sequence[float], k: int = 1
+    ) -> Tuple[List[Neighbor], KdTreeStats]:
+        """The k points nearest to *point*, with visit statistics."""
+        query = as_point(point)
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        stats = KdTreeStats()
+        if self._root is None:
+            return [], stats
+        if len(query) != self._dimension:
+            raise DimensionMismatchError(self._dimension, len(query), "kd query")
+        buffer = NeighborBuffer(k)
+        self._search(self._root, query, buffer, stats)
+        return buffer.to_sorted_list(), stats
+
+    def _search(
+        self,
+        node: _KdNode,
+        query: Point,
+        buffer: NeighborBuffer,
+        stats: KdTreeStats,
+    ) -> None:
+        stats.nodes_visited += 1
+        if node.is_leaf:
+            stats.leaves_visited += 1
+            for p, payload in node.points:
+                stats.points_examined += 1
+                buffer.offer(
+                    euclidean_squared(query, p), payload, Rect.from_point(p)
+                )
+            return
+        # Descend into the child on the query's side first (FBF ordering).
+        if query[node.axis] < node.threshold:
+            near, far = node.left, node.right
+        else:
+            near, far = node.right, node.left
+        self._search(near, query, buffer, stats)
+        # Bounds-overlap-ball test: visit the far child only if its bounding
+        # box could contain something closer than the current k-th best.
+        if mindist_squared(query, far.bounds) < buffer.worst_distance_squared:
+            self._search(far, query, buffer, stats)

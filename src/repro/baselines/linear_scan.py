@@ -1,0 +1,51 @@
+"""Exhaustive-scan k-NN: the oracle and the simplest baseline."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.knn_dfs import ObjectDistance
+from repro.core.metrics import mindist_squared
+from repro.core.neighbors import Neighbor, NeighborBuffer
+from repro.errors import InvalidParameterError
+from repro.geometry.point import as_point
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+
+__all__ = ["linear_scan", "linear_scan_items"]
+
+
+def linear_scan_items(
+    items: Iterable[Tuple[Rect, Any]],
+    point: Sequence[float],
+    k: int = 1,
+    object_distance_sq: Optional[ObjectDistance] = None,
+) -> List[Neighbor]:
+    """k-NN over raw ``(rect, payload)`` pairs by checking every item."""
+    query = as_point(point)
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    buffer = NeighborBuffer(k)
+    for rect, payload in items:
+        if object_distance_sq is not None:
+            dist_sq = object_distance_sq(query, payload, rect)
+        else:
+            dist_sq = mindist_squared(query, rect)
+        buffer.offer(dist_sq, payload, rect)
+    return buffer.to_sorted_list()
+
+
+def linear_scan(
+    tree: RTree,
+    point: Sequence[float],
+    k: int = 1,
+    object_distance_sq: Optional[ObjectDistance] = None,
+) -> List[Neighbor]:
+    """k-NN over everything indexed in *tree*, ignoring the tree structure.
+
+    Used throughout the test suite as the ground-truth oracle: any index
+    -based algorithm must return neighbors at exactly these distances.
+    """
+    return linear_scan_items(
+        tree.items(), point, k=k, object_distance_sq=object_distance_sq
+    )

@@ -1,0 +1,176 @@
+"""A point-region quadtree with best-first k-NN, as a third baseline.
+
+Quadtrees (Finkel & Bentley, 1974) predate both kd-trees and R-trees and
+split *space* (each internal node divides its square into four quadrants)
+rather than *data*.  They therefore adapt to density by depth instead of
+by balanced splits — deep spindly branches under clusters — which is the
+contrast the algorithm-comparison experiments expose.
+
+The k-NN search is best-first over quadrants keyed by MINDIST, mirroring
+the R-tree searches so node-visit counts are comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import mindist_squared
+from repro.core.neighbors import Neighbor, NeighborBuffer
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import Point, as_point, euclidean_squared
+from repro.geometry.rect import Rect
+
+__all__ = ["QuadTree", "QuadTreeStats"]
+
+_DEFAULT_LEAF_CAPACITY = 8
+_MAX_DEPTH = 32
+
+
+@dataclass
+class QuadTreeStats:
+    """Counters for one quadtree query."""
+
+    nodes_visited: int = 0
+    points_examined: int = 0
+
+
+class _QuadNode:
+    __slots__ = ("bounds", "points", "children", "depth")
+
+    def __init__(self, bounds: Rect, depth: int) -> None:
+        self.bounds = bounds
+        self.points: Optional[List[Tuple[Point, Any]]] = []
+        self.children: Optional[List["_QuadNode"]] = None
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """A 2-D point-region quadtree over ``(point, payload)`` pairs.
+
+    Args:
+        items: The points to index.
+        leaf_capacity: Points a leaf holds before splitting into quadrants
+            (splitting stops at a depth cap, so duplicate-heavy data stays
+            safe).
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Tuple[Sequence[float], Any]],
+        leaf_capacity: int = _DEFAULT_LEAF_CAPACITY,
+    ) -> None:
+        if leaf_capacity < 1:
+            raise InvalidParameterError(
+                f"leaf_capacity must be >= 1, got {leaf_capacity}"
+            )
+        self.leaf_capacity = leaf_capacity
+        normalized = [(as_point(p), payload) for p, payload in items]
+        for p, _ in normalized:
+            if len(p) != 2:
+                raise DimensionMismatchError(2, len(p), "quadtree")
+        self._size = len(normalized)
+        self._node_count = 0
+        if normalized:
+            bounds = Rect.from_points([p for p, _ in normalized])
+            # Inflate degenerate bounds so quadrant splitting always works.
+            if bounds.is_degenerate():
+                bounds = Rect(
+                    [c - 0.5 for c in bounds.lo], [c + 0.5 for c in bounds.hi]
+                )
+            self._root: Optional[_QuadNode] = self._new_node(bounds, 0)
+            for p, payload in normalized:
+                self._insert(self._root, p, payload)
+        else:
+            self._root = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """Total quadrant nodes allocated."""
+        return self._node_count
+
+    def _new_node(self, bounds: Rect, depth: int) -> _QuadNode:
+        self._node_count += 1
+        return _QuadNode(bounds, depth)
+
+    def _insert(self, node: _QuadNode, point: Point, payload: Any) -> None:
+        while not node.is_leaf:
+            node = self._quadrant_for(node, point)
+        node.points.append((point, payload))
+        if len(node.points) > self.leaf_capacity and node.depth < _MAX_DEPTH:
+            self._split(node)
+
+    def _split(self, node: _QuadNode) -> None:
+        lo_x, lo_y = node.bounds.lo
+        hi_x, hi_y = node.bounds.hi
+        mid_x = (lo_x + hi_x) / 2.0
+        mid_y = (lo_y + hi_y) / 2.0
+        node.children = [
+            self._new_node(Rect((lo_x, lo_y), (mid_x, mid_y)), node.depth + 1),
+            self._new_node(Rect((mid_x, lo_y), (hi_x, mid_y)), node.depth + 1),
+            self._new_node(Rect((lo_x, mid_y), (mid_x, hi_y)), node.depth + 1),
+            self._new_node(Rect((mid_x, mid_y), (hi_x, hi_y)), node.depth + 1),
+        ]
+        points = node.points
+        node.points = None
+        for p, payload in points:
+            child = self._quadrant_for(node, p)
+            child.points.append((p, payload))
+            if (
+                len(child.points) > self.leaf_capacity
+                and child.depth < _MAX_DEPTH
+            ):
+                self._split(child)
+
+    @staticmethod
+    def _quadrant_for(node: _QuadNode, point: Point) -> _QuadNode:
+        mid_x = (node.bounds.lo[0] + node.bounds.hi[0]) / 2.0
+        mid_y = (node.bounds.lo[1] + node.bounds.hi[1]) / 2.0
+        index = (1 if point[0] >= mid_x else 0) + (
+            2 if point[1] >= mid_y else 0
+        )
+        return node.children[index]
+
+    # ------------------------------------------------------------------
+    def nearest(
+        self, point: Sequence[float], k: int = 1
+    ) -> Tuple[List[Neighbor], QuadTreeStats]:
+        """The k indexed points nearest to *point* (best-first search)."""
+        query = as_point(point)
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        stats = QuadTreeStats()
+        if self._root is None:
+            return [], stats
+        if len(query) != 2:
+            raise DimensionMismatchError(2, len(query), "quadtree query")
+
+        buffer = NeighborBuffer(k)
+        counter = 0
+        heap: List[tuple] = [(0.0, counter, self._root)]
+        while heap:
+            key, _, node = heapq.heappop(heap)
+            if key >= buffer.worst_distance_squared:
+                break
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                for p, payload in node.points:
+                    stats.points_examined += 1
+                    buffer.offer(
+                        euclidean_squared(query, p), payload, Rect.from_point(p)
+                    )
+                continue
+            for child in node.children:
+                md = mindist_squared(query, child.bounds)
+                if md < buffer.worst_distance_squared:
+                    counter += 1
+                    heapq.heappush(heap, (md, counter, child))
+        return buffer.to_sorted_list(), stats

@@ -1,0 +1,198 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Subcommands:
+
+- ``list`` — show every registered experiment with its paper reference.
+- ``run <id>|all [--scale quick|default|full] [--markdown] [-o FILE]`` —
+  execute experiments and print their tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, Scale, get_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the evaluation of 'Nearest Neighbor Queries' "
+        "(SIGMOD 1995).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments")
+
+    report = sub.add_parser(
+        "report", help="run all experiments and emit one markdown report"
+    )
+    report.add_argument(
+        "--scale",
+        default="quick",
+        choices=sorted(Scale.presets()),
+        help="workload sizing preset (default: quick)",
+    )
+    report.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="experiment ids to include (default: all)",
+    )
+    report.add_argument(
+        "-o", "--output", default=None, help="file to write the report to"
+    )
+
+    viz = sub.add_parser(
+        "viz", help="render a sample R-tree (and a query) as an SVG file"
+    )
+    viz.add_argument("svg_path", help="SVG file to write")
+    viz.add_argument("--n", type=int, default=400, help="number of points")
+    viz.add_argument(
+        "--dataset",
+        default="clustered",
+        choices=["uniform", "clustered", "skewed"],
+        help="point distribution",
+    )
+    viz.add_argument(
+        "--split",
+        default="quadratic",
+        choices=["linear", "quadratic", "rstar"],
+        help="split strategy for the dynamic build",
+    )
+    viz.add_argument("--seed", type=int, default=0, help="dataset seed")
+    viz.add_argument("--k", type=int, default=5, help="neighbors to mark")
+
+    run = sub.add_parser("run", help="run one experiment or 'all'")
+    run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
+    run.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(Scale.presets()),
+        help="workload sizing preset (default: default)",
+    )
+    run.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit GitHub-flavored markdown tables",
+    )
+    run.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit CSV tables (for plotting pipelines)",
+    )
+    run.add_argument(
+        "--plot",
+        action="store_true",
+        help="append an ASCII line chart under each table",
+    )
+    run.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the output to this file",
+    )
+    return parser
+
+
+def _run_command(args: argparse.Namespace) -> str:
+    scale = Scale.by_name(args.scale)
+    if args.experiment.lower() == "all":
+        experiments = [EXPERIMENTS[key] for key in sorted(EXPERIMENTS)]
+    else:
+        experiments = [get_experiment(args.experiment)]
+
+    blocks: List[str] = []
+    for experiment in experiments:
+        header = f"## {experiment.id} — {experiment.title}"
+        blocks.append(header)
+        blocks.append(f"({experiment.paper_ref}; scale={scale.name})")
+        blocks.append(experiment.description)
+        start = time.perf_counter()
+        tables = experiment.run(scale)
+        elapsed = time.perf_counter() - start
+        for table in tables:
+            if args.csv:
+                blocks.append(f"# {table.title}\n" + table.to_csv())
+            elif args.markdown:
+                blocks.append(table.to_markdown())
+            else:
+                blocks.append(table.render())
+            if args.plot:
+                from repro.bench.plots import plot_table
+                from repro.errors import InvalidParameterError
+
+                try:
+                    blocks.append(plot_table(table))
+                except InvalidParameterError:
+                    pass  # tables without numeric series are just printed
+        blocks.append(f"[{experiment.id} completed in {elapsed:.1f}s]")
+        blocks.append("")
+    return "\n\n".join(blocks)
+
+
+def _viz_command(args: argparse.Namespace) -> str:
+    from repro.core.query import nearest
+    from repro.datasets.synthetic import (
+        gaussian_clusters,
+        skewed_points,
+        uniform_points,
+    )
+    from repro.rtree.svg import save_svg
+    from repro.rtree.tree import RTree
+
+    generators = {
+        "uniform": uniform_points,
+        "clustered": gaussian_clusters,
+        "skewed": skewed_points,
+    }
+    points = generators[args.dataset](args.n, seed=args.seed)
+    tree = RTree(max_entries=8, split=args.split)
+    for i, point in enumerate(points):
+        tree.insert(point, payload=i)
+    query = (500.0, 500.0)
+    result = nearest(tree, query, k=args.k)
+    save_svg(tree, args.svg_path, query=query, neighbors=result)
+    return (
+        f"Wrote {args.svg_path}: {len(tree)} {args.dataset} points, "
+        f"{tree.node_count} nodes ({args.split} split), query at {query} "
+        f"with its {len(result)} nearest marked."
+    )
+
+
+def _list_command() -> str:
+    lines = ["Registered experiments:", ""]
+    for key in sorted(EXPERIMENTS):
+        experiment = EXPERIMENTS[key]
+        lines.append(f"  {experiment.id}  {experiment.title}")
+        lines.append(f"      {experiment.paper_ref}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        output = _list_command()
+    elif args.command == "viz":
+        output = _viz_command(args)
+    elif args.command == "report":
+        from repro.bench.report import generate_report
+
+        output = generate_report(Scale.by_name(args.scale), args.only)
+    else:
+        output = _run_command(args)
+    print(output)
+    if getattr(args, "output", None):
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""ASCII line charts: render an experiment table's series as a figure.
+
+The paper presents most results as line plots; this module turns any
+:class:`~repro.bench.tables.Table` whose first column is the x-axis and
+whose remaining (numeric) columns are series into a terminal chart, so
+``repro-bench run E2 --plot`` shows the figure's shape without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.tables import Table
+from repro.errors import InvalidParameterError
+
+__all__ = ["ascii_plot", "plot_table"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render one or more y-series against shared x-values.
+
+    Points are plotted on a ``width x height`` character grid with linear
+    axes; each series gets a marker from ``* o + x ...`` and a legend line.
+    """
+    if not x_values:
+        raise InvalidParameterError("x_values must be non-empty")
+    if len(series) != len(labels):
+        raise InvalidParameterError("series and labels must pair up")
+    for ys in series:
+        if len(ys) != len(x_values):
+            raise InvalidParameterError(
+                "every series must have one y per x value"
+            )
+    if width < 8 or height < 4:
+        raise InvalidParameterError("plot must be at least 8x4 characters")
+
+    x_min, x_max = min(x_values), max(x_values)
+    all_y = [y for ys in series for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for ys, marker in zip(series, _MARKERS):
+        for x, y in zip(x_values, ys):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    y_label_width = max(len(f"{y_max:g}"), len(f"{y_min:g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:g}".rjust(y_label_width)
+        elif row_index == height - 1:
+            label = f"{y_min:g}".rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * y_label_width + " +" + "-" * width)
+    x_axis = f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(" " * (y_label_width + 2) + x_axis)
+    legend = "   ".join(
+        f"{marker} {label}" for marker, label in zip(_MARKERS, labels)
+    )
+    lines.append(" " * (y_label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def plot_table(
+    table: Table,
+    x_column: Optional[str] = None,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Plot a table: first (or named) column as x, numeric columns as series.
+
+    Non-numeric columns are skipped; raises if nothing plottable remains.
+    """
+    if not table.rows:
+        raise InvalidParameterError("cannot plot an empty table")
+    x_name = x_column if x_column is not None else table.columns[0]
+    try:
+        x_values = [_parse(v) for v in table.column(x_name)]
+    except ValueError:
+        raise InvalidParameterError(
+            f"x column {x_name!r} is not numeric"
+        ) from None
+
+    series = []
+    labels = []
+    for name in table.columns:
+        if name == x_name:
+            continue
+        try:
+            series.append([_parse(v) for v in table.column(name)])
+        except ValueError:
+            continue
+        labels.append(name)
+    if not series:
+        raise InvalidParameterError("table has no numeric series to plot")
+    return ascii_plot(
+        x_values, series, labels, title=table.title, width=width, height=height
+    )
+
+
+def _parse(cell: str) -> float:
+    return float(cell.replace(",", ""))

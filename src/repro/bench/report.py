@@ -1,0 +1,62 @@
+"""One-command markdown report over all experiments.
+
+``repro-bench report -o report.md`` runs every registered experiment at
+the chosen scale and assembles a single self-describing markdown document
+(title, provenance, captioned tables) — the raw material EXPERIMENTS.md
+is curated from.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.experiments import EXPERIMENTS, Scale
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    scale: Scale,
+    experiment_ids: Optional[Sequence[str]] = None,
+) -> str:
+    """Run experiments and return the full markdown report.
+
+    Args:
+        scale: Workload preset to run at.
+        experiment_ids: Which experiments (default: all, in id order).
+    """
+    ids = (
+        sorted(EXPERIMENTS)
+        if experiment_ids is None
+        else [identifier.upper() for identifier in experiment_ids]
+    )
+    lines: List[str] = [
+        "# Experiment report",
+        "",
+        f"Scale preset: `{scale.name}`.  All workloads are seeded and "
+        "deterministic; wall-clock columns vary with machine load.",
+        "",
+    ]
+    total_start = time.perf_counter()
+    for identifier in ids:
+        experiment = EXPERIMENTS[identifier]
+        lines.append(f"## {experiment.id} — {experiment.title}")
+        lines.append("")
+        lines.append(f"*{experiment.paper_ref}.*  {experiment.description}")
+        lines.append("")
+        start = time.perf_counter()
+        for table in experiment.run(scale):
+            # to_markdown() already carries the caption.
+            lines.append(table.to_markdown())
+            lines.append("")
+        lines.append(
+            f"<sub>{experiment.id} ran in "
+            f"{time.perf_counter() - start:.1f}s</sub>"
+        )
+        lines.append("")
+    lines.append(
+        f"<sub>Total: {time.perf_counter() - total_start:.1f}s for "
+        f"{len(ids)} experiments.</sub>"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Plain-text table rendering for experiment output.
+
+The paper reports results as small tables and line plots; the harness
+renders both as fixed-width text tables (one row per x-value, one column
+per series) so results paste directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["Table"]
+
+
+def _looks_numeric(cell: str) -> bool:
+    try:
+        float(cell.replace(",", ""))
+    except ValueError:
+        return False
+    return True
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) < 0.01:
+            return f"{value:.2g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Table:
+    """A titled table with named columns that renders to aligned text."""
+
+    def __init__(self, title: str, columns: Sequence[str], caption: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.caption = caption
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; values are formatted per type."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} "
+                f"columns"
+            )
+        self.rows.append([_format_cell(v) for v in values])
+
+    def render(self) -> str:
+        """The table as aligned, pipe-separated text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        out = [self.title, "=" * len(self.title)]
+        if self.caption:
+            out.append(self.caption)
+        out.append(line(self.columns))
+        out.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            out.append(line(row))
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        """The table as GitHub-flavored markdown."""
+        out = [f"**{self.title}**", ""]
+        if self.caption:
+            out += [self.caption, ""]
+        out.append("| " + " | ".join(self.columns) + " |")
+        out.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            out.append("| " + " | ".join(row) + " |")
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """The table as RFC-4180-ish CSV (header row first).
+
+        Cells keep the human formatting (thousands separators are dropped
+        so numeric columns stay machine-parsable); cells containing commas
+        or quotes are quoted.
+        """
+
+        def escape(cell: str) -> str:
+            cell = cell.replace(",", "") if _looks_numeric(cell) else cell
+            if "," in cell or '"' in cell or "\n" in cell:
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(escape(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(escape(c) for c in row))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[str]:
+        """All cells of the named column (for assertions in tests)."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,119 @@
+"""Aggregate (group) nearest-neighbor queries.
+
+Given *several* query points — a group of friends choosing a restaurant —
+find the k objects minimizing an aggregate of the individual distances:
+
+- ``"sum"``: minimize total travel (the classic group-NN objective),
+- ``"max"``: minimize the worst member's travel (fairness objective).
+
+The search is best-first, pruning with the corresponding aggregate of the
+per-point MINDISTs, which lower-bounds the aggregate distance of every
+object in the subtree (each MINDIST lower-bounds its own term, and both
+``sum`` and ``max`` are monotone in their arguments).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.knn_dfs import ObjectDistance
+from repro.core.metrics import mindist_squared
+from repro.core.neighbors import Neighbor, NeighborBuffer
+from repro.core.stats import SearchStats
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import as_point
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+from repro.storage.tracker import AccessTracker
+
+__all__ = ["aggregate_nearest"]
+
+_AGGREGATES = ("sum", "max")
+
+
+def aggregate_nearest(
+    tree: RTree,
+    points: Sequence[Sequence[float]],
+    k: int = 1,
+    aggregate: str = "sum",
+    tracker: Optional[AccessTracker] = None,
+    object_distance_sq: Optional[ObjectDistance] = None,
+) -> Tuple[List[Neighbor], SearchStats]:
+    """Find the *k* objects minimizing the aggregate distance to *points*.
+
+    Args:
+        tree: The R-tree to search.
+        points: One or more query points (the "group").
+        k: Number of results.
+        aggregate: ``"sum"`` (total distance) or ``"max"`` (worst member).
+        tracker: Page-access tracker.
+        object_distance_sq: Per-point exact object distance hook; applied
+            to each group member individually.
+
+    Returns:
+        ``(neighbors, stats)`` sorted by ascending aggregate distance.
+        Each result's ``distance`` is the aggregate of the *true* (not
+        squared) per-point distances; ``distance_squared`` is its square.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if aggregate not in _AGGREGATES:
+        raise InvalidParameterError(
+            f"aggregate must be one of {_AGGREGATES}, got {aggregate!r}"
+        )
+    queries = [as_point(p) for p in points]
+    if not queries:
+        raise InvalidParameterError("points must be non-empty")
+    stats = SearchStats()
+    if len(tree) == 0:
+        return [], stats
+    for q in queries:
+        if tree.dimension != len(q):
+            raise DimensionMismatchError(tree.dimension, len(q), "group point")
+
+    combine: Callable[[List[float]], float] = sum if aggregate == "sum" else max
+
+    def rect_lower_bound(rect: Rect) -> float:
+        """Aggregate of per-point MINDISTs (true distances, not squared)."""
+        return combine(
+            [math.sqrt(mindist_squared(q, rect)) for q in queries]
+        )
+
+    def object_distance(payload, rect: Rect) -> float:
+        if object_distance_sq is not None:
+            per_point = [
+                math.sqrt(object_distance_sq(q, payload, rect)) for q in queries
+            ]
+        else:
+            per_point = [math.sqrt(mindist_squared(q, rect)) for q in queries]
+        return combine(per_point)
+
+    # NeighborBuffer is keyed by squared distance; aggregates are compared
+    # on their squares, which preserves order for nonnegative values.
+    buffer = NeighborBuffer(k)
+    counter = 0
+    heap: List[tuple] = [(0.0, counter, tree.root)]
+    while heap:
+        key, _, node = heapq.heappop(heap)
+        if key * key >= buffer.worst_distance_squared:
+            break
+        if tracker is not None:
+            tracker.access(node.node_id, node.is_leaf)
+        stats.record_node(node.is_leaf)
+        if node.is_leaf:
+            for entry in node.entries:
+                distance = object_distance(entry.payload, entry.rect)
+                stats.objects_examined += 1
+                buffer.offer(distance * distance, entry.payload, entry.rect)
+            continue
+        for entry in node.entries:
+            bound = rect_lower_bound(entry.rect)
+            stats.branch_entries_considered += 1
+            if bound * bound < buffer.worst_distance_squared:
+                counter += 1
+                heapq.heappush(heap, (bound, counter, entry.child))
+            else:
+                stats.pruning.p3_pruned += 1
+    return buffer.to_sorted_list(), stats

@@ -1,0 +1,71 @@
+"""Batched nearest-neighbor queries with shared caching.
+
+The POI-session pattern — many queries against one index, sharing a buffer
+pool so the tree's upper levels are read once — packaged as an API instead
+of a loop the caller writes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.knn_dfs import ObjectDistance
+from repro.core.pruning import PruningConfig
+from repro.core.query import NNResult, nearest
+from repro.core.stats import SearchStats
+from repro.errors import InvalidParameterError
+from repro.rtree.tree import RTree
+from repro.storage.buffer import LruBufferPool
+
+__all__ = ["nearest_batch"]
+
+
+def nearest_batch(
+    tree: RTree,
+    points: Sequence[Sequence[float]],
+    k: int = 1,
+    algorithm: str = "dfs",
+    ordering: str = "mindist",
+    pruning: Optional[PruningConfig] = None,
+    buffer_pages: int = 64,
+    object_distance_sq: Optional[ObjectDistance] = None,
+    epsilon: float = 0.0,
+) -> Tuple[List[NNResult], SearchStats, float]:
+    """Run one k-NN query per point through a shared LRU buffer.
+
+    Args:
+        tree: The index.
+        points: Query points, answered in order.
+        buffer_pages: Shared LRU capacity (0 disables buffering).
+        (Remaining arguments as in :func:`repro.core.query.nearest`.)
+
+    Returns:
+        ``(results, combined_stats, disk_reads_per_query)`` — one
+        :class:`NNResult` per point, the merged logical statistics, and
+        the average *physical* reads per query after buffering.
+    """
+    if not points:
+        raise InvalidParameterError("points must be non-empty")
+    if buffer_pages < 0:
+        raise InvalidParameterError(
+            f"buffer_pages must be >= 0, got {buffer_pages}"
+        )
+    pool = LruBufferPool(buffer_pages)
+    combined = SearchStats()
+    results: List[NNResult] = []
+    for point in points:
+        result = nearest(
+            tree,
+            point,
+            k=k,
+            algorithm=algorithm,
+            ordering=ordering,
+            pruning=pruning,
+            tracker=pool,
+            object_distance_sq=object_distance_sq,
+            epsilon=epsilon,
+        )
+        combined.merge(result.stats)
+        results.append(result)
+    disk_reads_per_query = pool.inner.stats.total / float(len(points))
+    return results, combined, disk_reads_per_query

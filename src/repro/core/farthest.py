@@ -1,0 +1,116 @@
+"""Farthest-neighbor queries: the mirror image of the paper's search.
+
+Where nearest-neighbor search prunes with MINDIST (a lower bound on every
+enclosed object), farthest-neighbor search prunes with MAXDIST (an upper
+bound): a subtree is worth visiting only if its MAXDIST exceeds the k-th
+farthest candidate found so far.  The traversal is best-first on
+*descending* MAXDIST.
+
+For point data the result is exact.  For extended objects the default
+distance (MAXDIST to the object's MBR) upper-bounds the true farthest
+point of the object; pass ``object_distance_sq`` returning the exact
+squared farthest distance for exact results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.knn_dfs import ObjectDistance
+from repro.core.metrics import maxdist_squared
+from repro.core.neighbors import Neighbor
+from repro.core.stats import SearchStats
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import as_point
+from repro.rtree.tree import RTree
+from repro.storage.tracker import AccessTracker
+
+__all__ = ["farthest_best_first"]
+
+
+class _FarthestBuffer:
+    """Bounded min-heap of the k farthest candidates seen so far."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._heap: List[tuple] = []
+        self._counter = 0
+
+    @property
+    def worst_distance_squared(self) -> float:
+        """Squared distance of the k-th farthest candidate (-inf if not full)."""
+        if len(self._heap) < self.k:
+            return -math.inf
+        return self._heap[0][0]
+
+    def offer(self, distance_squared: float, payload, rect) -> bool:
+        if distance_squared <= self.worst_distance_squared:
+            return False
+        self._counter += 1
+        item = (distance_squared, self._counter, payload, rect)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, item)
+        else:
+            heapq.heapreplace(self._heap, item)
+        return True
+
+    def to_sorted_list(self) -> List[Neighbor]:
+        """All buffered candidates, farthest first."""
+        ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [
+            Neighbor(payload, rect, math.sqrt(d_sq), d_sq)
+            for d_sq, _, payload, rect in ordered
+        ]
+
+
+def farthest_best_first(
+    tree: RTree,
+    point: Sequence[float],
+    k: int = 1,
+    tracker: Optional[AccessTracker] = None,
+    object_distance_sq: Optional[ObjectDistance] = None,
+) -> Tuple[List[Neighbor], SearchStats]:
+    """Find the *k* objects in *tree* farthest from *point*.
+
+    Returns ``(neighbors, stats)`` with neighbors sorted farthest first.
+    """
+    query = as_point(point)
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    stats = SearchStats()
+    if len(tree) == 0:
+        return [], stats
+    if tree.dimension != len(query):
+        raise DimensionMismatchError(tree.dimension, len(query), "query point")
+
+    buffer = _FarthestBuffer(k)
+    counter = 0
+    # Max-heap on MAXDIST via negated keys.
+    heap: List[tuple] = [(-maxdist_squared(query, tree.root.mbr()), counter, tree.root)]
+    while heap:
+        neg_key_sq, _, node = heapq.heappop(heap)
+        if -neg_key_sq <= buffer.worst_distance_squared:
+            break
+        if tracker is not None:
+            tracker.access(node.node_id, node.is_leaf)
+        stats.record_node(node.is_leaf)
+        if node.is_leaf:
+            for entry in node.entries:
+                if object_distance_sq is not None:
+                    dist_sq = object_distance_sq(query, entry.payload, entry.rect)
+                else:
+                    dist_sq = maxdist_squared(query, entry.rect)
+                stats.objects_examined += 1
+                buffer.offer(dist_sq, entry.payload, entry.rect)
+            continue
+        for entry in node.entries:
+            xd_sq = maxdist_squared(query, entry.rect)
+            stats.branch_entries_considered += 1
+            if xd_sq > buffer.worst_distance_squared:
+                counter += 1
+                heapq.heappush(heap, (-xd_sq, counter, entry.child))
+            else:
+                stats.pruning.p3_pruned += 1
+    return buffer.to_sorted_list(), stats

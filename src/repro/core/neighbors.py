@@ -1,0 +1,91 @@
+"""Result types and the bounded nearest-neighbor candidate buffer.
+
+The paper's search "maintains a sorted buffer of at most k current nearest
+neighbors" (Section 5).  :class:`NeighborBuffer` implements it as a bounded
+max-heap keyed by squared distance, so the k-th (worst) candidate — the
+pruning bound — is always available in O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+
+__all__ = ["Neighbor", "NeighborBuffer"]
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One returned neighbor: the payload, its MBR and its distance."""
+
+    payload: Any
+    rect: Rect
+    distance: float
+    distance_squared: float
+
+    def __lt__(self, other: "Neighbor") -> bool:
+        return self.distance_squared < other.distance_squared
+
+
+class NeighborBuffer:
+    """Bounded max-heap of the k best candidates seen so far.
+
+    ``worst_distance_squared`` is the pruning bound: infinity while fewer
+    than k candidates are buffered, else the k-th smallest distance seen.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Max-heap via negated keys; the tiebreak counter keeps heap entries
+        # orderable even when payloads are not comparable.
+        self._heap: List[tuple] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """True once k candidates are buffered."""
+        return len(self._heap) >= self.k
+
+    @property
+    def worst_distance_squared(self) -> float:
+        """Squared distance of the k-th best candidate (inf if not full)."""
+        if len(self._heap) < self.k:
+            return math.inf
+        return -self._heap[0][0]
+
+    def offer(self, distance_squared: float, payload: Any, rect: Rect) -> bool:
+        """Consider a candidate; returns True if it entered the buffer."""
+        if distance_squared >= self.worst_distance_squared:
+            return False
+        self._counter += 1
+        item = (-distance_squared, self._counter, payload, rect)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, item)
+        else:
+            heapq.heapreplace(self._heap, item)
+        return True
+
+    def peek_worst(self) -> Optional[Neighbor]:
+        """The current k-th best candidate, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        neg_d, _, payload, rect = self._heap[0]
+        return Neighbor(payload, rect, math.sqrt(-neg_d), -neg_d)
+
+    def to_sorted_list(self) -> List[Neighbor]:
+        """All buffered candidates, nearest first."""
+        ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [
+            Neighbor(payload, rect, math.sqrt(-neg_d), -neg_d)
+            for neg_d, _, payload, rect in ordered
+        ]

@@ -1,0 +1,92 @@
+"""The paper's three pruning strategies (Section 4).
+
+During the branch-and-bound traversal the search holds an Active Branch List
+(ABL) of candidate child MBRs.  Three prunes shrink it:
+
+**P1 (downward prune).** An MBR ``M`` with ``MINDIST(P, M)`` greater than the
+``MINMAXDIST(P, M')`` of a sibling ``M'`` cannot contain the nearest
+neighbor, because ``M'`` is *guaranteed* to contain some object at least
+that close.
+
+**P2 (object prune).** A candidate object ``o`` with ``dist(P, o)`` greater
+than ``MINMAXDIST(P, M)`` of some MBR ``M`` is discarded — ``M`` certainly
+contains something closer.  Operationally this means the MINMAXDIST of every
+visited MBR acts as an upper bound on the final answer, so we fold the
+smallest MINMAXDIST seen so far into the pruning bound.
+
+**P3 (upward prune).** An MBR with ``MINDIST(P, M)`` greater than the
+distance to the current nearest object (k-th nearest for k > 1) is
+discarded.  This is the workhorse prune applied as recursive calls return.
+
+Soundness for ``k > 1``: MINMAXDIST guarantees only *one* object inside the
+MBR, so P1 and P2 would be unsound for k > 1 and are automatically disabled
+there (the paper's Section 5 makes the same observation).  :class:`PruningConfig`
+lets experiments toggle each strategy for the ablation study (E5); disabling
+all three degrades the search to an exhaustive traversal, which is still
+correct — just slow — and the tests exploit that as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PruningConfig", "PruningStats"]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which of the paper's strategies the DFS search applies.
+
+    The defaults enable everything that is sound for the requested ``k``.
+    """
+
+    use_p1: bool = True
+    use_p2: bool = True
+    use_p3: bool = True
+
+    @classmethod
+    def all(cls) -> "PruningConfig":
+        """Every strategy enabled (the paper's configuration)."""
+        return cls(True, True, True)
+
+    @classmethod
+    def none(cls) -> "PruningConfig":
+        """No pruning: exhaustive traversal (test/ablation baseline)."""
+        return cls(False, False, False)
+
+    @classmethod
+    def only_p3(cls) -> "PruningConfig":
+        """Just the upward prune — what best-first search implicitly uses."""
+        return cls(False, False, True)
+
+    def effective_for_k(self, k: int) -> "PruningConfig":
+        """Drop the MINMAXDIST-based strategies when they would be unsound.
+
+        MINMAXDIST certifies one object per MBR, so P1/P2 only apply to
+        ``k == 1`` queries.
+        """
+        if k == 1:
+            return self
+        if not (self.use_p1 or self.use_p2):
+            return self
+        return PruningConfig(False, False, self.use_p3)
+
+
+@dataclass
+class PruningStats:
+    """How many ABL branches each strategy discarded during one query."""
+
+    p1_pruned: int = 0
+    p2_bound_updates: int = 0
+    p3_pruned: int = 0
+
+    @property
+    def total(self) -> int:
+        """Branches discarded outright (P1 + P3; P2 tightens the bound)."""
+        return self.p1_pruned + self.p3_pruned
+
+    def merge(self, other: "PruningStats") -> None:
+        """Accumulate *other* into this instance."""
+        self.p1_pruned += other.p1_pruned
+        self.p2_bound_updates += other.p2_bound_updates
+        self.p3_pruned += other.p3_pruned

@@ -1,0 +1,174 @@
+"""User-facing query façade.
+
+Most callers only need :func:`nearest`::
+
+    from repro import RTree, nearest
+
+    tree = RTree()
+    tree.insert((2.0, 3.0), payload="library")
+    result = nearest(tree, (0.0, 0.0), k=1)
+    result.payloads()     # ["library"]
+    result.stats.nodes_accessed
+
+:class:`NearestNeighborQuery` packages a fixed configuration (algorithm,
+ordering, pruning, tracker, object-distance hook) for repeated use — the
+shape of the bench harness's inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Union
+
+from repro.core.knn_best_first import nearest_best_first
+from repro.core.knn_dfs import ObjectDistance, nearest_dfs
+from repro.core.neighbors import Neighbor
+from repro.core.pruning import PruningConfig
+from repro.core.stats import SearchStats
+from repro.errors import InvalidParameterError
+from repro.rtree.tree import RTree
+from repro.storage.tracker import AccessTracker
+
+__all__ = ["NNResult", "NearestNeighborQuery", "nearest"]
+
+_VALID_ALGORITHMS = ("dfs", "best-first")
+
+
+@dataclass
+class NNResult:
+    """The outcome of one nearest-neighbor query."""
+
+    neighbors: List[Neighbor]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    def __iter__(self) -> Iterator[Neighbor]:
+        return iter(self.neighbors)
+
+    def __getitem__(self, index: Union[int, slice]):
+        return self.neighbors[index]
+
+    def payloads(self) -> List[Any]:
+        """Payloads of the neighbors, nearest first."""
+        return [n.payload for n in self.neighbors]
+
+    def distances(self) -> List[float]:
+        """Distances of the neighbors, nearest first."""
+        return [n.distance for n in self.neighbors]
+
+
+def nearest(
+    tree: RTree,
+    point: Sequence[float],
+    k: int = 1,
+    algorithm: str = "dfs",
+    ordering: str = "mindist",
+    pruning: Optional[PruningConfig] = None,
+    tracker: Optional[AccessTracker] = None,
+    object_distance_sq: Optional[ObjectDistance] = None,
+    epsilon: float = 0.0,
+) -> NNResult:
+    """Find the *k* objects in *tree* nearest to *point*.
+
+    Args:
+        tree: The R-tree to search.
+        point: Query point.
+        k: How many neighbors to return.
+        algorithm: ``"dfs"`` — the paper's branch-and-bound depth-first
+            search — or ``"best-first"`` — the Hjaltason-Samet priority
+            search (page-optimal, ignores *ordering* and *pruning*).
+        ordering: Active-branch-list metric for DFS, ``"mindist"`` or
+            ``"minmaxdist"``.
+        pruning: DFS pruning strategy toggles (default: all sound ones).
+        tracker: Page-access tracker / buffer pool.
+        object_distance_sq: Exact squared object distance hook.
+        epsilon: Approximation slack; 0 is exact, larger values trade
+            accuracy (each distance within ``1 + epsilon`` of exact) for
+            fewer page reads.
+
+    Returns:
+        An :class:`NNResult` with the neighbors (nearest first) and the
+        search statistics.
+    """
+    if algorithm == "dfs":
+        neighbors, stats = nearest_dfs(
+            tree,
+            point,
+            k=k,
+            ordering=ordering,
+            pruning=pruning,
+            tracker=tracker,
+            object_distance_sq=object_distance_sq,
+            epsilon=epsilon,
+        )
+    elif algorithm == "best-first":
+        neighbors, stats = nearest_best_first(
+            tree,
+            point,
+            k=k,
+            tracker=tracker,
+            object_distance_sq=object_distance_sq,
+            epsilon=epsilon,
+        )
+    else:
+        raise InvalidParameterError(
+            f"algorithm must be one of {_VALID_ALGORITHMS}, got {algorithm!r}"
+        )
+    return NNResult(neighbors=neighbors, stats=stats)
+
+
+class NearestNeighborQuery:
+    """A reusable, pre-configured nearest-neighbor query.
+
+    Example::
+
+        query = NearestNeighborQuery(tree, k=4, ordering="minmaxdist")
+        for p in query_points:
+            result = query(p)
+    """
+
+    def __init__(
+        self,
+        tree: RTree,
+        k: int = 1,
+        algorithm: str = "dfs",
+        ordering: str = "mindist",
+        pruning: Optional[PruningConfig] = None,
+        tracker: Optional[AccessTracker] = None,
+        object_distance_sq: Optional[ObjectDistance] = None,
+        epsilon: float = 0.0,
+    ) -> None:
+        if algorithm not in _VALID_ALGORITHMS:
+            raise InvalidParameterError(
+                f"algorithm must be one of {_VALID_ALGORITHMS}, got {algorithm!r}"
+            )
+        self.tree = tree
+        self.k = k
+        self.algorithm = algorithm
+        self.ordering = ordering
+        self.pruning = pruning
+        self.tracker = tracker
+        self.object_distance_sq = object_distance_sq
+        self.epsilon = epsilon
+
+    def __call__(self, point: Sequence[float], k: Optional[int] = None) -> NNResult:
+        """Run the query from *point*; *k* overrides the configured value."""
+        return nearest(
+            self.tree,
+            point,
+            k=k if k is not None else self.k,
+            algorithm=self.algorithm,
+            ordering=self.ordering,
+            pruning=self.pruning,
+            tracker=self.tracker,
+            object_distance_sq=self.object_distance_sq,
+            epsilon=self.epsilon,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NearestNeighborQuery(k={self.k}, algorithm={self.algorithm!r}, "
+            f"ordering={self.ordering!r})"
+        )

@@ -1,0 +1,106 @@
+"""Distance-range queries: everything within *radius* of a point.
+
+A natural companion to k-NN in any spatial database ("all cafes within
+500 m").  The traversal is the k-NN search with a *fixed* bound: descend
+into a subtree only if its MINDIST is within the radius.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.knn_dfs import ObjectDistance
+from repro.core.metrics import mindist_squared
+from repro.core.neighbors import Neighbor
+from repro.core.stats import SearchStats
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import as_point
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.storage.tracker import AccessTracker
+
+__all__ = ["within_distance", "count_within_distance"]
+
+
+def within_distance(
+    tree: RTree,
+    point: Sequence[float],
+    radius: float,
+    tracker: Optional[AccessTracker] = None,
+    object_distance_sq: Optional[ObjectDistance] = None,
+    stats: Optional[SearchStats] = None,
+) -> List[Neighbor]:
+    """All objects within *radius* of *point*, sorted nearest first.
+
+    Objects exactly at *radius* are included.  Pass a
+    :class:`SearchStats` via *stats* to observe page accesses.
+    """
+    query = as_point(point)
+    if radius < 0.0:
+        raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+    if stats is None:
+        stats = SearchStats()
+    if len(tree) == 0:
+        return []
+    if tree.dimension != len(query):
+        raise DimensionMismatchError(tree.dimension, len(query), "query point")
+
+    radius_sq = radius * radius
+    results: List[Neighbor] = []
+    _collect(
+        tree.root, query, radius_sq, results, tracker, object_distance_sq,
+        stats,
+    )
+    results.sort(key=lambda n: n.distance_squared)
+    return results
+
+
+def count_within_distance(
+    tree: RTree,
+    point: Sequence[float],
+    radius: float,
+    tracker: Optional[AccessTracker] = None,
+    object_distance_sq: Optional[ObjectDistance] = None,
+) -> int:
+    """Number of objects within *radius* of *point*."""
+    return len(
+        within_distance(
+            tree, point, radius, tracker=tracker,
+            object_distance_sq=object_distance_sq,
+        )
+    )
+
+
+def _collect(
+    node: Node,
+    query,
+    radius_sq: float,
+    results: List[Neighbor],
+    tracker: Optional[AccessTracker],
+    object_distance_sq: Optional[ObjectDistance],
+    stats: SearchStats,
+) -> None:
+    if tracker is not None:
+        tracker.access(node.node_id, node.is_leaf)
+    stats.record_node(node.is_leaf)
+    if node.is_leaf:
+        for entry in node.entries:
+            if object_distance_sq is not None:
+                dist_sq = object_distance_sq(query, entry.payload, entry.rect)
+            else:
+                dist_sq = mindist_squared(query, entry.rect)
+            stats.objects_examined += 1
+            if dist_sq <= radius_sq:
+                results.append(
+                    Neighbor(entry.payload, entry.rect, dist_sq ** 0.5, dist_sq)
+                )
+        return
+    for entry in node.entries:
+        stats.branch_entries_considered += 1
+        if mindist_squared(query, entry.rect) <= radius_sq:
+            _collect(
+                entry.child, query, radius_sq, results, tracker,
+                object_distance_sq, stats,
+            )
+        else:
+            stats.pruning.p3_pruned += 1

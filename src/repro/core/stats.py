@@ -1,0 +1,54 @@
+"""Per-query search statistics.
+
+The paper's evaluation is phrased almost entirely in these counters (pages
+accessed, nodes pruned); every search algorithm in this library fills in a
+:class:`SearchStats` as it runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pruning import PruningStats
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one nearest-neighbor query."""
+
+    #: R-tree nodes visited (== pages accessed with no buffer).
+    nodes_accessed: int = 0
+    #: Of those, leaf nodes.
+    leaf_accesses: int = 0
+    #: Of those, internal nodes.
+    internal_accesses: int = 0
+    #: Leaf entries whose actual object distance was computed.
+    objects_examined: int = 0
+    #: Active-branch-list entries generated across all visited nodes.
+    branch_entries_considered: int = 0
+    #: Pruning counters, split by strategy.
+    pruning: PruningStats = field(default_factory=PruningStats)
+
+    def record_node(self, is_leaf: bool) -> None:
+        """Tally one node visit."""
+        self.nodes_accessed += 1
+        if is_leaf:
+            self.leaf_accesses += 1
+        else:
+            self.internal_accesses += 1
+
+    @property
+    def total_pruned(self) -> int:
+        """Branches discarded by any pruning strategy."""
+        return self.pruning.total
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate *other* into this instance (for batch averaging)."""
+        self.nodes_accessed += other.nodes_accessed
+        self.leaf_accesses += other.leaf_accesses
+        self.internal_accesses += other.internal_accesses
+        self.objects_examined += other.objects_examined
+        self.branch_entries_considered += other.branch_entries_considered
+        self.pruning.merge(other.pruning)

@@ -1,0 +1,133 @@
+"""Workload characterization: quantify how skewed/clustered a dataset is.
+
+DESIGN.md claims the synthetic road generator preserves the *spatial
+character* of the paper's TIGER data (short clustered segments).  This
+module makes those claims measurable: grid-occupancy skew, mean
+nearest-pair distance, and length statistics — used both by tests that pin
+the generators' behaviour and by anyone validating their own data against
+the experiment assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+__all__ = ["PointSetSummary", "SegmentSetSummary", "describe_points",
+           "describe_segments"]
+
+
+@dataclass(frozen=True)
+class PointSetSummary:
+    """Distribution statistics for a 2-D point set."""
+
+    count: int
+    bounds: Rect
+    #: Fraction of occupied grid cells (of a sqrt(n) x sqrt(n) grid).
+    occupancy: float
+    #: Gini coefficient of per-cell counts (0 = perfectly even, -> 1 = all
+    #: points in one cell).
+    gini: float
+    #: Fraction of points in the densest 5% of occupied cells.
+    top_cells_share: float
+
+
+@dataclass(frozen=True)
+class SegmentSetSummary:
+    """Distribution statistics for a 2-D segment set."""
+
+    count: int
+    bounds: Rect
+    mean_length: float
+    median_length: float
+    #: Segment lengths relative to the bounding-box diagonal.
+    relative_median_length: float
+    #: Clustering of segment midpoints (same measure as point sets).
+    midpoint_gini: float
+
+
+def describe_points(points: Sequence[Sequence[float]]) -> PointSetSummary:
+    """Summarize a non-empty 2-D point set."""
+    if not points:
+        raise InvalidParameterError("cannot describe an empty point set")
+    for p in points:
+        if len(p) != 2:
+            raise InvalidParameterError("describe_points is 2-D only")
+    bounds = Rect.from_points(points)
+    cells, counts = _grid_histogram(points, bounds)
+    occupied = [c for c in counts.values() if c > 0]
+    occupancy = len(occupied) / float(cells * cells)
+    gini = _gini(sorted(counts.get((x, y), 0) for x in range(cells)
+                        for y in range(cells)))
+    top = sorted(occupied, reverse=True)
+    top_n = max(1, len(occupied) // 20)
+    top_share = sum(top[:top_n]) / float(len(points))
+    return PointSetSummary(
+        count=len(points),
+        bounds=bounds,
+        occupancy=occupancy,
+        gini=gini,
+        top_cells_share=top_share,
+    )
+
+
+def describe_segments(segments: Sequence[Segment]) -> SegmentSetSummary:
+    """Summarize a non-empty 2-D segment set."""
+    if not segments:
+        raise InvalidParameterError("cannot describe an empty segment set")
+    midpoints = [s.midpoint() for s in segments]
+    lengths = sorted(s.length() for s in segments)
+    bounds = Rect.union_all(s.mbr() for s in segments)
+    diagonal = math.sqrt(
+        sum((hi - lo) ** 2 for lo, hi in zip(bounds.lo, bounds.hi))
+    )
+    median_length = lengths[len(lengths) // 2]
+    return SegmentSetSummary(
+        count=len(segments),
+        bounds=bounds,
+        mean_length=statistics.mean(lengths),
+        median_length=median_length,
+        relative_median_length=(
+            median_length / diagonal if diagonal > 0 else 0.0
+        ),
+        midpoint_gini=describe_points(midpoints).gini,
+    )
+
+
+def _grid_histogram(
+    points: Sequence[Sequence[float]], bounds: Rect
+) -> Tuple[int, Dict[Tuple[int, int], int]]:
+    cells = max(2, int(math.sqrt(len(points))))
+    counts: Dict[Tuple[int, int], int] = {}
+    for p in points:
+        key = []
+        for c, lo, hi in zip(p, bounds.lo, bounds.hi):
+            width = hi - lo
+            if width <= 0:
+                key.append(0)
+                continue
+            index = int((c - lo) / width * cells)
+            key.append(min(max(index, 0), cells - 1))
+        counts[(key[0], key[1])] = counts.get((key[0], key[1]), 0) + 1
+    return cells, counts
+
+
+def _gini(sorted_values: List[int]) -> float:
+    """Gini coefficient of a sorted, nonnegative sequence."""
+    n = len(sorted_values)
+    total = sum(sorted_values)
+    if n == 0 or total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for index, value in enumerate(sorted_values, start=1):
+        cumulative += value
+        weighted += cumulative
+    # Standard formula: G = (n + 1 - 2 * sum(cum)/total) / n
+    return (n + 1 - 2 * weighted / total) / n

@@ -1,0 +1,112 @@
+"""Loading user data: CSV points and segments.
+
+The experiments run on generated workloads, but a downstream user's first
+question is "how do I index *my* file?".  These loaders cover the common
+cases — delimited text with coordinate columns — with explicit, validated
+column selection and line-precise error messages.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+__all__ = ["load_points_csv", "load_segments_csv"]
+
+
+def load_points_csv(
+    path: Union[str, "object"],
+    coordinate_columns: Sequence[str] = ("x", "y"),
+    payload_column: Optional[str] = None,
+    delimiter: str = ",",
+) -> List[Tuple[Point, Any]]:
+    """Read ``(point, payload)`` pairs from a delimited file with a header.
+
+    Args:
+        path: The file to read.
+        coordinate_columns: Header names of the coordinate columns, in
+            axis order (any dimension).
+        payload_column: Header name of the payload column; when omitted
+            the 0-based row index is used.
+        delimiter: Field separator.
+
+    Raises :class:`InvalidParameterError` with the offending line number
+    on missing columns or unparsable coordinates.
+    """
+    if len(coordinate_columns) < 1:
+        raise InvalidParameterError("need at least one coordinate column")
+    items: List[Tuple[Point, Any]] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        _check_columns(
+            reader.fieldnames, coordinate_columns, payload_column, path
+        )
+        for index, row in enumerate(reader):
+            point = tuple(
+                _parse_float(row, name, index) for name in coordinate_columns
+            )
+            payload = row[payload_column] if payload_column else index
+            items.append((point, payload))
+    return items
+
+
+def load_segments_csv(
+    path: Union[str, "object"],
+    start_columns: Sequence[str] = ("x1", "y1"),
+    end_columns: Sequence[str] = ("x2", "y2"),
+    payload_column: Optional[str] = None,
+    delimiter: str = ",",
+) -> List[Tuple[Segment, Any]]:
+    """Read ``(segment, payload)`` pairs (e.g. road segments) from a CSV.
+
+    ``start_columns`` and ``end_columns`` name the endpoint coordinates in
+    axis order and must have equal lengths.
+    """
+    if len(start_columns) != len(end_columns) or not start_columns:
+        raise InvalidParameterError(
+            "start_columns and end_columns must be non-empty and equal-length"
+        )
+    items: List[Tuple[Segment, Any]] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        _check_columns(
+            reader.fieldnames,
+            tuple(start_columns) + tuple(end_columns),
+            payload_column,
+            path,
+        )
+        for index, row in enumerate(reader):
+            start = tuple(
+                _parse_float(row, name, index) for name in start_columns
+            )
+            end = tuple(_parse_float(row, name, index) for name in end_columns)
+            payload = row[payload_column] if payload_column else index
+            items.append((Segment(start, end), payload))
+    return items
+
+
+def _check_columns(fieldnames, required, payload_column, path) -> None:
+    available = set(fieldnames or ())
+    wanted = set(required)
+    if payload_column:
+        wanted.add(payload_column)
+    missing = sorted(wanted - available)
+    if missing:
+        raise InvalidParameterError(
+            f"{path}: missing column(s) {missing}; header has "
+            f"{sorted(available)}"
+        )
+
+
+def _parse_float(row: dict, name: str, index: int) -> float:
+    raw = row[name]
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            f"row {index + 1}: column {name!r} value {raw!r} is not a number"
+        ) from None

@@ -1,0 +1,57 @@
+"""Query-point samplers for the experiments.
+
+The paper issues queries from uniformly random locations; a second,
+data-correlated sampler places queries near indexed objects (the common
+"user standing on a street asks for the nearest X" workload).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.geometry.point import Point
+
+__all__ = ["query_points_uniform", "query_points_near_data"]
+
+
+def query_points_uniform(
+    n: int,
+    seed: int = 0,
+    dimension: int = 2,
+    bounds: Tuple[float, float] = (0.0, 1000.0),
+) -> List[Point]:
+    """*n* query points uniform over the map extent."""
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    lo, hi = bounds
+    rng = random.Random(seed)
+    return [
+        tuple(rng.uniform(lo, hi) for _ in range(dimension)) for _ in range(n)
+    ]
+
+
+def query_points_near_data(
+    n: int,
+    data_points: Sequence[Sequence[float]],
+    seed: int = 0,
+    noise: float = 25.0,
+) -> List[Point]:
+    """*n* query points: a random datum plus Gaussian noise per coordinate.
+
+    Models users querying from locations correlated with the data (e.g.
+    standing in a city asking for nearby restaurants).
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if not data_points:
+        raise InvalidParameterError("data_points must be non-empty")
+    if noise < 0:
+        raise InvalidParameterError(f"noise must be >= 0, got {noise}")
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n):
+        base = data_points[rng.randrange(len(data_points))]
+        queries.append(tuple(rng.gauss(float(c), noise) for c in base))
+    return queries

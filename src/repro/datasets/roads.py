@@ -1,0 +1,188 @@
+"""TIGER-like road-segment generator.
+
+The paper's real-data experiments index street segments from US Census
+TIGER/Line files (Long Beach, CA and Montgomery County, MD).  Those files
+are not available offline, so this module synthesizes maps with the same
+spatial character:
+
+- a handful of *towns* (dense clusters) of very different sizes,
+- inside each town, a jittered street *grid* of short segments,
+- long *arterial* segments connecting town centers,
+- a sprinkle of isolated rural segments.
+
+What the NN experiments actually exercise is the clustered, non-uniform
+distribution of many short segments — which this reproduces.  See DESIGN.md
+("Substitutions").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.geometry.segment import Segment
+
+__all__ = ["RoadNetworkConfig", "road_segments"]
+
+
+@dataclass(frozen=True)
+class RoadNetworkConfig:
+    """Tuning knobs for :func:`road_segments`.
+
+    Attributes:
+        bounds: The square map extent ``[lo, hi]^2``.
+        towns: Number of urban clusters.
+        arterial_fraction: Fraction of segments used for inter-town roads.
+        rural_fraction: Fraction of isolated countryside segments.
+        jitter: Relative perturbation of grid intersections (0 = perfect
+            grid, 0.5 = heavily bent streets).
+    """
+
+    bounds: Tuple[float, float] = (0.0, 1000.0)
+    towns: int = 8
+    arterial_fraction: float = 0.05
+    rural_fraction: float = 0.05
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.towns < 1:
+            raise InvalidParameterError(f"towns must be >= 1, got {self.towns}")
+        if not 0.0 <= self.arterial_fraction < 1.0:
+            raise InvalidParameterError("arterial_fraction must be in [0, 1)")
+        if not 0.0 <= self.rural_fraction < 1.0:
+            raise InvalidParameterError("rural_fraction must be in [0, 1)")
+        if self.arterial_fraction + self.rural_fraction >= 1.0:
+            raise InvalidParameterError(
+                "arterial_fraction + rural_fraction must leave room for towns"
+            )
+        if self.jitter < 0.0:
+            raise InvalidParameterError(f"jitter must be >= 0, got {self.jitter}")
+
+
+def road_segments(
+    n: int,
+    seed: int = 0,
+    config: RoadNetworkConfig = RoadNetworkConfig(),
+) -> List[Segment]:
+    """Generate approximately *n* road segments (exactly *n* are returned).
+
+    Town sizes follow a Zipf-like distribution — one dominant city plus
+    progressively smaller towns, mirroring real county maps.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return []
+    rng = random.Random(seed)
+    lo, hi = config.bounds
+    width = hi - lo
+
+    n_arterial = int(n * config.arterial_fraction)
+    n_rural = int(n * config.rural_fraction)
+    n_urban = n - n_arterial - n_rural
+
+    # Town centers and Zipf-ish weights (town i gets weight 1/(i+1)).
+    centers = [
+        (rng.uniform(lo + 0.1 * width, hi - 0.1 * width),
+         rng.uniform(lo + 0.1 * width, hi - 0.1 * width))
+        for _ in range(config.towns)
+    ]
+    weights = [1.0 / (i + 1) for i in range(config.towns)]
+    total_weight = sum(weights)
+    quotas = [int(n_urban * w / total_weight) for w in weights]
+    quotas[0] += n_urban - sum(quotas)
+
+    segments: List[Segment] = []
+    for center, quota in zip(centers, quotas):
+        segments.extend(_town_grid(center, quota, width, rng, config))
+
+    segments.extend(_arterials(centers, n_arterial, rng))
+    segments.extend(_rural(n_rural, lo, hi, rng))
+
+    # Rounding above can land a few short; top up with rural filler.
+    while len(segments) < n:
+        segments.extend(_rural(n - len(segments), lo, hi, rng))
+    return segments[:n]
+
+
+def _town_grid(
+    center: Tuple[float, float],
+    quota: int,
+    map_width: float,
+    rng: random.Random,
+    config: RoadNetworkConfig,
+) -> List[Segment]:
+    """A jittered street grid around *center* with about *quota* segments.
+
+    A g x g grid of intersections yields ``2 * g * (g - 1)`` street
+    segments; town radius grows with quota (bigger towns sprawl).
+    """
+    if quota <= 0:
+        return []
+    g = max(2, int(math.sqrt(quota / 2.0)) + 1)
+    radius = map_width * (0.02 + 0.001 * g)
+    step = 2.0 * radius / (g - 1)
+    jitter = config.jitter * step
+
+    nodes = {}
+    for i in range(g):
+        for j in range(g):
+            x = center[0] - radius + i * step + rng.uniform(-jitter, jitter)
+            y = center[1] - radius + j * step + rng.uniform(-jitter, jitter)
+            nodes[(i, j)] = (x, y)
+
+    streets: List[Segment] = []
+    for i in range(g):
+        for j in range(g):
+            if i + 1 < g:
+                streets.append(Segment(nodes[(i, j)], nodes[(i + 1, j)]))
+            if j + 1 < g:
+                streets.append(Segment(nodes[(i, j)], nodes[(i, j + 1)]))
+    rng.shuffle(streets)
+    return streets[:quota]
+
+
+def _arterials(
+    centers: List[Tuple[float, float]],
+    quota: int,
+    rng: random.Random,
+) -> List[Segment]:
+    """Multi-segment roads between random pairs of town centers."""
+    if quota <= 0 or len(centers) < 2:
+        return []
+    segments: List[Segment] = []
+    while len(segments) < quota:
+        a, b = rng.sample(centers, 2)
+        hops = max(2, quota // 10)
+        hops = min(hops, quota - len(segments))
+        previous = a
+        for h in range(1, hops + 1):
+            t = h / hops
+            waypoint = (
+                a[0] + (b[0] - a[0]) * t + rng.uniform(-5.0, 5.0),
+                a[1] + (b[1] - a[1]) * t + rng.uniform(-5.0, 5.0),
+            )
+            segments.append(Segment(previous, waypoint))
+            previous = waypoint
+    return segments[:quota]
+
+
+def _rural(
+    quota: int, lo: float, hi: float, rng: random.Random
+) -> List[Segment]:
+    """Short isolated segments scattered over the whole map."""
+    segments = []
+    for _ in range(max(0, quota)):
+        x = rng.uniform(lo, hi)
+        y = rng.uniform(lo, hi)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        length = rng.uniform(1.0, 8.0)
+        end = (
+            min(max(x + length * math.cos(angle), lo), hi),
+            min(max(y + length * math.sin(angle), lo), hi),
+        )
+        segments.append(Segment((x, y), end))
+    return segments

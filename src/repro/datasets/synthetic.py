@@ -1,0 +1,129 @@
+"""Synthetic point and rectangle generators.
+
+Everything takes an explicit ``seed`` and returns plain lists, so a given
+``(generator, parameters, seed)`` triple always produces the same workload —
+run-to-run reproducibility is a hard requirement of the bench harness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "uniform_points",
+    "uniform_rects",
+    "gaussian_clusters",
+    "skewed_points",
+]
+
+Bounds = Tuple[float, float]
+_DEFAULT_BOUNDS: Bounds = (0.0, 1000.0)
+
+
+def _check_count(n: int) -> None:
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+
+
+def uniform_points(
+    n: int,
+    seed: int = 0,
+    dimension: int = 2,
+    bounds: Bounds = _DEFAULT_BOUNDS,
+) -> List[Point]:
+    """*n* points uniformly distributed in ``[lo, hi]^dimension``."""
+    _check_count(n)
+    lo, hi = bounds
+    rng = random.Random(seed)
+    return [
+        tuple(rng.uniform(lo, hi) for _ in range(dimension)) for _ in range(n)
+    ]
+
+
+def uniform_rects(
+    n: int,
+    seed: int = 0,
+    dimension: int = 2,
+    bounds: Bounds = _DEFAULT_BOUNDS,
+    max_side: float = 10.0,
+) -> List[Rect]:
+    """*n* small rectangles with uniformly placed corners.
+
+    Each rectangle's lower corner is uniform in the bounds and its per-axis
+    extent is uniform in ``[0, max_side]`` (clipped to the bounds).
+    """
+    _check_count(n)
+    if max_side < 0:
+        raise InvalidParameterError(f"max_side must be >= 0, got {max_side}")
+    lo, hi = bounds
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        corner = [rng.uniform(lo, hi) for _ in range(dimension)]
+        upper = [min(c + rng.uniform(0.0, max_side), hi) for c in corner]
+        rects.append(Rect(corner, upper))
+    return rects
+
+
+def gaussian_clusters(
+    n: int,
+    seed: int = 0,
+    dimension: int = 2,
+    bounds: Bounds = _DEFAULT_BOUNDS,
+    clusters: int = 10,
+    spread: float = 20.0,
+) -> List[Point]:
+    """*n* points in Gaussian blobs around uniformly placed cluster centers.
+
+    Models the "franchise operating in a local region" POI distribution the
+    paper's experiments vary.  Points are clipped to the bounds.
+    """
+    _check_count(n)
+    if clusters < 1:
+        raise InvalidParameterError(f"clusters must be >= 1, got {clusters}")
+    if spread < 0:
+        raise InvalidParameterError(f"spread must be >= 0, got {spread}")
+    lo, hi = bounds
+    rng = random.Random(seed)
+    centers = [
+        tuple(rng.uniform(lo, hi) for _ in range(dimension))
+        for _ in range(clusters)
+    ]
+    points = []
+    for _ in range(n):
+        center = centers[rng.randrange(clusters)]
+        points.append(
+            tuple(
+                min(max(rng.gauss(c, spread), lo), hi) for c in center
+            )
+        )
+    return points
+
+
+def skewed_points(
+    n: int,
+    seed: int = 0,
+    dimension: int = 2,
+    bounds: Bounds = _DEFAULT_BOUNDS,
+    exponent: float = 3.0,
+) -> List[Point]:
+    """*n* points whose density rises sharply toward the lower corner.
+
+    Each coordinate is ``lo + (hi - lo) * u**exponent`` with ``u`` uniform —
+    a simple power-law skew that stresses unbalanced tree regions.
+    """
+    _check_count(n)
+    if exponent <= 0:
+        raise InvalidParameterError(f"exponent must be > 0, got {exponent}")
+    lo, hi = bounds
+    width = hi - lo
+    rng = random.Random(seed)
+    return [
+        tuple(lo + width * rng.random() ** exponent for _ in range(dimension))
+        for _ in range(n)
+    ]

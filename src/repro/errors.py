@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Input-validation failures raise the
+more specific subclasses below, which also derive from the natural builtin
+(``ValueError``) so that idiomatic ``except ValueError`` continues to work.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "DimensionMismatchError",
+    "InvalidRectError",
+    "TreeInvariantError",
+    "EmptyIndexError",
+    "InvalidParameterError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError, ValueError):
+    """Base class for geometric input errors."""
+
+
+class DimensionMismatchError(GeometryError):
+    """Two geometric arguments have different dimensionality."""
+
+    def __init__(self, expected: int, actual: int, context: str = "") -> None:
+        detail = f" ({context})" if context else ""
+        super().__init__(
+            f"dimension mismatch: expected {expected}, got {actual}{detail}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class InvalidRectError(GeometryError):
+    """A rectangle's lower bound exceeds its upper bound on some axis."""
+
+
+class TreeInvariantError(ReproError):
+    """An R-tree structural invariant was violated (validator failure)."""
+
+
+class EmptyIndexError(ReproError, ValueError):
+    """A query that requires a non-empty index was run on an empty one."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its documented domain (e.g. ``k < 1``)."""

@@ -1,0 +1,28 @@
+"""Geometric primitives underlying the R-tree and the NN metrics.
+
+This subpackage is deliberately free of any indexing or search logic: it only
+knows about points, axis-aligned rectangles (minimum bounding rectangles,
+MBRs) and line segments, in any dimension ``>= 1``.
+"""
+
+from repro.geometry.point import (
+    Point,
+    as_point,
+    euclidean,
+    euclidean_squared,
+    lerp,
+    point_dimension,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Segment",
+    "as_point",
+    "euclidean",
+    "euclidean_squared",
+    "lerp",
+    "point_dimension",
+]

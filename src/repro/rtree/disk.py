@@ -1,0 +1,324 @@
+"""A disk-backed, read-optimized R-tree over a binary page file.
+
+:func:`write_tree` serializes any in-memory :class:`RTree` so that each
+node occupies exactly one fixed-size page; :class:`DiskRTree` opens the
+file and exposes the same node interface the search algorithms consume
+(``root``, ``dimension``, ``len``), loading node pages lazily through an
+internal LRU cache.  Every search in :mod:`repro.core` runs unmodified on
+a :class:`DiskRTree` — and its ``file_reads`` counter then reports *real*
+page I/O, not a simulation.
+
+Payloads must be non-negative integers (object ids): real disk layouts
+store fixed-width references, and an id into a caller-side table is the
+standard contract.  Use ``enumerate`` over your objects when indexing.
+
+Binary layout (little-endian):
+
+- page 0 — header: magic ``RNN1``, page size, root page, node count, item
+  count, dimension, height, fanout, min fill;
+- one page per node: ``level:u16, entry_count:u16``, then per entry
+  ``lo[dim]:f64, hi[dim]:f64, ref:u64`` where ``ref`` is a child page id
+  (internal) or the payload id (leaf).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Iterator, List, Tuple, Union
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.storage.pagefile import PageFile, PageFileError
+
+__all__ = ["DiskRTree", "build_disk_index", "disk_fanout", "write_tree"]
+
+_MAGIC = b"RNN1"
+_HEADER = struct.Struct("<4sIIIQHHHH")
+_NODE_HEADER = struct.Struct("<HH")
+
+_DEFAULT_CACHE_NODES = 64
+
+
+def _entry_struct(dimension: int) -> struct.Struct:
+    return struct.Struct(f"<{2 * dimension}dQ")
+
+
+def _node_capacity(page_size: int, dimension: int) -> int:
+    return (page_size - _NODE_HEADER.size) // _entry_struct(dimension).size
+
+
+def disk_fanout(page_size: int = 4096, dimension: int = 2) -> int:
+    """Largest tree fanout that fits one node into one disk page.
+
+    Build the tree you intend to persist with
+    ``max_entries=disk_fanout(page_size, dim)`` so pages are used fully.
+    (This differs from :class:`repro.storage.pager.PageModel`, which models
+    the paper's 4-byte-pointer layout; the on-disk format stores 8-byte
+    refs and a 4-byte node header.)
+    """
+    capacity = _node_capacity(page_size, dimension)
+    if capacity < 2:
+        raise InvalidParameterError(
+            f"page_size {page_size} cannot hold 2 entries of dimension "
+            f"{dimension}"
+        )
+    return capacity
+
+
+def write_tree(
+    tree: RTree,
+    path: Union[str, "object"],
+    page_size: int = 4096,
+) -> None:
+    """Serialize *tree* to *path*, one node per *page_size*-byte page.
+
+    Payloads must be non-negative integers below 2**64.  Raises
+    :class:`InvalidParameterError` if the tree is empty, a payload is not
+    an int, or a node cannot fit in a page of the given size.
+    """
+    if len(tree) == 0:
+        raise InvalidParameterError("refusing to write an empty tree")
+    dimension = tree.dimension
+    capacity = _node_capacity(page_size, dimension)
+    if tree.max_entries > capacity:
+        raise InvalidParameterError(
+            f"fanout {tree.max_entries} does not fit a {page_size}-byte page "
+            f"({capacity} entries max for dimension {dimension})"
+        )
+    entry_struct = _entry_struct(dimension)
+
+    with PageFile(path, page_size=page_size, create=True) as pages:
+        node_count = 0
+
+        def persist(node: Node) -> int:
+            """Write *node* (post-order) and return its page id."""
+            nonlocal node_count
+            refs: List[int] = []
+            for entry in node.entries:
+                if entry.child is not None:
+                    refs.append(persist(entry.child))
+                else:
+                    payload = entry.payload
+                    if not isinstance(payload, int) or payload < 0:
+                        raise InvalidParameterError(
+                            "disk trees require non-negative int payloads; "
+                            f"got {payload!r}"
+                        )
+                    refs.append(payload)
+            blob = bytearray(_NODE_HEADER.pack(node.level, len(node.entries)))
+            for entry, ref in zip(node.entries, refs):
+                blob += entry_struct.pack(*entry.rect.lo, *entry.rect.hi, ref)
+            page_id = pages.allocate()
+            pages.write_page(page_id, bytes(blob))
+            node_count += 1
+            return page_id
+
+        root_page = persist(tree.root)
+        header = _HEADER.pack(
+            _MAGIC,
+            page_size,
+            root_page,
+            node_count,
+            len(tree),
+            dimension,
+            tree.height,
+            tree.max_entries,
+            tree.min_entries,
+        )
+        pages.write_page(0, header)
+        pages.sync()
+
+
+def build_disk_index(
+    items,
+    path: Union[str, "object"],
+    page_size: int = 4096,
+    cache_nodes: int = _DEFAULT_CACHE_NODES,
+) -> DiskRTree:
+    """Bulk-build a disk index from ``(rect_or_point, payload_id)`` pairs.
+
+    Convenience wrapper: STR-packs the items at the fanout that exactly
+    fills a *page_size* page, writes the file, and opens it.  Payloads
+    must be non-negative ints (see :func:`write_tree`).
+    """
+    from repro.rtree.bulk import bulk_load
+
+    materialized = list(items)
+    if not materialized:
+        raise InvalidParameterError("cannot build a disk index from no items")
+    first_rect = materialized[0][0]
+    dimension = (
+        first_rect.dimension
+        if isinstance(first_rect, Rect)
+        else len(first_rect)
+    )
+    fanout = disk_fanout(page_size, dimension)
+    tree = bulk_load(
+        materialized,
+        max_entries=fanout,
+        min_entries=max(1, fanout * 2 // 5),
+    )
+    write_tree(tree, path, page_size=page_size)
+    return DiskRTree(path, page_size=page_size, cache_nodes=cache_nodes)
+
+
+class _DiskNode(Node):
+    """A lazily loaded node: entries are fetched through the tree's cache.
+
+    Deliberately *not* memoized on the node object: the LRU cache in
+    :class:`DiskRTree` is the single source of truth, so evictions really
+    do force file re-reads (keeping ``file_reads`` honest).
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, tree: "DiskRTree", page_id: int, level: int) -> None:
+        # Intentionally skip Node.__init__: entries are lazy.
+        self.node_id = page_id
+        self.level = level
+        self._tree = tree
+
+    @property
+    def entries(self) -> List[Entry]:  # type: ignore[override]
+        return self._tree._load_entries(self)
+
+
+class DiskRTree:
+    """Read-only R-tree view over a page file written by :func:`write_tree`.
+
+    Args:
+        path: The page file.
+        page_size: Must match the file's (validated against the header).
+        cache_nodes: Capacity of the internal decoded-node LRU cache; reads
+            absorbed by the cache don't touch the file.  ``file_reads``
+            exposes the physical page reads performed so far.
+
+    All of :func:`repro.core.nearest_dfs`, the best-first/incremental
+    searches, :func:`repro.core.within_distance`, farthest and aggregate
+    queries run on this object unmodified.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "object"],
+        page_size: int = 4096,
+        cache_nodes: int = _DEFAULT_CACHE_NODES,
+    ) -> None:
+        if cache_nodes < 1:
+            raise InvalidParameterError(
+                f"cache_nodes must be >= 1, got {cache_nodes}"
+            )
+        self._pages = PageFile(path, page_size=page_size, create=False)
+        raw = self._pages.read_page(0)
+        self._pages.reads -= 1  # header read isn't part of query I/O
+        try:
+            (magic, stored_page_size, root_page, node_count, size,
+             dimension, height, max_entries, min_entries) = _HEADER.unpack(
+                raw[: _HEADER.size]
+            )
+        except struct.error as exc:
+            raise PageFileError(f"corrupt header in {path!r}") from exc
+        if magic != _MAGIC:
+            self._pages.close()
+            raise PageFileError(f"{path!r} is not a disk R-tree file")
+        if stored_page_size != page_size:
+            self._pages.close()
+            raise PageFileError(
+                f"{path!r} was written with page_size={stored_page_size}, "
+                f"opened with {page_size}"
+            )
+        self._size = size
+        self.dimension = dimension
+        self.height = height
+        self.node_count = node_count
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self._entry_struct = _entry_struct(dimension)
+        self._cache: "OrderedDict[int, List[Entry]]" = OrderedDict()
+        self._cache_capacity = cache_nodes
+        self.root = _DiskNode(self, root_page, level=height - 1)
+
+    # ------------------------------------------------------------------
+    # Tree interface consumed by the search algorithms
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> Iterator[Tuple[Rect, int]]:
+        """Iterate all indexed ``(rect, payload_id)`` pairs."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.rect, entry.payload
+            else:
+                stack.extend(e.child for e in node.entries)
+
+    def search(self, rect: Rect) -> List[Tuple[Rect, int]]:
+        """Window query over the disk tree."""
+        results: List[Tuple[Rect, int]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.rect.intersects(rect):
+                    if node.is_leaf:
+                        results.append((entry.rect, entry.payload))
+                    else:
+                        stack.append(entry.child)
+        return results
+
+    # ------------------------------------------------------------------
+    # Physical I/O
+    # ------------------------------------------------------------------
+    @property
+    def file_reads(self) -> int:
+        """Physical page reads performed so far (cache misses only)."""
+        return self._pages.reads
+
+    def _load_entries(self, node: _DiskNode) -> List[Entry]:
+        cached = self._cache.get(node.node_id)
+        if cached is not None:
+            self._cache.move_to_end(node.node_id)
+            return cached
+        raw = self._pages.read_page(node.node_id)
+        level, count = _NODE_HEADER.unpack_from(raw, 0)
+        entries: List[Entry] = []
+        offset = _NODE_HEADER.size
+        dim = self.dimension
+        for _ in range(count):
+            values = self._entry_struct.unpack_from(raw, offset)
+            offset += self._entry_struct.size
+            rect = Rect(values[:dim], values[dim : 2 * dim])
+            ref = values[-1]
+            if level == 0:
+                entries.append(Entry(rect, payload=ref))
+            else:
+                entries.append(
+                    Entry(rect, child=_DiskNode(self, ref, level - 1))
+                )
+        if len(self._cache) >= self._cache_capacity:
+            self._cache.popitem(last=False)
+        self._cache[node.node_id] = entries
+        return entries
+
+    def close(self) -> None:
+        """Close the underlying page file."""
+        self._pages.close()
+
+    def __enter__(self) -> "DiskRTree":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskRTree(size={self._size}, height={self.height}, "
+            f"nodes={self.node_count}, file={self._pages.path!r})"
+        )

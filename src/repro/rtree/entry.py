@@ -1,0 +1,51 @@
+"""R-tree entries: the (MBR, pointer) pairs stored inside nodes.
+
+An entry is either a *leaf entry* — an MBR plus an opaque payload (the
+indexed object or its identifier) — or an *internal entry* — an MBR that
+tightly bounds a child node.  Exactly one of ``child`` and ``payload`` is
+meaningful; the invariant validator enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.rtree.node import Node
+
+__all__ = ["Entry"]
+
+
+class Entry:
+    """One slot of an R-tree node.
+
+    Attributes:
+        rect: The minimum bounding rectangle of this entry.  For an internal
+            entry it tightly bounds everything beneath ``child``.
+        child: The child node (internal entries only).
+        payload: The indexed object or its identifier (leaf entries only).
+    """
+
+    __slots__ = ("rect", "child", "payload")
+
+    def __init__(
+        self,
+        rect: Rect,
+        child: Optional["Node"] = None,
+        payload: Any = None,
+    ) -> None:
+        self.rect = rect
+        self.child = child
+        self.payload = payload
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        """True if this entry points at an object rather than a child node."""
+        return self.child is None
+
+    def __repr__(self) -> str:
+        if self.is_leaf_entry:
+            return f"Entry(rect={self.rect!r}, payload={self.payload!r})"
+        return f"Entry(rect={self.rect!r}, child=<node {self.child.node_id}>)"

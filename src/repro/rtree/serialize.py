@@ -1,0 +1,102 @@
+"""JSON persistence for R-trees.
+
+Serialization captures the exact node structure (not just the items), so a
+round-tripped tree produces identical page-access counts — important for
+reproducible experiments.  Payloads must be JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+__all__ = ["tree_to_dict", "tree_from_dict", "save_tree", "load_tree"]
+
+_FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: RTree) -> Dict[str, Any]:
+    """Serialize *tree* (structure, parameters and payloads) to a dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "max_entries": tree.max_entries,
+        "min_entries": tree.min_entries,
+        "split": tree.split_strategy.name,
+        "forced_reinsert": tree.forced_reinsert,
+        "size": len(tree),
+        "dimension": tree.dimension,
+        "next_node_id": tree._next_node_id,
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    return {
+        "id": node.node_id,
+        "level": node.level,
+        "entries": [_entry_to_dict(e) for e in node.entries],
+    }
+
+
+def _entry_to_dict(entry: Entry) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "lo": list(entry.rect.lo),
+        "hi": list(entry.rect.hi),
+    }
+    if entry.child is not None:
+        record["child"] = _node_to_dict(entry.child)
+    else:
+        record["payload"] = entry.payload
+    return record
+
+
+def tree_from_dict(data: Dict[str, Any]) -> RTree:
+    """Rebuild a tree serialized by :func:`tree_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"unsupported tree format version {version!r}"
+        )
+    tree = RTree(
+        max_entries=data["max_entries"],
+        min_entries=data["min_entries"],
+        split=data["split"],
+        forced_reinsert=data["forced_reinsert"],
+    )
+    tree._release_node(tree.root)
+    tree.root = _node_from_dict(data["root"], tree)
+    tree._size = data["size"]
+    tree._dimension = data["dimension"]
+    tree._next_node_id = data["next_node_id"]
+    return tree
+
+
+def _node_from_dict(data: Dict[str, Any], tree: RTree) -> Node:
+    node = Node(node_id=data["id"], level=data["level"])
+    tree._node_count += 1
+    for record in data["entries"]:
+        rect = Rect(record["lo"], record["hi"])
+        if "child" in record:
+            child = _node_from_dict(record["child"], tree)
+            node.entries.append(Entry(rect, child=child))
+        else:
+            node.entries.append(Entry(rect, payload=record["payload"]))
+    return node
+
+
+def save_tree(tree: RTree, path: Union[str, "object"]) -> None:
+    """Write *tree* as JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(tree_to_dict(tree), handle)
+
+
+def load_tree(path: Union[str, "object"]) -> RTree:
+    """Load a tree previously written by :func:`save_tree`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return tree_from_dict(json.load(handle))

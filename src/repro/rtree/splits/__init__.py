@@ -1,0 +1,14 @@
+"""Node split strategies: Guttman linear & quadratic, and the R* split."""
+
+from repro.rtree.splits.base import SplitStrategy, resolve_split_strategy
+from repro.rtree.splits.linear import LinearSplit
+from repro.rtree.splits.quadratic import QuadraticSplit
+from repro.rtree.splits.rstar import RStarSplit
+
+__all__ = [
+    "LinearSplit",
+    "QuadraticSplit",
+    "RStarSplit",
+    "SplitStrategy",
+    "resolve_split_strategy",
+]

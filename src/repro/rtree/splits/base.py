@@ -1,0 +1,68 @@
+"""Split-strategy interface and registry.
+
+A split strategy partitions the ``M + 1`` entries of an overflowing node into
+two groups, each holding at least ``min_entries`` entries.  Strategies are
+stateless and shareable across trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.errors import InvalidParameterError
+from repro.rtree.entry import Entry
+
+__all__ = ["SplitStrategy", "resolve_split_strategy"]
+
+
+class SplitStrategy:
+    """Base class for node split algorithms."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def split(
+        self, entries: List[Entry], min_entries: int
+    ) -> Tuple[List[Entry], List[Entry]]:
+        """Partition *entries* into two groups of at least *min_entries* each.
+
+        Implementations must not mutate the input list and must return every
+        input entry exactly once across the two groups.
+        """
+        raise NotImplementedError
+
+    def _check_input(self, entries: List[Entry], min_entries: int) -> None:
+        if min_entries < 1:
+            raise InvalidParameterError(f"min_entries must be >= 1, got {min_entries}")
+        if len(entries) < 2 * min_entries:
+            raise InvalidParameterError(
+                f"cannot split {len(entries)} entries into two groups of "
+                f">= {min_entries}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def resolve_split_strategy(strategy: Union[str, SplitStrategy]) -> SplitStrategy:
+    """Turn a strategy name (``"linear"``, ``"quadratic"``, ``"rstar"``) or an
+    instance into a :class:`SplitStrategy` instance."""
+    if isinstance(strategy, SplitStrategy):
+        return strategy
+    # Imported here to avoid a circular import at module load time.
+    from repro.rtree.splits.linear import LinearSplit
+    from repro.rtree.splits.quadratic import QuadraticSplit
+    from repro.rtree.splits.rstar import RStarSplit
+
+    registry = {
+        LinearSplit.name: LinearSplit,
+        QuadraticSplit.name: QuadraticSplit,
+        RStarSplit.name: RStarSplit,
+    }
+    try:
+        return registry[strategy]()
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown split strategy {strategy!r}; expected one of "
+            f"{sorted(registry)}"
+        ) from None

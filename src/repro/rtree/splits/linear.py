@@ -1,0 +1,102 @@
+"""Guttman's linear-cost node split (R-trees, SIGMOD 1984, Sec. 3.5.3)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.rtree.entry import Entry
+from repro.rtree.splits.base import SplitStrategy
+
+__all__ = ["LinearSplit"]
+
+
+class LinearSplit(SplitStrategy):
+    """Linear PickSeeds followed by greedy distribution.
+
+    Seeds are the pair with the greatest *normalized separation* along any
+    axis; remaining entries go to whichever group's MBR grows least, with
+    ties broken by smaller area then fewer entries, and a guard ensures both
+    groups reach ``min_entries``.
+    """
+
+    name = "linear"
+
+    def split(
+        self, entries: List[Entry], min_entries: int
+    ) -> Tuple[List[Entry], List[Entry]]:
+        self._check_input(entries, min_entries)
+        seed_a, seed_b = self._pick_seeds(entries)
+        return _distribute(entries, seed_a, seed_b, min_entries)
+
+    def _pick_seeds(self, entries: List[Entry]) -> Tuple[int, int]:
+        dim = entries[0].rect.dimension
+        best_separation = -1.0
+        best_pair = (0, 1)
+        for axis in range(dim):
+            # Entry with the highest low side and entry with the lowest high
+            # side; their separation, normalized by the total axis width.
+            highest_low_idx = max(
+                range(len(entries)), key=lambda i: entries[i].rect.lo[axis]
+            )
+            lowest_high_idx = min(
+                range(len(entries)), key=lambda i: entries[i].rect.hi[axis]
+            )
+            if highest_low_idx == lowest_high_idx:
+                continue
+            width = max(e.rect.hi[axis] for e in entries) - min(
+                e.rect.lo[axis] for e in entries
+            )
+            if width <= 0.0:
+                continue
+            separation = (
+                entries[highest_low_idx].rect.lo[axis]
+                - entries[lowest_high_idx].rect.hi[axis]
+            ) / width
+            if separation > best_separation:
+                best_separation = separation
+                best_pair = (lowest_high_idx, highest_low_idx)
+        if best_pair[0] == best_pair[1]:
+            # All rects identical on every axis; any two distinct indices do.
+            best_pair = (0, 1)
+        return best_pair
+
+
+def _distribute(
+    entries: List[Entry], seed_a: int, seed_b: int, min_entries: int
+) -> Tuple[List[Entry], List[Entry]]:
+    """Greedy least-enlargement distribution shared by the Guttman splits."""
+    group_a = [entries[seed_a]]
+    group_b = [entries[seed_b]]
+    mbr_a = entries[seed_a].rect
+    mbr_b = entries[seed_b].rect
+    rest = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+    for index, entry in enumerate(rest):
+        remaining = len(rest) - index
+        # If one group must take all remaining entries to reach min_entries,
+        # short-circuit the cost comparison.
+        if len(group_a) + remaining <= min_entries:
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+            continue
+        if len(group_b) + remaining <= min_entries:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+            continue
+        grow_a = mbr_a.enlargement(entry.rect)
+        grow_b = mbr_b.enlargement(entry.rect)
+        if grow_a < grow_b:
+            pick_a = True
+        elif grow_b < grow_a:
+            pick_a = False
+        elif mbr_a.area() != mbr_b.area():
+            pick_a = mbr_a.area() < mbr_b.area()
+        else:
+            pick_a = len(group_a) <= len(group_b)
+        if pick_a:
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+    return group_a, group_b

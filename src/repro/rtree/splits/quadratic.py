@@ -1,0 +1,92 @@
+"""Guttman's quadratic-cost node split (R-trees, SIGMOD 1984, Sec. 3.5.2).
+
+This is the split the original paper's experiments were run with, and the
+default in this library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.rtree.entry import Entry
+from repro.rtree.splits.base import SplitStrategy
+
+__all__ = ["QuadraticSplit"]
+
+
+class QuadraticSplit(SplitStrategy):
+    """Quadratic PickSeeds + PickNext distribution."""
+
+    name = "quadratic"
+
+    def split(
+        self, entries: List[Entry], min_entries: int
+    ) -> Tuple[List[Entry], List[Entry]]:
+        self._check_input(entries, min_entries)
+        seed_a, seed_b = self._pick_seeds(entries)
+
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = entries[seed_a].rect
+        mbr_b = entries[seed_b].rect
+        rest = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+        while rest:
+            # If one group must absorb everything left to reach min_entries.
+            if len(group_a) + len(rest) <= min_entries:
+                for entry in rest:
+                    group_a.append(entry)
+                    mbr_a = mbr_a.union(entry.rect)
+                break
+            if len(group_b) + len(rest) <= min_entries:
+                for entry in rest:
+                    group_b.append(entry)
+                    mbr_b = mbr_b.union(entry.rect)
+                break
+
+            # PickNext: the entry with the greatest preference for one group.
+            best_index = 0
+            best_diff = -1.0
+            best_grow_a = 0.0
+            best_grow_b = 0.0
+            for i, entry in enumerate(rest):
+                grow_a = mbr_a.enlargement(entry.rect)
+                grow_b = mbr_b.enlargement(entry.rect)
+                diff = abs(grow_a - grow_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_index = i
+                    best_grow_a = grow_a
+                    best_grow_b = grow_b
+            entry = rest.pop(best_index)
+
+            if best_grow_a < best_grow_b:
+                pick_a = True
+            elif best_grow_b < best_grow_a:
+                pick_a = False
+            elif mbr_a.area() != mbr_b.area():
+                pick_a = mbr_a.area() < mbr_b.area()
+            else:
+                pick_a = len(group_a) <= len(group_b)
+            if pick_a:
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.rect)
+        return group_a, group_b
+
+    def _pick_seeds(self, entries: List[Entry]) -> Tuple[int, int]:
+        """The pair wasting the most area if placed together."""
+        best_waste = float("-inf")
+        best_pair = (0, 1)
+        for i in range(len(entries)):
+            rect_i = entries[i].rect
+            area_i = rect_i.area()
+            for j in range(i + 1, len(entries)):
+                rect_j = entries[j].rect
+                waste = rect_i.union(rect_j).area() - area_i - rect_j.area()
+                if waste > best_waste:
+                    best_waste = waste
+                    best_pair = (i, j)
+        return best_pair

@@ -1,0 +1,138 @@
+"""Render a 2-D R-tree's rectangles as an SVG document.
+
+A development and teaching aid: seeing the nested MBRs makes the quality
+differences between split strategies (experiment E7) and the behaviour of
+the NN search immediately visible.  Levels are colour-coded from leaves
+(light) to the root (dark); optionally a query point and its neighbors are
+marked.
+
+No third-party dependencies — the SVG is assembled as text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.neighbors import Neighbor
+from repro.errors import EmptyIndexError, InvalidParameterError
+from repro.rtree.tree import RTree
+
+__all__ = ["tree_to_svg", "save_svg"]
+
+_LEVEL_COLORS = (
+    "#74b9ff",  # leaves
+    "#0984e3",
+    "#6c5ce7",
+    "#341f97",
+    "#2d3436",  # high levels
+)
+
+
+def tree_to_svg(
+    tree: RTree,
+    size: int = 640,
+    query: Optional[Sequence[float]] = None,
+    neighbors: Optional[Iterable[Neighbor]] = None,
+    show_objects: bool = True,
+) -> str:
+    """Serialize *tree*'s rectangles to an SVG string.
+
+    Args:
+        tree: A non-empty 2-D R-tree.
+        size: Pixel size of the (square) canvas.
+        query: Optional query point to mark with a cross.
+        neighbors: Optional neighbors (e.g. an :class:`NNResult`'s) to
+            highlight with circles.
+        show_objects: Draw leaf-entry rectangles/points as well as node
+            MBRs.
+    """
+    if len(tree) == 0:
+        raise EmptyIndexError("cannot render an empty tree")
+    if tree.dimension != 2:
+        raise InvalidParameterError(
+            f"SVG rendering is 2-D only; tree has dimension {tree.dimension}"
+        )
+    if size < 64:
+        raise InvalidParameterError(f"size must be >= 64, got {size}")
+
+    bounds = tree.bounds()
+    lo_x, lo_y = bounds.lo
+    hi_x, hi_y = bounds.hi
+    span = max(hi_x - lo_x, hi_y - lo_y) or 1.0
+    margin = size * 0.04
+    scale = (size - 2 * margin) / span
+
+    def sx(x: float) -> float:
+        return margin + (x - lo_x) * scale
+
+    def sy(y: float) -> float:
+        # SVG y grows downward; flip so north stays up.
+        return size - margin - (y - lo_y) * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+
+    # Draw node MBRs top-down so leaf boxes end up on top.
+    by_level = {}
+    for node in tree.nodes():
+        by_level.setdefault(node.level, []).append(node)
+    for level in sorted(by_level, reverse=True):
+        color = _LEVEL_COLORS[min(level, len(_LEVEL_COLORS) - 1)]
+        for node in by_level[level]:
+            rect = node.mbr()
+            parts.append(_svg_rect(rect, sx, sy, color, width=1.2))
+            if show_objects and node.is_leaf:
+                for entry in node.entries:
+                    if entry.rect.is_degenerate():
+                        parts.append(
+                            f'<circle cx="{sx(entry.rect.center[0]):.2f}" '
+                            f'cy="{sy(entry.rect.center[1]):.2f}" r="1.6" '
+                            f'fill="#636e72"/>'
+                        )
+                    else:
+                        parts.append(
+                            _svg_rect(entry.rect, sx, sy, "#636e72", width=0.6)
+                        )
+
+    if neighbors is not None:
+        for neighbor in neighbors:
+            cx, cy = neighbor.rect.center
+            parts.append(
+                f'<circle cx="{sx(cx):.2f}" cy="{sy(cy):.2f}" r="6" '
+                f'fill="none" stroke="#d63031" stroke-width="2"/>'
+            )
+    if query is not None:
+        qx, qy = sx(query[0]), sy(query[1])
+        parts.append(
+            f'<path d="M {qx - 6:.2f} {qy:.2f} H {qx + 6:.2f} '
+            f'M {qx:.2f} {qy - 6:.2f} V {qy + 6:.2f}" '
+            f'stroke="#d63031" stroke-width="2"/>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _svg_rect(rect, sx, sy, color: str, width: float) -> str:
+    x = sx(rect.lo[0])
+    y = sy(rect.hi[1])
+    w = max(sx(rect.hi[0]) - x, 0.5)
+    h = max(sy(rect.lo[1]) - y, 0.5)
+    return (
+        f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+        f'fill="none" stroke="{color}" stroke-width="{width}" '
+        f'stroke-opacity="0.8"/>'
+    )
+
+
+def save_svg(
+    tree: RTree,
+    path: Union[str, "object"],
+    **kwargs,
+) -> None:
+    """Write :func:`tree_to_svg` output to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(tree_to_svg(tree, **kwargs))

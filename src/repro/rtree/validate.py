@@ -1,0 +1,109 @@
+"""Structural invariant validator for R-trees.
+
+Used pervasively by the test suite (including after every hypothesis-driven
+mutation sequence).  Checks, for the whole tree:
+
+1. every leaf is at level 0 and all leaves are at the same depth,
+2. every non-root node holds between ``m`` and ``M`` entries; the root holds
+   at most ``M`` (and at least 2 if it is internal),
+3. every internal entry's rectangle is *exactly* the MBR of its child,
+4. leaf entries carry payloads, never children; internal entries vice versa,
+5. node levels decrease by exactly one per tree edge,
+6. the recorded size matches the number of leaf entries,
+7. node ids are unique.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TreeInvariantError
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+__all__ = ["validate_tree"]
+
+
+def validate_tree(tree: RTree) -> None:
+    """Raise :class:`TreeInvariantError` on the first violated invariant."""
+    root = tree.root
+    if len(tree) == 0:
+        if not root.is_leaf or root.entries:
+            raise TreeInvariantError("empty tree must have a bare leaf root")
+        return
+
+    seen_ids: set = set()
+    leaf_entry_total = _validate_node(tree, root, is_root=True, seen_ids=seen_ids)
+    if leaf_entry_total != len(tree):
+        raise TreeInvariantError(
+            f"size mismatch: tree reports {len(tree)} items but leaves hold "
+            f"{leaf_entry_total}"
+        )
+
+
+def _validate_node(tree: RTree, node: Node, is_root: bool, seen_ids: set) -> int:
+    if node.node_id in seen_ids:
+        raise TreeInvariantError(f"duplicate node id {node.node_id}")
+    seen_ids.add(node.node_id)
+
+    count = len(node.entries)
+    if is_root:
+        if count > tree.max_entries:
+            raise TreeInvariantError(
+                f"root holds {count} entries, max is {tree.max_entries}"
+            )
+        if not node.is_leaf and count < 2:
+            raise TreeInvariantError(
+                f"internal root holds {count} entries; needs >= 2"
+            )
+    elif not tree.min_entries <= count <= tree.max_entries:
+        raise TreeInvariantError(
+            f"node {node.node_id} holds {count} entries, outside "
+            f"[{tree.min_entries}, {tree.max_entries}]"
+        )
+
+    if node.is_leaf:
+        for entry in node.entries:
+            if entry.child is not None:
+                raise TreeInvariantError(
+                    f"leaf node {node.node_id} contains an internal entry"
+                )
+        return count
+
+    leaf_total = 0
+    for entry in node.entries:
+        child = entry.child
+        if child is None:
+            raise TreeInvariantError(
+                f"internal node {node.node_id} contains a leaf entry"
+            )
+        if child.level != node.level - 1:
+            raise TreeInvariantError(
+                f"node {node.node_id} (level {node.level}) has child "
+                f"{child.node_id} at level {child.level}"
+            )
+        if not child.entries:
+            raise TreeInvariantError(f"child node {child.node_id} is empty")
+        actual_mbr = child.mbr()
+        if entry.rect != actual_mbr:
+            raise TreeInvariantError(
+                f"entry rect {entry.rect} of node {node.node_id} is not the "
+                f"tight MBR {actual_mbr} of child {child.node_id}"
+            )
+        leaf_total += _validate_node(tree, child, is_root=False, seen_ids=seen_ids)
+    return leaf_total
+
+
+def tree_depth_of_leaves(tree: RTree) -> List[int]:
+    """Depths of all leaves (for the balance test); root depth is 0."""
+    depths: List[int] = []
+
+    def walk(node: Node, depth: int) -> None:
+        if node.is_leaf:
+            depths.append(depth)
+            return
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    return depths

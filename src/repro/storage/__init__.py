@@ -1,0 +1,38 @@
+"""Disk-page simulation: access tracking, buffer pools, page-size model.
+
+The SIGMOD'95 paper reports its results as *R-tree pages accessed per query*.
+In this reproduction every R-tree node is one page, and every node visit by
+any algorithm flows through an :class:`AccessTracker`.  Wrapping the tracker
+in a :class:`BufferPool` simulates the paper's buffering experiments: a
+buffered access only counts as a disk read on a miss.
+"""
+
+from repro.storage.tracker import (
+    AccessStats,
+    AccessTracker,
+    CountingTracker,
+    NullTracker,
+)
+from repro.storage.buffer import BufferPool, BufferStats, FifoBufferPool, LruBufferPool
+from repro.storage.cost import DiskCostModel
+from repro.storage.pagefile import PageFile, PageFileError
+from repro.storage.pager import PageModel
+from repro.storage.replay import ReplayResult, TraceRecorder, replay
+
+__all__ = [
+    "AccessStats",
+    "AccessTracker",
+    "BufferPool",
+    "BufferStats",
+    "CountingTracker",
+    "DiskCostModel",
+    "FifoBufferPool",
+    "LruBufferPool",
+    "NullTracker",
+    "PageFile",
+    "PageFileError",
+    "PageModel",
+    "ReplayResult",
+    "TraceRecorder",
+    "replay",
+]

@@ -1,0 +1,100 @@
+"""Buffer pools for the paper's buffering experiments.
+
+The paper studies how an LRU buffer reduces the number of *disk* reads when
+queries are correlated (consecutive NN queries revisit the top levels of the
+R-tree).  A buffer pool is itself an :class:`AccessTracker`: logical accesses
+arrive at the pool; hits are absorbed; misses evict per the policy and are
+forwarded to the wrapped inner tracker, which therefore counts physical reads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+from repro.storage.tracker import AccessTracker, CountingTracker
+
+__all__ = ["BufferStats", "BufferPool", "LruBufferPool", "FifoBufferPool"]
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss totals for a buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total logical accesses seen by the pool."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of logical accesses served from the buffer (0 if none)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferPool(AccessTracker):
+    """Base class for fixed-capacity page buffers.
+
+    ``capacity`` is the number of pages the pool can hold.  A capacity of 0
+    is legal and makes every access a miss (the unbuffered baseline in the
+    paper's plots).  Misses are forwarded to *inner*, which defaults to a
+    fresh :class:`CountingTracker` so physical reads are always countable.
+    """
+
+    def __init__(self, capacity: int, inner: Optional[AccessTracker] = None) -> None:
+        if capacity < 0:
+            raise InvalidParameterError(f"buffer capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.inner = inner if inner is not None else CountingTracker()
+        self.stats = BufferStats()
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+
+    def access(self, page_id: int, is_leaf: bool) -> None:
+        if page_id in self._pages:
+            self.stats.hits += 1
+            self._on_hit(page_id)
+            return
+        self.stats.misses += 1
+        self.inner.access(page_id, is_leaf)
+        if self.capacity == 0:
+            return
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        self._pages[page_id] = is_leaf
+
+    def _on_hit(self, page_id: int) -> None:
+        """Policy hook invoked when *page_id* is found in the buffer."""
+
+    def reset(self) -> None:
+        """Clear the buffer contents, the stats, and the inner tracker."""
+        self.stats = BufferStats()
+        self._pages.clear()
+        self.inner.reset()
+
+    def resident_pages(self) -> int:
+        """Number of pages currently held."""
+        return len(self._pages)
+
+    def contains(self, page_id: int) -> bool:
+        """True if *page_id* is currently buffered."""
+        return page_id in self._pages
+
+
+class LruBufferPool(BufferPool):
+    """Least-recently-used replacement (the policy the paper evaluates)."""
+
+    def _on_hit(self, page_id: int) -> None:
+        self._pages.move_to_end(page_id)
+
+
+class FifoBufferPool(BufferPool):
+    """First-in-first-out replacement; a hit does not refresh recency."""

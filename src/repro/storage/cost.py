@@ -1,0 +1,71 @@
+"""Disk cost model: translate page counts into estimated I/O time.
+
+The paper reports raw page-access counts; this model converts them into
+milliseconds for a parameterized device, so experiments can report an
+estimated end-to-end cost alongside the counts.  Two presets bracket the
+interesting range: a 1995-era spinning disk (where every random page read
+costs a seek) and a modern NVMe device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["DiskCostModel"]
+
+
+@dataclass(frozen=True)
+class DiskCostModel:
+    """A simple random/sequential read cost model.
+
+    Attributes:
+        seek_ms: Cost to position before a random read (seek + rotational
+            latency for spinning media; controller latency for flash).
+        transfer_ms_per_kib: Sequential transfer cost per KiB.
+        page_kib: Page size in KiB.
+    """
+
+    seek_ms: float = 9.0
+    transfer_ms_per_kib: float = 0.01
+    page_kib: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.seek_ms < 0 or self.transfer_ms_per_kib < 0:
+            raise InvalidParameterError("cost components must be >= 0")
+        if self.page_kib <= 0:
+            raise InvalidParameterError("page_kib must be > 0")
+
+    @classmethod
+    def disk_1995(cls) -> "DiskCostModel":
+        """A mid-90s spinning disk: ~9 ms average seek, ~5 MB/s transfer."""
+        return cls(seek_ms=9.0, transfer_ms_per_kib=0.2, page_kib=1.0)
+
+    @classmethod
+    def nvme_modern(cls) -> "DiskCostModel":
+        """A modern NVMe SSD: ~70 µs random read, multi-GB/s transfer."""
+        return cls(seek_ms=0.07, transfer_ms_per_kib=0.0003, page_kib=4.0)
+
+    def random_read_ms(self, pages: float) -> float:
+        """Estimated cost of *pages* independent random page reads."""
+        if pages < 0:
+            raise InvalidParameterError("pages must be >= 0")
+        return pages * (self.seek_ms + self.transfer_ms_per_kib * self.page_kib)
+
+    def sequential_read_ms(self, pages: float) -> float:
+        """Estimated cost of reading *pages* contiguously (one seek)."""
+        if pages < 0:
+            raise InvalidParameterError("pages must be >= 0")
+        if pages == 0:
+            return 0.0
+        return self.seek_ms + pages * self.transfer_ms_per_kib * self.page_kib
+
+    def scan_break_even_pages(self) -> float:
+        """Pages of random reads whose cost equals one full sequential scan
+        of the same page count — the classic index-vs-scan crossover."""
+        per_random = self.seek_ms + self.transfer_ms_per_kib * self.page_kib
+        per_sequential = self.transfer_ms_per_kib * self.page_kib
+        if per_sequential == 0.0:
+            return float("inf")
+        return per_random / per_sequential

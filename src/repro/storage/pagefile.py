@@ -1,0 +1,150 @@
+"""A fixed-size-page binary file: the physical layer of the disk R-tree.
+
+:class:`PageFile` divides a file into equal pages addressed by page id.
+Page 0 is reserved for the owner's header.  Reads and writes are whole
+pages; a read counter exposes the physical I/O the disk R-tree performs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.errors import InvalidParameterError, ReproError
+
+__all__ = ["PageFile", "PageFileError"]
+
+_MIN_PAGE_SIZE = 64
+
+
+class PageFileError(ReproError):
+    """Corrupt page file or out-of-range page access."""
+
+
+class PageFile:
+    """A file of fixed-size pages.
+
+    Args:
+        path: File path.
+        page_size: Page size in bytes (files remember theirs; required when
+            creating, validated when opening).
+        create: Truncate/create the file (otherwise it must exist).
+
+    The object is a context manager; pages are addressed by integer id,
+    with page 0 conventionally holding the owner's header.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike"],
+        page_size: int = 4096,
+        create: bool = False,
+    ) -> None:
+        if page_size < _MIN_PAGE_SIZE:
+            raise InvalidParameterError(
+                f"page_size must be >= {_MIN_PAGE_SIZE}, got {page_size}"
+            )
+        self.path = os.fspath(path)
+        self.page_size = page_size
+        self.reads = 0
+        self.writes = 0
+        mode = "w+b" if create else "r+b"
+        try:
+            self._file = open(self.path, mode)
+        except FileNotFoundError:
+            raise PageFileError(f"page file {self.path!r} does not exist") from None
+        if create:
+            # Materialize the header page immediately.
+            self._file.write(b"\x00" * page_size)
+            self._file.flush()
+            self._page_count = 1
+        else:
+            size = os.path.getsize(self.path)
+            if size == 0 or size % page_size != 0:
+                self._file.close()
+                raise PageFileError(
+                    f"{self.path!r} has size {size}, not a multiple of the "
+                    f"page size {page_size}"
+                )
+            self._page_count = size // page_size
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Number of pages in the file (header included).
+
+        Tracked internally rather than via the on-disk size, which lags
+        while writes sit in the userspace buffer.
+        """
+        return self._page_count
+
+    def allocate(self) -> int:
+        """Append a zeroed page and return its id."""
+        self._check_open()
+        page_id = self._page_count
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(b"\x00" * self.page_size)
+        self._page_count += 1
+        return page_id
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page; raises on out-of-range ids."""
+        self._check_open()
+        self._check_range(page_id)
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise PageFileError(
+                f"short read of page {page_id} in {self.path!r}"
+            )
+        self.reads += 1
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page; *data* must fit in the page size."""
+        self._check_open()
+        self._check_range(page_id)
+        if len(data) > self.page_size:
+            raise PageFileError(
+                f"payload of {len(data)} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data.ljust(self.page_size, b"\x00"))
+        self.writes += 1
+
+    def sync(self) -> None:
+        """Flush buffered writes to the OS."""
+        self._check_open()
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the file; further access raises."""
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PageFileError(f"page file {self.path!r} is closed")
+
+    def _check_range(self, page_id: int) -> None:
+        if not 0 <= page_id < self.page_count:
+            raise PageFileError(
+                f"page {page_id} out of range [0, {self.page_count})"
+            )
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PageFile(path={self.path!r}, page_size={self.page_size}, "
+            f"pages={self.page_count})"
+        )

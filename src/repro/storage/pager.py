@@ -1,0 +1,84 @@
+"""Byte-level page model: translate a page size into an R-tree fanout.
+
+The paper sizes R-tree nodes to disk pages (it reports experiments with 1 KiB
+pages).  :class:`PageModel` reproduces that sizing arithmetic so experiments
+can say "page_size=1024, dimension=2" and get the same branching factor a
+disk-resident implementation would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["PageModel"]
+
+_FLOAT_BYTES = 8
+_POINTER_BYTES = 4
+_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class PageModel:
+    """Derives node capacities from a byte-level page layout.
+
+    Each entry stores an MBR (``2 * dimension`` coordinates) plus a child
+    pointer or object identifier.  Each node spends :data:`header_bytes` on
+    bookkeeping (entry count, level, parent pointer).
+
+    Attributes:
+        page_size: Page capacity in bytes (e.g. 1024, 4096).
+        dimension: Dimensionality of the indexed space.
+        coord_bytes: Bytes per coordinate (8 for IEEE doubles).
+        pointer_bytes: Bytes per child pointer / object id.
+        header_bytes: Fixed per-node overhead.
+    """
+
+    page_size: int = 1024
+    dimension: int = 2
+    coord_bytes: int = _FLOAT_BYTES
+    pointer_bytes: int = _POINTER_BYTES
+    header_bytes: int = _HEADER_BYTES
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise InvalidParameterError(f"page_size must be > 0, got {self.page_size}")
+        if self.dimension < 1:
+            raise InvalidParameterError(f"dimension must be >= 1, got {self.dimension}")
+        if self.entry_bytes() > self.page_size - self.header_bytes:
+            raise InvalidParameterError(
+                f"page_size {self.page_size} too small for even one "
+                f"{self.dimension}-dimensional entry"
+            )
+
+    def entry_bytes(self) -> int:
+        """Bytes per entry: one MBR plus one pointer."""
+        return 2 * self.dimension * self.coord_bytes + self.pointer_bytes
+
+    def max_entries(self) -> int:
+        """Largest number of entries a page can hold (the fanout *M*)."""
+        usable = self.page_size - self.header_bytes
+        return max(usable // self.entry_bytes(), 2)
+
+    def min_entries(self, fill_factor: float = 0.4) -> int:
+        """Minimum entries per non-root node (*m*), per Guttman's m <= M/2.
+
+        The paper (and most implementations) use 40% of *M*; the value is
+        clamped to ``[1, M // 2]`` so the split algorithms always succeed.
+        """
+        if not 0.0 < fill_factor <= 0.5:
+            raise InvalidParameterError(
+                f"fill_factor must be in (0, 0.5], got {fill_factor}"
+            )
+        m = int(self.max_entries() * fill_factor)
+        return min(max(m, 1), self.max_entries() // 2)
+
+    def pages_for(self, entry_count: int) -> int:
+        """Lower bound on leaf pages needed to store *entry_count* objects."""
+        if entry_count < 0:
+            raise InvalidParameterError("entry_count must be >= 0")
+        if entry_count == 0:
+            return 0
+        per_page = self.max_entries()
+        return -(-entry_count // per_page)

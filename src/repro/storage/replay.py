@@ -1,0 +1,140 @@
+"""Trace capture and buffer-policy replay, including Belady's optimal.
+
+The buffering experiment (E3) measures LRU online.  Because every access
+flows through a tracker, we can also *capture* the page-access trace of a
+whole query batch and replay it under different replacement policies —
+including Belady's clairvoyant OPT, which evicts the page whose next use
+is farthest in the future and lower-bounds every realizable policy.  The
+gap between LRU and OPT tells how much headroom smarter caching could buy
+(experiment E12).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.storage.tracker import AccessTracker
+
+__all__ = ["TraceRecorder", "ReplayResult", "replay"]
+
+_POLICIES = ("lru", "fifo", "optimal")
+
+
+class TraceRecorder(AccessTracker):
+    """Tracker that records the exact sequence of page accesses."""
+
+    def __init__(self) -> None:
+        self.trace: List[int] = []
+
+    def access(self, page_id: int, is_leaf: bool) -> None:
+        self.trace.append(page_id)
+
+    def reset(self) -> None:
+        self.trace = []
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a trace under one policy and capacity."""
+
+    policy: str
+    capacity: int
+    accesses: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses served from the buffer."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of accesses that went to disk."""
+        return 1.0 - self.hit_ratio if self.accesses else 0.0
+
+
+def replay(trace: Sequence[int], capacity: int, policy: str) -> ReplayResult:
+    """Replay *trace* through a buffer of *capacity* pages under *policy*.
+
+    Policies: ``"lru"``, ``"fifo"``, and ``"optimal"`` (Belady's MIN —
+    requires the whole trace up front, which is exactly what we have).
+    """
+    if capacity < 0:
+        raise InvalidParameterError(f"capacity must be >= 0, got {capacity}")
+    if policy not in _POLICIES:
+        raise InvalidParameterError(
+            f"policy must be one of {_POLICIES}, got {policy!r}"
+        )
+    if capacity == 0:
+        return ReplayResult(policy, 0, len(trace), 0, len(trace))
+    if policy == "optimal":
+        hits, misses = _replay_optimal(trace, capacity)
+    else:
+        hits, misses = _replay_queue(trace, capacity, refresh=policy == "lru")
+    return ReplayResult(policy, capacity, len(trace), hits, misses)
+
+
+def _replay_queue(
+    trace: Sequence[int], capacity: int, refresh: bool
+) -> tuple:
+    resident: "OrderedDict[int, None]" = OrderedDict()
+    hits = misses = 0
+    for page in trace:
+        if page in resident:
+            hits += 1
+            if refresh:
+                resident.move_to_end(page)
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            resident.popitem(last=False)
+        resident[page] = None
+    return hits, misses
+
+
+def _replay_optimal(trace: Sequence[int], capacity: int) -> tuple:
+    """Belady's MIN: evict the resident page reused farthest in the future.
+
+    Next-use positions are precomputed per access; a lazy max-heap of
+    (next_use, page) entries handles eviction in O(log n) amortized, with
+    stale heap entries discarded on pop.
+    """
+    infinity = len(trace) + 1
+    next_use = _next_use_positions(trace, infinity)
+
+    resident: Dict[int, int] = {}  # page -> its current next-use position
+    heap: List[tuple] = []  # (-next_use, page)
+    hits = misses = 0
+    for index, page in enumerate(trace):
+        upcoming = next_use[index]
+        if page in resident:
+            hits += 1
+        else:
+            misses += 1
+            if len(resident) >= capacity:
+                # Evict the page whose next use is farthest away; skip heap
+                # entries that no longer reflect the page's current state.
+                while True:
+                    neg_use, candidate = heapq.heappop(heap)
+                    if resident.get(candidate) == -neg_use:
+                        del resident[candidate]
+                        break
+        resident[page] = upcoming
+        heapq.heappush(heap, (-upcoming, page))
+    return hits, misses
+
+
+def _next_use_positions(trace: Sequence[int], infinity: int) -> List[int]:
+    """For each access, the position of the *next* access to the same page."""
+    next_use = [infinity] * len(trace)
+    last_seen: Dict[int, int] = {}
+    for index in range(len(trace) - 1, -1, -1):
+        page = trace[index]
+        next_use[index] = last_seen.get(page, infinity)
+        last_seen[page] = index
+    return next_use

@@ -1,0 +1,81 @@
+"""Access trackers: the accounting hook every node visit goes through.
+
+A tracker receives ``access(page_id, is_leaf)`` events.  The two concrete
+implementations are :class:`NullTracker` (no-op, for callers that do not care
+about I/O accounting) and :class:`CountingTracker` (tallies accesses split by
+node kind).  Buffer pools (see :mod:`repro.storage.buffer`) are trackers too,
+layered on top of an inner tracker that receives only the *misses*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["AccessTracker", "AccessStats", "NullTracker", "CountingTracker"]
+
+
+class AccessTracker:
+    """Interface for page-access accounting.
+
+    Subclasses override :meth:`access`.  The default implementation ignores
+    the event, so ``AccessTracker()`` itself behaves like a null tracker.
+    """
+
+    def access(self, page_id: int, is_leaf: bool) -> None:
+        """Record that the page *page_id* was read.
+
+        ``is_leaf`` tells the tracker whether the page holds leaf entries
+        (actual objects) or internal entries (child pointers); the paper's
+        plots distinguish the two.
+        """
+
+    def reset(self) -> None:
+        """Clear any accumulated statistics."""
+
+
+class NullTracker(AccessTracker):
+    """Tracker that records nothing; useful as an explicit default."""
+
+
+@dataclass
+class AccessStats:
+    """Totals accumulated by a :class:`CountingTracker`."""
+
+    total: int = 0
+    leaf: int = 0
+    internal: int = 0
+    unique_pages: int = 0
+    per_page: Dict[int, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "AccessStats":
+        """Deep copy of the current totals (per-page map included)."""
+        return AccessStats(
+            total=self.total,
+            leaf=self.leaf,
+            internal=self.internal,
+            unique_pages=self.unique_pages,
+            per_page=dict(self.per_page),
+        )
+
+
+class CountingTracker(AccessTracker):
+    """Tracker that counts every access, split by leaf/internal pages."""
+
+    def __init__(self) -> None:
+        self.stats = AccessStats()
+
+    def access(self, page_id: int, is_leaf: bool) -> None:
+        stats = self.stats
+        stats.total += 1
+        if is_leaf:
+            stats.leaf += 1
+        else:
+            stats.internal += 1
+        count = stats.per_page.get(page_id, 0)
+        if count == 0:
+            stats.unique_pages += 1
+        stats.per_page[page_id] = count + 1
+
+    def reset(self) -> None:
+        self.stats = AccessStats()

@@ -1,0 +1,86 @@
+"""Unit tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.bench.plots import ascii_plot, plot_table
+from repro.bench.tables import Table
+from repro.errors import InvalidParameterError
+
+
+class TestAsciiPlot:
+    def test_basic_shape(self):
+        out = ascii_plot(
+            [1, 2, 3], [[1.0, 2.0, 3.0]], ["rising"], title="demo",
+            width=20, height=6,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert any("*" in line for line in lines)
+        assert "rising" in lines[-1]
+
+    def test_monotone_series_plots_monotone(self):
+        out = ascii_plot([0, 1, 2, 3], [[0.0, 1.0, 2.0, 3.0]], ["y"], width=16, height=8)
+        rows_with_marker = [
+            i for i, line in enumerate(out.splitlines()) if "*" in line
+        ]
+        # Later x (right) means higher y (earlier row index).
+        assert rows_with_marker == sorted(rows_with_marker)
+
+    def test_two_series_distinct_markers(self):
+        out = ascii_plot(
+            [1, 2], [[1.0, 2.0], [2.0, 1.0]], ["up", "down"], width=12, height=5
+        )
+        assert "*" in out and "o" in out
+
+    def test_axis_labels_present(self):
+        out = ascii_plot([10, 90], [[5.0, 7.0]], ["s"], width=12, height=5)
+        assert "10" in out and "90" in out
+        assert "5" in out and "7" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot([1, 2], [[4.0, 4.0]], ["flat"], width=12, height=5)
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_plot([], [[]], ["x"])
+        with pytest.raises(InvalidParameterError):
+            ascii_plot([1], [[1.0]], ["a", "b"])
+        with pytest.raises(InvalidParameterError):
+            ascii_plot([1, 2], [[1.0]], ["a"])
+        with pytest.raises(InvalidParameterError):
+            ascii_plot([1], [[1.0]], ["a"], width=2, height=2)
+
+
+class TestPlotTable:
+    def make_table(self):
+        table = Table("T", ["k", "pages", "label"])
+        table.add_row(1, 3.5, "a")
+        table.add_row(4, 4.5, "b")
+        table.add_row(8, 5.5, "c")
+        return table
+
+    def test_plots_numeric_columns_only(self):
+        out = plot_table(self.make_table())
+        assert "pages" in out
+        assert "label" not in out.splitlines()[-1]
+
+    def test_custom_x_column(self):
+        out = plot_table(self.make_table(), x_column="pages")
+        assert "k" in out.splitlines()[-1]
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            plot_table(Table("T", ["x", "y"]))
+
+    def test_non_numeric_x_rejected(self):
+        table = Table("T", ["name", "v"])
+        table.add_row("a", 1.0)
+        with pytest.raises(InvalidParameterError):
+            plot_table(table)
+
+    def test_no_numeric_series_rejected(self):
+        table = Table("T", ["x", "name"])
+        table.add_row(1, "a")
+        with pytest.raises(InvalidParameterError):
+            plot_table(table)

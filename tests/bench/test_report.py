@@ -1,0 +1,43 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench.experiments import Scale
+from repro.bench.report import generate_report
+
+TINY = Scale(
+    name="tiny",
+    sweep_sizes=(128,),
+    base_size=256,
+    build_size=128,
+    queries=5,
+    k_values=(1,),
+    buffer_sizes=(0, 8),
+)
+
+
+class TestGenerateReport:
+    def test_subset_report(self):
+        report = generate_report(TINY, ["E2", "e3"])
+        assert "# Experiment report" in report
+        assert "## E2" in report
+        assert "## E3" in report
+        assert "## E1 " not in report
+        assert "|---|" in report  # markdown tables present
+        assert "ran in" in report
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(TINY, ["E77"])
+
+    def test_cli_report_subcommand(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        target = tmp_path / "report.md"
+        assert main(
+            ["report", "--only", "E2", "--scale", "quick", "-o", str(target)]
+        ) == 0
+        capsys.readouterr()
+        content = target.read_text()
+        assert content.startswith("# Experiment report")
+        assert "## E2" in content

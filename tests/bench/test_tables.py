@@ -1,0 +1,68 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.bench.tables import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 20000.0)
+        text = table.render()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "20,000" in text
+        lines = text.splitlines()
+        # All data lines share one width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_float_formatting_tiers(self):
+        table = Table("Fmt", ["v"])
+        table.add_row(0.0)
+        table.add_row(1.23456)
+        table.add_row(42.42)
+        table.add_row(1234567.0)
+        assert table.column("v") == ["0", "1.235", "42.4", "1,234,567"]
+
+    def test_caption(self):
+        table = Table("T", ["a"], caption="about this table")
+        assert "about this table" in table.render()
+
+    def test_row_length_mismatch(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_markdown(self):
+        table = Table("T", ["x", "y"])
+        table.add_row(1, 2)
+        md = table.to_markdown()
+        assert "| x | y |" in md
+        assert "|---|---|" in md
+        assert "| 1 | 2 |" in md
+
+    def test_csv(self):
+        table = Table("T", ["label", "count"])
+        table.add_row("plain", 1234567.0)
+        table.add_row("with, comma", 2.0)
+        csv = table.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "label,count"
+        assert lines[1] == "plain,1234567"  # separators dropped for parsing
+        assert lines[2] == '"with, comma",2.000'
+
+    def test_csv_quote_escaping(self):
+        table = Table("T", ["q"])
+        table.add_row('say "hi"')
+        assert table.to_csv().splitlines()[1] == '"say ""hi"""'
+
+    def test_column_lookup(self):
+        table = Table("T", ["x", "y"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("y") == ["2", "4"]
+        with pytest.raises(ValueError):
+            table.column("z")

@@ -1,0 +1,113 @@
+"""Unit and property tests for aggregate (group) nearest neighbors."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import RTree
+from repro.core.aggregate import aggregate_nearest
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import euclidean
+from tests.conftest import build_point_tree
+
+coord = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+point2d = st.tuples(coord, coord)
+
+
+def brute_force(points, group, k, combine):
+    scored = sorted(
+        (combine([euclidean(q, p) for q in group]), i)
+        for i, p in enumerate(points)
+    )
+    return scored[:k]
+
+
+class TestValidation:
+    def test_empty_group_rejected(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            aggregate_nearest(small_tree, [], k=1)
+
+    def test_bad_aggregate_rejected(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            aggregate_nearest(small_tree, [(0.0, 0.0)], aggregate="median")
+
+    def test_bad_k_rejected(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            aggregate_nearest(small_tree, [(0.0, 0.0)], k=0)
+
+    def test_dimension_mismatch(self, small_tree):
+        with pytest.raises(DimensionMismatchError):
+            aggregate_nearest(small_tree, [(0.0, 0.0), (1.0,)])
+
+    def test_empty_tree(self):
+        neighbors, _ = aggregate_nearest(RTree(), [(0.0, 0.0)])
+        assert neighbors == []
+
+
+class TestSemantics:
+    def test_single_point_group_equals_plain_nn(self, small_tree):
+        from repro import nearest
+
+        q = (444.0, 222.0)
+        group_result, _ = aggregate_nearest(small_tree, [q], k=3)
+        plain = nearest(small_tree, q, k=3)
+        assert [n.distance for n in group_result] == pytest.approx(
+            plain.distances()
+        )
+
+    def test_sum_picks_central_object(self):
+        tree = RTree()
+        tree.insert((5.0, 5.0), payload="center")
+        tree.insert((0.0, 0.0), payload="corner")
+        group = [(0.0, 10.0), (10.0, 0.0), (10.0, 10.0)]
+        got, _ = aggregate_nearest(tree, group, k=1, aggregate="sum")
+        assert got[0].payload == "center"
+
+    def test_max_minimizes_worst_member(self):
+        tree = RTree()
+        # "close" is very close to one member but far from the other;
+        # "balanced" is moderately far from both.
+        tree.insert((0.0, 1.0), payload="close")
+        tree.insert((0.0, 50.0), payload="balanced")
+        group = [(0.0, 0.0), (0.0, 100.0)]
+        by_max, _ = aggregate_nearest(tree, group, k=1, aggregate="max")
+        by_sum, _ = aggregate_nearest(tree, group, k=1, aggregate="sum")
+        assert by_max[0].payload == "balanced"
+        assert by_sum[0].payload == "close"
+
+    def test_matches_brute_force(self, medium_points):
+        tree = build_point_tree(medium_points)
+        group = [(100.0, 100.0), (900.0, 100.0), (500.0, 900.0)]
+        for aggregate, combine in (("sum", sum), ("max", max)):
+            got, _ = aggregate_nearest(tree, group, k=5, aggregate=aggregate)
+            expected = brute_force(medium_points, group, 5, combine)
+            assert [n.distance for n in got] == pytest.approx(
+                [d for d, _ in expected]
+            )
+
+    def test_prunes(self, medium_points):
+        tree = build_point_tree(medium_points)
+        group = [(480.0, 500.0), (520.0, 500.0)]
+        _, stats = aggregate_nearest(tree, group, k=1)
+        assert stats.nodes_accessed < tree.node_count / 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(point2d, min_size=1, max_size=80),
+    st.lists(point2d, min_size=1, max_size=4),
+    st.integers(1, 5),
+    st.sampled_from(["sum", "max"]),
+)
+def test_property_matches_brute_force(points, group, k, aggregate):
+    tree = RTree(max_entries=4)
+    for i, p in enumerate(points):
+        tree.insert(p, payload=i)
+    combine = sum if aggregate == "sum" else max
+    got, _ = aggregate_nearest(tree, group, k=k, aggregate=aggregate)
+    expected = brute_force(points, group, k, combine)
+    assert len(got) == len(expected)
+    for neighbor, (distance, _) in zip(got, expected):
+        assert abs(neighbor.distance - distance) <= 1e-6 * (1.0 + distance)

@@ -1,0 +1,155 @@
+"""Unit and property tests for spatial joins."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import LruBufferPool, RTree, bulk_load
+from repro.core.joins import intersection_join, knn_join
+from repro.datasets.synthetic import uniform_rects
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.geometry.rect import Rect
+
+coord = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def small_rects(draw, max_size=40):
+    count = draw(st.integers(0, max_size))
+    rects = []
+    for _ in range(count):
+        lo = (draw(coord), draw(coord))
+        extent = (
+            draw(st.floats(min_value=0.0, max_value=20.0)),
+            draw(st.floats(min_value=0.0, max_value=20.0)),
+        )
+        rects.append(Rect(lo, (lo[0] + extent[0], lo[1] + extent[1])))
+    return rects
+
+
+def tree_of(rects, max_entries=4):
+    tree = RTree(max_entries=max_entries)
+    for i, r in enumerate(rects):
+        tree.insert(r, payload=i)
+    return tree
+
+
+def brute_force_join(left_rects, right_rects):
+    return sorted(
+        (i, j)
+        for i, a in enumerate(left_rects)
+        for j, b in enumerate(right_rects)
+        if a.intersects(b)
+    )
+
+
+class TestIntersectionJoin:
+    def test_empty_operand_yields_nothing(self):
+        tree = tree_of(uniform_rects(5, seed=1))
+        assert list(intersection_join(tree, RTree())) == []
+        assert list(intersection_join(RTree(), tree)) == []
+
+    def test_dimension_mismatch(self):
+        a = RTree()
+        a.insert((0.0, 0.0))
+        b = RTree()
+        b.insert((0.0, 0.0, 0.0))
+        with pytest.raises(DimensionMismatchError):
+            list(intersection_join(a, b))
+
+    def test_matches_brute_force(self):
+        left = uniform_rects(150, seed=2, max_side=30.0)
+        right = uniform_rects(120, seed=3, max_side=30.0)
+        got = sorted(
+            (pa[1], pb[1])
+            for pa, pb in intersection_join(tree_of(left), tree_of(right))
+        )
+        assert got == brute_force_join(left, right)
+
+    def test_orientation_preserved(self):
+        left = tree_of([Rect((0, 0), (10, 10))])
+        # Right tree is deeper, forcing descent on the right side too.
+        right = tree_of(uniform_rects(60, seed=4, bounds=(0.0, 10.0)), 4)
+        for (ra, pa), (rb, pb) in intersection_join(left, right):
+            assert pa == 0  # left payloads stay on the left
+            assert ra == Rect((0, 0), (10, 10))
+
+    def test_disjoint_trees_no_results_few_pages(self):
+        left_rects = uniform_rects(100, seed=5, bounds=(0.0, 100.0))
+        right_rects = uniform_rects(100, seed=6, bounds=(10_000.0, 10_100.0))
+        pool = LruBufferPool(0)
+        got = list(
+            intersection_join(tree_of(left_rects), tree_of(right_rects), pool)
+        )
+        assert got == []
+        # Disjoint roots: only the two roots are compared.
+        assert pool.stats.accesses == 2
+
+    def test_self_join_includes_self_pairs(self):
+        rects = uniform_rects(30, seed=7)
+        tree = tree_of(rects)
+        pairs = {
+            (pa[1], pb[1]) for pa, pb in intersection_join(tree, tree)
+        }
+        for i in range(30):
+            assert (i, i) in pairs
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_rects(), small_rects())
+    def test_property_matches_brute_force(self, left, right):
+        got = sorted(
+            (pa[1], pb[1])
+            for pa, pb in intersection_join(tree_of(left), tree_of(right))
+        )
+        assert got == brute_force_join(left, right)
+
+
+class TestKnnJoin:
+    def test_invalid_k(self):
+        tree = tree_of(uniform_rects(5, seed=8))
+        with pytest.raises(InvalidParameterError):
+            knn_join(tree, tree, k=0)
+
+    def test_empty_operands(self):
+        tree = tree_of(uniform_rects(5, seed=9))
+        results, stats = knn_join(RTree(), tree)
+        assert results == []
+        assert stats.nodes_accessed == 0
+
+    def test_every_outer_object_gets_k_neighbors(self):
+        outer = tree_of(uniform_rects(40, seed=10))
+        inner = bulk_load(
+            [(p, i) for i, p in enumerate(
+                [(float(x), float(x)) for x in range(100)]
+            )],
+            max_entries=8,
+        )
+        results, stats = knn_join(outer, inner, k=3)
+        assert len(results) == 40
+        assert all(len(neighbors) == 3 for _, neighbors in results)
+        assert stats.nodes_accessed >= 40  # at least one page per search
+
+    def test_matches_per_object_searches(self):
+        from repro.core.knn_dfs import nearest_dfs
+
+        outer = tree_of(uniform_rects(25, seed=11))
+        inner = tree_of(uniform_rects(80, seed=12))
+        results, _ = knn_join(outer, inner, k=2)
+        by_payload = dict(results)
+        for rect, payload in outer.items():
+            expected, _ = nearest_dfs(inner, rect.center, k=2)
+            got = by_payload[payload]
+            assert [n.distance for n in got] == pytest.approx(
+                [n.distance for n in expected]
+            )
+
+    def test_buffered_join_reads_less(self):
+        outer = tree_of(uniform_rects(60, seed=13))
+        inner = tree_of(uniform_rects(400, seed=14), max_entries=8)
+        unbuffered = LruBufferPool(0)
+        knn_join(outer, inner, k=2, tracker=unbuffered)
+        buffered = LruBufferPool(64)
+        knn_join(outer, inner, k=2, tracker=buffered)
+        assert buffered.stats.misses < unbuffered.stats.misses

@@ -1,0 +1,110 @@
+"""Property-based correctness: every search config vs the linear-scan oracle.
+
+This is the single most important test in the repository: for random data,
+random queries, random k, every algorithm/ordering/pruning combination must
+return exactly the oracle's distance sequence.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import PruningConfig, RTree, bulk_load, linear_scan
+from repro.core.knn_best_first import nearest_best_first, nearest_incremental
+from repro.core.knn_dfs import nearest_dfs
+from tests.conftest import assert_same_distances
+
+coord = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+point2d = st.tuples(coord, coord)
+
+
+@st.composite
+def tree_and_query(draw):
+    points = draw(st.lists(point2d, min_size=1, max_size=120))
+    max_entries = draw(st.integers(2, 12))
+    use_bulk = draw(st.booleans())
+    if use_bulk:
+        tree = bulk_load(
+            [(p, i) for i, p in enumerate(points)], max_entries=max_entries
+        )
+    else:
+        tree = RTree(max_entries=max_entries)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+    query = draw(point2d)
+    k = draw(st.integers(1, min(len(points) + 2, 15)))
+    return tree, query, k
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree_and_query())
+def test_dfs_mindist_matches_oracle(case):
+    tree, query, k = case
+    got, _ = nearest_dfs(tree, query, k=k, ordering="mindist")
+    assert_same_distances(got, linear_scan(tree, query, k=k), tolerance=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree_and_query())
+def test_dfs_minmaxdist_matches_oracle(case):
+    tree, query, k = case
+    got, _ = nearest_dfs(tree, query, k=k, ordering="minmaxdist")
+    assert_same_distances(got, linear_scan(tree, query, k=k), tolerance=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree_and_query())
+def test_best_first_matches_oracle(case):
+    tree, query, k = case
+    got, _ = nearest_best_first(tree, query, k=k)
+    assert_same_distances(got, linear_scan(tree, query, k=k), tolerance=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_and_query())
+def test_incremental_stream_is_sorted_and_complete(case):
+    tree, query, _ = case
+    stream = list(nearest_incremental(tree, query))
+    assert len(stream) == len(tree)
+    distances = [n.distance for n in stream]
+    assert distances == sorted(distances)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tree_and_query(),
+    st.sampled_from(
+        [
+            PruningConfig.all(),
+            PruningConfig.none(),
+            PruningConfig.only_p3(),
+            PruningConfig(True, False, True),
+            PruningConfig(False, True, True),
+        ]
+    ),
+)
+def test_all_pruning_configs_match_oracle(case, config):
+    tree, query, k = case
+    got, _ = nearest_dfs(tree, query, k=k, pruning=config)
+    assert_same_distances(got, linear_scan(tree, query, k=k), tolerance=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_and_query())
+def test_result_payloads_are_real_items(case):
+    tree, query, k = case
+    got, _ = nearest_dfs(tree, query, k=k)
+    valid_payloads = {payload for _, payload in tree.items()}
+    assert all(n.payload in valid_payloads for n in got)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_and_query())
+def test_distances_are_finite_and_sorted(case):
+    tree, query, k = case
+    got, _ = nearest_dfs(tree, query, k=k)
+    distances = [n.distance for n in got]
+    assert all(math.isfinite(d) and d >= 0.0 for d in distances)
+    assert distances == sorted(distances)

@@ -1,0 +1,127 @@
+"""Unit tests for the MINDIST / MINMAXDIST metrics (paper Section 3)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    mindist,
+    mindist_squared,
+    minmaxdist,
+    minmaxdist_squared,
+)
+from repro.errors import DimensionMismatchError
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture
+def box() -> Rect:
+    return Rect((2.0, 2.0), (4.0, 6.0))
+
+
+class TestMindist:
+    def test_point_inside_is_zero(self, box):
+        assert mindist_squared((3.0, 4.0), box) == 0.0
+
+    def test_point_on_boundary_is_zero(self, box):
+        assert mindist_squared((2.0, 3.0), box) == 0.0
+        assert mindist_squared((4.0, 6.0), box) == 0.0
+
+    def test_point_left_of_box(self, box):
+        # Closest rect point is (2, 4).
+        assert mindist((0.0, 4.0), box) == 2.0
+
+    def test_point_diagonal_from_corner(self, box):
+        # Closest rect point is the corner (2, 2).
+        assert mindist((0.0, 0.0), box) == math.sqrt(8.0)
+
+    def test_matches_clamp_distance(self, box):
+        from repro.geometry.point import euclidean_squared
+
+        for q in [(-1.0, 3.0), (5.0, 7.0), (3.0, 0.0), (3.0, 4.0)]:
+            assert mindist_squared(q, box) == pytest.approx(
+                euclidean_squared(q, box.clamp_point(q))
+            )
+
+    def test_degenerate_rect_equals_point_distance(self):
+        r = Rect.from_point((3.0, 4.0))
+        assert mindist((0.0, 0.0), r) == 5.0
+
+    def test_dimension_mismatch(self, box):
+        with pytest.raises(DimensionMismatchError):
+            mindist_squared((1.0,), box)
+
+    def test_one_dimensional(self):
+        r = Rect((2.0,), (5.0,))
+        assert mindist((0.0,), r) == 2.0
+        assert mindist((7.0,), r) == 2.0
+        assert mindist((3.0,), r) == 0.0
+
+
+class TestMinmaxdist:
+    def test_hand_computed_2d(self):
+        # Unit square, query at origin-corner: faces x=0 and y=0 are
+        # nearest per axis; their far corners are (0,1) and (1,0), both at
+        # distance 1.
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert minmaxdist((0.0, 0.0), r) == pytest.approx(1.0)
+
+    def test_hand_computed_off_center(self):
+        # Query left of the box at its vertical center.
+        r = Rect((2.0, 0.0), (4.0, 2.0))
+        q = (0.0, 1.0)
+        # Axis x: near bound x=2, far y bound is either (|1-0|=1 vs |1-2|=1)
+        # -> far y distance 1; candidate = 2^2 + 1^2 = 5.
+        # Axis y: near bound y=0 (tie resolves to lo), far x bound x=4;
+        # candidate = 1^2 + 4^2 = 17.
+        assert minmaxdist_squared(q, r) == pytest.approx(5.0)
+
+    def test_degenerate_rect_equals_point_distance(self):
+        r = Rect.from_point((3.0, 4.0))
+        assert minmaxdist((0.0, 0.0), r) == 5.0
+
+    def test_point_at_center_of_square(self):
+        r = Rect((0.0, 0.0), (2.0, 2.0))
+        # From the center, every face's farthest point is at distance
+        # sqrt(1 + 1); axis choice doesn't matter by symmetry.
+        assert minmaxdist((1.0, 1.0), r) == pytest.approx(math.sqrt(2.0))
+
+    def test_one_dimensional_is_nearest_face(self):
+        r = Rect((2.0,), (6.0,))
+        # Faces are the endpoints; MINMAXDIST is the distance to the
+        # *nearer* endpoint (each "face" is a single point).
+        assert minmaxdist((0.0,), r) == 2.0
+        assert minmaxdist((5.0,), r) == 1.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            minmaxdist((1.0, 2.0), Rect((0.0,), (1.0,)))
+
+
+class TestTheorems:
+    """The paper's ordering theorems on a grid of hand-picked cases."""
+
+    CASES = [
+        (Rect((0, 0), (1, 1)), (0.5, 0.5)),
+        (Rect((0, 0), (1, 1)), (-3.0, 0.5)),
+        (Rect((0, 0), (1, 1)), (5.0, 5.0)),
+        (Rect((2, 3), (9, 4)), (0.0, 0.0)),
+        (Rect((-5, -5), (5, 5)), (0.0, 20.0)),
+        (Rect((1, 1, 1), (2, 3, 4)), (0.0, 0.0, 0.0)),
+        (Rect((1, 1, 1), (2, 3, 4)), (1.5, 2.0, 2.0)),
+    ]
+
+    @pytest.mark.parametrize("rect,query", CASES)
+    def test_mindist_le_minmaxdist(self, rect, query):
+        assert mindist_squared(query, rect) <= minmaxdist_squared(query, rect) + 1e-12
+
+    @pytest.mark.parametrize("rect,query", CASES)
+    def test_minmaxdist_le_farthest_corner(self, rect, query):
+        from itertools import product
+
+        corners = product(*zip(rect.lo, rect.hi))
+        farthest_sq = max(
+            sum((q - c) ** 2 for q, c in zip(query, corner))
+            for corner in corners
+        )
+        assert minmaxdist_squared(query, rect) <= farthest_sq + 1e-12

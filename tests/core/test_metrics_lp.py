@@ -1,0 +1,143 @@
+"""Tests for the general L_p metrics and the L_p k-NN search."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import RTree, Rect
+from repro.core.metrics import mindist, minmaxdist
+from repro.core.metrics_lp import (
+    lp_distance,
+    mindist_lp,
+    minmaxdist_lp,
+    nearest_dfs_lp,
+)
+from repro.errors import DimensionMismatchError, InvalidParameterError
+
+INF = float("inf")
+
+coord = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+point2d = st.tuples(coord, coord)
+p_values = st.sampled_from([1.0, 1.5, 2.0, 3.0, INF])
+
+
+class TestLpDistance:
+    def test_p1_is_manhattan(self):
+        assert lp_distance((0, 0), (3, -4), p=1) == 7.0
+
+    def test_p2_is_euclidean(self):
+        assert lp_distance((0, 0), (3, 4), p=2) == 5.0
+
+    def test_pinf_is_chebyshev(self):
+        assert lp_distance((0, 0), (3, -4), p=INF) == 4.0
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(InvalidParameterError):
+            lp_distance((0, 0), (1, 1), p=0.5)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            lp_distance((0.0,), (1.0, 2.0))
+
+    def test_norms_are_monotone_in_p(self):
+        a, b = (1.0, -2.0, 3.0), (4.0, 0.0, -1.0)
+        d1 = lp_distance(a, b, 1)
+        d2 = lp_distance(a, b, 2)
+        d3 = lp_distance(a, b, 3)
+        dinf = lp_distance(a, b, INF)
+        assert d1 >= d2 >= d3 >= dinf
+
+
+class TestLpRectMetrics:
+    RECT = Rect((2.0, 2.0), (4.0, 6.0))
+
+    def test_p2_matches_euclidean_module(self):
+        for q in [(0.0, 0.0), (3.0, 4.0), (5.0, 7.0), (-1.0, 3.0)]:
+            assert mindist_lp(q, self.RECT, 2) == pytest.approx(
+                mindist(q, self.RECT)
+            )
+            assert minmaxdist_lp(q, self.RECT, 2) == pytest.approx(
+                minmaxdist(q, self.RECT)
+            )
+
+    def test_inside_point_has_zero_mindist_any_p(self):
+        for p in (1, 2, 3, INF):
+            assert mindist_lp((3.0, 4.0), self.RECT, p) == 0.0
+
+    def test_manhattan_mindist(self):
+        # Gaps: x gap 2 (to lo.x=2 from 0), y gap 0 (inside slab).
+        assert mindist_lp((0.0, 4.0), self.RECT, 1) == 2.0
+        # Corner case: both gaps add.
+        assert mindist_lp((0.0, 0.0), self.RECT, 1) == 4.0
+
+    def test_chebyshev_mindist(self):
+        assert mindist_lp((0.0, 0.0), self.RECT, INF) == 2.0
+
+    @given(point2d, p_values)
+    def test_mindist_le_minmaxdist(self, q, p):
+        assert mindist_lp(q, self.RECT, p) <= minmaxdist_lp(q, self.RECT, p) + 1e-9
+
+    @given(st.data())
+    def test_minmaxdist_upper_bounds_nearest_point_of_true_mbr(self, data):
+        pts = data.draw(st.lists(point2d, min_size=1, max_size=10))
+        q = data.draw(point2d)
+        p = data.draw(p_values)
+        mbr = Rect.from_points(pts)
+        nearest_true = min(lp_distance(q, x, p) for x in pts)
+        assert nearest_true <= minmaxdist_lp(q, mbr, p) * (1 + 1e-9) + 1e-6
+
+
+class TestLpSearch:
+    def _tree(self, points):
+        tree = RTree(max_entries=4)
+        for i, pt in enumerate(points):
+            tree.insert(pt, payload=i)
+        return tree
+
+    def test_empty_tree(self):
+        neighbors, _ = nearest_dfs_lp(RTree(), (0.0, 0.0))
+        assert neighbors == []
+
+    def test_validation(self):
+        tree = self._tree([(0.0, 0.0)])
+        with pytest.raises(InvalidParameterError):
+            nearest_dfs_lp(tree, (0.0, 0.0), k=0)
+        with pytest.raises(InvalidParameterError):
+            nearest_dfs_lp(tree, (0.0, 0.0), p=0.2)
+        with pytest.raises(DimensionMismatchError):
+            nearest_dfs_lp(tree, (0.0,))
+
+    def test_different_norms_pick_different_neighbors(self):
+        # (6, 0): L1 dist 6, Linf dist 6.  (4, 4): L1 dist 8, Linf dist 4.
+        tree = self._tree([(6.0, 0.0), (4.0, 4.0)])
+        by_l1, _ = nearest_dfs_lp(tree, (0.0, 0.0), p=1)
+        by_linf, _ = nearest_dfs_lp(tree, (0.0, 0.0), p=INF)
+        assert by_l1[0].payload == 0
+        assert by_linf[0].payload == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(point2d, min_size=1, max_size=100),
+        point2d,
+        st.integers(1, 6),
+        p_values,
+    )
+    def test_property_matches_brute_force(self, points, query, k, p):
+        tree = self._tree(points)
+        got, _ = nearest_dfs_lp(tree, query, k=k, p=p)
+        expected = sorted(lp_distance(query, x, p) for x in points)
+        expected = expected[: min(k, len(points))]
+        assert len(got) == len(expected)
+        for neighbor, want in zip(got, expected):
+            assert abs(neighbor.distance - want) <= 1e-6 * (1 + want)
+
+    def test_pruning_happens(self):
+        from repro.datasets import uniform_points
+
+        points = uniform_points(1500, seed=131)
+        tree = self._tree(points)
+        for p in (1, 2, INF):
+            _, stats = nearest_dfs_lp(tree, (500.0, 500.0), k=1, p=p)
+            assert stats.nodes_accessed < tree.node_count / 3

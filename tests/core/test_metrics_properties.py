@@ -1,0 +1,137 @@
+"""Property-based tests for the paper's metric theorems (hypothesis).
+
+These encode Theorems 1 and 2 of the paper directly:
+
+- MINDIST lower-bounds the distance to *every* point of the rectangle.
+- MINMAXDIST upper-bounds the distance to the nearest of any object set
+  that makes the rectangle a true *minimum* bounding rectangle (every face
+  touched).
+- MINDIST <= MINMAXDIST always.
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import mindist_squared, minmaxdist_squared
+from repro.geometry.point import euclidean_squared
+from repro.geometry.rect import Rect
+
+coord = st.floats(
+    min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rect_and_query(draw, max_dim=4):
+    dim = draw(st.integers(1, max_dim))
+    lo = [draw(coord) for _ in range(dim)]
+    hi = [c + draw(st.floats(min_value=0.0, max_value=1e4)) for c in lo]
+    query = tuple(draw(coord) for _ in range(dim))
+    return Rect(lo, hi), query
+
+
+@st.composite
+def mbr_points_query(draw, max_dim=3):
+    """A point set, its true MBR, and a query point.
+
+    By construction the Rect is a *minimum* bounding rectangle of the point
+    set, which is exactly the precondition of the MINMAXDIST theorem.
+    """
+    dim = draw(st.integers(1, max_dim))
+    pts = draw(
+        st.lists(
+            st.tuples(*[coord] * dim).map(tuple), min_size=1, max_size=12
+        )
+    )
+    query = tuple(draw(coord) for _ in range(dim))
+    return Rect.from_points(pts), pts, query
+
+
+@given(rect_and_query())
+def test_mindist_le_minmaxdist(case):
+    rect, query = case
+    assert mindist_squared(query, rect) <= minmaxdist_squared(query, rect) * (
+        1 + 1e-9
+    ) + 1e-9
+
+
+@given(rect_and_query())
+def test_mindist_zero_iff_inside(case):
+    # "iff" up to float underflow: squaring a subnormal gap can round the
+    # outside-distance to exactly 0, so only the two sound implications are
+    # asserted.
+    rect, query = case
+    md = mindist_squared(query, rect)
+    if rect.contains_point(query):
+        assert md == 0.0
+    if md > 0.0:
+        assert not rect.contains_point(query)
+
+
+@given(st.data())
+def test_mindist_lower_bounds_every_interior_point(data):
+    rect, query = data.draw(rect_and_query(max_dim=3))
+    # Sample interior points via per-axis interpolation parameters.
+    t = [
+        data.draw(st.floats(min_value=0.0, max_value=1.0))
+        for _ in range(rect.dimension)
+    ]
+    interior = tuple(
+        lo + (hi - lo) * ti for lo, hi, ti in zip(rect.lo, rect.hi, t)
+    )
+    assert mindist_squared(query, rect) <= euclidean_squared(
+        query, interior
+    ) * (1 + 1e-9) + 1e-9
+
+
+@given(mbr_points_query())
+def test_minmaxdist_upper_bounds_nearest_object(case):
+    rect, pts, query = case
+    nearest_sq = min(euclidean_squared(query, p) for p in pts)
+    assert nearest_sq <= minmaxdist_squared(query, rect) * (1 + 1e-9) + 1e-6
+
+
+@given(mbr_points_query())
+def test_paper_sandwich_theorem(case):
+    """MINDIST <= dist(nearest object) <= MINMAXDIST for a true MBR."""
+    rect, pts, query = case
+    nearest_sq = min(euclidean_squared(query, p) for p in pts)
+    slack = 1e-6 + 1e-9 * abs(nearest_sq)
+    assert mindist_squared(query, rect) <= nearest_sq + slack
+    assert nearest_sq <= minmaxdist_squared(query, rect) + slack
+
+
+@given(rect_and_query())
+def test_metrics_nonnegative_and_finite(case):
+    rect, query = case
+    md = mindist_squared(query, rect)
+    mmd = minmaxdist_squared(query, rect)
+    assert md >= 0.0 and math.isfinite(md)
+    assert mmd >= 0.0 and math.isfinite(mmd)
+
+
+@given(rect_and_query())
+def test_degenerate_rect_metrics_coincide(case):
+    rect, query = case
+    point_rect = Rect.from_point(rect.lo)
+    md = mindist_squared(query, point_rect)
+    mmd = minmaxdist_squared(query, point_rect)
+    assert math.isclose(md, mmd, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.data())
+def test_translation_invariance(data):
+    rect, query = data.draw(rect_and_query(max_dim=3))
+    offset = [
+        data.draw(st.floats(min_value=-1e4, max_value=1e4))
+        for _ in range(rect.dimension)
+    ]
+    moved_rect = Rect(
+        [lo + o for lo, o in zip(rect.lo, offset)],
+        [hi + o for hi, o in zip(rect.hi, offset)],
+    )
+    moved_query = tuple(q + o for q, o in zip(query, offset))
+    original = mindist_squared(query, rect)
+    moved = mindist_squared(moved_query, moved_rect)
+    assert math.isclose(original, moved, rel_tol=1e-6, abs_tol=1e-3)

@@ -1,0 +1,94 @@
+"""Unit tests for the Neighbor result type and the candidate buffer."""
+
+import math
+
+import pytest
+
+from repro.core.neighbors import Neighbor, NeighborBuffer
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+
+R = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+class TestNeighbor:
+    def test_ordering_by_distance(self):
+        near = Neighbor("a", R, 1.0, 1.0)
+        far = Neighbor("b", R, 2.0, 4.0)
+        assert near < far
+        assert sorted([far, near]) == [near, far]
+
+
+class TestNeighborBuffer:
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            NeighborBuffer(0)
+
+    def test_empty_buffer_bound_is_infinite(self):
+        buf = NeighborBuffer(3)
+        assert buf.worst_distance_squared == math.inf
+        assert buf.peek_worst() is None
+        assert len(buf) == 0
+
+    def test_fills_to_k_then_replaces(self):
+        buf = NeighborBuffer(2)
+        assert buf.offer(9.0, "far", R)
+        assert buf.offer(4.0, "mid", R)
+        assert buf.is_full
+        assert buf.worst_distance_squared == 9.0
+        # A better candidate evicts the worst.
+        assert buf.offer(1.0, "near", R)
+        assert buf.worst_distance_squared == 4.0
+        payloads = [n.payload for n in buf.to_sorted_list()]
+        assert payloads == ["near", "mid"]
+
+    def test_rejects_candidate_not_better_than_worst(self):
+        buf = NeighborBuffer(1)
+        buf.offer(4.0, "first", R)
+        assert not buf.offer(4.0, "tie", R)
+        assert not buf.offer(5.0, "worse", R)
+        assert [n.payload for n in buf.to_sorted_list()] == ["first"]
+
+    def test_partial_buffer_accepts_anything(self):
+        buf = NeighborBuffer(5)
+        for d in [100.0, 1.0, 50.0]:
+            assert buf.offer(d, d, R)
+        assert not buf.is_full
+        assert buf.worst_distance_squared == math.inf
+
+    def test_sorted_list_ascending(self):
+        buf = NeighborBuffer(4)
+        for d in [9.0, 1.0, 16.0, 4.0]:
+            buf.offer(d, d, R)
+        result = buf.to_sorted_list()
+        assert [n.distance_squared for n in result] == [1.0, 4.0, 9.0, 16.0]
+        assert [n.distance for n in result] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_peek_worst(self):
+        buf = NeighborBuffer(2)
+        buf.offer(1.0, "a", R)
+        buf.offer(9.0, "b", R)
+        worst = buf.peek_worst()
+        assert worst.payload == "b"
+        assert worst.distance == 3.0
+
+    def test_unorderable_payloads_are_fine(self):
+        # Ties in distance must not compare payloads.
+        buf = NeighborBuffer(3)
+        buf.offer(1.0, {"x": 1}, R)
+        buf.offer(1.0, {"y": 2}, R)
+        buf.offer(1.0, {"z": 3}, R)
+        assert len(buf.to_sorted_list()) == 3
+
+    def test_insertion_order_stable_for_ties(self):
+        buf = NeighborBuffer(3)
+        buf.offer(1.0, "first", R)
+        buf.offer(1.0, "second", R)
+        payloads = [n.payload for n in buf.to_sorted_list()]
+        assert payloads == ["first", "second"]
+
+    def test_k_one_tracks_minimum(self):
+        buf = NeighborBuffer(1)
+        for d in [25.0, 16.0, 36.0, 4.0, 9.0]:
+            buf.offer(d, d, R)
+        assert buf.worst_distance_squared == 4.0

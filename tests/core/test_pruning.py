@@ -1,0 +1,65 @@
+"""Unit tests for pruning configuration and statistics."""
+
+from repro.core.pruning import PruningConfig, PruningStats
+
+
+class TestPruningConfig:
+    def test_all_enables_everything(self):
+        config = PruningConfig.all()
+        assert config.use_p1 and config.use_p2 and config.use_p3
+
+    def test_none_disables_everything(self):
+        config = PruningConfig.none()
+        assert not (config.use_p1 or config.use_p2 or config.use_p3)
+
+    def test_only_p3(self):
+        config = PruningConfig.only_p3()
+        assert not config.use_p1 and not config.use_p2 and config.use_p3
+
+    def test_effective_for_k1_is_unchanged(self):
+        config = PruningConfig.all()
+        assert config.effective_for_k(1) is config
+
+    def test_effective_for_k2_drops_minmaxdist_prunes(self):
+        effective = PruningConfig.all().effective_for_k(2)
+        assert not effective.use_p1
+        assert not effective.use_p2
+        assert effective.use_p3
+
+    def test_effective_for_k2_preserves_p3_setting(self):
+        effective = PruningConfig(True, True, False).effective_for_k(5)
+        assert not effective.use_p3
+
+    def test_effective_noop_when_nothing_to_drop(self):
+        config = PruningConfig.only_p3()
+        assert config.effective_for_k(7) is config
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PruningConfig.all().use_p1 = False
+
+
+class TestSearchStatsTotals:
+    def test_total_pruned_property(self):
+        from repro.core.stats import SearchStats
+
+        stats = SearchStats()
+        stats.pruning.p1_pruned = 2
+        stats.pruning.p3_pruned = 5
+        assert stats.total_pruned == 7
+
+
+class TestPruningStats:
+    def test_total_counts_discards_only(self):
+        stats = PruningStats(p1_pruned=3, p2_bound_updates=5, p3_pruned=7)
+        assert stats.total == 10
+
+    def test_merge(self):
+        a = PruningStats(1, 2, 3)
+        b = PruningStats(10, 20, 30)
+        a.merge(b)
+        assert (a.p1_pruned, a.p2_bound_updates, a.p3_pruned) == (11, 22, 33)

@@ -1,0 +1,64 @@
+"""Unit tests for the high-level query façade."""
+
+import pytest
+
+from repro import NearestNeighborQuery, RTree, nearest
+from repro.errors import InvalidParameterError
+
+
+class TestNearestFunction:
+    def test_returns_nnresult(self, small_tree):
+        result = nearest(small_tree, (500.0, 500.0), k=3)
+        assert len(result) == 3
+        assert len(result.payloads()) == 3
+        assert result.distances() == sorted(result.distances())
+        assert result.stats.nodes_accessed > 0
+
+    def test_result_is_iterable_and_indexable(self, small_tree):
+        result = nearest(small_tree, (500.0, 500.0), k=3)
+        assert [n.payload for n in result] == result.payloads()
+        assert result[0].distance <= result[1].distance
+        assert [n.payload for n in result[:2]] == result.payloads()[:2]
+
+    def test_algorithms_agree(self, small_tree):
+        q = (321.0, 654.0)
+        dfs = nearest(small_tree, q, k=4, algorithm="dfs")
+        bf = nearest(small_tree, q, k=4, algorithm="best-first")
+        assert dfs.distances() == pytest.approx(bf.distances())
+
+    def test_unknown_algorithm(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            nearest(small_tree, (0.0, 0.0), algorithm="magic")
+
+    def test_empty_tree(self):
+        result = nearest(RTree(), (0.0, 0.0), k=5)
+        assert len(result) == 0
+        assert result.payloads() == []
+
+
+class TestNearestNeighborQuery:
+    def test_reusable_query(self, small_tree):
+        query = NearestNeighborQuery(small_tree, k=2)
+        a = query((100.0, 100.0))
+        b = query((900.0, 900.0))
+        assert len(a) == 2 and len(b) == 2
+        assert a.payloads() != b.payloads()
+
+    def test_k_override(self, small_tree):
+        query = NearestNeighborQuery(small_tree, k=1)
+        assert len(query((500.0, 500.0), k=6)) == 6
+
+    def test_validates_algorithm_eagerly(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            NearestNeighborQuery(small_tree, algorithm="nope")
+
+    def test_repr(self, small_tree):
+        query = NearestNeighborQuery(small_tree, k=4, ordering="minmaxdist")
+        assert "k=4" in repr(query)
+        assert "minmaxdist" in repr(query)
+
+    def test_configured_ordering_used(self, small_tree):
+        query = NearestNeighborQuery(small_tree, k=1, ordering="minmaxdist")
+        result = query((500.0, 500.0))
+        baseline = nearest(small_tree, (500.0, 500.0), k=1)
+        assert result.distances() == pytest.approx(baseline.distances())

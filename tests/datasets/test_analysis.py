@@ -1,0 +1,82 @@
+"""Tests for the workload characterization module — these pin the
+generators' distributional claims from DESIGN.md."""
+
+import pytest
+
+from repro.datasets import gaussian_clusters, road_segments, uniform_points
+from repro.datasets.analysis import describe_points, describe_segments
+from repro.errors import InvalidParameterError
+
+
+class TestDescribePoints:
+    def test_rejects_empty_and_non_2d(self):
+        with pytest.raises(InvalidParameterError):
+            describe_points([])
+        with pytest.raises(InvalidParameterError):
+            describe_points([(1.0, 2.0, 3.0)])
+
+    def test_uniform_data_is_even(self):
+        summary = describe_points(uniform_points(4000, seed=171))
+        assert summary.count == 4000
+        assert summary.occupancy > 0.5          # most cells occupied
+        # Poisson cell counts (mean ~1) have Gini ~0.5; anything well
+        # below the clustered regime (~0.99) counts as even.
+        assert summary.gini < 0.6
+        assert summary.top_cells_share < 0.25
+
+    def test_clustered_data_is_skewed(self):
+        summary = describe_points(
+            gaussian_clusters(4000, seed=172, clusters=4, spread=10.0)
+        )
+        assert summary.occupancy < 0.4          # most cells empty
+        assert summary.gini > 0.9               # heavy concentration
+        assert summary.top_cells_share > 0.15
+
+    def test_uniform_vs_clustered_ordering(self):
+        uniform = describe_points(uniform_points(3000, seed=173))
+        clustered = describe_points(gaussian_clusters(3000, seed=173))
+        assert clustered.gini > uniform.gini
+        assert clustered.occupancy < uniform.occupancy
+
+    def test_single_point(self):
+        summary = describe_points([(5.0, 5.0)])
+        assert summary.count == 1
+        assert summary.bounds.is_degenerate()
+
+
+class TestDescribeSegments:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            describe_segments([])
+
+    def test_roads_have_tiger_like_character(self):
+        # The DESIGN.md substitution claim, quantified: many *short*
+        # segments (relative to the map) with *clustered* midpoints.
+        summary = describe_segments(road_segments(5000, seed=174))
+        assert summary.count == 5000
+        assert summary.relative_median_length < 0.02   # short streets
+        assert summary.midpoint_gini > 0.6             # urban clustering
+
+    def test_road_clustering_exceeds_uniform_scatter(self):
+        import random
+
+        from repro.geometry.segment import Segment
+
+        rng = random.Random(175)
+        scattered = [
+            Segment(
+                (rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                (rng.uniform(0, 1000), rng.uniform(0, 1000)),
+            )
+            for _ in range(2000)
+        ]
+        roads = road_segments(2000, seed=175)
+        assert (
+            describe_segments(roads).midpoint_gini
+            > describe_segments(scattered).midpoint_gini
+        )
+
+    def test_length_stats_consistent(self):
+        summary = describe_segments(road_segments(1000, seed=176))
+        assert summary.mean_length > 0
+        assert summary.median_length > 0

@@ -1,0 +1,90 @@
+"""Unit tests for the CSV loaders."""
+
+import pytest
+
+from repro.datasets.io import load_points_csv, load_segments_csv
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def points_csv(tmp_path):
+    path = tmp_path / "points.csv"
+    path.write_text("x,y,name\n1.0,2.0,alpha\n3.5,-4.0,beta\n")
+    return path
+
+
+@pytest.fixture
+def segments_csv(tmp_path):
+    path = tmp_path / "segments.csv"
+    path.write_text(
+        "x1,y1,x2,y2,road\n0,0,10,0,main-st\n5,5,5,9,oak-ave\n"
+    )
+    return path
+
+
+class TestLoadPoints:
+    def test_basic(self, points_csv):
+        items = load_points_csv(points_csv)
+        assert items == [((1.0, 2.0), 0), ((3.5, -4.0), 1)]
+
+    def test_payload_column(self, points_csv):
+        items = load_points_csv(points_csv, payload_column="name")
+        assert [payload for _, payload in items] == ["alpha", "beta"]
+
+    def test_custom_columns_and_dimension(self, tmp_path):
+        path = tmp_path / "3d.csv"
+        path.write_text("lon,lat,alt\n1,2,3\n")
+        items = load_points_csv(path, coordinate_columns=("lon", "lat", "alt"))
+        assert items[0][0] == (1.0, 2.0, 3.0)
+
+    def test_semicolon_delimiter(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("x;y\n1;2\n")
+        items = load_points_csv(path, delimiter=";")
+        assert items[0][0] == (1.0, 2.0)
+
+    def test_missing_column_reported(self, points_csv):
+        with pytest.raises(InvalidParameterError, match="missing column"):
+            load_points_csv(points_csv, coordinate_columns=("x", "z"))
+
+    def test_bad_value_reports_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\nnope,4\n")
+        with pytest.raises(InvalidParameterError, match="row 2"):
+            load_points_csv(path)
+
+    def test_empty_columns_rejected(self, points_csv):
+        with pytest.raises(InvalidParameterError):
+            load_points_csv(points_csv, coordinate_columns=())
+
+    def test_loads_into_tree(self, points_csv):
+        from repro import RTree, nearest
+
+        tree = RTree()
+        for point, payload in load_points_csv(points_csv, payload_column="name"):
+            tree.insert(point, payload=payload)
+        assert nearest(tree, (1.0, 2.0)).payloads() == ["alpha"]
+
+
+class TestLoadSegments:
+    def test_basic(self, segments_csv):
+        items = load_segments_csv(segments_csv, payload_column="road")
+        assert len(items) == 2
+        segment, payload = items[0]
+        assert payload == "main-st"
+        assert segment.start == (0.0, 0.0)
+        assert segment.end == (10.0, 0.0)
+
+    def test_mismatched_endpoint_columns(self, segments_csv):
+        with pytest.raises(InvalidParameterError):
+            load_segments_csv(segments_csv, start_columns=("x1",))
+
+    def test_missing_column(self, segments_csv):
+        with pytest.raises(InvalidParameterError, match="missing column"):
+            load_segments_csv(
+                segments_csv, end_columns=("x9", "y9")
+            )
+
+    def test_index_payload_by_default(self, segments_csv):
+        items = load_segments_csv(segments_csv)
+        assert [payload for _, payload in items] == [0, 1]

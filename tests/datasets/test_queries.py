@@ -1,0 +1,46 @@
+"""Unit tests for query-point samplers."""
+
+import pytest
+
+from repro.datasets.queries import query_points_near_data, query_points_uniform
+from repro.errors import InvalidParameterError
+
+
+class TestUniformQueries:
+    def test_count_bounds_determinism(self):
+        qs = query_points_uniform(100, seed=1, bounds=(0.0, 10.0))
+        assert len(qs) == 100
+        assert all(0.0 <= c <= 10.0 for q in qs for c in q)
+        assert qs == query_points_uniform(100, seed=1, bounds=(0.0, 10.0))
+
+    def test_dimension(self):
+        qs = query_points_uniform(5, dimension=3)
+        assert all(len(q) == 3 for q in qs)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            query_points_uniform(-1)
+
+
+class TestNearDataQueries:
+    def test_queries_cluster_near_data(self):
+        data = [(0.0, 0.0), (1000.0, 1000.0)]
+        qs = query_points_near_data(200, data, seed=2, noise=1.0)
+        assert len(qs) == 200
+        for q in qs:
+            near_a = abs(q[0]) < 10 and abs(q[1]) < 10
+            near_b = abs(q[0] - 1000) < 10 and abs(q[1] - 1000) < 10
+            assert near_a or near_b
+
+    def test_zero_noise_returns_data_points(self):
+        data = [(5.0, 5.0)]
+        qs = query_points_near_data(10, data, seed=3, noise=0.0)
+        assert all(q == (5.0, 5.0) for q in qs)
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(InvalidParameterError):
+            query_points_near_data(5, [])
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(InvalidParameterError):
+            query_points_near_data(5, [(0.0, 0.0)], noise=-1.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the TIGER-like road network generator."""
+
+import pytest
+
+from repro.datasets.roads import RoadNetworkConfig, road_segments
+from repro.errors import InvalidParameterError
+from repro.geometry.segment import Segment
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        RoadNetworkConfig()
+
+    def test_rejects_bad_towns(self):
+        with pytest.raises(InvalidParameterError):
+            RoadNetworkConfig(towns=0)
+
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(InvalidParameterError):
+            RoadNetworkConfig(arterial_fraction=0.6, rural_fraction=0.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(InvalidParameterError):
+            RoadNetworkConfig(jitter=-0.1)
+
+
+class TestGenerator:
+    def test_exact_count(self):
+        for n in [0, 1, 10, 500, 3333]:
+            assert len(road_segments(n, seed=1)) == n
+
+    def test_deterministic(self):
+        assert road_segments(200, seed=2) == road_segments(200, seed=2)
+        assert road_segments(200, seed=2) != road_segments(200, seed=3)
+
+    def test_all_segments_valid_and_in_bounds(self):
+        config = RoadNetworkConfig(bounds=(0.0, 500.0))
+        segments = road_segments(1000, seed=4, config=config)
+        for seg in segments:
+            assert isinstance(seg, Segment)
+            # Towns sit well inside the map; grid jitter may poke slightly
+            # past the nominal bounds but never far.
+            for c in seg.start + seg.end:
+                assert -50.0 <= c <= 550.0
+
+    def test_segments_are_short_streets(self):
+        segments = road_segments(2000, seed=5)
+        lengths = sorted(s.length() for s in segments)
+        median = lengths[len(lengths) // 2]
+        # Street segments are tiny relative to the 1000-unit map.
+        assert median < 50.0
+
+    def test_clustered_structure(self):
+        # Urban clustering: a large fraction of segment midpoints should
+        # fall into a small fraction of the map's area.
+        segments = road_segments(2000, seed=6)
+        cell = 100.0
+        histogram = {}
+        for seg in segments:
+            mid = seg.midpoint()
+            key = (int(mid[0] // cell), int(mid[1] // cell))
+            histogram[key] = histogram.get(key, 0) + 1
+        occupied = len(histogram)
+        top_5 = sorted(histogram.values(), reverse=True)[:5]
+        # The 5 densest cells (of ~100) hold a third or more of all streets.
+        assert sum(top_5) > len(segments) / 3
+        assert occupied < 100
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(InvalidParameterError):
+            road_segments(-5)

@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    skewed_points,
+    uniform_points,
+    uniform_rects,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestUniformPoints:
+    def test_count_and_bounds(self):
+        pts = uniform_points(500, seed=1, bounds=(0.0, 10.0))
+        assert len(pts) == 500
+        assert all(0.0 <= c <= 10.0 for p in pts for c in p)
+
+    def test_deterministic_by_seed(self):
+        assert uniform_points(50, seed=7) == uniform_points(50, seed=7)
+        assert uniform_points(50, seed=7) != uniform_points(50, seed=8)
+
+    def test_dimension(self):
+        pts = uniform_points(10, seed=1, dimension=4)
+        assert all(len(p) == 4 for p in pts)
+
+    def test_zero_count(self):
+        assert uniform_points(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_points(-1)
+
+
+class TestUniformRects:
+    def test_rects_within_bounds(self):
+        rects = uniform_rects(200, seed=2, bounds=(0.0, 100.0), max_side=5.0)
+        assert len(rects) == 200
+        for r in rects:
+            assert all(0.0 <= c <= 100.0 for c in r.lo + r.hi)
+            assert all(s <= 5.0 for s in r.sides())
+
+    def test_rejects_negative_side(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_rects(5, max_side=-1.0)
+
+
+class TestGaussianClusters:
+    def test_count_bounds_and_determinism(self):
+        pts = gaussian_clusters(300, seed=3, bounds=(0.0, 100.0))
+        assert len(pts) == 300
+        assert all(0.0 <= c <= 100.0 for p in pts for c in p)
+        assert pts == gaussian_clusters(300, seed=3, bounds=(0.0, 100.0))
+
+    def test_clustering_is_real(self):
+        # Clustered data should have much lower mean nearest-pair distance
+        # than uniform data of the same size.
+        from repro.geometry.point import euclidean_squared
+
+        def mean_nn(points):
+            total = 0.0
+            for i, p in enumerate(points):
+                total += min(
+                    euclidean_squared(p, q)
+                    for j, q in enumerate(points)
+                    if i != j
+                )
+            return total / len(points)
+
+        clustered = gaussian_clusters(150, seed=4, clusters=3, spread=5.0)
+        uniform = uniform_points(150, seed=4)
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_clusters(10, clusters=0)
+        with pytest.raises(InvalidParameterError):
+            gaussian_clusters(10, spread=-1.0)
+
+
+class TestSkewedPoints:
+    def test_density_rises_toward_lower_corner(self):
+        pts = skewed_points(2000, seed=5, bounds=(0.0, 1000.0), exponent=3.0)
+        below = sum(1 for p in pts if p[0] < 500.0)
+        assert below > 1500  # heavily skewed toward the low end
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(InvalidParameterError):
+            skewed_points(10, exponent=0.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the 2-D Hilbert curve index."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.hilbert import hilbert_index_2d, hilbert_key_for_point
+
+
+class TestHilbertIndex:
+    def test_order_one_visits_all_four_cells(self):
+        # Order-1 curve: (0,0) -> (0,1) -> (1,1) -> (1,0).
+        positions = {
+            (0, 0): 0,
+            (0, 1): 1,
+            (1, 1): 2,
+            (1, 0): 3,
+        }
+        for (x, y), d in positions.items():
+            assert hilbert_index_2d(x, y, order=1) == d
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 5])
+    def test_bijective_on_grid(self, order):
+        side = 1 << order
+        seen = {
+            hilbert_index_2d(x, y, order)
+            for x in range(side)
+            for y in range(side)
+        }
+        assert seen == set(range(side * side))
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_curve_is_continuous(self, order):
+        # Consecutive Hilbert positions are grid neighbors (distance 1).
+        side = 1 << order
+        by_position = {}
+        for x in range(side):
+            for y in range(side):
+                by_position[hilbert_index_2d(x, y, order)] = (x, y)
+        for d in range(side * side - 1):
+            (x1, y1), (x2, y2) = by_position[d], by_position[d + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            hilbert_index_2d(4, 0, order=2)
+        with pytest.raises(InvalidParameterError):
+            hilbert_index_2d(-1, 0, order=2)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(InvalidParameterError):
+            hilbert_index_2d(0, 0, order=0)
+
+
+class TestHilbertKey:
+    def test_corners_map_inside_range(self):
+        lo, hi = (0.0, 0.0), (100.0, 100.0)
+        for point in [(0.0, 0.0), (100.0, 100.0), (50.0, 50.0)]:
+            key = hilbert_key_for_point(point, lo, hi, order=8)
+            assert 0 <= key < 4**8
+
+    def test_nearby_points_usually_nearby_keys(self):
+        lo, hi = (0.0, 0.0), (1000.0, 1000.0)
+        a = hilbert_key_for_point((500.0, 500.0), lo, hi, order=10)
+        b = hilbert_key_for_point((500.5, 500.5), lo, hi, order=10)
+        far = hilbert_key_for_point((20.0, 980.0), lo, hi, order=10)
+        assert abs(a - b) < abs(a - far)
+
+    def test_degenerate_bounds(self):
+        # Zero-width bounds collapse to cell 0 on that axis.
+        key = hilbert_key_for_point((5.0, 5.0), (5.0, 0.0), (5.0, 10.0))
+        assert key >= 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(InvalidParameterError):
+            hilbert_key_for_point((1.0, 2.0, 3.0), (0.0, 0.0), (1.0, 1.0))

@@ -1,0 +1,95 @@
+"""Unit tests for repro.geometry.point."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.point import (
+    as_point,
+    centroid,
+    chebyshev,
+    euclidean,
+    euclidean_squared,
+    lerp,
+    manhattan,
+    point_dimension,
+)
+
+
+class TestAsPoint:
+    def test_converts_ints_to_floats(self):
+        assert as_point([1, 2]) == (1.0, 2.0)
+        assert all(isinstance(c, float) for c in as_point([1, 2]))
+
+    def test_accepts_tuples_lists_and_generators(self):
+        assert as_point((3.5,)) == (3.5,)
+        assert as_point(iter([1.0, 2.0, 3.0])) == (1.0, 2.0, 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            as_point([])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(GeometryError):
+            as_point([0.0, bad])
+
+    def test_dimension(self):
+        assert point_dimension((1.0, 2.0, 3.0)) == 3
+
+
+class TestDistances:
+    def test_euclidean_squared_basic(self):
+        assert euclidean_squared((0, 0), (3, 4)) == 25.0
+
+    def test_euclidean_is_sqrt_of_squared(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_zero_distance_to_self(self):
+        p = (1.5, -2.5, 7.0)
+        assert euclidean_squared(p, p) == 0.0
+
+    def test_symmetry(self):
+        a, b = (1.0, 2.0), (-3.0, 5.5)
+        assert euclidean_squared(a, b) == euclidean_squared(b, a)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            euclidean_squared((1.0,), (1.0, 2.0))
+
+    def test_one_dimensional(self):
+        assert euclidean((0.0,), (7.0,)) == 7.0
+
+    def test_chebyshev(self):
+        assert chebyshev((0, 0), (3, -4)) == 4.0
+
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, -4)) == 7.0
+
+    def test_metric_ordering(self):
+        # chebyshev <= euclidean <= manhattan for any pair.
+        a, b = (1.0, -2.0, 3.0), (4.0, 0.0, -1.0)
+        assert chebyshev(a, b) <= euclidean(a, b) <= manhattan(a, b)
+
+
+class TestLerpCentroid:
+    def test_lerp_endpoints(self):
+        a, b = (0.0, 0.0), (10.0, 20.0)
+        assert lerp(a, b, 0.0) == a
+        assert lerp(a, b, 1.0) == b
+
+    def test_lerp_midpoint(self):
+        assert lerp((0.0, 0.0), (10.0, 20.0), 0.5) == (5.0, 10.0)
+
+    def test_centroid_single_point(self):
+        assert centroid([(2.0, 4.0)]) == (2.0, 4.0)
+
+    def test_centroid_average(self):
+        assert centroid([(0.0, 0.0), (2.0, 4.0)]) == (1.0, 2.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(GeometryError):
+            centroid([])
+
+    def test_centroid_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            centroid([(0.0, 0.0), (1.0,)])

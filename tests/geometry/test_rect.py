@@ -1,0 +1,161 @@
+"""Unit tests for repro.geometry.rect."""
+
+import pytest
+
+from repro.errors import (
+    DimensionMismatchError,
+    GeometryError,
+    InvalidRectError,
+)
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture
+def unit() -> Rect:
+    return Rect((0.0, 0.0), (1.0, 1.0))
+
+
+class TestConstruction:
+    def test_basic(self, unit):
+        assert unit.lo == (0.0, 0.0)
+        assert unit.hi == (1.0, 1.0)
+        assert unit.dimension == 2
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(InvalidRectError):
+            Rect((1.0, 0.0), (0.0, 1.0))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Rect((0.0,), (1.0, 1.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            Rect((), ())
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            Rect((float("nan"),), (1.0,))
+
+    def test_degenerate_point_rect_is_valid(self):
+        r = Rect((2.0, 2.0), (2.0, 2.0))
+        assert r.is_degenerate()
+        assert r.area() == 0.0
+
+    def test_immutable(self, unit):
+        with pytest.raises(AttributeError):
+            unit.lo = (5.0, 5.0)
+
+    def test_from_point(self):
+        r = Rect.from_point((3.0, 4.0))
+        assert r.lo == r.hi == (3.0, 4.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([(0.0, 5.0), (2.0, 1.0), (1.0, 3.0)])
+        assert r == Rect((0.0, 1.0), (2.0, 5.0))
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_union_all(self):
+        rects = [Rect((0, 0), (1, 1)), Rect((2, -1), (3, 0.5))]
+        assert Rect.union_all(rects) == Rect((0, -1), (3, 1))
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.union_all([])
+
+
+class TestMeasures:
+    def test_area(self):
+        assert Rect((0, 0), (2, 3)).area() == 6.0
+
+    def test_area_3d(self):
+        assert Rect((0, 0, 0), (2, 3, 4)).area() == 24.0
+
+    def test_margin(self):
+        assert Rect((0, 0), (2, 3)).margin() == 5.0
+
+    def test_center(self):
+        assert Rect((0, 0), (2, 4)).center == (1.0, 2.0)
+
+    def test_sides(self):
+        assert Rect((0, 1), (2, 4)).sides() == (2.0, 3.0)
+        assert Rect((0, 1), (2, 4)).side(1) == 3.0
+
+
+class TestPredicates:
+    def test_contains_point_inside_and_boundary(self, unit):
+        assert unit.contains_point((0.5, 0.5))
+        assert unit.contains_point((0.0, 1.0))
+        assert not unit.contains_point((1.1, 0.5))
+
+    def test_contains_point_dim_mismatch(self, unit):
+        with pytest.raises(DimensionMismatchError):
+            unit.contains_point((0.5,))
+
+    def test_contains_rect(self, unit):
+        assert unit.contains_rect(Rect((0.2, 0.2), (0.8, 0.8)))
+        assert unit.contains_rect(unit)
+        assert not unit.contains_rect(Rect((0.5, 0.5), (1.5, 0.9)))
+
+    def test_intersects_overlap_and_touch(self, unit):
+        assert unit.intersects(Rect((0.5, 0.5), (2.0, 2.0)))
+        # Edge contact counts as intersection.
+        assert unit.intersects(Rect((1.0, 0.0), (2.0, 1.0)))
+        assert not unit.intersects(Rect((1.01, 0.0), (2.0, 1.0)))
+
+    def test_intersects_symmetric(self, unit):
+        other = Rect((0.9, 0.9), (2.0, 2.0))
+        assert unit.intersects(other) == other.intersects(unit)
+
+
+class TestCombinators:
+    def test_union(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert a.union(b) == Rect((0, 0), (3, 3))
+
+    def test_union_point(self, unit):
+        assert unit.union_point((2.0, -1.0)) == Rect((0, -1), (2, 1))
+
+    def test_intersection_overlapping(self, unit):
+        got = unit.intersection(Rect((0.5, 0.5), (2.0, 2.0)))
+        assert got == Rect((0.5, 0.5), (1.0, 1.0))
+
+    def test_intersection_disjoint_is_none(self, unit):
+        assert unit.intersection(Rect((2.0, 2.0), (3.0, 3.0))) is None
+
+    def test_overlap_area(self, unit):
+        assert unit.overlap_area(Rect((0.5, 0.0), (1.5, 1.0))) == 0.5
+        assert unit.overlap_area(Rect((5, 5), (6, 6))) == 0.0
+
+    def test_enlargement(self, unit):
+        grown = unit.enlargement(Rect((0, 0), (2, 1)))
+        assert grown == 1.0
+        assert unit.enlargement(Rect((0.2, 0.2), (0.8, 0.8))) == 0.0
+
+    def test_clamp_point(self, unit):
+        assert unit.clamp_point((2.0, 0.5)) == (1.0, 0.5)
+        assert unit.clamp_point((0.5, 0.5)) == (0.5, 0.5)
+        assert unit.clamp_point((-1.0, -1.0)) == (0.0, 0.0)
+
+
+class TestDunder:
+    def test_equality_and_hash(self, unit):
+        same = Rect((0.0, 0.0), (1.0, 1.0))
+        assert unit == same
+        assert hash(unit) == hash(same)
+        assert unit != Rect((0.0, 0.0), (1.0, 2.0))
+
+    def test_not_equal_to_other_types(self, unit):
+        assert unit != "rect"
+
+    def test_iter_unpacks_bounds(self, unit):
+        lo, hi = unit
+        assert lo == (0.0, 0.0)
+        assert hi == (1.0, 1.0)
+
+    def test_repr_roundtrip_info(self, unit):
+        assert "lo=(0.0, 0.0)" in repr(unit)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.geometry.segment."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+
+@pytest.fixture
+def diagonal() -> Segment:
+    return Segment((0.0, 0.0), (10.0, 10.0))
+
+
+class TestConstruction:
+    def test_basic(self, diagonal):
+        assert diagonal.start == (0.0, 0.0)
+        assert diagonal.end == (10.0, 10.0)
+        assert diagonal.dimension == 2
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Segment((0.0,), (1.0, 2.0))
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            Segment((0.0, float("nan")), (1.0, 2.0))
+
+    def test_degenerate_segment_is_point(self):
+        s = Segment((1.0, 1.0), (1.0, 1.0))
+        assert s.length() == 0.0
+
+    def test_immutable(self, diagonal):
+        with pytest.raises(AttributeError):
+            diagonal.start = (5.0, 5.0)
+
+    def test_equality_and_hash(self, diagonal):
+        twin = Segment((0.0, 0.0), (10.0, 10.0))
+        assert diagonal == twin
+        assert hash(diagonal) == hash(twin)
+        assert diagonal != Segment((0.0, 0.0), (9.0, 10.0))
+
+
+class TestMeasures:
+    def test_length(self):
+        assert Segment((0, 0), (3, 4)).length() == 5.0
+
+    def test_midpoint(self, diagonal):
+        assert diagonal.midpoint() == (5.0, 5.0)
+
+    def test_mbr(self):
+        s = Segment((3.0, 1.0), (0.0, 2.0))
+        assert s.mbr() == Rect((0.0, 1.0), (3.0, 2.0))
+
+
+class TestDistance:
+    def test_point_beyond_start_clamps_to_start(self, diagonal):
+        assert diagonal.closest_point_to((-5.0, -5.0)) == (0.0, 0.0)
+
+    def test_point_beyond_end_clamps_to_end(self, diagonal):
+        assert diagonal.closest_point_to((20.0, 20.0)) == (10.0, 10.0)
+
+    def test_perpendicular_projection(self):
+        s = Segment((0.0, 0.0), (10.0, 0.0))
+        assert s.closest_point_to((4.0, 3.0)) == (4.0, 0.0)
+        assert s.distance_to((4.0, 3.0)) == 3.0
+
+    def test_point_on_segment_has_zero_distance(self, diagonal):
+        assert diagonal.distance_to((5.0, 5.0)) == pytest.approx(0.0)
+
+    def test_degenerate_segment_distance(self):
+        s = Segment((1.0, 1.0), (1.0, 1.0))
+        assert s.distance_to((4.0, 5.0)) == 5.0
+
+    def test_distance_never_below_mbr_mindist(self):
+        # The object-distance soundness requirement of the NN search.
+        from repro.core.metrics import mindist_squared
+
+        s = Segment((2.0, 7.0), (9.0, 3.0))
+        mbr = s.mbr()
+        for q in [(-1.0, -1.0), (5.0, 5.0), (12.0, 8.0), (2.0, 7.0)]:
+            assert s.distance_squared_to(q) >= mindist_squared(q, mbr) - 1e-12
+
+    def test_dimension_mismatch(self, diagonal):
+        with pytest.raises(DimensionMismatchError):
+            diagonal.distance_to((1.0,))
+
+    def test_3d_segment(self):
+        s = Segment((0, 0, 0), (0, 0, 10))
+        assert s.distance_to((3.0, 4.0, 5.0)) == 5.0

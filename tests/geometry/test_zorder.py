@@ -1,0 +1,63 @@
+"""Unit tests for the Morton (Z-order) curve keys."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.zorder import morton_index, morton_key_for_point
+
+
+class TestMortonIndex:
+    def test_order_one_2d(self):
+        # Bit interleave: key = y<<1 | x for a 2x2 grid.
+        assert morton_index((0, 0), 1) == 0
+        assert morton_index((1, 0), 1) == 1
+        assert morton_index((0, 1), 1) == 2
+        assert morton_index((1, 1), 1) == 3
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_bijective_on_grid(self, dim):
+        import itertools
+
+        order = 2
+        side = 1 << order
+        keys = {
+            morton_index(cells, order)
+            for cells in itertools.product(range(side), repeat=dim)
+        }
+        assert keys == set(range(side**dim))
+
+    def test_preserves_order_along_one_axis(self):
+        keys = [morton_index((x, 0), 4) for x in range(16)]
+        assert keys == sorted(keys)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            morton_index((4, 0), 2)
+        with pytest.raises(InvalidParameterError):
+            morton_index((-1, 0), 2)
+
+    def test_rejects_empty_or_bad_order(self):
+        with pytest.raises(InvalidParameterError):
+            morton_index((), 2)
+        with pytest.raises(InvalidParameterError):
+            morton_index((0,), 0)
+
+
+class TestMortonKey:
+    def test_any_dimension(self):
+        key = morton_key_for_point(
+            (0.5, 0.5, 0.5), (0.0, 0.0, 0.0), (1.0, 1.0, 1.0), order=4
+        )
+        assert 0 <= key < (1 << (4 * 3))
+
+    def test_boundary_points_clamped(self):
+        key = morton_key_for_point((1.0, 1.0), (0.0, 0.0), (1.0, 1.0), order=4)
+        assert key == morton_index((15, 15), 4)
+
+    def test_degenerate_axis(self):
+        key = morton_key_for_point((5.0, 3.0), (5.0, 0.0), (5.0, 10.0))
+        assert key >= 0
+
+    def test_rejects_empty_point(self):
+        with pytest.raises(InvalidParameterError):
+            morton_key_for_point((), (), ())

@@ -1,0 +1,55 @@
+"""Documentation/registry consistency: the docs must not drift.
+
+DESIGN.md's experiment index, EXPERIMENTS.md's sections and the
+``benchmarks/`` directory must all agree with the live experiment
+registry — a cheap guard against the most common doc-rot failure in
+research code.
+"""
+
+import pathlib
+import re
+
+from repro.bench.experiments import EXPERIMENTS
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_design_lists_every_experiment():
+    design = (ROOT / "DESIGN.md").read_text()
+    for identifier in EXPERIMENTS:
+        assert re.search(
+            rf"\|\s*{identifier}\s*\|", design
+        ), f"{identifier} missing from DESIGN.md's experiment index"
+
+
+def test_experiments_md_covers_every_experiment():
+    recorded = (ROOT / "EXPERIMENTS.md").read_text()
+    for identifier in EXPERIMENTS:
+        assert f"## {identifier} " in recorded or f"## {identifier}—" in recorded or \
+            f"## {identifier} —" in recorded, (
+                f"{identifier} has no section in EXPERIMENTS.md"
+            )
+
+
+def test_benchmark_file_exists_per_experiment():
+    bench_dir = ROOT / "benchmarks"
+    bench_names = {p.name for p in bench_dir.glob("bench_*.py")}
+    for identifier in EXPERIMENTS:
+        stem = identifier.lower()
+        assert any(
+            name.startswith(f"bench_{stem}_") for name in bench_names
+        ), f"no benchmarks/bench_{stem}_*.py for {identifier}"
+
+
+def test_registry_descriptions_are_substantive():
+    for experiment in EXPERIMENTS.values():
+        assert len(experiment.title) > 10
+        assert len(experiment.description) > 30
+        assert experiment.paper_ref
+
+
+def test_readme_mentions_key_documents():
+    readme = (ROOT / "README.md").read_text()
+    for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md",
+                "docs/API.md", "docs/REPRODUCING.md"):
+        assert doc.split("/")[-1] in readme, f"README does not mention {doc}"

@@ -1,0 +1,33 @@
+"""Every example script must run cleanly end-to-end.
+
+These are the repository's executable documentation; a broken example is a
+broken promise.  Each example prints its findings, so we also assert it
+produced output.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert {"quickstart.py", "poi_finder.py", "road_network_nn.py"} <= names
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples call main() under `if __name__ == "__main__"`; run_path with
+    # run_name="__main__" triggers it exactly like `python examples/x.py`.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"

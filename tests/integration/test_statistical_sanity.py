@@ -1,0 +1,78 @@
+"""Statistical sanity: measured NN behaviour matches spatial theory.
+
+Independent of any oracle comparison, uniform random data has known
+nearest-neighbor statistics.  If the index returned subtly wrong neighbors
+these aggregate checks would drift, so they serve as an extra, orthogonal
+line of defence (loose bounds; deterministic seeds, so no flakiness).
+"""
+
+import math
+import statistics
+
+from repro import bulk_load, nearest
+from repro.datasets import uniform_points
+from repro.datasets.queries import query_points_uniform
+
+
+def _uniform_tree(n, seed=91):
+    points = uniform_points(n, seed=seed)
+    return bulk_load([(p, i) for i, p in enumerate(points)], max_entries=16)
+
+
+class TestNearestNeighborDistanceTheory:
+    def test_mean_nn_distance_matches_poisson_prediction(self):
+        # For a 2-D Poisson process of intensity lambda, the expected
+        # distance from a random location to the nearest point is
+        # 1 / (2 * sqrt(lambda)).  Uniform points approximate this away
+        # from the border.
+        n = 8000
+        extent = 1000.0
+        tree = _uniform_tree(n)
+        intensity = n / extent**2
+        expected = 1.0 / (2.0 * math.sqrt(intensity))
+
+        # Interior queries only (border effects inflate distances).
+        queries = [
+            q
+            for q in query_points_uniform(600, seed=92)
+            if 100.0 <= q[0] <= 900.0 and 100.0 <= q[1] <= 900.0
+        ]
+        measured = statistics.mean(
+            nearest(tree, q, k=1).distances()[0] for q in queries
+        )
+        assert 0.8 * expected < measured < 1.2 * expected
+
+    def test_kth_distance_scales_like_sqrt_k(self):
+        # In 2-D the k-th NN distance grows ~ sqrt(k): the ratio of the
+        # 16th to the 1st should be near 4, certainly between 2 and 8.
+        tree = _uniform_tree(8000)
+        queries = [
+            q
+            for q in query_points_uniform(300, seed=93)
+            if 100.0 <= q[0] <= 900.0 and 100.0 <= q[1] <= 900.0
+        ]
+        ratios = []
+        for q in queries:
+            distances = nearest(tree, q, k=16).distances()
+            if distances[0] > 0:
+                ratios.append(distances[-1] / distances[0])
+        ratio = statistics.median(ratios)
+        assert 2.0 < ratio < 8.0
+
+    def test_doubling_density_shrinks_nn_distance_by_sqrt2(self):
+        sparse = _uniform_tree(4000, seed=94)
+        dense = _uniform_tree(16000, seed=95)
+        queries = [
+            q
+            for q in query_points_uniform(400, seed=96)
+            if 100.0 <= q[0] <= 900.0 and 100.0 <= q[1] <= 900.0
+        ]
+        mean_sparse = statistics.mean(
+            nearest(sparse, q).distances()[0] for q in queries
+        )
+        mean_dense = statistics.mean(
+            nearest(dense, q).distances()[0] for q in queries
+        )
+        # 4x the density -> half the expected distance.
+        ratio = mean_sparse / mean_dense
+        assert 1.6 < ratio < 2.4

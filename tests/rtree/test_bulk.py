@@ -1,0 +1,162 @@
+"""Unit tests for STR bulk loading."""
+
+import pytest
+
+from repro import RTree, Rect, bulk_load, nearest, linear_scan, validate_tree
+from repro.datasets import uniform_points
+from repro.errors import InvalidParameterError
+from tests.conftest import assert_same_distances
+
+
+def items_for(n, seed=0):
+    return [(p, i) for i, p in enumerate(uniform_points(n, seed=seed))]
+
+
+class TestBulkLoad:
+    def test_empty_input(self):
+        tree = bulk_load([])
+        assert len(tree) == 0
+        validate_tree(tree)
+
+    def test_single_item(self):
+        tree = bulk_load([((1.0, 2.0), "only")])
+        assert len(tree) == 1
+        assert tree.height == 1
+        validate_tree(tree)
+
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 64, 65, 500, 2000])
+    def test_sizes_around_boundaries(self, n):
+        tree = bulk_load(items_for(n), max_entries=8)
+        assert len(tree) == n
+        validate_tree(tree)
+
+    @pytest.mark.parametrize("fill", [0.6, 0.8, 1.0])
+    def test_fill_factors(self, fill):
+        tree = bulk_load(items_for(300), max_entries=10, fill_factor=fill)
+        assert len(tree) == 300
+        validate_tree(tree)
+
+    def test_rejects_bad_fill_factor(self):
+        with pytest.raises(InvalidParameterError):
+            bulk_load(items_for(10), fill_factor=0.0)
+        with pytest.raises(InvalidParameterError):
+            bulk_load(items_for(10), fill_factor=1.5)
+
+    def test_packed_tree_is_shorter_than_dynamic(self):
+        items = items_for(2000)
+        packed = bulk_load(items, max_entries=8)
+        dynamic = RTree(max_entries=8)
+        for rect, payload in items:
+            dynamic.insert(rect, payload)
+        assert packed.node_count < dynamic.node_count
+        assert packed.height <= dynamic.height
+
+    def test_queries_match_oracle(self):
+        tree = bulk_load(items_for(800), max_entries=12)
+        for q in [(0.0, 0.0), (512.0, 256.0), (999.0, 999.0)]:
+            got = nearest(tree, q, k=5)
+            assert_same_distances(got.neighbors, linear_scan(tree, q, k=5))
+
+    def test_bulk_tree_supports_updates(self):
+        tree = bulk_load(items_for(200), max_entries=8)
+        tree.insert((5000.0, 5000.0), payload="new")
+        assert len(tree) == 201
+        validate_tree(tree)
+        rect, payload = next(iter(items_for(200)))
+        assert tree.delete(rect, payload=payload)
+        validate_tree(tree)
+
+    def test_rect_items(self):
+        rects = [
+            (Rect((float(i), 0.0), (float(i) + 2.0, 3.0)), i) for i in range(50)
+        ]
+        tree = bulk_load(rects, max_entries=6)
+        assert len(tree) == 50
+        validate_tree(tree)
+
+    def test_duplicate_points(self):
+        items = [((1.0, 1.0), i) for i in range(100)]
+        tree = bulk_load(items, max_entries=8)
+        assert len(tree) == 100
+        validate_tree(tree)
+
+    def test_three_dimensional(self):
+        import random
+
+        rng = random.Random(5)
+        items = [
+            ((rng.random(), rng.random(), rng.random()), i) for i in range(300)
+        ]
+        tree = bulk_load(items, max_entries=8)
+        assert len(tree) == 300
+        validate_tree(tree)
+
+    def test_one_dimensional(self):
+        items = [((float(i),), i) for i in range(100)]
+        tree = bulk_load(items, max_entries=8)
+        validate_tree(tree)
+        got = nearest(tree, (42.4,), k=2)
+        assert sorted(got.payloads()) == [42, 43]
+
+
+class TestHilbertPacking:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(InvalidParameterError):
+            bulk_load(items_for(10), method="zorder")
+
+    def test_rejects_non_2d(self):
+        items = [((1.0, 2.0, 3.0), 0), ((4.0, 5.0, 6.0), 1)]
+        with pytest.raises(InvalidParameterError):
+            bulk_load(items, max_entries=2, method="hilbert")
+
+    @pytest.mark.parametrize("n", [1, 9, 64, 500])
+    def test_valid_trees_at_many_sizes(self, n):
+        tree = bulk_load(items_for(n), max_entries=8, method="hilbert")
+        assert len(tree) == n
+        validate_tree(tree)
+
+    def test_queries_match_oracle(self):
+        tree = bulk_load(items_for(600), max_entries=12, method="hilbert")
+        for q in [(0.0, 0.0), (512.0, 256.0)]:
+            got = nearest(tree, q, k=5)
+            assert_same_distances(got.neighbors, linear_scan(tree, q, k=5))
+
+    def test_duplicate_centers(self):
+        items = [((5.0, 5.0), i) for i in range(60)]
+        tree = bulk_load(items, max_entries=8, method="hilbert")
+        validate_tree(tree)
+
+    def test_morton_valid_and_correct(self):
+        tree = bulk_load(items_for(700), max_entries=10, method="morton")
+        validate_tree(tree)
+        for q in [(0.0, 0.0), (512.0, 256.0)]:
+            got = nearest(tree, q, k=4)
+            assert_same_distances(got.neighbors, linear_scan(tree, q, k=4))
+
+    def test_morton_works_in_three_dimensions(self):
+        import random
+
+        rng = random.Random(17)
+        items = [
+            ((rng.random(), rng.random(), rng.random()), i)
+            for i in range(400)
+        ]
+        tree = bulk_load(items, max_entries=8, method="morton")
+        validate_tree(tree)
+        got = nearest(tree, (0.5, 0.5, 0.5), k=3)
+        assert_same_distances(got.neighbors, linear_scan(tree, (0.5, 0.5, 0.5), k=3))
+
+    def test_query_quality_comparable_to_str(self):
+        from repro.core.knn_dfs import nearest_dfs
+
+        items = items_for(3000, seed=77)
+        str_tree = bulk_load(items, max_entries=16, method="str")
+        hil_tree = bulk_load(items, max_entries=16, method="hilbert")
+        str_pages = hil_pages = 0
+        for q in [(i * 97.0 % 1000, i * 53.0 % 1000) for i in range(30)]:
+            _, s = nearest_dfs(str_tree, q, k=4)
+            _, h = nearest_dfs(hil_tree, q, k=4)
+            str_pages += s.nodes_accessed
+            hil_pages += h.nodes_accessed
+        # Hilbert packing is typically within ~2x of STR on point data.
+        assert hil_pages < 2.5 * str_pages

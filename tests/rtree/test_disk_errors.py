@@ -1,0 +1,80 @@
+"""Error-path tests for the disk R-tree: corrupt files must fail loudly."""
+
+import struct
+
+import pytest
+
+from repro import bulk_load
+from repro.datasets import uniform_points
+from repro.rtree.disk import DiskRTree, disk_fanout, write_tree
+from repro.errors import InvalidParameterError
+from repro.storage.pagefile import PageFileError
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    points = uniform_points(300, seed=161)
+    tree = bulk_load([(p, i) for i, p in enumerate(points)], max_entries=16)
+    path = tmp_path / "tree.rnn"
+    write_tree(tree, path, page_size=1024)
+    return path
+
+
+class TestCorruption:
+    def test_truncated_file(self, tree_file):
+        data = tree_file.read_bytes()
+        tree_file.write_bytes(data[: len(data) - 100])
+        with pytest.raises(PageFileError):
+            DiskRTree(tree_file, page_size=1024)
+
+    def test_flipped_magic(self, tree_file):
+        data = bytearray(tree_file.read_bytes())
+        data[0] ^= 0xFF
+        tree_file.write_bytes(bytes(data))
+        with pytest.raises(PageFileError):
+            DiskRTree(tree_file, page_size=1024)
+
+    def test_header_claims_wrong_page_size(self, tree_file):
+        data = bytearray(tree_file.read_bytes())
+        # Overwrite the page_size field (offset 4, u32 little-endian).
+        struct.pack_into("<I", data, 4, 2048)
+        tree_file.write_bytes(bytes(data))
+        with pytest.raises(PageFileError):
+            DiskRTree(tree_file, page_size=1024)
+
+    def test_out_of_range_child_pointer(self, tree_file):
+        with DiskRTree(tree_file, page_size=1024) as disk:
+            root_page = disk.root.node_id
+        data = bytearray(tree_file.read_bytes())
+        # Corrupt the root's first entry ref (node header 4 bytes + 4
+        # coord doubles) to point past the file.
+        offset = root_page * 1024 + 4 + 32
+        struct.pack_into("<Q", data, offset, 10_000)
+        tree_file.write_bytes(bytes(data))
+        with DiskRTree(tree_file, page_size=1024) as disk:
+            with pytest.raises(PageFileError):
+                list(disk.items())
+
+
+class TestDiskFanout:
+    def test_reasonable_values(self):
+        assert disk_fanout(4096, 2) == 102
+        assert disk_fanout(1024, 2) == 25
+
+    def test_higher_dimension_fewer_entries(self):
+        assert disk_fanout(4096, 3) < disk_fanout(4096, 2)
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            disk_fanout(64, 8)
+
+    def test_roundtrip_at_exact_fanout(self, tmp_path):
+        fanout = disk_fanout(1024, 2)
+        points = uniform_points(fanout * 3, seed=162)
+        tree = bulk_load(
+            [(p, i) for i, p in enumerate(points)], max_entries=fanout
+        )
+        path = tmp_path / "exact.rnn"
+        write_tree(tree, path, page_size=1024)
+        with DiskRTree(path, page_size=1024) as disk:
+            assert len(disk) == fanout * 3

@@ -1,0 +1,64 @@
+"""Unit tests for Entry and Node primitives."""
+
+import pytest
+
+from repro.errors import TreeInvariantError
+from repro.geometry.rect import Rect
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+
+
+class TestEntry:
+    def test_leaf_entry(self):
+        e = Entry(Rect((0, 0), (1, 1)), payload="x")
+        assert e.is_leaf_entry
+        assert e.child is None
+        assert "payload='x'" in repr(e)
+
+    def test_internal_entry(self):
+        child = Node(node_id=7, level=0)
+        e = Entry(Rect((0, 0), (1, 1)), child=child)
+        assert not e.is_leaf_entry
+        assert "node 7" in repr(e)
+
+
+class TestNode:
+    def test_leaf_flag(self):
+        assert Node(0, level=0).is_leaf
+        assert not Node(0, level=1).is_leaf
+
+    def test_mbr_unions_entries(self):
+        node = Node(0, level=0)
+        node.entries = [
+            Entry(Rect((0, 0), (1, 1)), payload=1),
+            Entry(Rect((3, -2), (4, 0)), payload=2),
+        ]
+        assert node.mbr() == Rect((0, -2), (4, 1))
+
+    def test_mbr_of_empty_node_raises(self):
+        with pytest.raises(TreeInvariantError):
+            Node(0, level=0).mbr()
+
+    def test_children_of_leaf_is_empty(self):
+        node = Node(0, level=0)
+        node.entries = [Entry(Rect((0, 0), (1, 1)), payload=1)]
+        assert node.children() == []
+
+    def test_children_of_internal(self):
+        a, b = Node(1, level=0), Node(2, level=0)
+        node = Node(0, level=1)
+        node.entries = [
+            Entry(Rect((0, 0), (1, 1)), child=a),
+            Entry(Rect((2, 2), (3, 3)), child=b),
+        ]
+        assert node.children() == [a, b]
+
+    def test_entry_count(self):
+        node = Node(0, level=0)
+        assert node.entry_count() == 0
+        node.entries.append(Entry(Rect((0, 0), (1, 1)), payload=1))
+        assert node.entry_count() == 1
+
+    def test_repr(self):
+        assert "leaf" in repr(Node(3, level=0))
+        assert "internal" in repr(Node(3, level=2))

@@ -1,0 +1,91 @@
+"""Unit tests for the tree quality metrics."""
+
+import pytest
+
+from repro import RTree, bulk_load
+from repro.datasets import uniform_points
+from repro.errors import EmptyIndexError
+from repro.rtree.quality import measure_quality
+from tests.conftest import build_point_tree
+
+
+def items(n, seed=61):
+    return [(p, i) for i, p in enumerate(uniform_points(n, seed=seed))]
+
+
+class TestMeasureQuality:
+    def test_empty_tree_rejected(self):
+        with pytest.raises(EmptyIndexError):
+            measure_quality(RTree())
+
+    def test_single_leaf_tree(self):
+        tree = RTree(max_entries=8)
+        tree.insert((1.0, 1.0), payload=0)
+        tree.insert((2.0, 2.0), payload=1)
+        quality = measure_quality(tree)
+        assert quality.height == 1
+        assert quality.node_count == 1
+        assert quality.level(0).nodes == 1
+        assert quality.level(0).entries == 2
+
+    def test_levels_cover_whole_tree(self, medium_points):
+        tree = build_point_tree(medium_points)
+        quality = measure_quality(tree)
+        assert len(quality.levels) == tree.height
+        assert sum(lq.nodes for lq in quality.levels) == tree.node_count
+        assert quality.level(0).entries == len(tree)
+
+    def test_fill_in_unit_range(self, medium_points):
+        tree = build_point_tree(medium_points)
+        quality = measure_quality(tree)
+        for lq in quality.levels:
+            assert 0.0 < lq.average_fill <= 1.0
+        assert 0.0 < quality.average_fill <= 1.0
+
+    def test_point_leaves_have_zero_overlap_area(self, medium_points):
+        # Degenerate (point) leaf rects can touch but never share area.
+        tree = build_point_tree(medium_points)
+        assert measure_quality(tree).level(0).overlap_area == 0.0
+
+    def test_leaf_overlap_factor_accessor(self, medium_points):
+        from tests.conftest import build_point_tree
+
+        tree = build_point_tree(medium_points)
+        quality = measure_quality(tree)
+        assert quality.leaf_overlap_factor == quality.level(0).overlap_factor
+        assert quality.leaf_overlap_factor >= 0.0
+
+    def test_bulk_fill_beats_dynamic_fill(self):
+        data = items(2000)
+        packed = bulk_load(data, max_entries=8)
+        dynamic = RTree(max_entries=8)
+        for rect, payload in data:
+            dynamic.insert(rect, payload)
+        assert (
+            measure_quality(packed).average_fill
+            > measure_quality(dynamic).average_fill
+        )
+
+    def test_rstar_overlap_not_worse_than_linear(self):
+        data = items(1500, seed=62)
+        by_split = {}
+        for split in ("linear", "rstar"):
+            tree = RTree(max_entries=8, split=split)
+            for rect, payload in data:
+                tree.insert(rect, payload)
+            # Overlap among level-1 nodes' entries (the leaf MBRs) is what
+            # the NN search pays for.
+            by_split[split] = measure_quality(tree).level(1).overlap_factor
+        assert by_split["rstar"] <= by_split["linear"]
+
+    def test_quality_explains_query_cost(self):
+        # The E7 ranking: the linear-split tree has more sibling overlap
+        # than the quadratic-split tree on the same data.
+        data = items(1500, seed=63)
+        overlap = {}
+        for split in ("linear", "quadratic"):
+            tree = RTree(max_entries=8, split=split)
+            for rect, payload in data:
+                tree.insert(rect, payload)
+            overlap[split] = measure_quality(tree).level(1).overlap_factor
+        assert overlap["quadratic"] < overlap["linear"]

@@ -1,0 +1,77 @@
+"""Unit tests for JSON persistence of R-trees."""
+
+import json
+
+import pytest
+
+from repro import (
+    CountingTracker,
+    RTree,
+    load_tree,
+    nearest,
+    save_tree,
+    validate_tree,
+)
+from repro.errors import InvalidParameterError
+from repro.rtree.serialize import tree_from_dict, tree_to_dict
+from tests.conftest import build_point_tree
+
+
+class TestRoundTrip:
+    def test_empty_tree(self):
+        restored = tree_from_dict(tree_to_dict(RTree()))
+        assert len(restored) == 0
+        validate_tree(restored)
+
+    def test_structure_preserved_exactly(self, small_points):
+        tree = build_point_tree(small_points, max_entries=5)
+        restored = tree_from_dict(tree_to_dict(tree))
+        validate_tree(restored)
+        assert len(restored) == len(tree)
+        assert restored.height == tree.height
+        assert restored.node_count == tree.node_count
+        assert restored.max_entries == tree.max_entries
+        assert restored.min_entries == tree.min_entries
+        assert restored.split_strategy.name == tree.split_strategy.name
+
+    def test_page_accesses_identical_after_roundtrip(self, small_points):
+        # Serialization must preserve experiment reproducibility: identical
+        # node ids, identical traversal, identical page counts.
+        tree = build_point_tree(small_points, max_entries=5)
+        restored = tree_from_dict(tree_to_dict(tree))
+        for q in [(0.0, 0.0), (500.0, 500.0), (900.0, 100.0)]:
+            t1, t2 = CountingTracker(), CountingTracker()
+            r1 = nearest(tree, q, k=3, tracker=t1)
+            r2 = nearest(restored, q, k=3, tracker=t2)
+            assert r1.distances() == pytest.approx(r2.distances())
+            assert t1.stats.per_page == t2.stats.per_page
+
+    def test_updates_work_after_restore(self, small_points):
+        tree = build_point_tree(small_points, max_entries=5)
+        restored = tree_from_dict(tree_to_dict(tree))
+        restored.insert((123.0, 456.0), payload="new")
+        assert restored.delete(small_points[0], payload=0)
+        validate_tree(restored)
+
+    def test_file_roundtrip(self, tmp_path, small_points):
+        tree = build_point_tree(small_points)
+        path = tmp_path / "tree.json"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        validate_tree(restored)
+        assert len(restored) == len(tree)
+
+    def test_serialized_form_is_plain_json(self, tmp_path, small_points):
+        tree = build_point_tree(small_points)
+        path = tmp_path / "tree.json"
+        save_tree(tree, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["format_version"] == 1
+        assert data["size"] == len(tree)
+
+    def test_unknown_version_rejected(self):
+        data = tree_to_dict(RTree())
+        data["format_version"] = 99
+        with pytest.raises(InvalidParameterError):
+            tree_from_dict(data)

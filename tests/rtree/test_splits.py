@@ -1,0 +1,135 @@
+"""Unit tests for the three node split strategies."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.rtree.entry import Entry
+from repro.rtree.splits import (
+    LinearSplit,
+    QuadraticSplit,
+    RStarSplit,
+    SplitStrategy,
+    resolve_split_strategy,
+)
+
+ALL_STRATEGIES = [LinearSplit(), QuadraticSplit(), RStarSplit()]
+
+
+def make_entries(rects):
+    return [Entry(r, payload=i) for i, r in enumerate(rects)]
+
+
+def random_entries(n, seed=0, dim=2):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        lo = [rng.uniform(0, 100) for _ in range(dim)]
+        hi = [c + rng.uniform(0, 10) for c in lo]
+        rects.append(Rect(lo, hi))
+    return make_entries(rects)
+
+
+class TestResolve:
+    def test_by_name(self):
+        assert isinstance(resolve_split_strategy("linear"), LinearSplit)
+        assert isinstance(resolve_split_strategy("quadratic"), QuadraticSplit)
+        assert isinstance(resolve_split_strategy("rstar"), RStarSplit)
+
+    def test_instance_passthrough(self):
+        strategy = QuadraticSplit()
+        assert resolve_split_strategy(strategy) is strategy
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_split_strategy("bogus")
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+class TestSplitContract:
+    """Invariants every split strategy must satisfy."""
+
+    def test_partitions_all_entries(self, strategy):
+        entries = random_entries(9, seed=1)
+        a, b = strategy.split(entries, min_entries=3)
+        assert len(a) + len(b) == len(entries)
+        ids = sorted(e.payload for e in a + b)
+        assert ids == list(range(9))
+
+    def test_respects_min_entries(self, strategy):
+        for seed in range(5):
+            entries = random_entries(11, seed=seed)
+            a, b = strategy.split(entries, min_entries=4)
+            assert len(a) >= 4
+            assert len(b) >= 4
+
+    def test_does_not_mutate_input(self, strategy):
+        entries = random_entries(8, seed=2)
+        snapshot = list(entries)
+        strategy.split(entries, min_entries=3)
+        assert entries == snapshot
+
+    def test_identical_rects_still_split(self, strategy):
+        entries = make_entries([Rect((5, 5), (6, 6))] * 10)
+        a, b = strategy.split(entries, min_entries=4)
+        assert len(a) >= 4 and len(b) >= 4
+
+    def test_collinear_degenerate_rects(self, strategy):
+        entries = make_entries(
+            [Rect((float(i), 0.0), (float(i), 0.0)) for i in range(9)]
+        )
+        a, b = strategy.split(entries, min_entries=3)
+        assert len(a) + len(b) == 9
+        assert len(a) >= 3 and len(b) >= 3
+
+    def test_rejects_tiny_input(self, strategy):
+        entries = random_entries(3, seed=3)
+        with pytest.raises(InvalidParameterError):
+            strategy.split(entries, min_entries=2)
+
+    def test_rejects_bad_min_entries(self, strategy):
+        entries = random_entries(8, seed=4)
+        with pytest.raises(InvalidParameterError):
+            strategy.split(entries, min_entries=0)
+
+    def test_one_dimensional(self, strategy):
+        entries = random_entries(8, seed=5, dim=1)
+        a, b = strategy.split(entries, min_entries=3)
+        assert len(a) + len(b) == 8
+
+    def test_three_dimensional(self, strategy):
+        entries = random_entries(10, seed=6, dim=3)
+        a, b = strategy.split(entries, min_entries=4)
+        assert len(a) + len(b) == 10
+
+
+class TestSplitQuality:
+    def test_separated_clusters_split_cleanly(self):
+        # Two well-separated clusters should be separated by every strategy.
+        left = [Rect((i, 0.0), (i + 0.5, 0.5)) for i in range(5)]
+        right = [Rect((i + 1000.0, 0.0), (i + 1000.5, 0.5)) for i in range(5)]
+        entries = make_entries(left + right)
+        for strategy in ALL_STRATEGIES:
+            a, b = strategy.split(entries, min_entries=3)
+            groups = {frozenset(e.payload for e in a), frozenset(e.payload for e in b)}
+            assert groups == {frozenset(range(5)), frozenset(range(5, 10))}, (
+                strategy.name
+            )
+
+    def test_rstar_minimizes_overlap_on_grid(self):
+        # A 4x4 grid splits into two non-overlapping halves under R*.
+        rects = [
+            Rect((x, y), (x + 0.9, y + 0.9))
+            for x in range(4)
+            for y in range(4)
+        ]
+        a, b = RStarSplit().split(make_entries(rects), min_entries=6)
+        mbr_a = Rect.union_all(e.rect for e in a)
+        mbr_b = Rect.union_all(e.rect for e in b)
+        assert mbr_a.overlap_area(mbr_b) == 0.0
+
+    def test_base_class_split_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SplitStrategy().split(random_entries(6), min_entries=2)

@@ -1,0 +1,65 @@
+"""Unit tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import RTree, nearest
+from repro.errors import EmptyIndexError, InvalidParameterError
+from repro.rtree.svg import save_svg, tree_to_svg
+
+
+class TestTreeToSvg:
+    def test_empty_tree_rejected(self):
+        with pytest.raises(EmptyIndexError):
+            tree_to_svg(RTree())
+
+    def test_non_2d_rejected(self):
+        tree = RTree()
+        tree.insert((1.0, 2.0, 3.0))
+        with pytest.raises(InvalidParameterError):
+            tree_to_svg(tree)
+
+    def test_tiny_canvas_rejected(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            tree_to_svg(small_tree, size=10)
+
+    def test_output_is_wellformed_xml(self, small_tree):
+        svg = tree_to_svg(small_tree)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_node_plus_objects(self, small_tree):
+        svg = tree_to_svg(small_tree, show_objects=False)
+        # Background rect + one outline per node.
+        assert svg.count("<rect") == 1 + small_tree.node_count
+
+    def test_point_objects_rendered_as_circles(self, small_tree):
+        svg = tree_to_svg(small_tree, show_objects=True)
+        assert svg.count("<circle") == len(small_tree)
+
+    def test_query_and_neighbors_marked(self, small_tree):
+        result = nearest(small_tree, (500.0, 500.0), k=3)
+        svg = tree_to_svg(
+            small_tree, query=(500.0, 500.0), neighbors=result
+        )
+        assert "<path" in svg  # the query cross
+        assert svg.count('stroke="#d63031"') == 1 + len(result)
+
+    def test_coordinates_within_canvas(self, small_tree):
+        size = 320
+        svg = tree_to_svg(small_tree, size=size)
+        root = ET.fromstring(svg)
+        ns = root.tag[: -len("svg")]
+        for rect in root.iter(f"{ns}rect"):
+            x = float(rect.get("x", "0"))
+            y = float(rect.get("y", "0"))
+            assert -1 <= x <= size + 1
+            assert -1 <= y <= size + 1
+
+    def test_save_svg(self, tmp_path, small_tree):
+        target = tmp_path / "tree.svg"
+        save_svg(small_tree, target, size=256)
+        content = target.read_text()
+        assert content.startswith("<svg")
+        ET.fromstring(content)

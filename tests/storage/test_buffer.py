@@ -1,0 +1,90 @@
+"""Unit tests for the LRU/FIFO buffer pools."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.storage.buffer import FifoBufferPool, LruBufferPool
+from repro.storage.tracker import CountingTracker
+
+
+class TestBufferBasics:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            LruBufferPool(-1)
+
+    def test_zero_capacity_everything_misses(self):
+        pool = LruBufferPool(0)
+        for page in [1, 1, 1]:
+            pool.access(page, is_leaf=False)
+        assert pool.stats.misses == 3
+        assert pool.stats.hits == 0
+        assert pool.resident_pages() == 0
+
+    def test_hit_after_load(self):
+        pool = LruBufferPool(4)
+        pool.access(1, is_leaf=False)
+        pool.access(1, is_leaf=False)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.hit_ratio == 0.5
+
+    def test_inner_tracker_sees_only_misses(self):
+        inner = CountingTracker()
+        pool = LruBufferPool(4, inner=inner)
+        for page in [1, 2, 1, 2, 1]:
+            pool.access(page, is_leaf=True)
+        assert inner.stats.total == 2  # only the two cold loads
+
+    def test_eviction_at_capacity(self):
+        pool = LruBufferPool(2)
+        pool.access(1, is_leaf=False)
+        pool.access(2, is_leaf=False)
+        pool.access(3, is_leaf=False)  # evicts 1
+        assert pool.stats.evictions == 1
+        assert not pool.contains(1)
+        assert pool.contains(2) and pool.contains(3)
+
+    def test_reset(self):
+        pool = LruBufferPool(2)
+        pool.access(1, is_leaf=False)
+        pool.reset()
+        assert pool.stats.accesses == 0
+        assert pool.resident_pages() == 0
+        assert pool.inner.stats.total == 0
+
+    def test_hit_ratio_empty(self):
+        assert LruBufferPool(2).stats.hit_ratio == 0.0
+
+
+class TestLruPolicy:
+    def test_hit_refreshes_recency(self):
+        pool = LruBufferPool(2)
+        pool.access(1, is_leaf=False)
+        pool.access(2, is_leaf=False)
+        pool.access(1, is_leaf=False)  # hit: 1 becomes most recent
+        pool.access(3, is_leaf=False)  # evicts 2, not 1
+        assert pool.contains(1)
+        assert not pool.contains(2)
+
+
+class TestFifoPolicy:
+    def test_hit_does_not_refresh(self):
+        pool = FifoBufferPool(2)
+        pool.access(1, is_leaf=False)
+        pool.access(2, is_leaf=False)
+        pool.access(1, is_leaf=False)  # hit but FIFO order unchanged
+        pool.access(3, is_leaf=False)  # evicts 1 (oldest arrival)
+        assert not pool.contains(1)
+        assert pool.contains(2)
+
+    def test_lru_beats_fifo_on_looping_pattern(self):
+        # Repeated hot page plus streaming cold pages: LRU keeps the hot
+        # page, FIFO eventually evicts it.
+        lru, fifo = LruBufferPool(3), FifoBufferPool(3)
+        pattern = []
+        for i in range(30):
+            pattern += [100, 200 + i]  # hot page interleaved with cold ones
+        for page in pattern:
+            lru.access(page, is_leaf=False)
+            fifo.access(page, is_leaf=False)
+        assert lru.stats.hits > fifo.stats.hits

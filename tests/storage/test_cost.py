@@ -1,0 +1,42 @@
+"""Unit tests for the disk cost model."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.storage.cost import DiskCostModel
+
+
+class TestDiskCostModel:
+    def test_random_read_cost(self):
+        model = DiskCostModel(seek_ms=10.0, transfer_ms_per_kib=0.5, page_kib=2.0)
+        assert model.random_read_ms(3) == pytest.approx(3 * (10.0 + 1.0))
+
+    def test_sequential_read_single_seek(self):
+        model = DiskCostModel(seek_ms=10.0, transfer_ms_per_kib=0.5, page_kib=2.0)
+        assert model.sequential_read_ms(100) == pytest.approx(10.0 + 100.0)
+        assert model.sequential_read_ms(0) == 0.0
+
+    def test_random_much_worse_than_sequential_on_disk(self):
+        model = DiskCostModel.disk_1995()
+        assert model.random_read_ms(1000) > 10 * model.sequential_read_ms(1000)
+
+    def test_nvme_narrows_the_gap(self):
+        disk = DiskCostModel.disk_1995()
+        nvme = DiskCostModel.nvme_modern()
+        assert nvme.scan_break_even_pages() != disk.scan_break_even_pages()
+        assert nvme.random_read_ms(100) < disk.random_read_ms(100)
+
+    def test_break_even_matches_definition(self):
+        model = DiskCostModel(seek_ms=8.0, transfer_ms_per_kib=0.1, page_kib=1.0)
+        # One random read costs as much as streaming this many pages.
+        assert model.scan_break_even_pages() == pytest.approx((8.0 + 0.1) / 0.1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DiskCostModel(seek_ms=-1.0)
+        with pytest.raises(InvalidParameterError):
+            DiskCostModel(page_kib=0.0)
+        with pytest.raises(InvalidParameterError):
+            DiskCostModel().random_read_ms(-1)
+        with pytest.raises(InvalidParameterError):
+            DiskCostModel().sequential_read_ms(-1)

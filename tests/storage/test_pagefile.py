@@ -1,0 +1,99 @@
+"""Unit tests for the fixed-size-page file."""
+
+import os
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.storage.pagefile import PageFile, PageFileError
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "data.pages"
+
+
+class TestLifecycle:
+    def test_create_has_header_page(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            assert pf.page_count == 1
+        assert os.path.getsize(path) == 128
+
+    def test_open_missing_file_fails(self, path):
+        with pytest.raises(PageFileError):
+            PageFile(path, page_size=128)
+
+    def test_open_misaligned_file_fails(self, path):
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(PageFileError):
+            PageFile(path, page_size=128)
+
+    def test_rejects_tiny_page_size(self, path):
+        with pytest.raises(InvalidParameterError):
+            PageFile(path, page_size=16, create=True)
+
+    def test_closed_file_rejects_access(self, path):
+        pf = PageFile(path, page_size=128, create=True)
+        pf.close()
+        with pytest.raises(PageFileError):
+            pf.read_page(0)
+        pf.close()  # idempotent
+
+    def test_context_manager_closes(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            pass
+        with pytest.raises(PageFileError):
+            pf.allocate()
+
+
+class TestReadWrite:
+    def test_roundtrip(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            a = pf.allocate()
+            b = pf.allocate()
+            pf.write_page(a, b"alpha")
+            pf.write_page(b, b"beta")
+            assert pf.read_page(a).rstrip(b"\x00") == b"alpha"
+            assert pf.read_page(b).rstrip(b"\x00") == b"beta"
+
+    def test_padding_to_page_size(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            page = pf.allocate()
+            pf.write_page(page, b"short")
+            assert len(pf.read_page(page)) == 128
+
+    def test_oversized_write_rejected(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            page = pf.allocate()
+            with pytest.raises(PageFileError):
+                pf.write_page(page, b"x" * 129)
+
+    def test_out_of_range_access(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            with pytest.raises(PageFileError):
+                pf.read_page(5)
+            with pytest.raises(PageFileError):
+                pf.write_page(-1, b"")
+
+    def test_reads_and_writes_counted(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            page = pf.allocate()
+            pf.write_page(page, b"data")
+            pf.read_page(page)
+            pf.read_page(page)
+            assert pf.writes == 1
+            assert pf.reads == 2
+
+    def test_persistence_across_reopen(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            page = pf.allocate()
+            pf.write_page(page, b"durable")
+        with PageFile(path, page_size=128) as pf:
+            assert pf.page_count == 2
+            assert pf.read_page(page).rstrip(b"\x00") == b"durable"
+
+    def test_page_count_tracks_buffered_allocations(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            for expected in (1, 2, 3):
+                assert pf.allocate() == expected
+            assert pf.page_count == 4

@@ -1,0 +1,57 @@
+"""Unit tests for the byte-level page model."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.storage.pager import PageModel
+
+
+class TestPageModel:
+    def test_paper_configuration(self):
+        model = PageModel(page_size=1024, dimension=2)
+        # Entry: 4 coords * 8 bytes + 4-byte pointer = 36 bytes; usable
+        # 1008 bytes -> fanout 28.
+        assert model.entry_bytes() == 36
+        assert model.max_entries() == 28
+
+    def test_larger_pages_hold_more(self):
+        small = PageModel(page_size=1024, dimension=2)
+        large = PageModel(page_size=4096, dimension=2)
+        assert large.max_entries() > small.max_entries()
+
+    def test_higher_dimensions_hold_fewer(self):
+        d2 = PageModel(page_size=1024, dimension=2)
+        d3 = PageModel(page_size=1024, dimension=3)
+        assert d3.max_entries() < d2.max_entries()
+
+    def test_min_entries_default_forty_percent(self):
+        model = PageModel(page_size=1024, dimension=2)
+        assert model.min_entries() == 11  # int(28 * 0.4)
+
+    def test_min_entries_clamped_to_half(self):
+        model = PageModel(page_size=1024, dimension=2)
+        assert model.min_entries(0.5) <= model.max_entries() // 2
+
+    def test_min_entries_rejects_bad_fill(self):
+        model = PageModel()
+        with pytest.raises(InvalidParameterError):
+            model.min_entries(0.0)
+        with pytest.raises(InvalidParameterError):
+            model.min_entries(0.9)
+
+    def test_rejects_tiny_page(self):
+        with pytest.raises(InvalidParameterError):
+            PageModel(page_size=32, dimension=4)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(InvalidParameterError):
+            PageModel(dimension=0)
+
+    def test_pages_for(self):
+        model = PageModel(page_size=1024, dimension=2)  # 28 per page
+        assert model.pages_for(0) == 0
+        assert model.pages_for(1) == 1
+        assert model.pages_for(28) == 1
+        assert model.pages_for(29) == 2
+        with pytest.raises(InvalidParameterError):
+            model.pages_for(-1)

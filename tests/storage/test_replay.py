@@ -1,0 +1,127 @@
+"""Unit and property tests for trace replay and Belady's optimal policy."""
+
+import random
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.storage.replay import TraceRecorder, replay
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        for page in [3, 1, 3, 2]:
+            recorder.access(page, is_leaf=False)
+        assert recorder.trace == [3, 1, 3, 2]
+        recorder.reset()
+        assert recorder.trace == []
+
+    def test_captures_real_query_traces(self):
+        from repro import bulk_load, nearest
+        from repro.datasets import uniform_points
+
+        points = uniform_points(500, seed=121)
+        tree = bulk_load([(p, i) for i, p in enumerate(points)])
+        recorder = TraceRecorder()
+        result = nearest(tree, (500.0, 500.0), k=3, tracker=recorder)
+        assert len(recorder.trace) == result.stats.nodes_accessed
+        assert recorder.trace[0] == tree.root.node_id
+
+
+class TestReplayBasics:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            replay([1], -1, "lru")
+        with pytest.raises(InvalidParameterError):
+            replay([1], 2, "clock")
+
+    def test_zero_capacity_all_misses(self):
+        result = replay([1, 1, 1], 0, "lru")
+        assert result.misses == 3
+        assert result.hit_ratio == 0.0
+
+    def test_empty_trace(self):
+        result = replay([], 4, "optimal")
+        assert result.accesses == 0
+        assert result.hit_ratio == 0.0
+
+    def test_repeated_single_page(self):
+        for policy in ("lru", "fifo", "optimal"):
+            result = replay([7] * 10, 1, policy)
+            assert result.misses == 1
+            assert result.hits == 9
+
+    def test_lru_beats_fifo_on_looping_hot_page(self):
+        trace = []
+        for i in range(40):
+            trace += [100, 200 + i]
+        lru = replay(trace, 3, "lru")
+        fifo = replay(trace, 3, "fifo")
+        assert lru.hits > fifo.hits
+
+    def test_known_belady_example(self):
+        # Classic textbook trace, capacity 3:
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        optimal = replay(trace, 3, "optimal")
+        assert optimal.misses == 7  # the known OPT answer
+        lru = replay(trace, 3, "lru")
+        assert lru.misses == 10  # the known LRU answer
+
+    def test_hit_and_miss_ratios_sum_to_one(self):
+        result = replay([1, 2, 1, 3, 1], 2, "lru")
+        assert result.hit_ratio + result.miss_ratio == pytest.approx(1.0)
+        empty = replay([], 2, "lru")
+        assert empty.hit_ratio == 0.0 and empty.miss_ratio == 0.0
+
+    def test_capacity_covering_everything(self):
+        trace = [1, 2, 3, 1, 2, 3]
+        for policy in ("lru", "fifo", "optimal"):
+            result = replay(trace, 10, policy)
+            assert result.misses == 3  # only cold misses
+
+
+class TestOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 12), min_size=0, max_size=200),
+        st.integers(1, 6),
+    )
+    def test_belady_never_worse_than_lru_or_fifo(self, trace, capacity):
+        optimal = replay(trace, capacity, "optimal").misses
+        assert optimal <= replay(trace, capacity, "lru").misses
+        assert optimal <= replay(trace, capacity, "fifo").misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 12), min_size=0, max_size=150),
+        st.integers(1, 5),
+    )
+    def test_more_capacity_never_hurts_optimal(self, trace, capacity):
+        smaller = replay(trace, capacity, "optimal").misses
+        bigger = replay(trace, capacity + 1, "optimal").misses
+        assert bigger <= smaller
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 10), min_size=0, max_size=150))
+    def test_cold_misses_are_a_floor(self, trace):
+        # Every distinct page must miss at least once under any policy.
+        unique = len(set(trace))
+        for policy in ("lru", "fifo", "optimal"):
+            assert replay(trace, 3, policy).misses >= unique
+
+    def test_matches_online_lru_buffer_pool(self):
+        # The replay simulator and the online LruBufferPool must agree.
+        from repro.storage.buffer import LruBufferPool
+
+        rng = random.Random(5)
+        trace = [rng.randint(0, 30) for _ in range(500)]
+        for capacity in (1, 4, 16):
+            pool = LruBufferPool(capacity)
+            for page in trace:
+                pool.access(page, is_leaf=False)
+            simulated = replay(trace, capacity, "lru")
+            assert simulated.hits == pool.stats.hits
+            assert simulated.misses == pool.stats.misses

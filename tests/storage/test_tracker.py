@@ -1,0 +1,44 @@
+"""Unit tests for access trackers."""
+
+from repro.storage.tracker import CountingTracker, NullTracker
+
+
+class TestNullTracker:
+    def test_access_is_noop(self):
+        tracker = NullTracker()
+        tracker.access(1, is_leaf=True)
+        tracker.reset()  # must not raise
+
+
+class TestCountingTracker:
+    def test_counts_by_kind(self):
+        tracker = CountingTracker()
+        tracker.access(1, is_leaf=True)
+        tracker.access(2, is_leaf=False)
+        tracker.access(1, is_leaf=True)
+        stats = tracker.stats
+        assert stats.total == 3
+        assert stats.leaf == 2
+        assert stats.internal == 1
+
+    def test_unique_pages_and_per_page(self):
+        tracker = CountingTracker()
+        for page in [5, 5, 7, 5, 9]:
+            tracker.access(page, is_leaf=False)
+        assert tracker.stats.unique_pages == 3
+        assert tracker.stats.per_page == {5: 3, 7: 1, 9: 1}
+
+    def test_reset(self):
+        tracker = CountingTracker()
+        tracker.access(1, is_leaf=True)
+        tracker.reset()
+        assert tracker.stats.total == 0
+        assert tracker.stats.per_page == {}
+
+    def test_snapshot_is_deep(self):
+        tracker = CountingTracker()
+        tracker.access(1, is_leaf=True)
+        snap = tracker.stats.snapshot()
+        tracker.access(2, is_leaf=True)
+        assert snap.total == 1
+        assert 2 not in snap.per_page

@@ -1,0 +1,69 @@
+"""Public-API integrity: __all__ must be importable, complete and stable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.rtree",
+    "repro.storage",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.bench",
+    "repro.geometry",
+]
+
+
+class TestTopLevelAll:
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_present(self):
+        assert repro.__version__
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and len(module.__doc__) > 40
+
+
+def test_key_workflows_importable_from_top_level():
+    # The names the README and examples lean on must stay top-level.
+    for name in (
+        "RTree", "Rect", "Segment", "nearest", "nearest_batch",
+        "bulk_load", "validate_tree", "linear_scan", "KdTree",
+        "GridIndex", "QuadTree", "LruBufferPool", "PageModel",
+        "DiskRTree", "write_tree", "within_distance",
+        "farthest_best_first", "aggregate_nearest", "intersection_join",
+        "knn_join", "nearest_dfs_lp", "measure_quality",
+        "PruningConfig", "mindist", "minmaxdist", "maxdist",
+    ):
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_public_functions_have_docstrings():
+    import inspect
+
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"missing docstrings: {undocumented}"
