@@ -53,18 +53,26 @@ from repro.core import (
     within_distance,
 )
 from repro.errors import (
+    ChecksumError,
+    CorruptionWarning,
     DimensionMismatchError,
     EmptyIndexError,
     GeometryError,
     InvalidParameterError,
     InvalidRectError,
+    PageFileError,
     ReproError,
+    TornWriteError,
+    TransientIOError,
     TreeInvariantError,
 )
 from repro.geometry import Point, Rect, Segment
 from repro.rtree import (
     DiskRTree,
     RTree,
+    ScrubReport,
+    scrub,
+    verify_checksums,
     write_tree,
     TreeQuality,
     measure_quality,
@@ -75,6 +83,8 @@ from repro.rtree import (
 )
 from repro.storage import (
     AccessTracker,
+    FaultInjectingPageFile,
+    FaultPlan,
     PageFile,
     CountingTracker,
     DiskCostModel,
@@ -82,6 +92,7 @@ from repro.storage import (
     LruBufferPool,
     NullTracker,
     PageModel,
+    RetryPolicy,
 )
 from repro.baselines import GridIndex, KdTree, QuadTree, linear_scan, linear_scan_items
 
@@ -108,6 +119,17 @@ __all__ = [
     "DiskRTree",
     "write_tree",
     "PageFile",
+    "PageFileError",
+    "ChecksumError",
+    "CorruptionWarning",
+    "TornWriteError",
+    "TransientIOError",
+    "FaultInjectingPageFile",
+    "FaultPlan",
+    "RetryPolicy",
+    "ScrubReport",
+    "scrub",
+    "verify_checksums",
     "DimensionMismatchError",
     "EmptyIndexError",
     "FifoBufferPool",

@@ -5,6 +5,8 @@ Subcommands:
 - ``list`` — show every registered experiment with its paper reference.
 - ``run <id>|all [--scale quick|default|full] [--markdown] [-o FILE]`` —
   execute experiments and print their tables.
+- ``scrub <file> [--page-size N]`` — verify a disk index's page
+  checksums and structural invariants; exit 1 if damage is found.
 """
 
 from __future__ import annotations
@@ -67,6 +69,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     viz.add_argument("--seed", type=int, default=0, help="dataset seed")
     viz.add_argument("--k", type=int, default=5, help="neighbors to mark")
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="audit a disk R-tree file: checksums + structural invariants",
+    )
+    scrub.add_argument("file", help="path to an RNN1/RNN2 index file")
+    scrub.add_argument(
+        "--page-size",
+        type=int,
+        default=4096,
+        help="page size the file was written with (default: 4096)",
+    )
 
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
@@ -174,13 +188,27 @@ def _list_command() -> str:
     return "\n".join(lines)
 
 
+def _scrub_command(args: argparse.Namespace) -> tuple:
+    from repro.errors import PageFileError
+    from repro.rtree.scrub import scrub
+
+    try:
+        report = scrub(args.file, page_size=args.page_size)
+    except PageFileError as exc:
+        return f"scrub: cannot read {args.file!r}: {exc}", 1
+    return report.render(), 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    code = 0
     if args.command == "list":
         output = _list_command()
     elif args.command == "viz":
         output = _viz_command(args)
+    elif args.command == "scrub":
+        output, code = _scrub_command(args)
     elif args.command == "report":
         from repro.bench.report import generate_report
 
@@ -191,7 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "output", None):
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(output + "\n")
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -92,6 +92,9 @@ def nearest(
         An :class:`NNResult` with the neighbors (nearest first) and the
         search statistics.
     """
+    # Disk trees opened with on_corrupt="skip" count skipped pages; the
+    # per-query delta lands in the stats so degraded results are visible.
+    skipped_before = getattr(tree, "pages_skipped", 0)
     if algorithm == "dfs":
         neighbors, stats = nearest_dfs(
             tree,
@@ -116,6 +119,9 @@ def nearest(
         raise InvalidParameterError(
             f"algorithm must be one of {_VALID_ALGORITHMS}, got {algorithm!r}"
         )
+    stats.pages_skipped_corrupt = (
+        getattr(tree, "pages_skipped", 0) - skipped_before
+    )
     return NNResult(neighbors=neighbors, stats=stats)
 
 

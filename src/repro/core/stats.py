@@ -28,6 +28,9 @@ class SearchStats:
     objects_examined: int = 0
     #: Active-branch-list entries generated across all visited nodes.
     branch_entries_considered: int = 0
+    #: Corrupt pages skipped during this query (disk trees opened with
+    #: ``on_corrupt="skip"``; nonzero means results may be incomplete).
+    pages_skipped_corrupt: int = 0
     #: Pruning counters, split by strategy.
     pruning: PruningStats = field(default_factory=PruningStats)
 
@@ -44,6 +47,11 @@ class SearchStats:
         """Branches discarded by any pruning strategy."""
         return self.pruning.total
 
+    @property
+    def degraded(self) -> bool:
+        """True if corruption was skipped — results may be incomplete."""
+        return self.pages_skipped_corrupt > 0
+
     def merge(self, other: "SearchStats") -> None:
         """Accumulate *other* into this instance (for batch averaging)."""
         self.nodes_accessed += other.nodes_accessed
@@ -51,4 +59,5 @@ class SearchStats:
         self.internal_accesses += other.internal_accesses
         self.objects_examined += other.objects_examined
         self.branch_entries_considered += other.branch_entries_considered
+        self.pages_skipped_corrupt += other.pages_skipped_corrupt
         self.pruning.merge(other.pruning)

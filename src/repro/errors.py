@@ -16,6 +16,11 @@ __all__ = [
     "TreeInvariantError",
     "EmptyIndexError",
     "InvalidParameterError",
+    "PageFileError",
+    "ChecksumError",
+    "TornWriteError",
+    "TransientIOError",
+    "CorruptionWarning",
 ]
 
 
@@ -53,3 +58,53 @@ class EmptyIndexError(ReproError, ValueError):
 
 class InvalidParameterError(ReproError, ValueError):
     """A parameter is outside its documented domain (e.g. ``k < 1``)."""
+
+
+class PageFileError(ReproError):
+    """Corrupt page file or out-of-range page access.
+
+    Base class for every failure of the physical storage layer, so callers
+    that guarded disk access with ``except PageFileError`` keep working as
+    the corruption taxonomy below grows finer.
+    """
+
+
+class ChecksumError(PageFileError):
+    """A page's stored CRC32 does not match its contents.
+
+    Raised by the v2 (``RNN2``) on-disk format when a page read back from
+    disk fails checksum verification — a flipped bit, a torn write that
+    was later completed with garbage, or any other silent corruption.
+    """
+
+    def __init__(self, message: str, page_id: int = -1) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class TornWriteError(PageFileError):
+    """A page write was interrupted partway through.
+
+    In production this surfaces through the atomic-write protocol (the
+    target file is never replaced); fault injection raises it directly to
+    simulate a crash mid-write.
+    """
+
+
+class TransientIOError(PageFileError, OSError):
+    """A transient I/O failure that may succeed on retry.
+
+    Also an :class:`OSError`, mirroring how the failure would surface from
+    the operating system (e.g. an intermittent ``EIO``).  The disk R-tree's
+    read path retries these with bounded exponential backoff.
+    """
+
+
+class CorruptionWarning(UserWarning):
+    """Emitted when a corrupt page is skipped instead of raising.
+
+    A :class:`~repro.rtree.disk.DiskRTree` opened with
+    ``on_corrupt="skip"`` degrades gracefully: unreadable subtrees are
+    dropped from results, but never silently — each newly skipped page
+    warns once, and per-query counts appear in the search stats.
+    """

@@ -18,6 +18,7 @@ from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 from repro.rtree.bulk import bulk_load
 from repro.rtree.disk import DiskRTree, build_disk_index, disk_fanout, write_tree
+from repro.rtree.scrub import ScrubIssue, ScrubReport, scrub, verify_checksums
 from repro.rtree.validate import validate_tree
 from repro.rtree.quality import LevelQuality, TreeQuality, measure_quality
 from repro.rtree.serialize import tree_from_dict, tree_to_dict, load_tree, save_tree
@@ -45,6 +46,10 @@ __all__ = [
     "RStarSplit",
     "RTree",
     "SplitStrategy",
+    "ScrubIssue",
+    "ScrubReport",
+    "scrub",
+    "verify_checksums",
     "bulk_load",
     "load_tree",
     "resolve_split_strategy",

@@ -5,6 +5,11 @@ In this reproduction every R-tree node is one page, and every node visit by
 any algorithm flows through an :class:`AccessTracker`.  Wrapping the tracker
 in a :class:`BufferPool` simulates the paper's buffering experiments: a
 buffered access only counts as a disk read on a miss.
+
+The physical layer lives here too: :class:`PageFile` (fixed-size pages,
+fsync-backed durability), :class:`RetryPolicy` (bounded exponential
+backoff for transient I/O), and :class:`FaultInjectingPageFile`
+(deterministic corruption for the fault-tolerance test matrix).
 """
 
 from repro.storage.tracker import (
@@ -15,7 +20,8 @@ from repro.storage.tracker import (
 )
 from repro.storage.buffer import BufferPool, BufferStats, FifoBufferPool, LruBufferPool
 from repro.storage.cost import DiskCostModel
-from repro.storage.pagefile import PageFile, PageFileError
+from repro.storage.faults import FaultInjectingPageFile, FaultPlan
+from repro.storage.pagefile import PageFile, PageFileError, RetryPolicy
 from repro.storage.pager import PageModel
 from repro.storage.replay import ReplayResult, TraceRecorder, replay
 
@@ -26,12 +32,15 @@ __all__ = [
     "BufferStats",
     "CountingTracker",
     "DiskCostModel",
+    "FaultInjectingPageFile",
+    "FaultPlan",
     "FifoBufferPool",
     "LruBufferPool",
     "NullTracker",
     "PageFile",
     "PageFileError",
     "PageModel",
+    "RetryPolicy",
     "ReplayResult",
     "TraceRecorder",
     "replay",

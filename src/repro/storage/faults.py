@@ -1,0 +1,176 @@
+"""Deterministic fault injection for the physical storage layer.
+
+:class:`FaultInjectingPageFile` is a drop-in :class:`PageFile` that
+corrupts itself on purpose: bit flips on read, torn writes, short reads,
+and transient ``EIO``-style failures, all driven by a seeded RNG and/or an
+explicit schedule so test runs are exactly reproducible.
+
+It exists so the corruption-matrix test suite can prove the claims the
+v2 on-disk format makes — every single-byte flip is detected, a crash
+mid-``write_tree`` never publishes a broken index, transient errors are
+retried — without ever needing a real flaky disk.
+
+Example::
+
+    plan = FaultPlan(bit_flip_prob=0.2, seed=7)
+    pages = FaultInjectingPageFile(path, page_size=4096, plan=plan)
+    disk = DiskRTree(path, page_file=pages)   # reads now sometimes corrupt
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, FrozenSet, Optional, Union
+
+from repro.errors import (
+    InvalidParameterError,
+    PageFileError,
+    TornWriteError,
+    TransientIOError,
+)
+from repro.storage.pagefile import PageFile
+
+__all__ = ["FaultInjectingPageFile", "FaultPlan"]
+
+
+@dataclass
+class FaultPlan:
+    """What to break, how often, and in what order.
+
+    Probabilities are evaluated per operation with a private
+    ``random.Random(seed)``; schedules are deterministic and fire
+    regardless of the probabilities.
+
+    Attributes:
+        bit_flip_prob: Chance a ``read_page`` returns data with one
+            random bit flipped (the file itself is untouched).
+        short_read_prob: Chance a ``read_page`` behaves as if the device
+            returned fewer bytes than a page (raises
+            :class:`PageFileError`).
+        transient_error_prob: Chance a ``read_page`` raises
+            :class:`TransientIOError` (``EIO``) instead of reading.
+        torn_write_prob: Chance a ``write_page`` persists only a prefix
+            of the page and then raises :class:`TornWriteError`, like a
+            crash mid-write.
+        fail_after_writes: Deterministic kill point — the N-th
+            ``write_page`` call (0-based) tears: a prefix is written,
+            then :class:`TornWriteError` raises.  ``None`` disables.
+        transient_error_limit: Stop injecting transient errors after
+            this many, so retry loops can eventually succeed.  ``None``
+            means unlimited.
+        flip_pages: Page ids whose every read comes back with one bit
+            flipped (deterministic corruption of specific pages).
+        seed: RNG seed for all probabilistic decisions.
+    """
+
+    bit_flip_prob: float = 0.0
+    short_read_prob: float = 0.0
+    transient_error_prob: float = 0.0
+    torn_write_prob: float = 0.0
+    fail_after_writes: Optional[int] = None
+    transient_error_limit: Optional[int] = None
+    flip_pages: FrozenSet[int] = field(default_factory=frozenset)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bit_flip_prob",
+            "short_read_prob",
+            "transient_error_prob",
+            "torn_write_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        self.flip_pages = frozenset(self.flip_pages)
+
+
+def _flip_one_bit(data: bytes, rng: Random) -> bytes:
+    corrupted = bytearray(data)
+    index = rng.randrange(len(corrupted))
+    corrupted[index] ^= 1 << rng.randrange(8)
+    return bytes(corrupted)
+
+
+class FaultInjectingPageFile(PageFile):
+    """A :class:`PageFile` that injects faults per a :class:`FaultPlan`.
+
+    Every injected fault is tallied in :attr:`faults_injected` (keyed
+    ``"bit_flip"``, ``"short_read"``, ``"transient"``, ``"torn_write"``)
+    so tests can assert the schedule actually fired.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "object"],
+        page_size: int = 4096,
+        create: bool = False,
+        plan: Optional[FaultPlan] = None,
+    ) -> None:
+        super().__init__(path, page_size=page_size, create=create)
+        self.plan = plan or FaultPlan()
+        self.faults_injected: Dict[str, int] = {
+            "bit_flip": 0,
+            "short_read": 0,
+            "transient": 0,
+            "torn_write": 0,
+        }
+        self._rng = Random(self.plan.seed)
+        self._write_calls = 0
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str) -> None:
+        self.faults_injected[kind] += 1
+
+    def _transient_budget_left(self) -> bool:
+        limit = self.plan.transient_error_limit
+        return limit is None or self.faults_injected["transient"] < limit
+
+    # ------------------------------------------------------------------
+    def read_page(self, page_id: int) -> bytes:
+        plan = self.plan
+        if (
+            plan.transient_error_prob > 0
+            and self._transient_budget_left()
+            and self._rng.random() < plan.transient_error_prob
+        ):
+            self._record("transient")
+            raise TransientIOError(
+                errno.EIO, f"injected transient error reading page {page_id}"
+            )
+        if plan.short_read_prob > 0 and self._rng.random() < plan.short_read_prob:
+            self._record("short_read")
+            raise PageFileError(
+                f"short read of page {page_id} in {self.path!r} (injected)"
+            )
+        data = super().read_page(page_id)
+        if page_id in plan.flip_pages or (
+            plan.bit_flip_prob > 0 and self._rng.random() < plan.bit_flip_prob
+        ):
+            self._record("bit_flip")
+            data = _flip_one_bit(data, self._rng)
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        plan = self.plan
+        call_index = self._write_calls
+        self._write_calls += 1
+        tear = plan.fail_after_writes is not None and (
+            call_index == plan.fail_after_writes
+        )
+        if not tear and plan.torn_write_prob > 0:
+            tear = self._rng.random() < plan.torn_write_prob
+        if tear:
+            self._record("torn_write")
+            full = data.ljust(self.page_size, b"\x00")
+            prefix_len = self._rng.randrange(1, self.page_size)
+            super().write_page(page_id, full[:prefix_len])
+            raise TornWriteError(
+                f"injected torn write of page {page_id}: only "
+                f"{prefix_len}/{self.page_size} bytes persisted"
+            )
+        super().write_page(page_id, data)

@@ -3,22 +3,100 @@
 :class:`PageFile` divides a file into equal pages addressed by page id.
 Page 0 is reserved for the owner's header.  Reads and writes are whole
 pages; a read counter exposes the physical I/O the disk R-tree performs.
+
+:class:`RetryPolicy` lives here too: it is the production-side answer to
+transient I/O failures (retry with bounded exponential backoff), used by
+:class:`repro.rtree.disk.DiskRTree` around every physical page read.
 """
 
 from __future__ import annotations
 
+import errno
 import os
-from typing import Union
+import time
+from typing import Callable, Union
 
-from repro.errors import InvalidParameterError, ReproError
+from repro.errors import (
+    InvalidParameterError,
+    PageFileError,
+    TransientIOError,
+)
 
-__all__ = ["PageFile", "PageFileError"]
+__all__ = ["PageFile", "PageFileError", "RetryPolicy"]
 
 _MIN_PAGE_SIZE = 64
 
+#: OS error numbers worth retrying: intermittent device errors and
+#: interrupted syscalls.  Everything else (ENOENT, EACCES, ...) is
+#: deterministic and retrying would only delay the inevitable.
+_TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.EAGAIN, errno.EINTR, errno.EBUSY}
+)
 
-class PageFileError(ReproError):
-    """Corrupt page file or out-of-range page access."""
+
+def _is_transient(exc: BaseException) -> bool:
+    if isinstance(exc, TransientIOError):
+        return True
+    return (
+        isinstance(exc, OSError)
+        and exc.errno in _TRANSIENT_ERRNOS
+    )
+
+
+class RetryPolicy:
+    """Bounded exponential backoff for transient I/O errors.
+
+    Args:
+        attempts: Total tries, including the first (``1`` disables
+            retrying entirely).
+        base_delay: Sleep before the first retry, in seconds; doubles on
+            each subsequent retry.
+        max_delay: Ceiling on any single sleep.
+        sleep: Injectable sleep function (tests pass a no-op).
+
+    Only :class:`~repro.errors.TransientIOError` and ``OSError`` with a
+    transient errno (``EIO``, ``EAGAIN``, ``EINTR``, ``EBUSY``) are
+    retried; deterministic failures propagate immediately.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay: float = 0.001,
+        max_delay: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise InvalidParameterError(
+                f"attempts must be >= 1, got {attempts}"
+            )
+        if base_delay < 0 or max_delay < 0:
+            raise InvalidParameterError("delays must be non-negative")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.retries_performed = 0
+        self._sleep = sleep
+
+    def run(self, fn: Callable[[], "object"]) -> "object":
+        """Call *fn*, retrying transient failures; re-raises the last one."""
+        delay = self.base_delay
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except Exception as exc:
+                if not _is_transient(exc) or attempt == self.attempts - 1:
+                    raise
+                self.retries_performed += 1
+                self._sleep(min(delay, self.max_delay))
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(attempts={self.attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay})"
+        )
 
 
 class PageFile:
@@ -32,6 +110,14 @@ class PageFile:
 
     The object is a context manager; pages are addressed by integer id,
     with page 0 conventionally holding the owner's header.
+
+    Durability contract: writes land in a userspace buffer and are only
+    guaranteed on stable storage after :meth:`sync`, which flushes the
+    buffer **and** calls ``os.fsync``.  :meth:`close` flushes but does not
+    fsync; callers that need crash durability must ``sync()`` first (the
+    disk R-tree's atomic writer does).  A crash between ``allocate`` and
+    ``sync`` can leave a file whose size is not a multiple of the page
+    size — such files are rejected on open rather than misread.
     """
 
     def __init__(
@@ -53,6 +139,12 @@ class PageFile:
             self._file = open(self.path, mode)
         except FileNotFoundError:
             raise PageFileError(f"page file {self.path!r} does not exist") from None
+        except OSError as exc:
+            # IsADirectoryError, PermissionError, ELOOP, ... — every way
+            # open() can fail becomes the library's error type, chained.
+            raise PageFileError(
+                f"cannot open page file {self.path!r}: {exc}"
+            ) from exc
         if create:
             # Materialize the header page immediately.
             self._file.write(b"\x00" * page_size)
@@ -78,6 +170,11 @@ class PageFile:
         while writes sit in the userspace buffer.
         """
         return self._page_count
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     def allocate(self) -> int:
         """Append a zeroed page and return its id."""
@@ -115,12 +212,13 @@ class PageFile:
         self.writes += 1
 
     def sync(self) -> None:
-        """Flush buffered writes to the OS."""
+        """Flush buffered writes and fsync them to stable storage."""
         self._check_open()
         self._file.flush()
+        os.fsync(self._file.fileno())
 
     def close(self) -> None:
-        """Flush and close the file; further access raises."""
+        """Flush and close the file; further access raises.  Idempotent."""
         if not self._closed:
             self._file.flush()
             self._file.close()

@@ -1,0 +1,221 @@
+"""Unit tests for fault injection and the retry policy."""
+
+import errno
+
+import pytest
+
+from repro.errors import (
+    InvalidParameterError,
+    PageFileError,
+    TornWriteError,
+    TransientIOError,
+)
+from repro.storage.faults import FaultInjectingPageFile, FaultPlan
+from repro.storage.pagefile import PageFile, RetryPolicy
+
+
+@pytest.fixture
+def path(tmp_path):
+    p = tmp_path / "data.pages"
+    with PageFile(p, page_size=128, create=True) as pf:
+        page = pf.allocate()
+        pf.write_page(page, b"payload")
+    return p
+
+
+class TestFaultPlan:
+    def test_probabilities_validated(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(bit_flip_prob=1.5)
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(torn_write_prob=-0.1)
+
+    def test_defaults_inject_nothing(self, path):
+        with FaultInjectingPageFile(path, page_size=128) as pf:
+            for _ in range(20):
+                assert pf.read_page(1).rstrip(b"\x00") == b"payload"
+            assert sum(pf.faults_injected.values()) == 0
+
+
+class TestBitFlips:
+    def test_flip_pages_corrupts_exactly_those_reads(self, path):
+        plan = FaultPlan(flip_pages={1}, seed=4)
+        with FaultInjectingPageFile(path, page_size=128, plan=plan) as pf:
+            clean = pf.read_page(0)
+            dirty = pf.read_page(1)
+        assert clean == b"\x00" * 128  # header untouched
+        assert dirty != b"payload".ljust(128, b"\x00")
+        assert pf.faults_injected["bit_flip"] == 1
+
+    def test_flip_differs_by_exactly_one_bit(self, path):
+        plan = FaultPlan(flip_pages={1}, seed=11)
+        with FaultInjectingPageFile(path, page_size=128, plan=plan) as pf:
+            dirty = pf.read_page(1)
+        original = b"payload".ljust(128, b"\x00")
+        diff_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(original, dirty)
+        )
+        assert diff_bits == 1
+
+    def test_file_itself_is_untouched(self, path):
+        plan = FaultPlan(flip_pages={1}, seed=4)
+        with FaultInjectingPageFile(path, page_size=128, plan=plan) as pf:
+            pf.read_page(1)
+        with PageFile(path, page_size=128) as pf:
+            assert pf.read_page(1).rstrip(b"\x00") == b"payload"
+
+    def test_seed_makes_flips_reproducible(self, path):
+        reads = []
+        for _ in range(2):
+            plan = FaultPlan(bit_flip_prob=1.0, seed=99)
+            with FaultInjectingPageFile(path, page_size=128, plan=plan) as pf:
+                reads.append(pf.read_page(1))
+        assert reads[0] == reads[1]
+
+
+class TestTransientErrors:
+    def test_raises_transient_with_eio(self, path):
+        plan = FaultPlan(transient_error_prob=1.0)
+        with FaultInjectingPageFile(path, page_size=128, plan=plan) as pf:
+            with pytest.raises(TransientIOError) as info:
+                pf.read_page(1)
+        assert info.value.errno == errno.EIO
+        # Also catchable as the library base class and as OSError.
+        assert isinstance(info.value, PageFileError)
+        assert isinstance(info.value, OSError)
+
+    def test_limit_lets_retries_eventually_succeed(self, path):
+        plan = FaultPlan(transient_error_prob=1.0, transient_error_limit=2)
+        with FaultInjectingPageFile(path, page_size=128, plan=plan) as pf:
+            for _ in range(2):
+                with pytest.raises(TransientIOError):
+                    pf.read_page(1)
+            assert pf.read_page(1).rstrip(b"\x00") == b"payload"
+            assert pf.faults_injected["transient"] == 2
+
+
+class TestShortReads:
+    def test_short_read_raises_pagefile_error(self, path):
+        plan = FaultPlan(short_read_prob=1.0)
+        with FaultInjectingPageFile(path, page_size=128, plan=plan) as pf:
+            with pytest.raises(PageFileError, match="short read"):
+                pf.read_page(1)
+            assert pf.faults_injected["short_read"] == 1
+
+
+class TestTornWrites:
+    def test_fail_after_writes_tears_the_nth_write(self, tmp_path):
+        plan = FaultPlan(fail_after_writes=1, seed=2)
+        p = tmp_path / "torn.pages"
+        with FaultInjectingPageFile(p, page_size=128, create=True, plan=plan) as pf:
+            a = pf.allocate()
+            b = pf.allocate()
+            pf.write_page(a, b"first")  # write 0: fine
+            with pytest.raises(TornWriteError):
+                pf.write_page(b, b"x" * 128)  # write 1: torn
+            assert pf.faults_injected["torn_write"] == 1
+            # The torn page holds a strict prefix, not the full payload.
+            assert pf.read_page(b) != b"x" * 128
+            assert pf.read_page(b).startswith(b"x")
+            assert pf.read_page(a).rstrip(b"\x00") == b"first"
+
+    def test_probabilistic_tears_are_seeded(self, tmp_path):
+        outcomes = []
+        for attempt in range(2):
+            plan = FaultPlan(torn_write_prob=0.5, seed=13)
+            p = tmp_path / f"t{attempt}.pages"
+            with FaultInjectingPageFile(
+                p, page_size=128, create=True, plan=plan
+            ) as pf:
+                torn = []
+                for i in range(10):
+                    page = pf.allocate()
+                    try:
+                        pf.write_page(page, b"data")
+                        torn.append(False)
+                    except TornWriteError:
+                        torn.append(True)
+                outcomes.append(torn)
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+
+class TestRetryPolicy:
+    def test_retries_transient_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientIOError(errno.EIO, "flaky")
+            return "ok"
+
+        policy = RetryPolicy(attempts=5, sleep=lambda _s: None)
+        assert policy.run(flaky) == "ok"
+        assert calls["n"] == 3
+        assert policy.retries_performed == 2
+
+    def test_gives_up_after_attempts(self):
+        policy = RetryPolicy(attempts=3, sleep=lambda _s: None)
+
+        def always_fails():
+            raise TransientIOError(errno.EIO, "down forever")
+
+        with pytest.raises(TransientIOError):
+            policy.run(always_fails)
+        assert policy.retries_performed == 2
+
+    def test_deterministic_errors_not_retried(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise PageFileError("structurally corrupt")
+
+        policy = RetryPolicy(attempts=5, sleep=lambda _s: None)
+        with pytest.raises(PageFileError):
+            policy.run(broken)
+        assert calls["n"] == 1
+
+    def test_transient_errno_oserror_is_retried(self):
+        calls = {"n": 0}
+
+        def eio_once():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError(errno.EIO, "raw eio")
+            return 7
+
+        policy = RetryPolicy(attempts=2, sleep=lambda _s: None)
+        assert policy.run(eio_once) == 7
+
+    def test_nontransient_oserror_not_retried(self):
+        def missing():
+            raise FileNotFoundError(errno.ENOENT, "gone")
+
+        policy = RetryPolicy(attempts=5, sleep=lambda _s: None)
+        with pytest.raises(FileNotFoundError):
+            policy.run(missing)
+        assert policy.retries_performed == 0
+
+    def test_backoff_is_exponential_and_capped(self):
+        slept = []
+        policy = RetryPolicy(
+            attempts=5,
+            base_delay=0.01,
+            max_delay=0.03,
+            sleep=slept.append,
+        )
+
+        def always_fails():
+            raise TransientIOError(errno.EIO, "down")
+
+        with pytest.raises(TransientIOError):
+            policy.run(always_fails)
+        assert slept == pytest.approx([0.01, 0.02, 0.03, 0.03])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_delay=-1.0)

@@ -45,6 +45,70 @@ class TestLifecycle:
         with pytest.raises(PageFileError):
             pf.allocate()
 
+    def test_context_manager_closes_on_exception(self, path):
+        with pytest.raises(RuntimeError):
+            with PageFile(path, page_size=128, create=True) as pf:
+                raise RuntimeError("boom")
+        assert pf.closed
+
+    def test_closed_property(self, path):
+        pf = PageFile(path, page_size=128, create=True)
+        assert not pf.closed
+        pf.close()
+        assert pf.closed
+
+    def test_every_use_after_close_raises(self, path):
+        pf = PageFile(path, page_size=128, create=True)
+        page = pf.allocate()
+        pf.close()
+        for call in (
+            pf.allocate,
+            lambda: pf.read_page(page),
+            lambda: pf.write_page(page, b"x"),
+            pf.sync,
+        ):
+            with pytest.raises(PageFileError):
+                call()
+
+    def test_open_directory_path_wrapped(self, tmp_path):
+        # IsADirectoryError must surface as the library's error, chained.
+        with pytest.raises(PageFileError) as info:
+            PageFile(tmp_path, page_size=128)
+        assert isinstance(info.value.__cause__, OSError)
+
+    @pytest.mark.skipif(
+        os.name != "posix" or os.geteuid() == 0,
+        reason="permission checks don't bind as root",
+    )
+    def test_open_unreadable_file_wrapped(self, path):
+        path.write_bytes(b"\x00" * 128)
+        path.chmod(0o000)
+        try:
+            with pytest.raises(PageFileError) as info:
+                PageFile(path, page_size=128)
+            assert isinstance(info.value.__cause__, PermissionError)
+        finally:
+            path.chmod(0o644)
+
+
+class TestDurability:
+    def test_sync_calls_fsync(self, path, monkeypatch):
+        fsynced = []
+        monkeypatch.setattr(os, "fsync", fsynced.append)
+        with PageFile(path, page_size=128, create=True) as pf:
+            page = pf.allocate()
+            pf.write_page(page, b"durable")
+            pf.sync()
+        assert len(fsynced) == 1
+
+    def test_sync_makes_size_a_page_multiple_on_disk(self, path):
+        with PageFile(path, page_size=128, create=True) as pf:
+            pf.allocate()
+            pf.allocate()
+            pf.sync()
+            # Even without close(), the on-disk size is now consistent.
+            assert os.path.getsize(path) == 3 * 128
+
 
 class TestReadWrite:
     def test_roundtrip(self, path):
