@@ -29,6 +29,7 @@ from repro.core import (
     NeighborBuffer,
     PruningConfig,
     PruningStats,
+    QueryConfig,
     SearchStats,
     aggregate_nearest,
     count_within_distance,
@@ -71,6 +72,7 @@ from repro.rtree import (
     DiskRTree,
     RTree,
     ScrubReport,
+    TreeSnapshot,
     scrub,
     verify_checksums,
     write_tree,
@@ -81,6 +83,7 @@ from repro.rtree import (
     save_tree,
     validate_tree,
 )
+from repro.service import EngineStats, QueryEngine, ResultCache
 from repro.storage import (
     AccessTracker,
     FaultInjectingPageFile,
@@ -93,6 +96,7 @@ from repro.storage import (
     NullTracker,
     PageModel,
     RetryPolicy,
+    ShardedTracker,
 )
 from repro.baselines import GridIndex, KdTree, QuadTree, linear_scan, linear_scan_items
 
@@ -140,6 +144,7 @@ __all__ = [
     "KdTree",
     "QuadTree",
     "LruBufferPool",
+    "EngineStats",
     "NNResult",
     "NearestNeighborQuery",
     "Neighbor",
@@ -149,7 +154,12 @@ __all__ = [
     "Point",
     "PruningConfig",
     "PruningStats",
+    "QueryConfig",
+    "QueryEngine",
+    "ResultCache",
     "RTree",
+    "ShardedTracker",
+    "TreeSnapshot",
     "Rect",
     "ReproError",
     "SearchStats",

@@ -7,6 +7,11 @@ Subcommands:
   execute experiments and print their tables.
 - ``scrub <file> [--page-size N]`` — verify a disk index's page
   checksums and structural invariants; exit 1 if damage is found.
+- ``engine [--workers N] [--queries N] ...`` — drive the serving layer
+  (:class:`repro.service.QueryEngine`) with a session-clustered workload,
+  compare against a sequential ``nearest`` loop and print the engine's
+  latency/cache statistics; with ``--expect-hits``, exit 1 unless the
+  result cache absorbed at least one query (the CI throughput smoke).
 """
 
 from __future__ import annotations
@@ -80,6 +85,54 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="page size the file was written with (default: 4096)",
+    )
+
+    engine = sub.add_parser(
+        "engine",
+        help="serving-layer throughput demo: QueryEngine vs sequential loop",
+    )
+    engine.add_argument(
+        "--n", type=int, default=20000, help="indexed points (default: 20000)"
+    )
+    engine.add_argument(
+        "--queries",
+        type=int,
+        default=10000,
+        help="queries in the batch (default: 10000)",
+    )
+    engine.add_argument(
+        "--distinct",
+        type=int,
+        default=500,
+        help="distinct hot-spot query points (default: 500)",
+    )
+    engine.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    engine.add_argument("--k", type=int, default=4, help="neighbors per query")
+    engine.add_argument(
+        "--cache",
+        type=int,
+        default=4096,
+        help="result-cache capacity (default: 4096; 0 disables)",
+    )
+    engine.add_argument(
+        "--buffer-pages",
+        type=int,
+        default=0,
+        help="per-worker LRU page buffer (default: 0)",
+    )
+    engine.add_argument(
+        "--dataset",
+        default="clustered",
+        choices=["uniform", "clustered"],
+        help="indexed point distribution (default: clustered)",
+    )
+    engine.add_argument("--seed", type=int, default=0, help="workload seed")
+    engine.add_argument(
+        "--expect-hits",
+        action="store_true",
+        help="exit 1 unless the result cache served at least one query",
     )
 
     run = sub.add_parser("run", help="run one experiment or 'all'")
@@ -188,6 +241,60 @@ def _list_command() -> str:
     return "\n".join(lines)
 
 
+def _engine_command(args: argparse.Namespace) -> tuple:
+    from repro.bench.harness import build_tree, points_as_items
+    from repro.core.config import QueryConfig
+    from repro.core.query import nearest
+    from repro.datasets.queries import query_points_clustered_sessions
+    from repro.datasets.synthetic import gaussian_clusters, uniform_points
+    from repro.service.engine import QueryEngine
+
+    generator = (
+        gaussian_clusters if args.dataset == "clustered" else uniform_points
+    )
+    data = generator(args.n, seed=args.seed)
+    queries = query_points_clustered_sessions(
+        args.queries, data, distinct=args.distinct, seed=args.seed + 1
+    )
+    tree = build_tree(points_as_items(data))
+    config = QueryConfig(k=args.k)
+
+    start = time.perf_counter()
+    for q in queries:
+        nearest(tree, q, config=config)
+    sequential = time.perf_counter() - start
+
+    with QueryEngine(
+        tree,
+        config=config,
+        workers=args.workers,
+        cache_size=args.cache,
+        buffer_pages=args.buffer_pages,
+    ) as engine:
+        start = time.perf_counter()
+        engine.query_batch(queries)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats()
+
+    lines = [
+        f"QueryEngine demo — {args.dataset} n={args.n}, "
+        f"{args.queries} queries ({args.distinct} distinct), k={args.k}",
+        "",
+        stats.render(),
+        "",
+        f"sequential loop    {args.queries / sequential:>12,.0f} q/s "
+        f"({sequential:.2f}s)",
+        f"engine             {args.queries / elapsed:>12,.0f} q/s "
+        f"({elapsed:.2f}s, {args.workers} workers)",
+        f"speedup            {sequential / elapsed:>12.2f}x",
+    ]
+    code = 0
+    if args.expect_hits and stats.cache_hits == 0:
+        lines.append("FAIL: expected cache hits on a clustered workload, got 0")
+        code = 1
+    return "\n".join(lines), code
+
+
 def _scrub_command(args: argparse.Namespace) -> tuple:
     from repro.errors import PageFileError
     from repro.rtree.scrub import scrub
@@ -209,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _viz_command(args)
     elif args.command == "scrub":
         output, code = _scrub_command(args)
+    elif args.command == "engine":
+        output, code = _engine_command(args)
     elif args.command == "report":
         from repro.bench.report import generate_report
 

@@ -33,6 +33,7 @@ from repro.core.metrics import (
     minmaxdist,
     minmaxdist_squared,
 )
+from repro.core.config import QueryConfig
 from repro.core.neighbors import Neighbor, NeighborBuffer
 from repro.core.pruning import PruningConfig, PruningStats
 from repro.core.stats import SearchStats
@@ -52,6 +53,7 @@ __all__ = [
     "NeighborBuffer",
     "PruningConfig",
     "PruningStats",
+    "QueryConfig",
     "SearchStats",
     "aggregate_nearest",
     "count_within_distance",

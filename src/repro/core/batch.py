@@ -3,19 +3,26 @@
 The POI-session pattern — many queries against one index, sharing a buffer
 pool so the tree's upper levels are read once — packaged as an API instead
 of a loop the caller writes.
+
+Since the serving layer landed, :func:`nearest_batch` is a thin veneer
+over :class:`repro.service.QueryEngine`: the default configuration
+(``workers=1``, result cache off) reproduces the historical sequential
+semantics and page accounting exactly, while ``workers=4`` or
+``cache_size=4096`` opt a call site into the engine's concurrency and
+result reuse without changing the return contract.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.config import QueryConfig
 from repro.core.knn_dfs import ObjectDistance
 from repro.core.pruning import PruningConfig
-from repro.core.query import NNResult, nearest
+from repro.core.query import NNResult, resolve_config
 from repro.core.stats import SearchStats
 from repro.errors import InvalidParameterError
 from repro.rtree.tree import RTree
-from repro.storage.buffer import LruBufferPool
 
 __all__ = ["nearest_batch"]
 
@@ -23,20 +30,30 @@ __all__ = ["nearest_batch"]
 def nearest_batch(
     tree: RTree,
     points: Sequence[Sequence[float]],
-    k: int = 1,
-    algorithm: str = "dfs",
-    ordering: str = "mindist",
+    k: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    ordering: Optional[str] = None,
     pruning: Optional[PruningConfig] = None,
     buffer_pages: int = 64,
     object_distance_sq: Optional[ObjectDistance] = None,
-    epsilon: float = 0.0,
+    epsilon: Optional[float] = None,
+    config: Optional[QueryConfig] = None,
+    workers: int = 1,
+    cache_size: int = 0,
 ) -> Tuple[List[NNResult], SearchStats, float]:
     """Run one k-NN query per point through a shared LRU buffer.
 
     Args:
         tree: The index.
         points: Query points, answered in order.
-        buffer_pages: Shared LRU capacity (0 disables buffering).
+        buffer_pages: LRU page-buffer capacity (0 disables buffering).
+            With one worker the buffer is shared by the whole batch; with
+            several, each worker owns a private pool of this size.
+        config: A :class:`~repro.core.config.QueryConfig`; explicit
+            keyword arguments override its fields.
+        workers: Worker threads (default 1 = sequential).
+        cache_size: Result-cache capacity (default 0 = off, preserving
+            one search per point).
         (Remaining arguments as in :func:`repro.core.query.nearest`.)
 
     Returns:
@@ -44,28 +61,34 @@ def nearest_batch(
         :class:`NNResult` per point, the merged logical statistics, and
         the average *physical* reads per query after buffering.
     """
+    from repro.service.engine import QueryEngine
+
     if not points:
         raise InvalidParameterError("points must be non-empty")
     if buffer_pages < 0:
         raise InvalidParameterError(
             f"buffer_pages must be >= 0, got {buffer_pages}"
         )
-    pool = LruBufferPool(buffer_pages)
+    cfg = resolve_config(
+        config,
+        k=k,
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        object_distance_sq=object_distance_sq,
+        epsilon=epsilon,
+    )
+    with QueryEngine(
+        tree,
+        config=cfg,
+        workers=workers,
+        cache_size=cache_size,
+        buffer_pages=buffer_pages,
+    ) as engine:
+        results = engine.query_batch(points)
+        physical_reads = engine.tracker.physical_reads()
     combined = SearchStats()
-    results: List[NNResult] = []
-    for point in points:
-        result = nearest(
-            tree,
-            point,
-            k=k,
-            algorithm=algorithm,
-            ordering=ordering,
-            pruning=pruning,
-            tracker=pool,
-            object_distance_sq=object_distance_sq,
-            epsilon=epsilon,
-        )
+    for result in results:
         combined.merge(result.stats)
-        results.append(result)
-    disk_reads_per_query = pool.inner.stats.total / float(len(points))
+    disk_reads_per_query = physical_reads / float(len(points))
     return results, combined, disk_reads_per_query

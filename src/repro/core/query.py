@@ -10,28 +10,61 @@ Most callers only need :func:`nearest`::
     result.payloads()     # ["library"]
     result.stats.nodes_accessed
 
-:class:`NearestNeighborQuery` packages a fixed configuration (algorithm,
-ordering, pruning, tracker, object-distance hook) for repeated use — the
-shape of the bench harness's inner loop.
+Configuration comes in two equivalent styles:
+
+- the legacy keyword arguments (``algorithm=``, ``ordering=``, ...), kept
+  as a thin compatibility shim; and
+- a single :class:`~repro.core.config.QueryConfig` passed as ``config=``,
+  shared verbatim by :func:`nearest`, :class:`NearestNeighborQuery`,
+  :func:`repro.core.batch.nearest_batch` and
+  :class:`repro.service.QueryEngine`.
+
+When both are supplied, the explicit keyword wins over the config field.
+:class:`NearestNeighborQuery` packages a fixed configuration for repeated
+use — the shape of the bench harness's inner loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.core.config import QueryConfig
 from repro.core.knn_best_first import nearest_best_first
 from repro.core.knn_dfs import ObjectDistance, nearest_dfs
 from repro.core.neighbors import Neighbor
 from repro.core.pruning import PruningConfig
 from repro.core.stats import SearchStats
-from repro.errors import InvalidParameterError
 from repro.rtree.tree import RTree
 from repro.storage.tracker import AccessTracker
 
-__all__ = ["NNResult", "NearestNeighborQuery", "nearest"]
+__all__ = ["NNResult", "NearestNeighborQuery", "nearest", "resolve_config"]
 
-_VALID_ALGORITHMS = ("dfs", "best-first")
+
+def resolve_config(
+    config: Optional[QueryConfig],
+    k: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    ordering: Optional[str] = None,
+    pruning: Optional[PruningConfig] = None,
+    object_distance_sq: Optional[ObjectDistance] = None,
+    epsilon: Optional[float] = None,
+) -> QueryConfig:
+    """Merge a base config with legacy keyword overrides.
+
+    ``None`` means "not passed"; explicit values override the config
+    field.  With no config and no overrides this is ``QueryConfig()``.
+    The result is fully validated (eagerly) by ``QueryConfig`` itself.
+    """
+    base = config if config is not None else QueryConfig()
+    return base.with_overrides(
+        k=k,
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        object_distance_sq=object_distance_sq,
+        epsilon=epsilon,
+    )
 
 
 @dataclass
@@ -58,66 +91,115 @@ class NNResult:
         """Distances of the neighbors, nearest first."""
         return [n.distance for n in self.neighbors]
 
+    def points(self) -> List[Tuple[float, ...]]:
+        """Center of each neighbor's MBR, nearest first.
+
+        For point data (the common case) the MBR is degenerate and this
+        is exactly the indexed point.
+        """
+        return [tuple(n.rect.center) for n in self.neighbors]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """One plain dict per neighbor — ready for tables, JSON or logs."""
+        return [
+            {
+                "rank": rank,
+                "payload": n.payload,
+                "point": tuple(n.rect.center),
+                "distance": n.distance,
+            }
+            for rank, n in enumerate(self.neighbors, start=1)
+        ]
+
+    def __repr__(self) -> str:
+        if self.neighbors:
+            best = f"{self.neighbors[0].distance:.6g}"
+        else:
+            best = "n/a"
+        return (
+            f"NNResult(k={len(self.neighbors)}, best_distance={best}, "
+            f"nodes_accessed={self.stats.nodes_accessed})"
+        )
+
 
 def nearest(
     tree: RTree,
     point: Sequence[float],
-    k: int = 1,
-    algorithm: str = "dfs",
-    ordering: str = "mindist",
+    k: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    ordering: Optional[str] = None,
     pruning: Optional[PruningConfig] = None,
     tracker: Optional[AccessTracker] = None,
     object_distance_sq: Optional[ObjectDistance] = None,
-    epsilon: float = 0.0,
+    epsilon: Optional[float] = None,
+    config: Optional[QueryConfig] = None,
 ) -> NNResult:
     """Find the *k* objects in *tree* nearest to *point*.
 
     Args:
         tree: The R-tree to search.
         point: Query point.
-        k: How many neighbors to return.
+        k: How many neighbors to return (default 1).
         algorithm: ``"dfs"`` — the paper's branch-and-bound depth-first
             search — or ``"best-first"`` — the Hjaltason-Samet priority
             search (page-optimal, ignores *ordering* and *pruning*).
         ordering: Active-branch-list metric for DFS, ``"mindist"`` or
             ``"minmaxdist"``.
         pruning: DFS pruning strategy toggles (default: all sound ones).
-        tracker: Page-access tracker / buffer pool.
+        tracker: Page-access tracker / buffer pool (instrumentation; not
+            part of the query configuration).
         object_distance_sq: Exact squared object distance hook.
         epsilon: Approximation slack; 0 is exact, larger values trade
             accuracy (each distance within ``1 + epsilon`` of exact) for
             fewer page reads.
+        config: A :class:`QueryConfig` carrying all of the above except
+            *tracker*; explicit keyword arguments override its fields.
 
     Returns:
         An :class:`NNResult` with the neighbors (nearest first) and the
         search statistics.
     """
+    cfg = resolve_config(
+        config,
+        k=k,
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        object_distance_sq=object_distance_sq,
+        epsilon=epsilon,
+    )
+    return _run_query(tree, point, cfg, tracker)
+
+
+def _run_query(
+    tree: RTree,
+    point: Sequence[float],
+    cfg: QueryConfig,
+    tracker: Optional[AccessTracker],
+) -> NNResult:
+    """Dispatch a validated :class:`QueryConfig` to the search kernels."""
     # Disk trees opened with on_corrupt="skip" count skipped pages; the
     # per-query delta lands in the stats so degraded results are visible.
     skipped_before = getattr(tree, "pages_skipped", 0)
-    if algorithm == "dfs":
+    if cfg.algorithm == "dfs":
         neighbors, stats = nearest_dfs(
             tree,
             point,
-            k=k,
-            ordering=ordering,
-            pruning=pruning,
+            k=cfg.k,
+            ordering=cfg.ordering,
+            pruning=cfg.pruning,
             tracker=tracker,
-            object_distance_sq=object_distance_sq,
-            epsilon=epsilon,
+            object_distance_sq=cfg.object_distance_sq,
+            epsilon=cfg.epsilon,
         )
-    elif algorithm == "best-first":
+    else:
         neighbors, stats = nearest_best_first(
             tree,
             point,
-            k=k,
+            k=cfg.k,
             tracker=tracker,
-            object_distance_sq=object_distance_sq,
-            epsilon=epsilon,
-        )
-    else:
-        raise InvalidParameterError(
-            f"algorithm must be one of {_VALID_ALGORITHMS}, got {algorithm!r}"
+            object_distance_sq=cfg.object_distance_sq,
+            epsilon=cfg.epsilon,
         )
     stats.pages_skipped_corrupt = (
         getattr(tree, "pages_skipped", 0) - skipped_before
@@ -133,45 +215,70 @@ class NearestNeighborQuery:
         query = NearestNeighborQuery(tree, k=4, ordering="minmaxdist")
         for p in query_points:
             result = query(p)
+
+    Equivalently, pass a shared :class:`QueryConfig`::
+
+        cfg = QueryConfig(k=4, ordering="minmaxdist")
+        query = NearestNeighborQuery(tree, config=cfg)
+
+    All configuration is validated eagerly at construction — a typo'd
+    ordering raises :class:`~repro.errors.InvalidParameterError` here,
+    not at the first call.
     """
 
     def __init__(
         self,
         tree: RTree,
-        k: int = 1,
-        algorithm: str = "dfs",
-        ordering: str = "mindist",
+        k: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        ordering: Optional[str] = None,
         pruning: Optional[PruningConfig] = None,
         tracker: Optional[AccessTracker] = None,
         object_distance_sq: Optional[ObjectDistance] = None,
-        epsilon: float = 0.0,
+        epsilon: Optional[float] = None,
+        config: Optional[QueryConfig] = None,
     ) -> None:
-        if algorithm not in _VALID_ALGORITHMS:
-            raise InvalidParameterError(
-                f"algorithm must be one of {_VALID_ALGORITHMS}, got {algorithm!r}"
-            )
         self.tree = tree
-        self.k = k
-        self.algorithm = algorithm
-        self.ordering = ordering
-        self.pruning = pruning
         self.tracker = tracker
-        self.object_distance_sq = object_distance_sq
-        self.epsilon = epsilon
+        self.config = resolve_config(
+            config,
+            k=k,
+            algorithm=algorithm,
+            ordering=ordering,
+            pruning=pruning,
+            object_distance_sq=object_distance_sq,
+            epsilon=epsilon,
+        )
+
+    # Legacy attribute access keeps working; the config is the truth.
+    @property
+    def k(self) -> int:
+        return self.config.k
+
+    @property
+    def algorithm(self) -> str:
+        return self.config.algorithm
+
+    @property
+    def ordering(self) -> str:
+        return self.config.ordering
+
+    @property
+    def pruning(self) -> Optional[PruningConfig]:
+        return self.config.pruning
+
+    @property
+    def object_distance_sq(self) -> Optional[ObjectDistance]:
+        return self.config.object_distance_sq
+
+    @property
+    def epsilon(self) -> float:
+        return self.config.epsilon
 
     def __call__(self, point: Sequence[float], k: Optional[int] = None) -> NNResult:
         """Run the query from *point*; *k* overrides the configured value."""
-        return nearest(
-            self.tree,
-            point,
-            k=k if k is not None else self.k,
-            algorithm=self.algorithm,
-            ordering=self.ordering,
-            pruning=self.pruning,
-            tracker=self.tracker,
-            object_distance_sq=self.object_distance_sq,
-            epsilon=self.epsilon,
-        )
+        cfg = self.config if k is None else self.config.replace(k=k)
+        return _run_query(self.tree, point, cfg, self.tracker)
 
     def __repr__(self) -> str:
         return (

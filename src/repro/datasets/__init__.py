@@ -21,7 +21,11 @@ from repro.datasets.analysis import (
     describe_segments,
 )
 from repro.datasets.io import load_points_csv, load_segments_csv
-from repro.datasets.queries import query_points_near_data, query_points_uniform
+from repro.datasets.queries import (
+    query_points_clustered_sessions,
+    query_points_near_data,
+    query_points_uniform,
+)
 
 __all__ = [
     "PointSetSummary",
@@ -32,6 +36,7 @@ __all__ = [
     "gaussian_clusters",
     "load_points_csv",
     "load_segments_csv",
+    "query_points_clustered_sessions",
     "query_points_near_data",
     "query_points_uniform",
     "road_segments",

@@ -13,7 +13,11 @@ from typing import List, Sequence, Tuple
 from repro.errors import InvalidParameterError
 from repro.geometry.point import Point
 
-__all__ = ["query_points_uniform", "query_points_near_data"]
+__all__ = [
+    "query_points_uniform",
+    "query_points_near_data",
+    "query_points_clustered_sessions",
+]
 
 
 def query_points_uniform(
@@ -55,3 +59,35 @@ def query_points_near_data(
         base = data_points[rng.randrange(len(data_points))]
         queries.append(tuple(rng.gauss(float(c), noise) for c in base))
     return queries
+
+
+def query_points_clustered_sessions(
+    n: int,
+    data_points: Sequence[Sequence[float]],
+    distinct: int = 0,
+    seed: int = 0,
+    noise: float = 25.0,
+) -> List[Point]:
+    """*n* queries drawn **with repetition** from a small hot-spot set.
+
+    Models the serving-layer workload (Maneewongvatana & Mount's
+    clustered query analysis): many users ask from the same popular
+    locations, so a batch contains the same query point over and over —
+    exactly where a result cache pays off.  ``distinct`` is the number of
+    hot spots (default ``max(1, n // 10)``); each is a data point plus
+    Gaussian noise, and the batch samples them uniformly.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if distinct < 0:
+        raise InvalidParameterError(f"distinct must be >= 0, got {distinct}")
+    if distinct == 0:
+        distinct = max(1, n // 10)
+    hot_spots = query_points_near_data(
+        min(distinct, n) if n else distinct,
+        data_points,
+        seed=seed,
+        noise=noise,
+    )
+    rng = random.Random(seed + 0x5E55)
+    return [hot_spots[rng.randrange(len(hot_spots))] for _ in range(n)]

@@ -15,7 +15,7 @@ It provides:
 
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
-from repro.rtree.tree import RTree
+from repro.rtree.tree import RTree, TreeSnapshot
 from repro.rtree.bulk import bulk_load
 from repro.rtree.disk import DiskRTree, build_disk_index, disk_fanout, write_tree
 from repro.rtree.scrub import ScrubIssue, ScrubReport, scrub, verify_checksums
@@ -48,6 +48,7 @@ __all__ = [
     "SplitStrategy",
     "ScrubIssue",
     "ScrubReport",
+    "TreeSnapshot",
     "scrub",
     "verify_checksums",
     "bulk_load",

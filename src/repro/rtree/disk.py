@@ -47,6 +47,7 @@ from __future__ import annotations
 import itertools
 import os
 import struct
+import threading
 import warnings
 import zlib
 from collections import OrderedDict
@@ -61,7 +62,7 @@ from repro.errors import (
 from repro.geometry.rect import Rect
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
-from repro.rtree.tree import RTree
+from repro.rtree.tree import RTree, TreeSnapshot
 from repro.storage.pagefile import PageFile, PageFileError, RetryPolicy
 
 __all__ = [
@@ -430,6 +431,10 @@ class DiskRTree:
         )
         self._cache: "OrderedDict[int, List[Entry]]" = OrderedDict()
         self._cache_capacity = cache_nodes
+        # Serializes page reads and decoded-node cache updates so that
+        # concurrent queries (repro.service.QueryEngine workers) never
+        # corrupt the LRU order or interleave seek/read pairs.
+        self._load_lock = threading.RLock()
         self.root = _DiskNode(self, root_page, level=height - 1)
 
     # ------------------------------------------------------------------
@@ -437,6 +442,15 @@ class DiskRTree:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; a disk tree is read-only, so always 0."""
+        return 0
+
+    def snapshot(self) -> TreeSnapshot:
+        """A :class:`TreeSnapshot`; never goes stale (the file is frozen)."""
+        return TreeSnapshot(tree=self, epoch=0)
 
     def items(self) -> Iterator[Tuple[Rect, int]]:
         """Iterate all indexed ``(rect, payload_id)`` pairs."""
@@ -524,22 +538,25 @@ class DiskRTree:
         return entries
 
     def _load_entries(self, node: _DiskNode) -> List[Entry]:
-        cached = self._cache.get(node.node_id)
-        if cached is not None:
-            self._cache.move_to_end(node.node_id)
-            return cached
-        try:
-            raw = self.retry.run(lambda: self._pages.read_page(node.node_id))
-            entries = self._decode_node(raw, node)
-        except (ChecksumError, PageFileError) as exc:
-            if self.on_corrupt == "skip" and not self._pages.closed:
-                self._record_skip(node.node_id, exc)
-                return []
-            raise
-        if len(self._cache) >= self._cache_capacity:
-            self._cache.popitem(last=False)
-        self._cache[node.node_id] = entries
-        return entries
+        with self._load_lock:
+            cached = self._cache.get(node.node_id)
+            if cached is not None:
+                self._cache.move_to_end(node.node_id)
+                return cached
+            try:
+                raw = self.retry.run(
+                    lambda: self._pages.read_page(node.node_id)
+                )
+                entries = self._decode_node(raw, node)
+            except (ChecksumError, PageFileError) as exc:
+                if self.on_corrupt == "skip" and not self._pages.closed:
+                    self._record_skip(node.node_id, exc)
+                    return []
+                raise
+            if len(self._cache) >= self._cache_capacity:
+                self._cache.popitem(last=False)
+            self._cache[node.node_id] = entries
+            return entries
 
     def _record_skip(self, page_id: int, exc: Exception) -> None:
         self.pages_skipped += 1

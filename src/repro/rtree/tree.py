@@ -8,6 +8,7 @@ reinsertion on overflow.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
@@ -21,7 +22,7 @@ from repro.rtree.node import Node
 from repro.rtree.splits import SplitStrategy, resolve_split_strategy
 from repro.storage.tracker import AccessTracker
 
-__all__ = ["RTree"]
+__all__ = ["RTree", "TreeSnapshot"]
 
 RectLike = Union[Rect, Sequence[float]]
 
@@ -34,6 +35,28 @@ def _coerce_rect(value: RectLike) -> Rect:
     if isinstance(value, Rect):
         return value
     return Rect.from_point(value)
+
+
+@dataclass(frozen=True)
+class TreeSnapshot:
+    """A cheap read-only handle on one mutation epoch of a tree.
+
+    Nothing is copied: the snapshot records the tree reference and its
+    :attr:`~RTree.epoch` at creation.  ``is_current`` tells whether the
+    tree has mutated since — the staleness check the serving layer's
+    result cache is built on.  A snapshot never blocks mutation; callers
+    needing isolation must synchronize externally (e.g. through
+    :class:`repro.service.QueryEngine`, which wraps queries and mutations
+    in a read-write lock).
+    """
+
+    tree: Any
+    epoch: int
+
+    @property
+    def is_current(self) -> bool:
+        """True while the tree has not mutated since the snapshot."""
+        return getattr(self.tree, "epoch", 0) == self.epoch
 
 
 class RTree:
@@ -77,6 +100,7 @@ class RTree:
         self._size = 0
         self._dimension: Optional[int] = None
         self._node_count = 0
+        self._epoch = 0
         self.root = self._new_node(level=0)
 
     # ------------------------------------------------------------------
@@ -99,6 +123,20 @@ class RTree:
     def node_count(self) -> int:
         """Number of live nodes (== simulated pages) in the tree."""
         return self._node_count
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped by every insert, delete and clear.
+
+        Cached query results are valid exactly as long as the epoch they
+        were computed under; :class:`repro.service.QueryEngine` keys its
+        result cache on it.
+        """
+        return self._epoch
+
+    def snapshot(self) -> TreeSnapshot:
+        """A :class:`TreeSnapshot` pinned to the current epoch (O(1))."""
+        return TreeSnapshot(tree=self, epoch=self._epoch)
 
     def bounds(self) -> Rect:
         """MBR of the whole tree; raises :class:`EmptyIndexError` if empty."""
@@ -135,6 +173,7 @@ class RTree:
             self._dimension = mbr.dimension
         elif mbr.dimension != self._dimension:
             raise DimensionMismatchError(self._dimension, mbr.dimension, "insert")
+        self._epoch += 1
         self._insert_at_level(Entry(mbr, payload=payload), level=0, count_item=True)
 
     def _insert_at_level(self, entry: Entry, level: int, count_item: bool) -> None:
@@ -287,6 +326,7 @@ class RTree:
                 del leaf.entries[i]
                 break
         self._size -= 1
+        self._epoch += 1
         self._condense(path)
         return True
 
@@ -376,6 +416,7 @@ class RTree:
         self._size = 0
         self._node_count = 0
         self._next_node_id = 0
+        self._epoch += 1
         self.root = self._new_node(level=0)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,28 @@
+"""The serving layer: concurrent, cached k-NN query execution.
+
+Everything below :mod:`repro.core` answers *one* query; this package makes
+the reproduction behave like a service.  :class:`QueryEngine` executes
+batches across a worker pool over a read-only tree snapshot, caches
+results keyed by ``(point, QueryConfig, tree epoch)`` so repeated queries
+on an unchanged index cost nothing, and aggregates serving statistics
+(latency percentiles, cache hit rate, pages per query, queue depth) into
+:class:`EngineStats`.
+
+Sharding and async I/O layers plug in here in later growth steps; the
+engine is the substrate they schedule onto.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.engine import DEFAULT_CACHE_SIZE, QueryEngine
+from repro.service.locks import ReadWriteLock
+from repro.service.stats import EngineStats, LatencyRecorder
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_SIZE",
+    "EngineStats",
+    "LatencyRecorder",
+    "QueryEngine",
+    "ReadWriteLock",
+    "ResultCache",
+]

@@ -1,0 +1,120 @@
+"""Thread-safe LRU result cache for the query engine.
+
+The cache maps ``(point, QueryConfig key, tree epoch)`` to finished
+:class:`~repro.core.query.NNResult` objects.  Keying on the *epoch* makes
+invalidation free: a mutation bumps the tree's epoch, so every existing
+entry simply stops matching.  The engine additionally calls
+:meth:`ResultCache.invalidate_epoch` when it observes a new epoch, purging
+the dead entries in one sweep instead of waiting for LRU pressure.
+
+Cached values are returned by reference and must be treated as immutable
+by callers — the engine hands the same ``NNResult`` to every hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Entries purged because the tree epoch moved on.
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache:
+    """Bounded LRU cache of query results, safe under concurrent access.
+
+    ``capacity`` is the number of results held; 0 disables caching (every
+    lookup misses, nothing is stored), which the engine uses to preserve
+    exact legacy page accounting in :func:`repro.core.batch.nearest_batch`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise InvalidParameterError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for *key*, refreshing recency; None on miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store *value*; evicts the least recently used entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = value
+
+    def invalidate_epoch(self, epoch: int) -> int:
+        """Drop every entry not belonging to *epoch*; returns the count.
+
+        Keys are the engine's ``(point, config_key, epoch)`` tuples — the
+        epoch is the last element.
+        """
+        with self._lock:
+            stale = [
+                key for key in self._entries
+                if isinstance(key, tuple) and key and key[-1] != epoch
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidated += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(capacity={self.capacity}, size={len(self)}, "
+            f"hit_ratio={self.stats.hit_ratio:.2f})"
+        )

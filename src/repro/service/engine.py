@@ -1,0 +1,348 @@
+"""The query engine: concurrent, cached batch serving over one index.
+
+`QueryEngine` turns the library's one-shot :func:`repro.core.query.nearest`
+call into a serving layer:
+
+- **Concurrency** — batches fan out across a thread worker pool; every
+  query runs under the read side of a read-write lock, and engine-mediated
+  mutations (:meth:`QueryEngine.insert` / :meth:`QueryEngine.delete`) take
+  the write side, so a query always sees a consistent tree state.
+- **Result caching** — finished results are cached under
+  ``(point, QueryConfig, tree epoch)``.  A mutation bumps the tree's
+  epoch, instantly invalidating every cached entry; a cache hit returns
+  without executing any search — zero page accesses.
+- **Duplicate coalescing** — within a batch, identical query points (with
+  caching enabled) execute once and share the result, the dominant win on
+  clustered real-world workloads (Maneewongvatana & Mount's observation).
+- **Observability** — :meth:`QueryEngine.stats` snapshots latency
+  percentiles, cache hit rate, pages per query and queue depth into an
+  :class:`~repro.service.stats.EngineStats`.
+
+Example::
+
+    from repro import QueryConfig, QueryEngine
+
+    with QueryEngine(tree, config=QueryConfig(k=4), workers=4) as engine:
+        results = engine.query_batch(points)
+        print(engine.stats().render())
+
+Thread-safety contract: all ``QueryEngine`` methods may be called from any
+thread.  Mutating the tree *directly* (``tree.insert``) while queries are
+in flight is not synchronized — route mutations through the engine, or
+stop querying while mutating.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import QueryConfig
+from repro.core.query import NNResult, _run_query, resolve_config
+from repro.errors import InvalidParameterError
+from repro.service.cache import ResultCache
+from repro.service.locks import ReadWriteLock
+from repro.service.stats import EngineStats, LatencyRecorder
+from repro.storage.buffer import LruBufferPool
+from repro.storage.tracker import AccessTracker, CountingTracker, ShardedTracker
+
+__all__ = ["QueryEngine", "DEFAULT_CACHE_SIZE"]
+
+#: Result-cache capacity unless the caller chooses otherwise.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class QueryEngine:
+    """Thread-safe k-NN serving over a read-only tree snapshot.
+
+    Args:
+        tree: The index to serve — an in-memory
+            :class:`~repro.rtree.tree.RTree` or a read-only
+            :class:`~repro.rtree.disk.DiskRTree`.
+        config: Default :class:`QueryConfig` for every query; per-call
+            ``k=`` / ``config=`` override it.
+        workers: Worker threads for :meth:`query_batch`.  ``1`` executes
+            in the calling thread (no pool), preserving strictly
+            sequential semantics.
+        cache_size: Result-cache capacity; ``0`` disables caching *and*
+            duplicate coalescing (every query executes).
+        buffer_pages: Per-worker LRU page-buffer capacity; ``0`` means
+            plain counting (every logical access is a physical read).
+            Workers never share a pool, so page accounting needs no locks
+            and is never double-counted
+            (:class:`~repro.storage.tracker.ShardedTracker`).
+
+    The engine itself never copies the tree: it relies on the tree's
+    mutation epoch (see :meth:`~repro.rtree.tree.RTree.snapshot`) for
+    cache invalidation and on its read-write lock for isolation.
+    """
+
+    def __init__(
+        self,
+        tree: Any,
+        config: Optional[QueryConfig] = None,
+        workers: int = 4,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        buffer_pages: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if buffer_pages < 0:
+            raise InvalidParameterError(
+                f"buffer_pages must be >= 0, got {buffer_pages}"
+            )
+        self.tree = tree
+        self.config = config if config is not None else QueryConfig()
+        self.workers = workers
+        self.cache = ResultCache(cache_size)
+        if buffer_pages > 0:
+            shard_factory: Callable[[], AccessTracker] = (
+                lambda: LruBufferPool(buffer_pages)
+            )
+        else:
+            shard_factory = CountingTracker
+        self.tracker = ShardedTracker(shard_factory)
+        self._rwlock = ReadWriteLock()
+        self._latency = LatencyRecorder()
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-engine"
+            )
+            if workers > 1
+            else None
+        )
+        self._closed = False
+        self._stats_lock = Lock()
+        self._queries = 0
+        self._cache_hits = 0
+        self._executed = 0
+        self._pages_total = 0
+        self._objects_total = 0
+        self._inflight = 0
+        self._max_queue_depth = 0
+        self._last_epoch = self._tree_epoch()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        point: Sequence[float],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> NNResult:
+        """Answer one k-NN query (cache-first, then search).
+
+        *config* overrides the engine default for this call; *k*
+        overrides either.  Cache hits return the stored
+        :class:`~repro.core.query.NNResult` — treat results as
+        immutable.
+        """
+        cfg = self._effective_config(k, config)
+        return self._serve(point, cfg)
+
+    def query_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> List[NNResult]:
+        """Answer a batch of queries, one result per point, in order.
+
+        With ``workers > 1`` queries run on the pool; identical points
+        are coalesced into a single execution when caching is enabled
+        (the duplicates count as cache hits).  Results are byte-identical
+        to a sequential :func:`repro.core.query.nearest` loop over the
+        same tree state.
+        """
+        if not points:
+            raise InvalidParameterError("points must be non-empty")
+        self._ensure_open()
+        cfg = self._effective_config(k, config)
+        if self._executor is None:
+            return [self._serve(p, cfg) for p in points]
+
+        if self.cache.capacity == 0:
+            # No caching, no coalescing: every occurrence executes, in
+            # the legacy one-search-per-point accounting.
+            submitted = [
+                self._executor.submit(self._serve, p, cfg) for p in points
+            ]
+            return [future.result() for future in submitted]
+
+        # Coalesce duplicates: the first occurrence of each point runs,
+        # later occurrences share its future (and count as cache hits).
+        primary: Dict[Tuple[float, ...], Any] = {}
+        slots: List[Tuple[Tuple[float, ...], bool]] = []
+        for p in points:
+            key = _point_key(p)
+            if key not in primary:
+                primary[key] = self._executor.submit(self._serve, p, cfg)
+                slots.append((key, False))
+            else:
+                slots.append((key, True))
+        results: List[NNResult] = []
+        for key, coalesced in slots:
+            result = primary[key].result()
+            if coalesced:
+                self._count_coalesced_hit()
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Mutations (engine-mediated, exclusive)
+    # ------------------------------------------------------------------
+    def insert(self, rect: Any, payload: Any = None) -> None:
+        """Insert into the underlying tree under the write lock.
+
+        The tree bumps its epoch, so every cached result is invalidated.
+        """
+        self._require_mutable("insert")
+        with self._rwlock.write():
+            self.tree.insert(rect, payload)
+
+    def delete(self, rect: Any, payload: Any = None) -> bool:
+        """Delete from the underlying tree under the write lock."""
+        self._require_mutable("delete")
+        with self._rwlock.write():
+            return self.tree.delete(rect, payload)
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """An immutable :class:`EngineStats` snapshot."""
+        p50, p95, p99, mean = self._latency.snapshot_ms()
+        with self._stats_lock:
+            executed = self._executed
+            return EngineStats(
+                queries=self._queries,
+                cache_hits=self._cache_hits,
+                executed=executed,
+                cache_invalidated=self.cache.stats.invalidated,
+                epoch=self._tree_epoch(),
+                workers=self.workers,
+                latency_p50_ms=p50,
+                latency_p95_ms=p95,
+                latency_p99_ms=p99,
+                latency_mean_ms=mean,
+                pages_per_query=(
+                    self._pages_total / executed if executed else 0.0
+                ),
+                physical_reads=self.tracker.physical_reads(),
+                objects_per_query=(
+                    self._objects_total / executed if executed else 0.0
+                ),
+                max_queue_depth=self._max_queue_depth,
+            )
+
+    def close(self) -> None:
+        """Shut the worker pool down.  Idempotent."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(tree={self.tree!r}, workers={self.workers}, "
+            f"cache={self.cache.capacity}, config={self.config.describe()!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tree_epoch(self) -> int:
+        return getattr(self.tree, "epoch", 0)
+
+    def _effective_config(
+        self, k: Optional[int], config: Optional[QueryConfig]
+    ) -> QueryConfig:
+        base = config if config is not None else self.config
+        return resolve_config(base, k=k)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise InvalidParameterError("QueryEngine is closed")
+
+    def _require_mutable(self, operation: str) -> None:
+        if not hasattr(self.tree, operation):
+            raise InvalidParameterError(
+                f"{operation} requires a mutable tree; "
+                f"{type(self.tree).__name__} is read-only"
+            )
+
+    def _serve(self, point: Sequence[float], cfg: QueryConfig) -> NNResult:
+        """One query: read lock, cache probe, search, cache fill."""
+        self._ensure_open()
+        start = time.perf_counter()
+        self._enter_flight()
+        try:
+            with self._rwlock.read():
+                epoch = self._observe_epoch()
+                use_cache = self.cache.capacity > 0
+                key = (_point_key(point), cfg.cache_key(), epoch)
+                if use_cache:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        self._count_hit()
+                        return cached
+                result = _run_query(self.tree, point, cfg, self.tracker)
+                if use_cache:
+                    self.cache.put(key, result)
+                self._count_executed(result)
+                return result
+        finally:
+            self._latency.record(time.perf_counter() - start)
+            self._exit_flight()
+
+    def _observe_epoch(self) -> int:
+        """Current tree epoch; purge cache entries from older epochs."""
+        epoch = self._tree_epoch()
+        if epoch != self._last_epoch:
+            with self._stats_lock:
+                changed = epoch != self._last_epoch
+                self._last_epoch = epoch
+            if changed and self.cache.capacity > 0:
+                self.cache.invalidate_epoch(epoch)
+        return epoch
+
+    def _enter_flight(self) -> None:
+        with self._stats_lock:
+            self._inflight += 1
+            if self._inflight > self._max_queue_depth:
+                self._max_queue_depth = self._inflight
+
+    def _exit_flight(self) -> None:
+        with self._stats_lock:
+            self._inflight -= 1
+
+    def _count_hit(self) -> None:
+        with self._stats_lock:
+            self._queries += 1
+            self._cache_hits += 1
+
+    def _count_coalesced_hit(self) -> None:
+        # A batch duplicate that shared another occurrence's execution:
+        # it was answered without a search, which is what "hit" means.
+        self._count_hit()
+
+    def _count_executed(self, result: NNResult) -> None:
+        with self._stats_lock:
+            self._queries += 1
+            self._executed += 1
+            self._pages_total += result.stats.nodes_accessed
+            self._objects_total += result.stats.objects_examined
+
+
+def _point_key(point: Sequence[float]) -> Tuple[float, ...]:
+    """Hashable, type-normalized form of a query point."""
+    return tuple(float(c) for c in point)

@@ -1,0 +1,78 @@
+"""A small writer-preferring read-write lock for the serving layer.
+
+Queries against a tree snapshot are pure reads and may proceed in
+parallel; mutations (insert/delete through the engine) must be exclusive.
+The standard library offers no reader-writer lock, so this module
+implements the classic condition-variable construction:
+
+- any number of readers hold the lock together;
+- a writer waits for readers to drain, and *blocks new readers* while
+  waiting (writer preference), so a steady query stream cannot starve
+  mutations indefinitely.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Many concurrent readers XOR one exclusive writer."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+
+    # -- reader side ---------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side ---------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """``with lock.read():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """``with lock.write():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,165 @@
+"""Serving-side observability: latency distribution and engine counters.
+
+The paper's evaluation counts pages per query; a serving layer must also
+answer "how fast, at what tail, with what cache behavior".
+:class:`LatencyRecorder` accumulates per-query latencies in fixed
+logarithmic buckets (O(1) record, bounded memory regardless of traffic)
+and reports the percentiles operators actually page on — p50/p95/p99.
+:class:`EngineStats` is the immutable snapshot `QueryEngine.stats()`
+returns.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["EngineStats", "LatencyRecorder"]
+
+#: Bucket boundaries grow by 25% per step from 1 µs; 96 buckets reach
+#: well past a minute, far beyond any sane single-query latency.
+_BASE_SECONDS = 1e-6
+_GROWTH = 1.25
+_BUCKETS = 96
+
+
+class LatencyRecorder:
+    """Fixed-size logarithmic histogram of query latencies.
+
+    Thread-safe; `record` is called from every worker.  Percentiles are
+    estimated at the upper edge of the containing bucket, so they are
+    conservative (never under-report) with <= 25% relative error — ample
+    for serving dashboards and threshold assertions.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * _BUCKETS
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (in seconds)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        if seconds <= _BASE_SECONDS:
+            index = 0
+        else:
+            index = min(
+                _BUCKETS - 1,
+                1 + int(math.log(seconds / _BASE_SECONDS, _GROWTH)),
+            )
+        with self._lock:
+            self._counts[index] += 1
+            self._total += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._total
+
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 with no samples)."""
+        with self._lock:
+            return self._sum / self._total if self._total else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Latency (seconds) below which *fraction* of samples fall.
+
+        ``fraction`` is in [0, 1]; with no samples, returns 0.0.
+        """
+        with self._lock:
+            if not self._total:
+                return 0.0
+            threshold = fraction * self._total
+            seen = 0
+            for index, count in enumerate(self._counts):
+                seen += count
+                if seen >= threshold:
+                    # Upper edge of this bucket, capped at the true max.
+                    edge = (
+                        _BASE_SECONDS
+                        if index == 0
+                        else _BASE_SECONDS * _GROWTH**index
+                    )
+                    return min(edge, self._max)
+            return self._max
+
+    def snapshot_ms(self) -> Tuple[float, float, float, float]:
+        """(p50, p95, p99, mean) in milliseconds."""
+        return (
+            1000.0 * self.percentile(0.50),
+            1000.0 * self.percentile(0.95),
+            1000.0 * self.percentile(0.99),
+            1000.0 * self.mean(),
+        )
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """One immutable snapshot of a :class:`repro.service.QueryEngine`.
+
+    Page counters are *logical* R-tree node visits (the paper's unit);
+    ``physical_reads`` is what survived the per-worker buffer pools.
+    Cache hits execute no search at all, so they contribute 0 pages.
+    """
+
+    #: Queries answered (hits + executed).
+    queries: int
+    #: Answered straight from the result cache.
+    cache_hits: int
+    #: Answered by running a search.
+    executed: int
+    #: Entries purged after a tree mutation bumped the epoch.
+    cache_invalidated: int
+    #: Tree epoch at snapshot time.
+    epoch: int
+    #: Worker threads serving the batch API.
+    workers: int
+    #: Median / tail latencies, milliseconds.
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    #: Logical pages per *executed* query (cache hits touch no pages).
+    pages_per_query: float
+    #: Physical reads after per-worker buffering, total.
+    physical_reads: int
+    #: Leaf objects whose distance was computed, per executed query.
+    objects_per_query: float
+    #: Highest number of queries simultaneously in flight observed.
+    max_queue_depth: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of queries served from the result cache."""
+        if not self.queries:
+            return 0.0
+        return self.cache_hits / self.queries
+
+    def render(self) -> str:
+        """Multi-line human-readable report (the CLI's output)."""
+        lines = [
+            f"queries            {self.queries:>12,}",
+            f"  cache hits       {self.cache_hits:>12,}"
+            f"  ({100.0 * self.hit_ratio:.1f}%)",
+            f"  executed         {self.executed:>12,}",
+            f"  invalidated      {self.cache_invalidated:>12,}",
+            f"workers            {self.workers:>12}",
+            f"epoch              {self.epoch:>12}",
+            f"latency p50        {self.latency_p50_ms:>12.3f} ms",
+            f"latency p95        {self.latency_p95_ms:>12.3f} ms",
+            f"latency p99        {self.latency_p99_ms:>12.3f} ms",
+            f"latency mean       {self.latency_mean_ms:>12.3f} ms",
+            f"pages/query        {self.pages_per_query:>12.2f}",
+            f"physical reads     {self.physical_reads:>12,}",
+            f"objects/query      {self.objects_per_query:>12.2f}",
+            f"max queue depth    {self.max_queue_depth:>12}",
+        ]
+        return "\n".join(lines)

@@ -17,6 +17,7 @@ from repro.storage.tracker import (
     AccessTracker,
     CountingTracker,
     NullTracker,
+    ShardedTracker,
 )
 from repro.storage.buffer import BufferPool, BufferStats, FifoBufferPool, LruBufferPool
 from repro.storage.cost import DiskCostModel
@@ -42,6 +43,7 @@ __all__ = [
     "PageModel",
     "RetryPolicy",
     "ReplayResult",
+    "ShardedTracker",
     "TraceRecorder",
     "replay",
 ]

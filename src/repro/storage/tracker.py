@@ -9,10 +9,17 @@ layered on top of an inner tracker that receives only the *misses*.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, List
 
-__all__ = ["AccessTracker", "AccessStats", "NullTracker", "CountingTracker"]
+__all__ = [
+    "AccessTracker",
+    "AccessStats",
+    "NullTracker",
+    "CountingTracker",
+    "ShardedTracker",
+]
 
 
 class AccessTracker:
@@ -58,6 +65,19 @@ class AccessStats:
             per_page=dict(self.per_page),
         )
 
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate *other* into this instance.
+
+        ``unique_pages`` is recomputed from the merged per-page map, so a
+        page touched by several shards is counted once.
+        """
+        self.total += other.total
+        self.leaf += other.leaf
+        self.internal += other.internal
+        for page_id, count in other.per_page.items():
+            self.per_page[page_id] = self.per_page.get(page_id, 0) + count
+        self.unique_pages = len(self.per_page)
+
 
 class CountingTracker(AccessTracker):
     """Tracker that counts every access, split by leaf/internal pages."""
@@ -79,3 +99,93 @@ class CountingTracker(AccessTracker):
 
     def reset(self) -> None:
         self.stats = AccessStats()
+
+
+class ShardedTracker(AccessTracker):
+    """A tracker that concurrent workers can share without contention.
+
+    Each thread that records an access lazily receives its own private
+    *shard* (built by ``shard_factory``; default :class:`CountingTracker`,
+    but a buffer-pool factory works too).  The hot path is therefore
+    lock-free — a thread only ever touches its own shard — while
+    :meth:`aggregate` walks the shard list exactly once, so no access is
+    ever double-counted no matter how many threads contributed.
+
+    This is how :class:`repro.service.QueryEngine` reuses one logical
+    tracker across its whole worker pool.
+    """
+
+    def __init__(
+        self,
+        shard_factory: Callable[[], AccessTracker] = CountingTracker,
+    ) -> None:
+        self._factory = shard_factory
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._shards: List[AccessTracker] = []
+
+    def access(self, page_id: int, is_leaf: bool) -> None:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = self._factory()
+            self._local.shard = shard
+            with self._lock:
+                self._shards.append(shard)
+        shard.access(page_id, is_leaf)
+
+    def shards(self) -> List[AccessTracker]:
+        """All shards created so far (one per contributing thread)."""
+        with self._lock:
+            return list(self._shards)
+
+    def aggregate(self) -> AccessStats:
+        """Merged *logical* access totals across every shard.
+
+        Works for counting shards directly and for buffer-pool shards by
+        reading the pool's inner (physical) counter — see
+        :meth:`physical_reads` for the miss-only total.
+        """
+        merged = AccessStats()
+        for shard in self.shards():
+            stats = getattr(shard, "stats", None)
+            if isinstance(stats, AccessStats):
+                merged.merge(stats)
+            else:
+                inner_stats = getattr(
+                    getattr(shard, "inner", None), "stats", None
+                )
+                if isinstance(inner_stats, AccessStats):
+                    merged.merge(inner_stats)
+        return merged
+
+    def physical_reads(self) -> int:
+        """Total physical reads across shards.
+
+        For buffer-pool shards this is the sum of their inner (miss)
+        counters; for plain counting shards every access is physical.
+        """
+        total = 0
+        for shard in self.shards():
+            inner_stats = getattr(getattr(shard, "inner", None), "stats", None)
+            if isinstance(inner_stats, AccessStats):
+                total += inner_stats.total
+                continue
+            stats = getattr(shard, "stats", None)
+            if isinstance(stats, AccessStats):
+                total += stats.total
+        return total
+
+    def buffer_hits_and_misses(self) -> "tuple[int, int]":
+        """Summed ``(hits, misses)`` over buffer-pool shards (0s otherwise)."""
+        hits = 0
+        misses = 0
+        for shard in self.shards():
+            stats = getattr(shard, "stats", None)
+            if hasattr(stats, "hits") and hasattr(stats, "misses"):
+                hits += stats.hits
+                misses += stats.misses
+        return hits, misses
+
+    def reset(self) -> None:
+        for shard in self.shards():
+            shard.reset()

@@ -18,10 +18,10 @@ TINY = Scale(
 
 
 class TestRegistry:
-    def test_all_thirteen_registered(self):
+    def test_all_fourteen_registered(self):
         assert sorted(EXPERIMENTS) == [
-            "E1", "E10", "E11", "E12", "E13", "E2", "E3", "E4", "E5", "E6",
-            "E7", "E8", "E9",
+            "E1", "E10", "E11", "E12", "E13", "E14", "E2", "E3", "E4", "E5",
+            "E6", "E7", "E8", "E9",
         ]
 
     def test_lookup_case_insensitive(self):
@@ -121,6 +121,22 @@ class TestPaperShapes:
         for f, l, o in zip(fifo, lru, opt):
             assert o <= l + 1e-9
             assert o <= f + 1e-9
+
+    def test_e14_clustered_sessions_hit_the_cache(self):
+        (table,) = get_experiment("E14").run(TINY)
+        rows = list(
+            zip(table.column("workload"), table.column("hit rate"))
+        )
+        clustered = [
+            float(rate) for workload, rate in rows
+            if workload == "clustered/sessions"
+        ]
+        assert max(clustered) > 0.5
+        uniform = [
+            float(rate) for workload, rate in rows
+            if workload == "uniform/distinct"
+        ]
+        assert max(uniform) == 0.0  # distinct points cannot hit
 
     def test_e9_error_within_guarantee_and_pages_shrink(self):
         (table,) = get_experiment("E9").run(TINY)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import NearestNeighborQuery, RTree, nearest
+from repro import NearestNeighborQuery, QueryConfig, RTree, nearest
 from repro.errors import InvalidParameterError
 
 
@@ -62,3 +62,72 @@ class TestNearestNeighborQuery:
         result = query((500.0, 500.0))
         baseline = nearest(small_tree, (500.0, 500.0), k=1)
         assert result.distances() == pytest.approx(baseline.distances())
+
+
+class TestCallStyles:
+    """Both entry styles — legacy kwargs and config= — must stay pinned."""
+
+    def test_kwargs_and_config_agree(self, small_tree):
+        q = (432.0, 123.0)
+        via_kwargs = nearest(
+            small_tree, q, k=4, algorithm="best-first", epsilon=0.0
+        )
+        via_config = nearest(
+            small_tree, q, config=QueryConfig(k=4, algorithm="best-first")
+        )
+        assert via_kwargs.distances() == via_config.distances()
+        assert via_kwargs.payloads() == via_config.payloads()
+
+    def test_explicit_kwarg_overrides_config(self, small_tree):
+        config = QueryConfig(k=2)
+        assert len(nearest(small_tree, (500.0, 500.0), k=6, config=config)) == 6
+        # The config itself is untouched by the call.
+        assert config.k == 2
+
+    def test_query_object_accepts_config(self, small_tree):
+        config = QueryConfig(k=3, ordering="minmaxdist")
+        query = NearestNeighborQuery(small_tree, config=config)
+        assert query.k == 3
+        assert query.ordering == "minmaxdist"
+        assert len(query((500.0, 500.0))) == 3
+
+    def test_query_object_validates_config_eagerly(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            NearestNeighborQuery(small_tree, ordering="sideways")
+        with pytest.raises(InvalidParameterError):
+            NearestNeighborQuery(small_tree, k=0)
+
+    def test_invalid_ordering_message_lists_choices(self, small_tree):
+        with pytest.raises(InvalidParameterError) as excinfo:
+            nearest(small_tree, (0.0, 0.0), ordering="zigzag")
+        message = str(excinfo.value)
+        assert "mindist" in message and "minmaxdist" in message
+
+
+class TestNNResultErgonomics:
+    def test_points_returns_object_centers(self, small_tree):
+        result = nearest(small_tree, (500.0, 500.0), k=3)
+        points = result.points()
+        assert len(points) == 3
+        assert all(len(p) == 2 for p in points)
+
+    def test_to_dicts_is_ranked_and_complete(self, small_tree):
+        result = nearest(small_tree, (500.0, 500.0), k=3)
+        dicts = result.to_dicts()
+        assert [d["rank"] for d in dicts] == [1, 2, 3]
+        assert [d["payload"] for d in dicts] == result.payloads()
+        assert [d["distance"] for d in dicts] == result.distances()
+        assert [d["point"] for d in dicts] == list(result.points())
+
+    def test_repr_mentions_key_facts(self, small_tree):
+        result = nearest(small_tree, (500.0, 500.0), k=3)
+        text = repr(result)
+        assert "k=3" in text
+        assert "best_distance" in text
+        assert "nodes_accessed" in text
+
+    def test_empty_result_repr(self):
+        result = nearest(RTree(), (0.0, 0.0), k=2)
+        assert "k=0" in repr(result) or "empty" in repr(result).lower()
+        assert result.points() == []
+        assert result.to_dicts() == []

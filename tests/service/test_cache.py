@@ -1,0 +1,168 @@
+"""Unit tests for the serving-layer building blocks: cache, locks, stats."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import LatencyRecorder, ReadWriteLock, ResultCache
+
+pytestmark = pytest.mark.service
+
+
+class TestResultCache:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is the LRU victim
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_key_updates_value(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(-1)
+
+    def test_invalidate_epoch_drops_stale_entries(self):
+        cache = ResultCache(8)
+        cache.put(("p1", "cfg", 0), "old")
+        cache.put(("p2", "cfg", 0), "old")
+        cache.put(("p1", "cfg", 1), "new")
+        dropped = cache.invalidate_epoch(1)
+        assert dropped == 2
+        assert cache.stats.invalidated == 2
+        assert cache.get(("p1", "cfg", 0)) is None
+        assert cache.get(("p1", "cfg", 1)) == "new"
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_concurrent_access_is_consistent(self):
+        cache = ResultCache(64)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(500):
+                    cache.put((tid, i % 16), i)
+                    cache.get((tid, (i + 1) % 16))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
+        assert cache.stats.lookups == 8 * 500
+
+
+class TestReadWriteLock:
+    def test_readers_are_concurrent(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(2, timeout=5.0)
+
+        def reader():
+            with lock.read():
+                entered.wait()  # both readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        log = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+                log.append("w-start")
+                threading.Event().wait(0.05)
+                log.append("w-end")
+
+        def reader():
+            writer_in.wait(timeout=5.0)
+            with lock.read():
+                log.append("r")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join(timeout=5.0)
+        tr.join(timeout=5.0)
+        assert log == ["w-start", "w-end", "r"]
+
+
+class TestLatencyRecorder:
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.mean() == 0.0
+        assert recorder.percentile(0.95) == 0.0
+
+    def test_percentiles_are_conservative(self):
+        recorder = LatencyRecorder()
+        samples = [0.001] * 95 + [0.1] * 5  # 95% at 1ms, 5% at 100ms
+        for s in samples:
+            recorder.record(s)
+        p50 = recorder.percentile(0.50)
+        p99 = recorder.percentile(0.99)
+        # Bucketed estimates never under-report and stay within 25%.
+        assert 0.001 <= p50 <= 0.00125
+        assert 0.1 <= p99 <= 0.125
+        assert recorder.mean() == pytest.approx(sum(samples) / len(samples))
+
+    def test_snapshot_ms_units(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.002)
+        p50, p95, p99, mean = recorder.snapshot_ms()
+        assert 2.0 <= p50 <= 2.5
+        assert p50 <= p95 <= p99
+        assert mean == pytest.approx(2.0)
+
+    def test_negative_and_tiny_samples_clamp(self):
+        recorder = LatencyRecorder()
+        recorder.record(-1.0)
+        recorder.record(1e-9)
+        assert recorder.count == 2
+        assert recorder.percentile(1.0) <= 1e-6

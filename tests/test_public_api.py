@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.datasets",
     "repro.bench",
     "repro.geometry",
+    "repro.service",
 ]
 
 
