@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Auditing the index against itself: differential testing end to end.
+
+Every algorithm in this repo claims to return the same neighbors.  The
+audit subsystem turns that redundancy into a test oracle: replay seeded
+random workloads through every algorithm and backend, diff the answers
+against a linear scan, and exhaustively re-scan every subtree the DFS
+pruned to certify no true neighbor was discarded.
+
+This walkthrough runs the machinery three ways:
+
+1. a clean audit pass over seeded workloads (what CI runs);
+2. a single hand-built workload through the backend differ and the
+   pruning-soundness certifier, showing the per-check API;
+3. a *planted bug*: `_set_prune_slack(0.25)` flips the float-safety
+   slack from "keep a little extra" to "discard subtrees that may hold
+   the true nearest neighbor".  The audit catches it, and ddmin shrinks
+   the failing case to a handful of integer points you can plot on
+   graph paper.
+
+Run with::
+
+    python examples/audit.py
+"""
+
+from repro.audit import (
+    AuditConfig,
+    check_pruning_soundness,
+    diff_backends,
+    run_audit,
+    shrink_points,
+)
+from repro.audit.backends import build_backends, build_memory_tree
+from repro.core.knn_dfs import _set_prune_slack, nearest_dfs
+from repro.datasets import uniform_points
+from repro.geometry.rect import Rect
+
+
+def main() -> None:
+    # --- 1. the full audit, small scale --------------------------------
+    # CI runs 200 cases; 20 keeps this example quick.  Every case builds
+    # fresh trees (memory + disk + kd) from a seed-derived workload and
+    # runs oracle, soundness, and metamorphic checks.
+    report = run_audit(AuditConfig(seed=1995, cases=20))
+    print(report.render())
+    assert report.clean
+
+    # --- 2. the per-check API on one workload --------------------------
+    points = uniform_points(80, seed=42)
+    query = (500.0, 500.0)
+
+    with build_backends(points) as backends:
+        # Six algorithm combos x three backends, distance-by-distance
+        # against the linear-scan ground truth.  Empty list == agreement.
+        problems = diff_backends(backends, points, query, k=5)
+        print(f"\nbackend differ on 80 uniform points: "
+              f"{len(problems)} discrepancies")
+        assert problems == []
+
+    # The soundness certifier re-runs the DFS with the on_prune hook and
+    # brute-force scans every subtree the search discarded.
+    tree = build_memory_tree(points)
+    items = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+    violations = check_pruning_soundness(tree, items, query, k=1)
+    print(f"pruning certificate: {len(violations)} violations")
+    assert violations == []
+
+    # --- 3. plant a bug, catch it, shrink it ---------------------------
+    # Slack below 1.0 makes P1/P3 discard subtrees whose MINDIST is
+    # *below* the candidate bound — an unsound prune.  (This is the same
+    # hook `python -m repro.audit --demo-broken-prune` uses.)
+    previous = _set_prune_slack(0.25)
+    try:
+        # An unsound prune only fires when the geometry lines up, so
+        # probe a handful of queries — exactly why the real audit sweeps
+        # hundreds of seeded cases instead of one.
+        failing = next(
+            (q, k)
+            for q in [(500.0, 500.0), (250.0, 750.0), (100.0, 100.0),
+                      (750.0, 250.0), (900.0, 900.0)]
+            for k in (1, 2, 3)
+            if check_pruning_soundness(tree, items, q, k=k)
+        )
+        query, k = failing
+        violations = check_pruning_soundness(tree, items, query, k=k)
+        print(f"\nwith slack 0.25: {len(violations)} violations at "
+              f"query={query} k={k}, e.g.")
+        print(f"  {violations[0].describe()}")
+
+        # Shrink: which points does the failure actually need?  The
+        # predicate rebuilds the tree from each candidate subset and
+        # asks "does the broken DFS still disagree with a linear scan?".
+        def still_fails(candidate_points):
+            candidate_tree = build_memory_tree(candidate_points)
+            candidate_items = [
+                (Rect.from_point(p), i)
+                for i, p in enumerate(candidate_points)
+            ]
+            return bool(
+                check_pruning_soundness(
+                    candidate_tree, candidate_items, query, k=k
+                )
+            )
+
+        minimal = shrink_points(points, still_fails)
+        print(f"shrunk from {len(points)} points to {len(minimal)}:")
+        for p in minimal:
+            print(f"  {p}")
+    finally:
+        _set_prune_slack(previous)
+
+    # The slack seam restores cleanly: the same check passes again.
+    assert check_pruning_soundness(tree, items, query, k=k) == []
+    print("\nslack restored; certificate clean again")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Differential correctness audit for the nearest-neighbor stack.
+
+The paper's contribution is a *pruning* argument: Theorems 1–2 bound the
+distance to the nearest object inside an MBR by
+``MINDIST(P, M) <= dist(P, o) <= MINMAXDIST(P, M)``, and the P1/P2/P3
+strategies discard subtrees on the strength of those bounds.  Nothing in
+a passing unit test proves the bounds hold on *your* data — clustered,
+tie-heavy, and degenerate geometry (Maneewongvatana & Mount) is exactly
+where a few misplaced ulps turn a prune unsound.  This package is the
+standing runtime proof:
+
+- :mod:`repro.audit.oracle` — replays seeded workloads through every
+  algorithm (DFS both orderings, best-first, incremental, the cached
+  ``QueryEngine`` path) on every backend (in-memory ``RTree``,
+  ``DiskRTree``, ``KdTree``, linear scan) and diffs the result sets
+  distance-by-distance, tie-aware, with epsilon-bound verification.
+- :mod:`repro.audit.soundness` — an instrumented DFS records every
+  P1/P3-pruned subtree, exhaustively re-scans it, and certifies no
+  better neighbor was discarded; the P2 bound invariant
+  (``minmax_bound_sq >= true nearest distance^2``) is checked at every
+  update.
+- :mod:`repro.audit.metamorphic` — translation/scale invariance,
+  monotonicity of result sets in ``k``, cache-hit == cache-miss
+  equality across tree epochs.
+- :mod:`repro.audit.shrink` — delta-debugs a failing workload down to a
+  minimal ``(points, query, k)`` repro.
+- ``python -m repro.audit`` — the CLI gate every perf PR must pass:
+  ``--seed``/``--cases`` for the fuzz budget, ``--shrink`` for minimal
+  repros, ``--json`` for a machine-readable failure report, and
+  ``--demo-broken-prune`` to prove the auditor catches a deliberately
+  unsound prune.
+"""
+
+from repro.audit.oracle import (
+    Discrepancy,
+    check_result,
+    diff_backends,
+    exact_neighbors,
+)
+from repro.audit.metamorphic import (
+    check_engine_cache_equivalence,
+    check_k_monotonicity,
+    check_scale_invariance,
+    check_translation_invariance,
+)
+from repro.audit.report import AuditReport, Failure
+from repro.audit.runner import AuditConfig, run_audit
+from repro.audit.shrink import shrink_points
+from repro.audit.soundness import SoundnessViolation, check_pruning_soundness
+from repro.audit.workloads import Workload, make_workload
+
+__all__ = [
+    "AuditConfig",
+    "AuditReport",
+    "Discrepancy",
+    "Failure",
+    "SoundnessViolation",
+    "Workload",
+    "check_engine_cache_equivalence",
+    "check_k_monotonicity",
+    "check_pruning_soundness",
+    "check_result",
+    "check_scale_invariance",
+    "check_translation_invariance",
+    "diff_backends",
+    "exact_neighbors",
+    "make_workload",
+    "run_audit",
+    "shrink_points",
+]

@@ -1,0 +1,113 @@
+"""Build every index backend the audit diffs against each other.
+
+One workload's points are indexed four ways — dynamic in-memory
+:class:`~repro.rtree.tree.RTree` (or an STR bulk load, per the case's
+coin flip), the same tree serialized and reopened as a
+:class:`~repro.rtree.disk.DiskRTree`, a
+:class:`~repro.baselines.kdtree.KdTree`, and the raw item list for
+:func:`~repro.baselines.linear_scan.linear_scan_items` — so a diff
+isolates *where* an answer went wrong: algorithm, serialization, or
+baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.baselines.kdtree import KdTree
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.rtree.disk import DiskRTree, write_tree
+from repro.rtree.tree import RTree
+
+__all__ = ["Backends", "build_backends"]
+
+
+@dataclass
+class Backends:
+    """The four index representations of one workload, plus raw items."""
+
+    tree: RTree
+    disk: Optional[DiskRTree]
+    kdtree: KdTree
+    items: List[Tuple[Rect, int]]
+    _disk_path: Optional[str] = None
+
+    def close(self) -> None:
+        if self.disk is not None:
+            self.disk.close()
+            self.disk = None
+        if self._disk_path is not None:
+            try:
+                os.unlink(self._disk_path)
+            except OSError:
+                pass
+            self._disk_path = None
+
+    def __enter__(self) -> "Backends":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def build_memory_tree(
+    points: Sequence[Sequence[float]],
+    max_entries: int = 8,
+    split: str = "quadratic",
+    use_bulk_load: bool = False,
+) -> RTree:
+    """Index *points* (payload = index) dynamically or via STR packing."""
+    if use_bulk_load:
+        return bulk_load(
+            [(p, i) for i, p in enumerate(points)],
+            max_entries=max_entries,
+            min_entries=max(1, max_entries * 2 // 5),
+        )
+    tree = RTree(max_entries=max_entries, split=split)
+    for i, p in enumerate(points):
+        tree.insert(p, payload=i)
+    return tree
+
+
+def build_backends(
+    points: Sequence[Sequence[float]],
+    max_entries: int = 8,
+    split: str = "quadratic",
+    use_bulk_load: bool = False,
+    tmp_dir: Optional[str] = None,
+    with_disk: bool = True,
+) -> Backends:
+    """All four backends over *points*; payloads are point indices.
+
+    The disk backend serializes the in-memory tree (structure-preserving,
+    so a diff against it implicates the serialization round-trip, not
+    tree construction) into *tmp_dir* (or the system temp directory).
+    """
+    tree = build_memory_tree(
+        points,
+        max_entries=max_entries,
+        split=split,
+        use_bulk_load=use_bulk_load,
+    )
+    disk = None
+    disk_path = None
+    if with_disk:
+        fd, disk_path = tempfile.mkstemp(
+            suffix=".rnn", prefix="audit-", dir=tmp_dir
+        )
+        os.close(fd)
+        write_tree(tree, disk_path)
+        disk = DiskRTree(disk_path)
+    kdtree = KdTree([(p, i) for i, p in enumerate(points)])
+    items = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+    return Backends(
+        tree=tree,
+        disk=disk,
+        kdtree=kdtree,
+        items=items,
+        _disk_path=disk_path,
+    )

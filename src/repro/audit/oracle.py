@@ -1,0 +1,324 @@
+"""The differential oracle: every algorithm x backend, diffed tie-aware.
+
+Ground truth is the exhaustive linear scan (no pruning, no tree — nothing
+to get wrong).  Every other combination must return *the same distance
+sequence*: under exact ties the paper leaves the winning object
+unspecified, so correctness is defined on sorted distances (exactly how
+the conftest oracle has always defined it), plus per-neighbor
+self-consistency — each returned ``(payload, rect, distance)`` must
+agree with the workload's own geometry, which catches a result that is
+"right by distance" but points at the wrong object.
+
+Epsilon-mode combos are verified against the Arya et al. bound instead:
+``d_returned[i] <= (1 + eps) * d_exact[i]`` for every rank ``i`` (and
+``d_returned[i] >= d_exact[i]``, since an approximate result is still a
+subset of real objects).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.audit.backends import Backends
+from repro.baselines.linear_scan import linear_scan_items
+from repro.core.knn_best_first import nearest_best_first, nearest_incremental
+from repro.core.knn_dfs import nearest_dfs
+from repro.core.metrics import mindist_squared
+from repro.core.neighbors import Neighbor
+from repro.core.pruning import PruningConfig
+
+__all__ = [
+    "Discrepancy",
+    "check_result",
+    "diff_backends",
+    "exact_neighbors",
+    "ALGORITHM_COMBOS",
+]
+
+#: Absolute + relative tolerance for "the same distance".  Distances on
+#: every path are computed from identical f64 coordinates with the same
+#: per-axis arithmetic, so honest agreement is near-bit-exact; 1e-9
+#: forgives sqrt rounding while still catching any real pruning loss.
+_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _TOL * max(1.0, abs(a), abs(b))
+
+
+@dataclass
+class Discrepancy:
+    """One observed disagreement between a combo and the oracle."""
+
+    kind: str  # "distance-mismatch" | "epsilon-violation" | ...
+    combo: str  # e.g. "dfs-mindist@disk"
+    query: Tuple[float, ...]
+    k: int
+    expected: List[float] = field(default_factory=list)
+    actual: List[float] = field(default_factory=list)
+    detail: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] {self.combo} k={self.k} query={self.query}: "
+            f"{self.detail or f'expected {self.expected}, got {self.actual}'}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "combo": self.combo,
+            "query": list(self.query),
+            "k": self.k,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+        }
+
+
+def exact_neighbors(
+    items: Sequence[Tuple[Any, int]], query: Sequence[float], k: int
+) -> List[Neighbor]:
+    """Ground truth for *query*: exhaustive scan over the raw items."""
+    return linear_scan_items(items, query, k=k)
+
+
+def check_result(
+    neighbors: Sequence[Neighbor],
+    query: Sequence[float],
+    k: int,
+    exact: Sequence[Neighbor],
+    combo: str,
+    points: Optional[Sequence[Sequence[float]]] = None,
+    epsilon: float = 0.0,
+) -> List[Discrepancy]:
+    """All the ways one result can disagree with the oracle.
+
+    Checks, in order: result size, per-neighbor self-consistency
+    (distance matches the neighbor's own rect; payload maps back to the
+    workload point when *points* is given), sorted order, and the
+    distance sequence against *exact* — exact equality at ``epsilon ==
+    0``, the ``(1 + epsilon)`` band otherwise.
+    """
+    query_t = tuple(float(c) for c in query)
+    problems: List[Discrepancy] = []
+    expected_len = len(exact)
+    if len(neighbors) != expected_len:
+        problems.append(
+            Discrepancy(
+                kind="size-mismatch",
+                combo=combo,
+                query=query_t,
+                k=k,
+                expected=[n.distance for n in exact],
+                actual=[n.distance for n in neighbors],
+                detail=f"expected {expected_len} neighbors, got {len(neighbors)}",
+            )
+        )
+        return problems
+
+    prev = -math.inf
+    for rank, n in enumerate(neighbors):
+        # Self-consistency: the reported distance must be the distance to
+        # the reported rect, and the payload must map to that rect.
+        true_sq = mindist_squared(query_t, n.rect)
+        if not _close(n.distance_squared, true_sq):
+            problems.append(
+                Discrepancy(
+                    kind="self-inconsistent",
+                    combo=combo,
+                    query=query_t,
+                    k=k,
+                    actual=[n.distance],
+                    detail=(
+                        f"rank {rank}: reported distance^2 "
+                        f"{n.distance_squared} but rect is at {true_sq}"
+                    ),
+                )
+            )
+        if points is not None and isinstance(n.payload, int):
+            if 0 <= n.payload < len(points):
+                center = tuple(n.rect.center)
+                original = tuple(float(c) for c in points[n.payload])
+                if center != original:
+                    problems.append(
+                        Discrepancy(
+                            kind="payload-mismatch",
+                            combo=combo,
+                            query=query_t,
+                            k=k,
+                            detail=(
+                                f"rank {rank}: payload {n.payload} maps to "
+                                f"{original} but rect center is {center}"
+                            ),
+                        )
+                    )
+            else:
+                problems.append(
+                    Discrepancy(
+                        kind="payload-mismatch",
+                        combo=combo,
+                        query=query_t,
+                        k=k,
+                        detail=f"rank {rank}: payload {n.payload!r} out of range",
+                    )
+                )
+        if n.distance < prev - _TOL:
+            problems.append(
+                Discrepancy(
+                    kind="unsorted-result",
+                    combo=combo,
+                    query=query_t,
+                    k=k,
+                    actual=[m.distance for m in neighbors],
+                    detail=f"rank {rank}: {n.distance} after {prev}",
+                )
+            )
+        prev = n.distance
+
+    expected_d = [n.distance for n in exact]
+    actual_d = [n.distance for n in neighbors]
+    if epsilon == 0.0:
+        for rank, (e, a) in enumerate(zip(expected_d, actual_d)):
+            if not _close(e, a):
+                problems.append(
+                    Discrepancy(
+                        kind="distance-mismatch",
+                        combo=combo,
+                        query=query_t,
+                        k=k,
+                        expected=expected_d,
+                        actual=actual_d,
+                        detail=f"rank {rank}: exact {e} vs returned {a}",
+                    )
+                )
+                break
+    else:
+        band = 1.0 + epsilon
+        for rank, (e, a) in enumerate(zip(expected_d, actual_d)):
+            if a > e * band + _TOL or a < e - _TOL:
+                problems.append(
+                    Discrepancy(
+                        kind="epsilon-violation",
+                        combo=combo,
+                        query=query_t,
+                        k=k,
+                        expected=expected_d,
+                        actual=actual_d,
+                        detail=(
+                            f"rank {rank}: returned {a} outside "
+                            f"[{e}, {e * band}] (eps={epsilon})"
+                        ),
+                    )
+                )
+                break
+    return problems
+
+
+def _incremental_first_k(tree, query, k):
+    out = []
+    for neighbor in nearest_incremental(tree, query):
+        out.append(neighbor)
+        if len(out) >= k:
+            break
+    return out
+
+
+#: ``name -> (runner(tree, query, k), epsilon_mode)``.  Exercised on both
+#: tree backends; epsilon-mode combos get the workload's epsilon.
+ALGORITHM_COMBOS: List[Tuple[str, Callable, bool]] = [
+    (
+        "dfs-mindist",
+        lambda t, q, k: nearest_dfs(t, q, k=k, ordering="mindist")[0],
+        False,
+    ),
+    (
+        "dfs-minmaxdist",
+        lambda t, q, k: nearest_dfs(t, q, k=k, ordering="minmaxdist")[0],
+        False,
+    ),
+    (
+        "dfs-noprune",
+        lambda t, q, k: nearest_dfs(t, q, k=k, pruning=PruningConfig.none())[0],
+        False,
+    ),
+    (
+        "dfs-p3only",
+        lambda t, q, k: nearest_dfs(t, q, k=k, pruning=PruningConfig.only_p3())[0],
+        False,
+    ),
+    (
+        "best-first",
+        lambda t, q, k: nearest_best_first(t, q, k=k)[0],
+        False,
+    ),
+    (
+        "incremental",
+        _incremental_first_k,
+        False,
+    ),
+]
+
+_EPSILON_COMBOS: List[Tuple[str, Callable]] = [
+    (
+        "dfs-mindist-eps",
+        lambda t, q, k, eps: nearest_dfs(t, q, k=k, epsilon=eps)[0],
+    ),
+    (
+        "best-first-eps",
+        lambda t, q, k, eps: nearest_best_first(t, q, k=k, epsilon=eps)[0],
+    ),
+]
+
+
+def diff_backends(
+    backends: Backends,
+    points: Sequence[Sequence[float]],
+    query: Sequence[float],
+    k: int,
+    epsilon: float = 0.5,
+) -> List[Discrepancy]:
+    """Run every combo for one ``(query, k)`` and collect all diffs."""
+    exact = exact_neighbors(backends.items, query, k)
+    problems: List[Discrepancy] = []
+
+    tree_backends = [("mem", backends.tree)]
+    if backends.disk is not None:
+        tree_backends.append(("disk", backends.disk))
+
+    for backend_name, tree in tree_backends:
+        for name, runner, _ in ALGORITHM_COMBOS:
+            result = runner(tree, query, k)
+            problems.extend(
+                check_result(
+                    result,
+                    query,
+                    k,
+                    exact,
+                    combo=f"{name}@{backend_name}",
+                    points=points,
+                )
+            )
+        for name, runner in _EPSILON_COMBOS:
+            result = runner(tree, query, k, epsilon)
+            problems.extend(
+                check_result(
+                    result,
+                    query,
+                    k,
+                    exact,
+                    combo=f"{name}@{backend_name}",
+                    points=points,
+                    epsilon=epsilon,
+                )
+            )
+
+    kd_result, _ = backends.kdtree.nearest(query, k)
+    problems.extend(
+        check_result(
+            kd_result, query, k, exact, combo="kdtree", points=points
+        )
+    )
+    return problems

@@ -1,0 +1,122 @@
+"""Machine-readable audit outcome: counts, failures, shrunk repros.
+
+The JSON form (``AuditReport.to_dict`` / ``to_json``) is the contract CI
+and future tooling consume; ``render`` is the human summary the CLI
+prints.  A failure always embeds enough to re-run by hand: the seed and
+case index (workloads are seed-derived), the offending combo, the query,
+``k``, and — when shrinking ran — the minimal point set.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["AuditReport", "Failure"]
+
+
+@dataclass
+class Failure:
+    """One audit failure, annotated with its provenance and shrunk repro."""
+
+    check: str  # "oracle" | "soundness" | "metamorphic"
+    seed: int
+    case_index: int
+    distribution: str
+    description: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    #: Minimal failing points, populated when --shrink ran.
+    shrunk_points: Optional[List[List[float]]] = None
+    shrunk_query: Optional[List[float]] = None
+    shrunk_k: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "check": self.check,
+            "seed": self.seed,
+            "case": self.case_index,
+            "distribution": self.distribution,
+            "description": self.description,
+            "detail": self.payload,
+        }
+        if self.shrunk_points is not None:
+            out["shrunk"] = {
+                "points": self.shrunk_points,
+                "query": self.shrunk_query,
+                "k": self.shrunk_k,
+            }
+        return out
+
+
+@dataclass
+class AuditReport:
+    """Aggregate outcome of one audit run."""
+
+    seed: int
+    cases: int
+    distributions: List[str] = field(default_factory=list)
+    #: Individual check executions (one query/k/combo diff == one check).
+    oracle_checks: int = 0
+    soundness_checks: int = 0
+    metamorphic_checks: int = 0
+    failures: List[Failure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_checks(self) -> int:
+        return (
+            self.oracle_checks
+            + self.soundness_checks
+            + self.metamorphic_checks
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "distributions": self.distributions,
+            "checks": {
+                "oracle": self.oracle_checks,
+                "soundness": self.soundness_checks,
+                "metamorphic": self.metamorphic_checks,
+                "total": self.total_checks,
+            },
+            "clean": self.clean,
+            "failures": [f.to_dict() for f in self.failures],
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        lines = [
+            f"audit: seed={self.seed} cases={self.cases} "
+            f"distributions={','.join(self.distributions)}",
+            f"  oracle diffs       {self.oracle_checks:>10,} checks",
+            f"  pruning soundness  {self.soundness_checks:>10,} checks",
+            f"  metamorphic        {self.metamorphic_checks:>10,} checks",
+            f"  elapsed            {self.elapsed_seconds:>10.1f} s",
+        ]
+        if self.clean:
+            lines.append("PASS: 0 diffs, 0 soundness violations, "
+                         "0 metamorphic failures")
+        else:
+            lines.append(f"FAIL: {len(self.failures)} failure(s)")
+            for f in self.failures:
+                lines.append(
+                    f"  - [{f.check}] case {f.case_index} "
+                    f"({f.distribution}): {f.description}"
+                )
+                if f.shrunk_points is not None:
+                    lines.append(
+                        f"      shrunk to {len(f.shrunk_points)} point(s), "
+                        f"query={f.shrunk_query}, k={f.shrunk_k}"
+                    )
+                    lines.append(f"      points={f.shrunk_points}")
+        return "\n".join(lines)

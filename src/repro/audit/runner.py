@@ -1,0 +1,274 @@
+"""Orchestrate an audit run: cases -> checks -> (shrunk) failures.
+
+Each case is independent and fully derived from ``(seed, case_index,
+distribution)``.  The runner alternates distributions so a short budget
+still covers uniform *and* clustered geometry, runs the three check
+families per case, and — when asked — delta-debugs every failure down
+to a minimal repro before reporting.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.audit.backends import build_backends
+from repro.audit.metamorphic import (
+    check_engine_cache_equivalence,
+    check_k_monotonicity,
+    check_scale_invariance,
+    check_translation_invariance,
+)
+from repro.audit.oracle import diff_backends
+from repro.audit.report import AuditReport, Failure
+from repro.audit.shrink import shrink_points
+from repro.audit.soundness import check_pruning_soundness
+from repro.audit.workloads import DISTRIBUTIONS, Workload, make_workload
+from repro.errors import InvalidParameterError
+
+__all__ = ["AuditConfig", "run_audit"]
+
+
+@dataclass
+class AuditConfig:
+    """Knobs for one audit run (all CLI flags map 1:1 onto fields)."""
+
+    seed: int = 1995
+    cases: int = 100
+    distributions: Tuple[str, ...] = DISTRIBUTIONS
+    shrink: bool = False
+    #: Stop collecting after this many failures (the run keeps counting
+    #: checks but skips further expensive diagnosis).
+    max_failures: int = 20
+    #: Run the engine/cache metamorphic check every N cases (it spins up
+    #: a QueryEngine; every case would be wasteful).
+    engine_check_every: int = 5
+
+    def __post_init__(self) -> None:
+        if self.cases < 1:
+            raise InvalidParameterError(
+                f"cases must be >= 1, got {self.cases}"
+            )
+        for d in self.distributions:
+            if d not in DISTRIBUTIONS:
+                raise InvalidParameterError(
+                    f"unknown distribution {d!r}; valid: {DISTRIBUTIONS}"
+                )
+        if self.max_failures < 1:
+            raise InvalidParameterError(
+                f"max_failures must be >= 1, got {self.max_failures}"
+            )
+
+
+def run_audit(
+    config: AuditConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> AuditReport:
+    """Execute the full audit described by *config*."""
+    report = AuditReport(
+        seed=config.seed,
+        cases=config.cases,
+        distributions=list(config.distributions),
+    )
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-audit-") as tmp_dir:
+        for case_index in range(config.cases):
+            distribution = config.distributions[
+                case_index % len(config.distributions)
+            ]
+            workload = make_workload(config.seed, case_index, distribution)
+            _run_case(workload, report, config, tmp_dir)
+            if progress is not None and (case_index + 1) % 50 == 0:
+                progress(
+                    f"  ...case {case_index + 1}/{config.cases}, "
+                    f"{report.total_checks} checks, "
+                    f"{len(report.failures)} failure(s)"
+                )
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _run_case(
+    workload: Workload,
+    report: AuditReport,
+    config: AuditConfig,
+    tmp_dir: str,
+) -> None:
+    room = len(report.failures) < config.max_failures
+    with build_backends(
+        workload.points,
+        max_entries=workload.max_entries,
+        split=workload.split,
+        use_bulk_load=workload.use_bulk_load,
+        tmp_dir=tmp_dir,
+    ) as backends:
+        # --- 1. differential oracle over every algorithm x backend ----
+        for query in workload.queries:
+            for k in workload.ks:
+                report.oracle_checks += 1
+                problems = diff_backends(
+                    backends, workload.points, query, k,
+                    epsilon=workload.epsilon,
+                )
+                if problems and room:
+                    for p in problems[:3]:
+                        report.failures.append(
+                            _failure_from_discrepancy(
+                                "oracle", workload, p, config
+                            )
+                        )
+                    room = len(report.failures) < config.max_failures
+
+        # --- 2. pruning soundness on the instrumented DFS -------------
+        for query in workload.queries[:3]:
+            for k, ordering in ((1, "mindist"), (1, "minmaxdist"),
+                                (workload.ks[-1], "mindist")):
+                report.soundness_checks += 1
+                violations = check_pruning_soundness(
+                    backends.tree, backends.items, query,
+                    k=k, ordering=ordering,
+                )
+                if violations and room:
+                    for v in violations[:3]:
+                        report.failures.append(
+                            _failure_from_soundness(
+                                workload, v, config
+                            )
+                        )
+                    room = len(report.failures) < config.max_failures
+
+        # --- 3. metamorphic relations ---------------------------------
+        query = workload.queries[0]
+        k = workload.ks[1]
+        metamorphic = []
+        report.metamorphic_checks += 1
+        metamorphic += check_translation_invariance(
+            workload.points, query, k,
+            offset=tuple(37.0 for _ in workload.points[0]),
+            max_entries=workload.max_entries, split=workload.split,
+        )
+        report.metamorphic_checks += 1
+        metamorphic += check_scale_invariance(
+            workload.points, query, k, factor=4.0,
+            max_entries=workload.max_entries, split=workload.split,
+        )
+        for q in workload.queries:
+            report.metamorphic_checks += 1
+            metamorphic += check_k_monotonicity(backends.tree, q, workload.ks)
+        if workload.case_index % config.engine_check_every == 0:
+            report.metamorphic_checks += 1
+            metamorphic += check_engine_cache_equivalence(
+                workload.points, workload.queries[:3], k,
+                max_entries=workload.max_entries, split=workload.split,
+            )
+        if metamorphic and room:
+            for p in metamorphic[:3]:
+                report.failures.append(
+                    Failure(
+                        check="metamorphic",
+                        seed=workload.seed,
+                        case_index=workload.case_index,
+                        distribution=workload.distribution,
+                        description=p.describe(),
+                        payload=p.to_dict(),
+                    )
+                )
+
+
+def _failure_from_discrepancy(
+    check: str, workload: Workload, discrepancy, config: AuditConfig
+) -> Failure:
+    failure = Failure(
+        check=check,
+        seed=workload.seed,
+        case_index=workload.case_index,
+        distribution=workload.distribution,
+        description=discrepancy.describe(),
+        payload=discrepancy.to_dict(),
+    )
+    if config.shrink:
+        _attach_shrunk_repro(failure, workload, discrepancy)
+    return failure
+
+
+def _failure_from_soundness(
+    workload: Workload, violation, config: AuditConfig
+) -> Failure:
+    failure = Failure(
+        check="soundness",
+        seed=workload.seed,
+        case_index=workload.case_index,
+        distribution=workload.distribution,
+        description=violation.describe(),
+        payload=violation.to_dict(),
+    )
+    if config.shrink:
+        _attach_shrunk_soundness(failure, workload, violation)
+    return failure
+
+
+def _attach_shrunk_repro(
+    failure: Failure, workload: Workload, discrepancy
+) -> None:
+    """ddmin the indexed points until the oracle diff stops reproducing."""
+    query = discrepancy.query
+    combo = discrepancy.combo
+    k = discrepancy.k
+    epsilon = workload.epsilon
+
+    def still_fails(points: List[Tuple[float, ...]]) -> bool:
+        try:
+            with build_backends(
+                points,
+                max_entries=workload.max_entries,
+                split=workload.split,
+                use_bulk_load=workload.use_bulk_load,
+            ) as candidate:
+                problems = diff_backends(
+                    candidate, points, query, k, epsilon=epsilon
+                )
+        except Exception:
+            # A candidate subset that crashes a builder is not the bug
+            # being shrunk; treat it as "does not reproduce".
+            return False
+        return any(p.combo == combo for p in problems)
+
+    minimal = shrink_points(workload.points, still_fails)
+    failure.shrunk_points = [list(p) for p in minimal]
+    failure.shrunk_query = list(query)
+    failure.shrunk_k = k
+
+
+def _attach_shrunk_soundness(
+    failure: Failure, workload: Workload, violation
+) -> None:
+    from repro.audit.backends import build_memory_tree
+    from repro.geometry.rect import Rect
+
+    query = violation.query
+    k = violation.k
+    ordering = violation.ordering
+
+    def still_fails(points: List[Tuple[float, ...]]) -> bool:
+        try:
+            tree = build_memory_tree(
+                points,
+                max_entries=workload.max_entries,
+                split=workload.split,
+                use_bulk_load=workload.use_bulk_load,
+            )
+            items = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+            return bool(
+                check_pruning_soundness(
+                    tree, items, query, k=k, ordering=ordering
+                )
+            )
+        except Exception:
+            return False
+
+    minimal = shrink_points(workload.points, still_fails)
+    failure.shrunk_points = [list(p) for p in minimal]
+    failure.shrunk_query = list(query)
+    failure.shrunk_k = k

@@ -1,0 +1,87 @@
+"""Delta-debugging: bisect a failing workload to a minimal repro.
+
+A fuzz failure on a 90-point tree with 5 queries is a chore to debug; the
+same failure on 4 points and one query is usually obvious from the
+geometry alone.  :func:`shrink_points` is classic ddmin over the indexed
+points (the predicate re-runs the failing check on each candidate
+subset), followed by a coordinate-simplification pass that rounds
+surviving coordinates to integers when the failure doesn't depend on
+their fractional parts.
+
+The predicate must be deterministic — audit failures are, because every
+workload is seed-derived and every backend build is pure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = ["shrink_points", "shrink_k"]
+
+Point = Tuple[float, ...]
+#: ``predicate(points) -> True`` iff the failure still reproduces.
+Predicate = Callable[[List[Point]], bool]
+
+
+def shrink_points(
+    points: Sequence[Point],
+    predicate: Predicate,
+    max_rounds: int = 12,
+) -> List[Point]:
+    """Smallest point subset (found by ddmin) still failing *predicate*.
+
+    Starts from the full failing set, repeatedly tries dropping chunks
+    (halving the chunk size when stuck), then simplifies coordinates.
+    The result always fails *predicate*; if the input doesn't fail it is
+    returned unchanged.
+    """
+    current = list(points)
+    if not predicate(current):
+        return current
+
+    chunk = max(1, len(current) // 2)
+    rounds = 0
+    while chunk >= 1 and rounds < max_rounds:
+        rounds += 1
+        shrunk_this_round = False
+        start = 0
+        while start < len(current) and len(current) > 1:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and predicate(candidate):
+                current = candidate
+                shrunk_this_round = True
+                # Same start now addresses the next chunk.
+            else:
+                start += chunk
+        if not shrunk_this_round:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+
+    return _simplify_coordinates(current, predicate)
+
+
+def _simplify_coordinates(
+    points: List[Point], predicate: Predicate
+) -> List[Point]:
+    """Round coordinates to integers wherever the failure survives it."""
+    current = list(points)
+    for i, p in enumerate(current):
+        rounded = tuple(float(round(c)) for c in p)
+        if rounded == p:
+            continue
+        candidate = list(current)
+        candidate[i] = rounded
+        if predicate(candidate):
+            current = candidate
+    return current
+
+
+def shrink_k(
+    k: int, predicate: Callable[[int], bool]
+) -> int:
+    """Smallest ``k' <= k`` for which ``predicate(k')`` still fails."""
+    for candidate in range(1, k):
+        if predicate(candidate):
+            return candidate
+    return k

@@ -1,0 +1,164 @@
+"""Seeded workload generation for the audit: adversarial by construction.
+
+A uniform random workload almost never exercises the paths where pruning
+bugs hide.  Every case therefore layers *degeneracy decorations* on top
+of its base distribution:
+
+- **grid snapping** — coordinates snapped to a coarse integer grid, so
+  exact distance ties (including ties at the k-boundary) are common
+  rather than measure-zero;
+- **duplicates** — repeated points, the hardest tie of all;
+- **on-point queries** — queries placed exactly on an indexed point
+  (distance 0, MINDIST == MINMAXDIST == 0);
+- **midpoint queries** — queries equidistant from two indexed points,
+  the classic tie the Maneewongvatana–Mount clustered analysis stresses;
+- **face queries** — queries sharing a coordinate with an indexed point,
+  landing on MBR faces where MINDIST contributions vanish per-axis.
+
+Everything derives from ``(seed, case_index)`` so a failure re-runs
+bit-identically from its report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.datasets.synthetic import gaussian_clusters, uniform_points
+from repro.errors import InvalidParameterError
+
+__all__ = ["Workload", "make_workload", "DISTRIBUTIONS"]
+
+Point = Tuple[float, ...]
+
+#: Base distributions a case can draw its indexed points from.
+DISTRIBUTIONS = ("uniform", "clustered")
+
+_GRID_STEP = 8.0
+
+
+@dataclass
+class Workload:
+    """One audit case: indexed points, query points, and k values."""
+
+    seed: int
+    case_index: int
+    distribution: str
+    points: List[Point] = field(default_factory=list)
+    queries: List[Point] = field(default_factory=list)
+    ks: Tuple[int, ...] = (1,)
+    #: Approximation factor exercised by the epsilon-mode combos.
+    epsilon: float = 0.5
+    #: Randomized tree-construction knobs, so fanout/split bugs surface.
+    max_entries: int = 8
+    split: str = "quadratic"
+    use_bulk_load: bool = False
+
+    def describe(self) -> str:
+        return (
+            f"case {self.case_index} [{self.distribution}] "
+            f"n={len(self.points)} q={len(self.queries)} ks={self.ks} "
+            f"eps={self.epsilon} fanout={self.max_entries} "
+            f"split={self.split} bulk={self.use_bulk_load}"
+        )
+
+
+def _derive_seed(seed: int, case_index: int) -> int:
+    # Splitmix-style derivation keeps neighboring cases decorrelated.
+    x = (seed * 0x9E3779B97F4A7C15 + case_index * 0xBF58476D1CE4E5B9) & (
+        (1 << 64) - 1
+    )
+    x ^= x >> 31
+    return x
+
+
+def make_workload(
+    seed: int,
+    case_index: int,
+    distribution: str = "uniform",
+) -> Workload:
+    """Deterministically generate the audit case ``(seed, case_index)``."""
+    if distribution not in DISTRIBUTIONS:
+        raise InvalidParameterError(
+            f"distribution must be one of {DISTRIBUTIONS}, "
+            f"got {distribution!r}"
+        )
+    rng = random.Random(_derive_seed(seed, case_index))
+    n = rng.randint(20, 90)
+    dimension = rng.choice((2, 2, 2, 3))
+
+    if distribution == "clustered":
+        points = gaussian_clusters(
+            n,
+            seed=rng.randrange(1 << 30),
+            dimension=dimension,
+            clusters=rng.randint(2, 6),
+            spread=rng.choice((2.0, 10.0, 40.0)),
+        )
+    else:
+        points = uniform_points(
+            n, seed=rng.randrange(1 << 30), dimension=dimension
+        )
+
+    # Grid snapping: most cases get at least partially snapped points so
+    # exact ties are plentiful rather than vanishingly rare.
+    snap_fraction = rng.choice((0.0, 0.5, 1.0, 1.0))
+    points = [
+        _snap(p) if rng.random() < snap_fraction else p for p in points
+    ]
+
+    # Duplicates: clone a few points verbatim.
+    for _ in range(rng.randint(0, 4)):
+        points.append(rng.choice(points))
+
+    queries = _make_queries(rng, points, dimension)
+
+    ks = (1, 2, rng.randint(3, 8))
+    if rng.random() < 0.15:
+        # k exceeding the tree size: results must simply contain all.
+        ks = ks + (len(points) + 3,)
+
+    return Workload(
+        seed=seed,
+        case_index=case_index,
+        distribution=distribution,
+        points=points,
+        queries=queries,
+        ks=ks,
+        epsilon=rng.choice((0.1, 0.5, 1.0)),
+        max_entries=rng.choice((4, 6, 8, 16)),
+        split=rng.choice(("linear", "quadratic", "rstar")),
+        use_bulk_load=rng.random() < 0.4,
+    )
+
+
+def _snap(point: Point) -> Point:
+    return tuple(round(c / _GRID_STEP) * _GRID_STEP for c in point)
+
+
+def _make_queries(
+    rng: random.Random, points: List[Point], dimension: int
+) -> List[Point]:
+    queries: List[Point] = []
+    # Uniform background queries.
+    for _ in range(2):
+        queries.append(
+            tuple(rng.uniform(0.0, 1000.0) for _ in range(dimension))
+        )
+    # Exactly on an indexed point: distance 0, every bound degenerate.
+    queries.append(rng.choice(points))
+    # Equidistant midpoint of two indexed points: an exact tie.
+    a, b = rng.choice(points), rng.choice(points)
+    queries.append(tuple((x + y) / 2.0 for x, y in zip(a, b)))
+    # Sharing one coordinate with an indexed point: query on an MBR face.
+    base = rng.choice(points)
+    face = list(
+        tuple(rng.uniform(0.0, 1000.0) for _ in range(dimension))
+    )
+    axis = rng.randrange(dimension)
+    face[axis] = base[axis]
+    queries.append(tuple(face))
+    # Far outside the data bounds: all MINDISTs large, P1 very active.
+    queries.append(tuple(rng.uniform(2000.0, 4000.0) for _ in range(dimension)))
+    return queries

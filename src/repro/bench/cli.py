@@ -12,6 +12,10 @@ Subcommands:
   compare against a sequential ``nearest`` loop and print the engine's
   latency/cache statistics; with ``--expect-hits``, exit 1 unless the
   result cache absorbed at least one query (the CI throughput smoke).
+- ``audit [--cases N] [--seed S] [--shrink] ...`` — the differential
+  correctness audit (same flags as ``python -m repro.audit``): replay
+  seeded workloads through every algorithm and backend, certify the
+  pruning invariants, and exit 1 on any diff.
 """
 
 from __future__ import annotations
@@ -134,6 +138,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless the result cache served at least one query",
     )
+
+    audit = sub.add_parser(
+        "audit",
+        help="differential correctness audit "
+        "(alias for python -m repro.audit)",
+    )
+    from repro.audit.__main__ import add_audit_arguments
+
+    add_audit_arguments(audit)
 
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
@@ -318,6 +331,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _scrub_command(args)
     elif args.command == "engine":
         output, code = _engine_command(args)
+    elif args.command == "audit":
+        from repro.audit.__main__ import run_from_args
+
+        return run_from_args(args)
     elif args.command == "report":
         from repro.bench.report import generate_report
 

@@ -34,12 +34,19 @@ from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 from repro.storage.tracker import AccessTracker
 
-__all__ = ["nearest_dfs", "ObjectDistance"]
+__all__ = ["nearest_dfs", "ObjectDistance", "PruneEvent"]
 
 #: Optional hook computing the *squared* distance from the query point to an
 #: actual object (e.g. a line segment).  It must never return less than the
 #: squared MINDIST to the object's MBR, or pruning becomes unsound.
 ObjectDistance = Callable[[Point, Any, Rect], float]
+
+#: Optional audit instrumentation, called once per pruning decision:
+#: ``callback("p1"|"p3", pruned_child_node, mindist_sq)`` for a discarded
+#: branch, ``callback("p2", None, minmax_bound_sq)`` for a P2 bound
+#: tightening.  Used by :mod:`repro.audit.soundness` to exhaustively
+#: re-scan every pruned subtree and certify no true neighbor was dropped.
+PruneEvent = Callable[[str, Optional[Node], float], None]
 
 _VALID_ORDERINGS = ("mindist", "minmaxdist")
 
@@ -52,6 +59,21 @@ _VALID_ORDERINGS = ("mindist", "minmaxdist")
 _PRUNE_SLACK = 1.0 + 1e-12
 
 
+def _set_prune_slack(value: float) -> float:
+    """TEST-ONLY seam: replace the prune slack; returns the previous value.
+
+    The audit subsystem (``python -m repro.audit --demo-broken-prune``)
+    injects a slack *below* 1.0 here, which makes P1/P3 prune branches
+    they must keep — a deliberately unsound search — and then verifies
+    that the differential oracle catches the planted bug and shrinks it
+    to a minimal repro.  Production code must never call this.
+    """
+    global _PRUNE_SLACK
+    previous = _PRUNE_SLACK
+    _PRUNE_SLACK = value
+    return previous
+
+
 def nearest_dfs(
     tree: RTree,
     point: Sequence[float],
@@ -61,6 +83,7 @@ def nearest_dfs(
     tracker: Optional[AccessTracker] = None,
     object_distance_sq: Optional[ObjectDistance] = None,
     epsilon: float = 0.0,
+    on_prune: Optional[PruneEvent] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Find the *k* objects in *tree* nearest to *point*.
 
@@ -79,6 +102,9 @@ def nearest_dfs(
             factor, so every returned distance is within ``(1 + epsilon)``
             of the corresponding exact one (the Arya et al. ANN guarantee,
             applied to the paper's P3 prune).
+        on_prune: Audit instrumentation (see :data:`PruneEvent`); receives
+            every P1/P3-discarded subtree and every P2 bound update.
+            ``None`` (the default) costs nothing on the search hot path.
 
     Returns:
         ``(neighbors, stats)`` — neighbors sorted nearest-first, and the
@@ -104,7 +130,7 @@ def nearest_dfs(
     buffer = NeighborBuffer(k)
     search = _DfsSearch(
         query, config, ordering, buffer, stats, tracker, object_distance_sq,
-        epsilon,
+        epsilon, on_prune,
     )
     search.visit(tree.root)
     return buffer.to_sorted_list(), stats
@@ -124,6 +150,7 @@ class _DfsSearch:
         "minmax_bound_sq",
         "need_minmax",
         "shrink_sq",
+        "on_prune",
     )
 
     def __init__(
@@ -136,6 +163,7 @@ class _DfsSearch:
         tracker: Optional[AccessTracker],
         object_distance_sq: Optional[ObjectDistance],
         epsilon: float = 0.0,
+        on_prune: Optional[PruneEvent] = None,
     ) -> None:
         self.query = query
         self.config = config
@@ -144,6 +172,7 @@ class _DfsSearch:
         self.stats = stats
         self.tracker = tracker
         self.object_distance_sq = object_distance_sq
+        self.on_prune = on_prune
         # Smallest MINMAXDIST^2 over every MBR seen (the P2 bound): some
         # object is guaranteed to lie within this distance.
         self.minmax_bound_sq = math.inf
@@ -183,6 +212,8 @@ class _DfsSearch:
             # re-check right before descending (the paper's upward prune).
             if use_p3 and md_sq > self.prune_bound_sq() * _PRUNE_SLACK:
                 self.stats.pruning.p3_pruned += 1
+                if self.on_prune is not None:
+                    self.on_prune("p3", _entry_child, md_sq)
                 continue
             self.visit(_entry_child)
 
@@ -219,6 +250,8 @@ class _DfsSearch:
         if self.config.use_p2 and min_minmax_sq < self.minmax_bound_sq:
             self.minmax_bound_sq = min_minmax_sq
             self.stats.pruning.p2_bound_updates += 1
+            if self.on_prune is not None:
+                self.on_prune("p2", None, min_minmax_sq)
 
         # P1: discard branches whose MINDIST exceeds a sibling's MINMAXDIST.
         # Comparing against the global minimum over the ABL is equivalent to
@@ -226,8 +259,14 @@ class _DfsSearch:
         # branch can never be pruned by its own MINMAXDIST.
         if self.config.use_p1 and branches:
             p1_bound = min_minmax_sq * _PRUNE_SLACK
-            kept = [b for b in branches if b[1] <= p1_bound]
-            self.stats.pruning.p1_pruned += len(branches) - len(kept)
+            kept = []
+            for b in branches:
+                if b[1] <= p1_bound:
+                    kept.append(b)
+                else:
+                    self.stats.pruning.p1_pruned += 1
+                    if self.on_prune is not None:
+                        self.on_prune("p1", b[2], b[1])
             branches = kept
 
         branches.sort(key=lambda b: b[0])

@@ -22,6 +22,10 @@ from repro.errors import InvalidParameterError
 
 __all__ = ["CacheStats", "ResultCache"]
 
+#: Private miss sentinel: ``_entries.get(key)`` returning ``None`` must not
+#: be confused with a legitimately cached ``None`` (or any falsy) value.
+_MISS = object()
+
 
 @dataclass
 class CacheStats:
@@ -67,13 +71,19 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: Hashable) -> Optional[Any]:
-        """The cached value for *key*, refreshing recency; None on miss."""
+    def get(self, key: Hashable, default: Any = None) -> Optional[Any]:
+        """The cached value for *key*, refreshing recency; *default* on miss.
+
+        A cached value is returned even when it is falsy (``None``, an
+        empty result, 0): only a genuinely absent key misses.  Callers
+        that may legitimately cache ``None`` should pass a private object
+        as *default* and compare with ``is``.
+        """
         with self._lock:
-            value = self._entries.get(key)
-            if value is None:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
                 self.stats.misses += 1
-                return None
+                return default
             self._entries.move_to_end(key)
             self.stats.hits += 1
             return value
@@ -96,12 +106,15 @@ class ResultCache:
         """Drop every entry not belonging to *epoch*; returns the count.
 
         Keys are the engine's ``(point, config_key, epoch)`` tuples — the
-        epoch is the last element.
+        epoch is the last element.  Keys that are not non-empty tuples
+        carry no epoch at all, so they can never match the current one:
+        they are dropped (and counted) too, instead of surviving every
+        sweep forever.
         """
         with self._lock:
             stale = [
                 key for key in self._entries
-                if isinstance(key, tuple) and key and key[-1] != epoch
+                if not (isinstance(key, tuple) and key) or key[-1] != epoch
             ]
             for key in stale:
                 del self._entries[key]

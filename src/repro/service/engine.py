@@ -53,6 +53,11 @@ __all__ = ["QueryEngine", "DEFAULT_CACHE_SIZE"]
 #: Result-cache capacity unless the caller chooses otherwise.
 DEFAULT_CACHE_SIZE = 4096
 
+#: Miss sentinel for cache probes: an ``NNResult`` is never ``None``, but
+#: probing with a private object keeps the hit test correct even for
+#: falsy cached values (e.g. an empty result, which has ``len() == 0``).
+_CACHE_MISS = object()
+
 
 class QueryEngine:
     """Thread-safe k-NN serving over a read-only tree snapshot.
@@ -291,8 +296,8 @@ class QueryEngine:
                 use_cache = self.cache.capacity > 0
                 key = (_point_key(point), cfg.cache_key(), epoch)
                 if use_cache:
-                    cached = self.cache.get(key)
-                    if cached is not None:
+                    cached = self.cache.get(key, _CACHE_MISS)
+                    if cached is not _CACHE_MISS:
                         self._count_hit()
                         return cached
                 result = _run_query(self.tree, point, cfg, self.tracker)

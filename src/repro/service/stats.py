@@ -16,6 +16,8 @@ import threading
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.errors import InvalidParameterError
+
 __all__ = ["EngineStats", "LatencyRecorder"]
 
 #: Bucket boundaries grow by 25% per step from 1 µs; 96 buckets reach
@@ -23,6 +25,13 @@ __all__ = ["EngineStats", "LatencyRecorder"]
 _BASE_SECONDS = 1e-6
 _GROWTH = 1.25
 _BUCKETS = 96
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParameterError(
+            f"percentile fraction must be in [0, 1], got {fraction}"
+        )
 
 
 class LatencyRecorder:
@@ -72,33 +81,55 @@ class LatencyRecorder:
     def percentile(self, fraction: float) -> float:
         """Latency (seconds) below which *fraction* of samples fall.
 
-        ``fraction`` is in [0, 1]; with no samples, returns 0.0.
+        ``fraction`` must be in [0, 1] (raises
+        :class:`~repro.errors.InvalidParameterError` otherwise); with no
+        samples, returns 0.0.
         """
+        _check_fraction(fraction)
         with self._lock:
-            if not self._total:
-                return 0.0
-            threshold = fraction * self._total
-            seen = 0
-            for index, count in enumerate(self._counts):
-                seen += count
-                if seen >= threshold:
-                    # Upper edge of this bucket, capped at the true max.
-                    edge = (
-                        _BASE_SECONDS
-                        if index == 0
-                        else _BASE_SECONDS * _GROWTH**index
-                    )
-                    return min(edge, self._max)
-            return self._max
+            return self._percentile_locked(fraction)
+
+    def _percentile_locked(self, fraction: float) -> float:
+        """Percentile estimate; caller must hold ``self._lock``.
+
+        ``seen > 0`` is required before a bucket may answer: with
+        ``fraction == 0.0`` the threshold is 0 and the old ``seen >=
+        threshold`` test reported the edge of bucket 0 even when that
+        bucket was empty.  The answer must come from the first *occupied*
+        bucket.
+        """
+        if not self._total:
+            return 0.0
+        threshold = fraction * self._total
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen > 0 and seen >= threshold:
+                # Upper edge of this bucket, capped at the true max.
+                edge = (
+                    _BASE_SECONDS
+                    if index == 0
+                    else _BASE_SECONDS * _GROWTH**index
+                )
+                return min(edge, self._max)
+        return self._max
 
     def snapshot_ms(self) -> Tuple[float, float, float, float]:
-        """(p50, p95, p99, mean) in milliseconds."""
-        return (
-            1000.0 * self.percentile(0.50),
-            1000.0 * self.percentile(0.95),
-            1000.0 * self.percentile(0.99),
-            1000.0 * self.mean(),
-        )
+        """(p50, p95, p99, mean) in milliseconds.
+
+        All four figures are computed under one lock acquisition, so the
+        snapshot is internally consistent: concurrent ``record`` calls
+        can never interleave between the percentiles and produce a
+        nonsensical p50 > p99 reading.
+        """
+        with self._lock:
+            mean = self._sum / self._total if self._total else 0.0
+            return (
+                1000.0 * self._percentile_locked(0.50),
+                1000.0 * self._percentile_locked(0.95),
+                1000.0 * self._percentile_locked(0.99),
+                1000.0 * mean,
+            )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,105 @@
+"""The differ itself must be trustworthy: it catches planted lies."""
+
+import pytest
+
+from repro.audit.backends import build_backends
+from repro.audit.oracle import check_result, diff_backends, exact_neighbors
+from repro.core.neighbors import Neighbor
+from repro.datasets.synthetic import gaussian_clusters, uniform_points
+from repro.geometry.rect import Rect
+
+pytestmark = pytest.mark.audit
+
+
+def _neighbor(point, payload, distance):
+    return Neighbor(
+        payload=payload,
+        rect=Rect.from_point(point),
+        distance=distance,
+        distance_squared=distance * distance,
+    )
+
+
+class TestCheckResult:
+    def setup_method(self):
+        self.points = [(0.0, 0.0), (3.0, 4.0), (6.0, 8.0)]
+        self.items = [(Rect.from_point(p), i) for i, p in enumerate(self.points)]
+        self.query = (0.0, 0.0)
+        self.exact = exact_neighbors(self.items, self.query, 2)
+
+    def test_clean_result_passes(self):
+        problems = check_result(
+            self.exact, self.query, 2, self.exact, "self", points=self.points
+        )
+        assert problems == []
+
+    def test_size_mismatch_detected(self):
+        problems = check_result(
+            self.exact[:1], self.query, 2, self.exact, "combo",
+            points=self.points,
+        )
+        assert [p.kind for p in problems] == ["size-mismatch"]
+
+    def test_distance_mismatch_detected(self):
+        wrong = [self.exact[0], _neighbor((6.0, 8.0), 2, 10.0)]
+        problems = check_result(
+            wrong, self.query, 2, self.exact, "combo", points=self.points
+        )
+        assert "distance-mismatch" in {p.kind for p in problems}
+
+    def test_self_inconsistent_distance_detected(self):
+        # Claimed distance does not match the reported rect.
+        lying = [self.exact[0], _neighbor((3.0, 4.0), 1, 4.0)]
+        problems = check_result(
+            lying, self.query, 2, self.exact, "combo", points=self.points
+        )
+        assert "self-inconsistent" in {p.kind for p in problems}
+
+    def test_wrong_payload_mapping_detected(self):
+        # Right distance, but the payload points at a different point.
+        forged = [self.exact[0], _neighbor((3.0, 4.0), 2, 5.0)]
+        problems = check_result(
+            forged, self.query, 2, self.exact, "combo", points=self.points
+        )
+        assert "payload-mismatch" in {p.kind for p in problems}
+
+    def test_epsilon_band_accepts_slack_and_rejects_beyond(self):
+        approx = [self.exact[0], _neighbor((6.0, 8.0), 2, 10.0)]
+        # exact ranks: 0.0, 5.0; returned 10.0 at rank 1 is within 5*(1+1):
+        ok = check_result(
+            approx, self.query, 2, self.exact, "combo",
+            points=self.points, epsilon=1.0,
+        )
+        assert ok == []
+        # ... but violates a tight epsilon:
+        bad = check_result(
+            approx, self.query, 2, self.exact, "combo",
+            points=self.points, epsilon=0.1,
+        )
+        assert "epsilon-violation" in {p.kind for p in bad}
+
+
+class TestDiffBackends:
+    @pytest.mark.parametrize("generator,seed", [
+        (uniform_points, 101),
+        (gaussian_clusters, 202),
+    ])
+    def test_all_combos_agree_on_real_workloads(self, generator, seed, tmp_path):
+        points = generator(60, seed=seed)
+        with build_backends(points, tmp_dir=str(tmp_path)) as backends:
+            for query in [(500.0, 500.0), points[7], (-100.0, 1200.0)]:
+                for k in (1, 3, 10):
+                    assert diff_backends(
+                        backends, points, query, k, epsilon=0.5
+                    ) == []
+
+    def test_detects_corrupted_backend(self, tmp_path):
+        # Swap two payloads in the raw item list: the oracle's own ground
+        # truth now disagrees with every tree backend, so the differ must
+        # light up (this simulates an index returning the wrong object).
+        points = uniform_points(40, seed=33)
+        with build_backends(points, tmp_dir=str(tmp_path)) as backends:
+            shifted = points[1:] + points[:1]
+            problems = diff_backends(backends, shifted, (500.0, 500.0), 3)
+            assert problems
+            assert "payload-mismatch" in {p.kind for p in problems}

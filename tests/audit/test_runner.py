@@ -1,0 +1,85 @@
+"""End-to-end audit runs: clean pass, planted-bug catch, report contract."""
+
+import json
+
+import pytest
+
+from repro.audit.runner import AuditConfig, run_audit
+from repro.audit.workloads import make_workload
+from repro.core.knn_dfs import _set_prune_slack
+from repro.errors import InvalidParameterError
+
+pytestmark = pytest.mark.audit
+
+
+class TestWorkloads:
+    def test_deterministic_per_seed_and_case(self):
+        a = make_workload(1995, 7, "clustered")
+        b = make_workload(1995, 7, "clustered")
+        assert a.points == b.points
+        assert a.queries == b.queries
+        assert a.ks == b.ks
+        assert a.max_entries == b.max_entries
+
+    def test_distinct_cases_differ(self):
+        a = make_workload(1995, 0, "uniform")
+        b = make_workload(1995, 1, "uniform")
+        assert a.points != b.points
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(InvalidParameterError):
+            make_workload(0, 0, "adversarial")
+
+    def test_degenerate_queries_present(self):
+        workload = make_workload(1995, 3, "uniform")
+        # One query sits exactly on an indexed point by construction.
+        assert any(q in workload.points for q in workload.queries)
+
+
+class TestRunAudit:
+    def test_short_run_is_clean_and_counts_checks(self):
+        report = run_audit(AuditConfig(seed=1995, cases=6))
+        assert report.clean
+        assert report.oracle_checks > 0
+        assert report.soundness_checks > 0
+        assert report.metamorphic_checks > 0
+        assert report.total_checks == (
+            report.oracle_checks
+            + report.soundness_checks
+            + report.metamorphic_checks
+        )
+
+    def test_json_report_round_trips(self):
+        report = run_audit(AuditConfig(seed=3, cases=2))
+        payload = json.loads(report.to_json())
+        assert payload["clean"] is True
+        assert payload["seed"] == 3
+        assert payload["checks"]["total"] == report.total_checks
+        assert payload["failures"] == []
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AuditConfig(cases=0)
+        with pytest.raises(InvalidParameterError):
+            AuditConfig(distributions=("uniform", "nope"))
+
+    def test_planted_broken_prune_is_caught_and_shrunk(self):
+        previous = _set_prune_slack(0.25)
+        try:
+            report = run_audit(
+                AuditConfig(seed=1995, cases=10, shrink=True, max_failures=2)
+            )
+        finally:
+            _set_prune_slack(previous)
+        assert not report.clean
+        shrunk = [f for f in report.failures if f.shrunk_points is not None]
+        assert shrunk, "failures must carry a shrunk minimal repro"
+        smallest = min(shrunk, key=lambda f: len(f.shrunk_points))
+        # A minimal repro is dramatically smaller than the ~20-90 point
+        # workload it came from, and still names the query and k.
+        assert len(smallest.shrunk_points) <= 15
+        assert smallest.shrunk_query is not None
+        assert smallest.shrunk_k >= 1
+        # The report serializes the repro for machine consumption.
+        payload = json.loads(report.to_json())
+        assert any("shrunk" in f for f in payload["failures"])

@@ -1,0 +1,62 @@
+"""ddmin behavior: minimal, still-failing, deterministic."""
+
+import pytest
+
+from repro.audit.shrink import shrink_k, shrink_points
+
+pytestmark = pytest.mark.audit
+
+
+class TestShrinkPoints:
+    def test_shrinks_to_single_culprit(self):
+        points = [(float(i), 0.0) for i in range(50)]
+        culprit = (13.0, 0.0)
+
+        def fails(candidate):
+            return culprit in candidate
+
+        minimal = shrink_points(points, fails)
+        assert minimal == [culprit]
+
+    def test_shrinks_pairwise_interaction(self):
+        # Failure needs BOTH halves of a pair — ddmin must keep both.
+        points = [(float(i), float(i)) for i in range(40)]
+        a, b = (5.0, 5.0), (31.0, 31.0)
+
+        def fails(candidate):
+            return a in candidate and b in candidate
+
+        minimal = shrink_points(points, fails)
+        assert sorted(minimal) == sorted([a, b])
+
+    def test_non_failing_input_returned_unchanged(self):
+        points = [(1.5, 2.5), (3.5, 4.5)]
+        assert shrink_points(points, lambda c: False) == points
+
+    def test_result_always_fails_predicate(self):
+        points = [(float(i), 1.0) for i in range(30)]
+
+        def fails(candidate):
+            return len(candidate) >= 7
+
+        minimal = shrink_points(points, fails)
+        assert fails(minimal)
+        assert len(minimal) == 7
+
+    def test_coordinates_simplified_when_possible(self):
+        points = [(13.37, 42.01), (99.99, 0.5)]
+
+        def fails(candidate):
+            return len(candidate) >= 1  # any nonempty subset fails
+
+        minimal = shrink_points(points, fails)
+        assert len(minimal) == 1
+        assert all(c == round(c) for p in minimal for c in p)
+
+
+class TestShrinkK:
+    def test_finds_smallest_failing_k(self):
+        assert shrink_k(10, lambda k: k >= 4) == 4
+
+    def test_keeps_original_when_nothing_smaller_fails(self):
+        assert shrink_k(5, lambda k: k == 5) == 5

@@ -1,0 +1,85 @@
+"""Pruning soundness certification — and proof it catches unsound prunes."""
+
+import pytest
+
+from repro.audit.backends import build_memory_tree
+from repro.audit.soundness import (
+    check_pruning_soundness,
+    subtree_min_distance_sq,
+)
+from repro.core.knn_dfs import _set_prune_slack, nearest_dfs
+from repro.datasets.synthetic import gaussian_clusters, uniform_points
+from repro.geometry.rect import Rect
+
+pytestmark = pytest.mark.audit
+
+
+def _items(points):
+    return [(Rect.from_point(p), i) for i, p in enumerate(points)]
+
+
+class TestSubtreeScan:
+    def test_min_distance_matches_brute_force(self):
+        points = uniform_points(80, seed=5)
+        tree = build_memory_tree(points)
+        query = (321.0, 654.0)
+        expected = min(
+            sum((a - b) ** 2 for a, b in zip(query, p)) for p in points
+        )
+        assert subtree_min_distance_sq(tree.root, query) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+
+class TestSoundCertification:
+    @pytest.mark.parametrize("generator,seed", [
+        (uniform_points, 11),
+        (gaussian_clusters, 22),
+    ])
+    @pytest.mark.parametrize("ordering", ["mindist", "minmaxdist"])
+    def test_healthy_search_certifies_clean(self, generator, seed, ordering):
+        points = generator(120, seed=seed)
+        tree = build_memory_tree(points)
+        items = _items(points)
+        for query in [(500.0, 500.0), points[3], (1500.0, -200.0)]:
+            for k in (1, 4):
+                assert check_pruning_soundness(
+                    tree, items, query, k=k, ordering=ordering
+                ) == []
+
+    def test_pruning_actually_happened(self):
+        # Guard against a vacuous certificate: the instrumented search on
+        # this workload must actually record prune events.
+        points = uniform_points(200, seed=44)
+        tree = build_memory_tree(points)
+        _, stats = nearest_dfs(tree, (500.0, 500.0), k=1)
+        assert stats.total_pruned > 0
+
+
+class TestBrokenPruneCaught:
+    def test_unsound_slack_produces_violations(self):
+        points = uniform_points(150, seed=77)
+        tree = build_memory_tree(points)
+        items = _items(points)
+        queries = [(500.0, 500.0), (250.0, 750.0), (100.0, 100.0)]
+        previous = _set_prune_slack(0.25)
+        try:
+            violations = []
+            for query in queries:
+                for k in (1, 3):
+                    violations += check_pruning_soundness(
+                        tree, items, query, k=k
+                    )
+        finally:
+            _set_prune_slack(previous)
+        assert violations, "a 0.25x prune slack must drop true neighbors"
+        kinds = {v.kind for v in violations}
+        assert kinds & {"p1-dropped-neighbor", "p3-dropped-neighbor"}
+
+    def test_slack_is_restored(self):
+        # The seam restores cleanly: a healthy run after the broken one.
+        points = uniform_points(60, seed=88)
+        tree = build_memory_tree(points)
+        assert check_pruning_soundness(
+            tree, _items(points), (500.0, 500.0), k=2
+        ) == []

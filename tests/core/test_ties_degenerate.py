@@ -1,0 +1,190 @@
+"""Tie-heavy and degenerate geometry, cross-checked against the audit oracle.
+
+The clustered-point analysis of Maneewongvatana & Mount shows exact ties
+and degenerate boxes are where nearest-neighbor pruning bounds earn (or
+lose) their keep: equal distances at the k-boundary, point-rectangles
+where every metric collapses to one value, and queries sitting on MBR
+faces where per-axis MINDIST contributions vanish.
+"""
+
+import math
+
+import pytest
+
+from repro.audit.backends import build_backends, build_memory_tree
+from repro.audit.oracle import diff_backends
+from repro.audit.soundness import check_pruning_soundness
+from repro.baselines.linear_scan import linear_scan
+from repro.core.knn_best_first import nearest_incremental
+from repro.core.metrics import (
+    maxdist_squared,
+    mindist_squared,
+    minmaxdist_squared,
+)
+from repro.core.neighbors import NeighborBuffer
+from repro.core.stats import SearchStats
+from repro.geometry.rect import Rect
+
+pytestmark = pytest.mark.audit
+
+
+class TestNeighborBufferBoundaryTies:
+    def test_exact_tie_at_k_boundary_is_rejected(self):
+        # Full buffer, candidate at exactly the worst distance: the buffer
+        # keeps its first-seen winner (offer is strict-improvement only).
+        buffer = NeighborBuffer(2)
+        assert buffer.offer(1.0, "a", Rect.from_point((1.0, 0.0)))
+        assert buffer.offer(4.0, "b", Rect.from_point((2.0, 0.0)))
+        assert not buffer.offer(4.0, "c", Rect.from_point((0.0, 2.0)))
+        assert buffer.worst_distance_squared == 4.0
+        assert [n.payload for n in buffer.to_sorted_list()] == ["a", "b"]
+
+    def test_strictly_closer_candidate_displaces_the_tie(self):
+        buffer = NeighborBuffer(2)
+        buffer.offer(1.0, "a", Rect.from_point((1.0, 0.0)))
+        buffer.offer(4.0, "b", Rect.from_point((2.0, 0.0)))
+        assert buffer.offer(4.0 - 1e-9, "c", Rect.from_point((0.0, 2.0)))
+        payloads = {n.payload for n in buffer.to_sorted_list()}
+        assert payloads == {"a", "c"}
+
+    def test_all_equal_distances_fill_in_arrival_order(self):
+        buffer = NeighborBuffer(3)
+        for name in ("a", "b", "c", "d", "e"):
+            buffer.offer(9.0, name, Rect.from_point((3.0, 0.0)))
+        result = [n.payload for n in buffer.to_sorted_list()]
+        assert result == ["a", "b", "c"]
+        assert buffer.worst_distance_squared == 9.0
+
+    def test_tie_below_boundary_still_enters_while_not_full(self):
+        buffer = NeighborBuffer(3)
+        assert buffer.offer(9.0, "a", Rect.from_point((3.0, 0.0)))
+        assert buffer.offer(9.0, "b", Rect.from_point((0.0, 3.0)))
+        assert len(buffer) == 2
+        assert buffer.worst_distance_squared == math.inf
+
+
+class TestMinmaxdistDegenerate:
+    def test_point_rectangle_collapses_all_metrics(self):
+        # For a degenerate (point) MBR, MINDIST == MINMAXDIST == MAXDIST.
+        rect = Rect.from_point((3.0, 4.0))
+        for query in [(0.0, 0.0), (3.0, 4.0), (-1.5, 7.25)]:
+            md = mindist_squared(query, rect)
+            mmd = minmaxdist_squared(query, rect)
+            xd = maxdist_squared(query, rect)
+            assert md == mmd == xd
+
+    def test_query_on_face_keeps_theorem_sandwich(self):
+        # Query on the left face of [0,10]^2: MINDIST is 0; MINMAXDIST is
+        # the distance to the farthest point of the *nearest* face (5^2
+        # along the touched axis's face here).
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        query = (0.0, 5.0)
+        assert mindist_squared(query, rect) == 0.0
+        assert minmaxdist_squared(query, rect) == 25.0
+
+    def test_query_at_corner_and_center(self):
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        # Corner: near bounds are 0 on both axes, far bounds 10.
+        assert mindist_squared((0.0, 0.0), rect) == 0.0
+        assert minmaxdist_squared((0.0, 0.0), rect) == 100.0
+        # Center: every face is equally near; MINMAXDIST^2 = 5^2 + 5^2...
+        # min over axes of (near_k + far_other) = 25 + 25.
+        assert minmaxdist_squared((5.0, 5.0), rect) == 50.0
+
+    def test_theorem_bounds_hold_on_minimal_mbrs(self, rng):
+        # Theorems 1-2 on real MBRs: for a point set and its bounding
+        # rect, MINDIST <= d(nearest point) <= MINMAXDIST.
+        for _ in range(50):
+            pts = [
+                (rng.uniform(0, 100), rng.uniform(0, 100))
+                for _ in range(rng.randint(2, 8))
+            ]
+            rect = Rect.from_points(pts)
+            query = (rng.uniform(-50, 150), rng.uniform(-50, 150))
+            nearest_sq = min(
+                (q - x) ** 2 + (r - y) ** 2
+                for (x, y) in pts
+                for q, r in [query]
+            )
+            assert mindist_squared(query, rect) <= nearest_sq + 1e-9
+            assert nearest_sq <= minmaxdist_squared(query, rect) + 1e-9
+
+
+class TestIncrementalTies:
+    def test_grid_ties_yield_nondecreasing_and_complete(self):
+        # A 6x6 integer grid seen from its center: distances come in
+        # large tie groups; browsing must stay sorted and lose nothing.
+        points = [
+            (float(x), float(y)) for x in range(6) for y in range(6)
+        ]
+        tree = build_memory_tree(points, max_entries=4)
+        query = (2.5, 2.5)
+        stats = SearchStats()
+        seen = list(nearest_incremental(tree, query, stats=stats))
+        assert len(seen) == len(points)
+        distances = [n.distance for n in seen]
+        assert distances == sorted(distances)
+        exact = [n.distance for n in linear_scan(tree, query, k=len(points))]
+        assert distances == pytest.approx(exact, abs=1e-12)
+        # Payload multiset is exactly the full grid — nothing dropped or
+        # duplicated across node/object heap ties.
+        assert sorted(n.payload for n in seen) == list(range(len(points)))
+
+    def test_duplicate_points_all_surface(self):
+        points = [(1.0, 1.0)] * 5 + [(2.0, 2.0)] * 3
+        tree = build_memory_tree(points, max_entries=4)
+        seen = list(nearest_incremental(tree, (1.0, 1.0)))
+        assert len(seen) == 8
+        assert [n.distance for n in seen[:5]] == [0.0] * 5
+
+
+class TestTieWorkloadsAgainstAuditOracle:
+    """The satellite cross-check: tie-heavy geometry through the full differ."""
+
+    def test_integer_grid_all_backends_agree(self, tmp_path):
+        points = [
+            (float(x) * 8.0, float(y) * 8.0)
+            for x in range(7)
+            for y in range(7)
+        ]
+        with build_backends(
+            points, max_entries=4, tmp_dir=str(tmp_path)
+        ) as backends:
+            # Center (max ties), on-point, midpoint, and face queries.
+            queries = [
+                (24.0, 24.0), (8.0, 16.0), (12.0, 12.0), (8.0, 3.0),
+            ]
+            for query in queries:
+                for k in (1, 2, 4, 9):
+                    assert diff_backends(
+                        backends, points, query, k, epsilon=0.5
+                    ) == []
+
+    def test_duplicates_and_collinear_all_backends_agree(self, tmp_path):
+        points = (
+            [(10.0, 10.0)] * 4
+            + [(float(x), 50.0) for x in range(0, 80, 5)]
+            + [(30.0, 30.0), (70.0, 70.0)]
+        )
+        with build_backends(
+            points, max_entries=4, tmp_dir=str(tmp_path)
+        ) as backends:
+            for query in [(10.0, 10.0), (40.0, 50.0), (0.0, 0.0)]:
+                for k in (1, 3, 6):
+                    assert diff_backends(
+                        backends, points, query, k
+                    ) == []
+
+    def test_tie_heavy_pruning_stays_sound(self):
+        points = [
+            (float(x) * 8.0, float(y) * 8.0)
+            for x in range(8)
+            for y in range(8)
+        ]
+        tree = build_memory_tree(points, max_entries=4)
+        items = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+        for query in [(28.0, 28.0), (8.0, 8.0), (-16.0, 20.0)]:
+            for k, ordering in ((1, "mindist"), (1, "minmaxdist"), (5, "mindist")):
+                assert check_pruning_soundness(
+                    tree, items, query, k=k, ordering=ordering
+                ) == []

@@ -59,6 +59,43 @@ class TestResultCache:
         assert cache.get(("p1", "cfg", 0)) is None
         assert cache.get(("p1", "cfg", 1)) == "new"
 
+    def test_cached_falsy_values_are_hits(self):
+        # Regression: `get` returned the raw dict value and the engine
+        # tested it for truthiness, so a cached empty result list (k-NN
+        # on an empty tree) re-executed the search on every request.
+        cache = ResultCache(4)
+        for key, falsy in [("empty", []), ("none", None), ("zero", 0)]:
+            cache.put(key, falsy)
+        assert cache.get("empty") == []
+        assert cache.get("none") is None
+        assert cache.get("zero") == 0
+        assert cache.stats.hits == 3
+        assert cache.stats.misses == 0
+
+    def test_get_default_distinguishes_miss_from_cached_none(self):
+        sentinel = object()
+        cache = ResultCache(4)
+        cache.put("present", None)
+        assert cache.get("present", sentinel) is None
+        assert cache.get("absent", sentinel) is sentinel
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_invalidate_epoch_drops_non_tuple_keys(self):
+        # Regression: keys that are not (point, cfg, epoch) tuples used to
+        # crash `key[-1]` or silently survive; they carry no epoch so a
+        # mutation must flush them.
+        cache = ResultCache(8)
+        cache.put("bare-string", 1)
+        cache.put(42, 2)
+        cache.put((), 3)
+        cache.put(("p", "cfg", 7), "current")
+        dropped = cache.invalidate_epoch(7)
+        assert dropped == 3
+        assert cache.get("bare-string") is None
+        assert cache.get(42) is None
+        assert cache.get(("p", "cfg", 7)) == "current"
+
     def test_clear_keeps_stats(self):
         cache = ResultCache(4)
         cache.put("a", 1)

@@ -1,0 +1,102 @@
+"""Regression tests for LatencyRecorder: consistent snapshots, percentile
+edge cases, and fraction validation."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import LatencyRecorder
+
+pytestmark = pytest.mark.service
+
+
+class TestPercentileZero:
+    def test_p0_skips_empty_leading_buckets(self):
+        # Regression: with a single 0.1 s sample, percentile(0.0) used to
+        # report the edge of (empty) bucket 0 — 1 µs — because the
+        # cumulative count satisfied `seen >= 0` immediately.  The answer
+        # must come from the first occupied bucket.
+        recorder = LatencyRecorder()
+        recorder.record(0.1)
+        assert recorder.percentile(0.0) == pytest.approx(0.1, rel=0.25)
+        assert recorder.percentile(0.0) >= 0.1 - 1e-12
+
+    def test_p0_equals_min_bucket_not_global_floor(self):
+        recorder = LatencyRecorder()
+        for s in (0.004, 0.05, 0.9):
+            recorder.record(s)
+        p0 = recorder.percentile(0.0)
+        assert 0.004 <= p0 <= 0.004 * 1.25
+
+    def test_p0_on_empty_recorder_is_zero(self):
+        assert LatencyRecorder().percentile(0.0) == 0.0
+
+    def test_p0_still_works_when_bucket_zero_occupied(self):
+        recorder = LatencyRecorder()
+        recorder.record(5e-7)  # lands in bucket 0
+        recorder.record(0.2)
+        assert recorder.percentile(0.0) == pytest.approx(1e-6)
+
+
+class TestFractionValidation:
+    @pytest.mark.parametrize("bad", [-0.1, -1e-9, 1.0000001, 1.5, 100.0])
+    def test_out_of_range_fraction_rejected(self, bad):
+        recorder = LatencyRecorder()
+        recorder.record(0.01)
+        with pytest.raises(InvalidParameterError):
+            recorder.percentile(bad)
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 0.99, 1.0])
+    def test_boundary_fractions_accepted(self, ok):
+        recorder = LatencyRecorder()
+        recorder.record(0.01)
+        recorder.percentile(ok)  # must not raise
+
+
+class TestConsistentSnapshot:
+    def test_snapshot_is_internally_ordered_under_concurrency(self):
+        # Regression for the torn snapshot: p50/p95/p99/mean were read
+        # under four separate lock acquisitions, so records landing
+        # between them could produce p50 > p99.  With the single-lock
+        # snapshot the ordering invariant holds at every instant.
+        recorder = LatencyRecorder()
+        stop = threading.Event()
+        violations = []
+
+        def writer():
+            # Bimodal, ever-growing samples maximize the chance a torn
+            # read would catch the distribution mid-shift.
+            value = 1e-5
+            while not stop.is_set():
+                recorder.record(value)
+                recorder.record(value * 100.0)
+                value *= 1.01
+                if value > 0.1:
+                    value = 1e-5
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(300):
+                p50, p95, p99, mean = recorder.snapshot_ms()
+                if not (p50 <= p95 <= p99):
+                    violations.append((p50, p95, p99))
+                if recorder.count and mean <= 0.0:
+                    violations.append(("mean", mean))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=5.0)
+        assert not violations
+
+    def test_snapshot_matches_individual_calls_when_quiescent(self):
+        recorder = LatencyRecorder()
+        for s in (0.001, 0.003, 0.01, 0.05, 0.2):
+            recorder.record(s)
+        p50, p95, p99, mean = recorder.snapshot_ms()
+        assert p50 == 1000.0 * recorder.percentile(0.50)
+        assert p95 == 1000.0 * recorder.percentile(0.95)
+        assert p99 == 1000.0 * recorder.percentile(0.99)
+        assert mean == 1000.0 * recorder.mean()
