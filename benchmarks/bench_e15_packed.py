@@ -1,0 +1,127 @@
+"""E15 — packed struct-of-arrays kernel vs the object-graph kernel.
+
+The headline workload (and the acceptance gate for the packed subsystem):
+100k uniform points indexed at the common 4 KiB OS page size, k=10.  The
+packed kernel must answer the identical query stream at least 3x faster
+than ``nearest_dfs`` — returning byte-identical results and statistics.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items
+from repro.core.knn_dfs import nearest_dfs
+from repro.datasets.queries import query_points_uniform
+from repro.datasets.synthetic import uniform_points
+from repro.packed.layout import PackedTree
+from repro.packed.kernels import packed_nearest_dfs
+from repro.storage.pager import PageModel
+
+HEADLINE_N = 100_000
+HEADLINE_K = 10
+HEADLINE_QUERIES = 100
+HEADLINE_PAGE_SIZE = 4096
+
+
+@pytest.fixture(scope="module")
+def headline_tree():
+    points = uniform_points(HEADLINE_N, seed=150)
+    return build_tree(
+        points_as_items(points),
+        page_model=PageModel(page_size=HEADLINE_PAGE_SIZE),
+    )
+
+
+@pytest.fixture(scope="module")
+def headline_packed(headline_tree):
+    return PackedTree.from_tree(headline_tree)
+
+
+@pytest.fixture(scope="module")
+def headline_queries():
+    return query_points_uniform(HEADLINE_QUERIES, seed=151)
+
+
+def test_e15_packed_benchmark(benchmark, headline_packed, headline_queries):
+    """Time the packed DFS kernel over the headline query batch."""
+
+    def run():
+        return [
+            packed_nearest_dfs(headline_packed, q, k=HEADLINE_K)
+            for q in headline_queries
+        ]
+
+    results = benchmark(run)
+    assert len(results) == len(headline_queries)
+
+
+def test_e15_object_benchmark(benchmark, headline_tree, headline_queries):
+    """The object-kernel comparison point for the same batch."""
+
+    def run():
+        return [
+            nearest_dfs(headline_tree, q, k=HEADLINE_K)
+            for q in headline_queries
+        ]
+
+    results = benchmark(run)
+    assert len(results) == len(headline_queries)
+
+
+def test_e15_packed_speedup_100k(
+    headline_tree, headline_packed, headline_queries
+):
+    """The acceptance gate: >= 3x median-latency speedup at 100k/k=10.
+
+    Object and packed batch runs are interleaved so CPU noise lands on
+    both sides equally; the asserted ratio compares the median per-rep
+    batch latency of each kernel.  Parity (results + full SearchStats) is
+    checked on every query first — a fast wrong kernel must fail here,
+    not pass on speed.
+    """
+    for q in headline_queries:
+        obj_nb, obj_stats = nearest_dfs(headline_tree, q, k=HEADLINE_K)
+        pk_nb, pk_stats = packed_nearest_dfs(headline_packed, q, k=HEADLINE_K)
+        assert [nb.payload for nb in obj_nb] == [nb.payload for nb in pk_nb]
+        assert [nb.distance for nb in obj_nb] == [nb.distance for nb in pk_nb]
+        assert obj_stats == pk_stats
+
+    object_times = []
+    packed_times = []
+    for _ in range(9):
+        start = time.perf_counter()
+        for q in headline_queries:
+            nearest_dfs(headline_tree, q, k=HEADLINE_K)
+        object_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for q in headline_queries:
+            packed_nearest_dfs(headline_packed, q, k=HEADLINE_K)
+        packed_times.append(time.perf_counter() - start)
+
+    object_ms = statistics.median(object_times) * 1e3 / HEADLINE_QUERIES
+    packed_ms = statistics.median(packed_times) * 1e3 / HEADLINE_QUERIES
+    speedup = object_ms / packed_ms
+    print(
+        f"\nE15 headline: object {object_ms:.4f} ms/q, "
+        f"packed {packed_ms:.4f} ms/q, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 3.0, (
+        f"packed kernel {speedup:.2f}x over nearest_dfs, expected >= 3x "
+        f"(object {object_ms:.4f} ms/q vs packed {packed_ms:.4f} ms/q)"
+    )
+
+
+def test_regenerate_table(quick_scale, capsys):
+    table, micro = get_experiment("E15").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+        print("\n" + micro.render())
+    speedups = [float(v) for v in table.column("speedup")]
+    # Even at quick scale the packed kernel must clearly win on both
+    # page sizes; the 3x headline claim is the 100k test above.
+    assert all(s > 1.2 for s in speedups)
+    ns_per_call = [float(v.replace(",", "")) for v in micro.column("ns/call")]
+    assert all(0.0 < ns < 100_000 for ns in ns_per_call)

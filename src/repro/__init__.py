@@ -68,6 +68,11 @@ from repro.errors import (
     TreeInvariantError,
 )
 from repro.geometry import Point, Rect, Segment
+from repro.packed import (
+    PackedTree,
+    packed_nearest_best_first,
+    packed_nearest_dfs,
+)
 from repro.rtree import (
     DiskRTree,
     RTree,
@@ -158,6 +163,9 @@ __all__ = [
     "QueryEngine",
     "ResultCache",
     "RTree",
+    "PackedTree",
+    "packed_nearest_dfs",
+    "packed_nearest_best_first",
     "ShardedTracker",
     "TreeSnapshot",
     "Rect",

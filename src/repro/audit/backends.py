@@ -1,13 +1,13 @@
 """Build every index backend the audit diffs against each other.
 
-One workload's points are indexed four ways — dynamic in-memory
+One workload's points are indexed five ways — dynamic in-memory
 :class:`~repro.rtree.tree.RTree` (or an STR bulk load, per the case's
-coin flip), the same tree serialized and reopened as a
-:class:`~repro.rtree.disk.DiskRTree`, a
+coin flip), its :class:`~repro.packed.PackedTree` compile, the same tree
+serialized and reopened as a :class:`~repro.rtree.disk.DiskRTree`, a
 :class:`~repro.baselines.kdtree.KdTree`, and the raw item list for
 :func:`~repro.baselines.linear_scan.linear_scan_items` — so a diff
-isolates *where* an answer went wrong: algorithm, serialization, or
-baseline.
+isolates *where* an answer went wrong: algorithm, packed compile,
+serialization, or baseline.
 """
 
 from __future__ import annotations
@@ -28,12 +28,13 @@ __all__ = ["Backends", "build_backends"]
 
 @dataclass
 class Backends:
-    """The four index representations of one workload, plus raw items."""
+    """The five index representations of one workload, plus raw items."""
 
     tree: RTree
     disk: Optional[DiskRTree]
     kdtree: KdTree
     items: List[Tuple[Rect, int]]
+    packed: Optional[Any] = None
     _disk_path: Optional[str] = None
 
     def close(self) -> None:
@@ -86,6 +87,8 @@ def build_backends(
     The disk backend serializes the in-memory tree (structure-preserving,
     so a diff against it implicates the serialization round-trip, not
     tree construction) into *tmp_dir* (or the system temp directory).
+    The packed backend compiles the in-memory tree, so a diff against it
+    implicates the struct-of-arrays compile or the packed kernels.
     """
     tree = build_memory_tree(
         points,
@@ -109,5 +112,6 @@ def build_backends(
         disk=disk,
         kdtree=kdtree,
         items=items,
+        packed=tree.packed(),
         _disk_path=disk_path,
     )

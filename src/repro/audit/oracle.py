@@ -28,6 +28,10 @@ from repro.core.knn_dfs import nearest_dfs
 from repro.core.metrics import mindist_squared
 from repro.core.neighbors import Neighbor
 from repro.core.pruning import PruningConfig
+from repro.packed.kernels import (
+    packed_nearest_best_first,
+    packed_nearest_dfs,
+)
 
 __all__ = [
     "Discrepancy",
@@ -272,6 +276,50 @@ _EPSILON_COMBOS: List[Tuple[str, Callable]] = [
     ),
 ]
 
+#: The same algorithm grid, run against the PackedTree compile of the
+#: in-memory tree ("incremental" has no packed form and is omitted).
+#: A diff here with a clean ``@mem`` row implicates the packed compile
+#: or a packed kernel, not the algorithm.
+_PACKED_COMBOS: List[Tuple[str, Callable]] = [
+    (
+        "dfs-mindist",
+        lambda p, q, k: packed_nearest_dfs(p, q, k=k, ordering="mindist")[0],
+    ),
+    (
+        "dfs-minmaxdist",
+        lambda p, q, k: packed_nearest_dfs(p, q, k=k, ordering="minmaxdist")[0],
+    ),
+    (
+        "dfs-noprune",
+        lambda p, q, k: packed_nearest_dfs(
+            p, q, k=k, pruning=PruningConfig.none()
+        )[0],
+    ),
+    (
+        "dfs-p3only",
+        lambda p, q, k: packed_nearest_dfs(
+            p, q, k=k, pruning=PruningConfig.only_p3()
+        )[0],
+    ),
+    (
+        "best-first",
+        lambda p, q, k: packed_nearest_best_first(p, q, k=k)[0],
+    ),
+]
+
+_PACKED_EPSILON_COMBOS: List[Tuple[str, Callable]] = [
+    (
+        "dfs-mindist-eps",
+        lambda p, q, k, eps: packed_nearest_dfs(p, q, k=k, epsilon=eps)[0],
+    ),
+    (
+        "best-first-eps",
+        lambda p, q, k, eps: packed_nearest_best_first(
+            p, q, k=k, epsilon=eps
+        )[0],
+    ),
+]
+
 
 def diff_backends(
     backends: Backends,
@@ -310,6 +358,34 @@ def diff_backends(
                     k,
                     exact,
                     combo=f"{name}@{backend_name}",
+                    points=points,
+                    epsilon=epsilon,
+                )
+            )
+
+    if backends.packed is not None:
+        ptree = backends.packed
+        for name, runner in _PACKED_COMBOS:
+            result = runner(ptree, query, k)
+            problems.extend(
+                check_result(
+                    result,
+                    query,
+                    k,
+                    exact,
+                    combo=f"{name}@packed",
+                    points=points,
+                )
+            )
+        for name, runner in _PACKED_EPSILON_COMBOS:
+            result = runner(ptree, query, k, epsilon)
+            problems.extend(
+                check_result(
+                    result,
+                    query,
+                    k,
+                    exact,
+                    combo=f"{name}@packed",
                     points=points,
                     epsilon=epsilon,
                 )

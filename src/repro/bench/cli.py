@@ -148,6 +148,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_audit_arguments(audit)
 
+    packed = sub.add_parser(
+        "packed",
+        help="packed-kernel perf smoke: parity check + speedup gate "
+        "(exit 1 below --min-speedup)",
+    )
+    packed.add_argument(
+        "--n", type=int, default=20000, help="indexed points (default: 20000)"
+    )
+    packed.add_argument(
+        "--queries", type=int, default=64, help="query batch size (default: 64)"
+    )
+    packed.add_argument(
+        "--k", type=int, default=10, help="neighbors per query (default: 10)"
+    )
+    packed.add_argument(
+        "--page-size",
+        type=int,
+        default=4096,
+        help="page model sizing the tree fanout (default: 4096)",
+    )
+    packed.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="fail below this object/packed latency ratio (default: 1.5)",
+    )
+    packed.add_argument(
+        "--reps",
+        type=int,
+        default=7,
+        help="interleaved best-of timing repetitions (default: 7)",
+    )
+    packed.add_argument("--seed", type=int, default=0, help="workload seed")
+
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
     run.add_argument(
@@ -165,6 +199,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv",
         action="store_true",
         help="emit CSV tables (for plotting pipelines)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document (committed perf baselines use this)",
     )
     run.add_argument(
         "--plot",
@@ -186,6 +225,9 @@ def _run_command(args: argparse.Namespace) -> str:
         experiments = [EXPERIMENTS[key] for key in sorted(EXPERIMENTS)]
     else:
         experiments = [get_experiment(args.experiment)]
+
+    if args.json:
+        return _run_json(experiments, scale)
 
     blocks: List[str] = []
     for experiment in experiments:
@@ -214,6 +256,110 @@ def _run_command(args: argparse.Namespace) -> str:
         blocks.append(f"[{experiment.id} completed in {elapsed:.1f}s]")
         blocks.append("")
     return "\n\n".join(blocks)
+
+
+def _run_json(experiments: list, scale) -> str:
+    """One JSON document per invocation: the committed-baseline format.
+
+    Timing cells vary run to run, of course — a committed baseline is a
+    reference point for eyeballing regressions and for the figure
+    pipeline, not a CI assertion (the assertions live in
+    ``python -m repro.bench packed`` and the benchmark suite, with
+    deliberate margins).
+    """
+    import json
+    import platform
+
+    document = {
+        "schema": "repro-bench/1",
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "experiments": [],
+    }
+    for experiment in experiments:
+        start = time.perf_counter()
+        tables = experiment.run(scale)
+        elapsed = time.perf_counter() - start
+        document["experiments"].append(
+            {
+                "id": experiment.id,
+                "title": experiment.title,
+                "paper_ref": experiment.paper_ref,
+                "elapsed_s": round(elapsed, 3),
+                "tables": [table.to_dict() for table in tables],
+            }
+        )
+    return json.dumps(document, indent=2)
+
+
+def _packed_command(args: argparse.Namespace) -> tuple:
+    """Perf smoke for the packed kernels: parity first, then a speedup gate.
+
+    Interleaves the object/packed timing reps (best-of-N each) so CPU
+    noise lands on both sides equally; the default 1.5x threshold sits
+    far below the ~3x typically measured, keeping the gate flake-proof.
+    """
+    from repro.bench.harness import build_tree, points_as_items
+    from repro.core.knn_dfs import nearest_dfs
+    from repro.datasets.queries import query_points_uniform
+    from repro.datasets.synthetic import uniform_points
+    from repro.packed.kernels import packed_nearest_dfs
+    from repro.packed.layout import PackedTree
+    from repro.storage.pager import PageModel
+
+    points = uniform_points(args.n, seed=args.seed)
+    queries = query_points_uniform(args.queries, seed=args.seed + 1)
+    tree = build_tree(
+        points_as_items(points),
+        page_model=PageModel(page_size=args.page_size),
+    )
+    ptree = PackedTree.from_tree(tree)
+
+    mismatches = 0
+    for q in queries:
+        obj_nb, obj_stats = nearest_dfs(tree, q, k=args.k)
+        pk_nb, pk_stats = packed_nearest_dfs(ptree, q, k=args.k)
+        if (
+            [nb.payload for nb in obj_nb] != [nb.payload for nb in pk_nb]
+            or [nb.distance for nb in obj_nb] != [nb.distance for nb in pk_nb]
+            or obj_stats != pk_stats
+        ):
+            mismatches += 1
+
+    object_s = packed_s = float("inf")
+    for _ in range(args.reps):
+        start = time.perf_counter()
+        for q in queries:
+            nearest_dfs(tree, q, k=args.k)
+        object_s = min(object_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        for q in queries:
+            packed_nearest_dfs(ptree, q, k=args.k)
+        packed_s = min(packed_s, time.perf_counter() - start)
+    speedup = object_s / packed_s if packed_s else 0.0
+
+    per_query = 1e3 / len(queries)
+    lines = [
+        f"packed perf smoke — uniform n={args.n}, {args.queries} queries, "
+        f"k={args.k}, page_size={args.page_size} (fanout {tree.max_entries})",
+        f"  parity     {len(queries) - mismatches}/{len(queries)} queries "
+        f"identical (results + stats)",
+        f"  object     {object_s * per_query:8.4f} ms/q",
+        f"  packed     {packed_s * per_query:8.4f} ms/q",
+        f"  speedup    {speedup:8.2f}x (threshold {args.min_speedup}x)",
+    ]
+    code = 0
+    if mismatches:
+        lines.append(f"FAIL: {mismatches} queries diverged from the object kernel")
+        code = 1
+    if speedup < args.min_speedup:
+        lines.append(
+            f"FAIL: speedup {speedup:.2f}x below threshold {args.min_speedup}x"
+        )
+        code = 1
+    if code == 0:
+        lines.append("PASS")
+    return "\n".join(lines), code
 
 
 def _viz_command(args: argparse.Namespace) -> str:
@@ -331,6 +477,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _scrub_command(args)
     elif args.command == "engine":
         output, code = _engine_command(args)
+    elif args.command == "packed":
+        output, code = _packed_command(args)
     elif args.command == "audit":
         from repro.audit.__main__ import run_from_args
 

@@ -101,6 +101,25 @@ class Table:
             lines.append(",".join(escape(c) for c in row))
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: title, caption, columns and raw-string rows.
+
+        Numeric cells keep their human formatting but drop thousands
+        separators (same normalization as :meth:`to_csv`), so downstream
+        tooling can ``float()`` them directly.  This is the shape
+        ``python -m repro.bench run --json`` emits and the committed
+        ``BENCH_*.json`` baselines store.
+        """
+        def normalize(cell: str) -> str:
+            return cell.replace(",", "") if _looks_numeric(cell) else cell
+
+        return {
+            "title": self.title,
+            "caption": self.caption,
+            "columns": list(self.columns),
+            "rows": [[normalize(c) for c in row] for row in self.rows],
+        }
+
     def column(self, name: str) -> List[str]:
         """All cells of the named column (for assertions in tests)."""
         index = self.columns.index(name)

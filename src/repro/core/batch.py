@@ -40,6 +40,7 @@ def nearest_batch(
     config: Optional[QueryConfig] = None,
     workers: int = 1,
     cache_size: int = 0,
+    packed: bool = False,
 ) -> Tuple[List[NNResult], SearchStats, float]:
     """Run one k-NN query per point through a shared LRU buffer.
 
@@ -54,6 +55,11 @@ def nearest_batch(
         workers: Worker threads (default 1 = sequential).
         cache_size: Result-cache capacity (default 0 = off, preserving
             one search per point).
+        packed: Route the batch through the tree's
+            :class:`~repro.packed.PackedTree` compile (identical results
+            and stats, ~3x lower latency; see :mod:`repro.packed`).
+            Queries carrying ``object_distance_sq`` fall back to the
+            object kernels automatically.
         (Remaining arguments as in :func:`repro.core.query.nearest`.)
 
     Returns:
@@ -84,6 +90,7 @@ def nearest_batch(
         workers=workers,
         cache_size=cache_size,
         buffer_pages=buffer_pages,
+        packed=packed,
     ) as engine:
         results = engine.query_batch(points)
         physical_reads = engine.tracker.physical_reads()

@@ -14,7 +14,7 @@ import heapq
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.knn_dfs import ObjectDistance
-from repro.core.metrics import mindist_squared
+from repro.core.metrics import _mindist_sq_unchecked
 from repro.core.neighbors import Neighbor, NeighborBuffer
 from repro.core.stats import SearchStats
 from repro.errors import DimensionMismatchError, InvalidParameterError
@@ -73,12 +73,12 @@ def nearest_best_first(
                 if object_distance_sq is not None:
                     dist_sq = object_distance_sq(query, entry.payload, entry.rect)
                 else:
-                    dist_sq = mindist_squared(query, entry.rect)
+                    dist_sq = _mindist_sq_unchecked(query, entry.rect)
                 stats.objects_examined += 1
                 buffer.offer(dist_sq, entry.payload, entry.rect)
             continue
         for entry in node.entries:
-            md_sq = mindist_squared(query, entry.rect)
+            md_sq = _mindist_sq_unchecked(query, entry.rect)
             stats.branch_entries_considered += 1
             if md_sq < buffer.worst_distance_squared * shrink_sq:
                 counter += 1
@@ -131,7 +131,7 @@ def nearest_incremental(
                 if object_distance_sq is not None:
                     dist_sq = object_distance_sq(query, entry.payload, entry.rect)
                 else:
-                    dist_sq = mindist_squared(query, entry.rect)
+                    dist_sq = _mindist_sq_unchecked(query, entry.rect)
                 stats.objects_examined += 1
                 counter += 1
                 neighbor = Neighbor(
@@ -140,7 +140,7 @@ def nearest_incremental(
                 heapq.heappush(heap, (dist_sq, counter, True, neighbor))
         else:
             for entry in node.entries:
-                md_sq = mindist_squared(query, entry.rect)
+                md_sq = _mindist_sq_unchecked(query, entry.rect)
                 stats.branch_entries_considered += 1
                 counter += 1
                 heapq.heappush(heap, (md_sq, counter, False, entry.child))

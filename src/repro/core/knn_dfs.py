@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.core.metrics import mindist_squared, minmaxdist_squared
+from repro.core.metrics import _mindist_sq_unchecked, _minmaxdist_sq_unchecked
 from repro.core.neighbors import Neighbor, NeighborBuffer
 from repro.core.pruning import PruningConfig
 from repro.core.stats import SearchStats
@@ -218,13 +218,16 @@ class _DfsSearch:
             self.visit(_entry_child)
 
     def _scan_leaf(self, node: Node) -> None:
+        # The query's dimension was validated against the tree's once, in
+        # nearest_dfs; every rect in the tree shares it, so the per-entry
+        # metric calls skip the check (the hoisted-_check_dims fast path).
         query = self.query
         hook = self.object_distance_sq
         for entry in node.entries:
             if hook is not None:
                 dist_sq = hook(query, entry.payload, entry.rect)
             else:
-                dist_sq = mindist_squared(query, entry.rect)
+                dist_sq = _mindist_sq_unchecked(query, entry.rect)
             self.stats.objects_examined += 1
             self.buffer.offer(dist_sq, entry.payload, entry.rect)
 
@@ -235,9 +238,9 @@ class _DfsSearch:
         branches = []
         min_minmax_sq = math.inf
         for entry in node.entries:
-            md_sq = mindist_squared(query, entry.rect)
+            md_sq = _mindist_sq_unchecked(query, entry.rect)
             if need_minmax:
-                mmd_sq = minmaxdist_squared(query, entry.rect)
+                mmd_sq = _minmaxdist_sq_unchecked(query, entry.rect)
                 if mmd_sq < min_minmax_sq:
                     min_minmax_sq = mmd_sq
             else:

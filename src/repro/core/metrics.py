@@ -54,14 +54,31 @@ def mindist_squared(point: Sequence[float], rect: Rect) -> float:
     excess above ``hi``; inside the slab the contribution is zero.
     """
     _check_dims(point, rect, "mindist")
+    return _mindist_sq_unchecked(point, rect)
+
+
+def _mindist_sq_unchecked(point: Sequence[float], rect: Rect) -> float:
+    """Squared MINDIST without the dimension check.
+
+    The traversal hot loops (:func:`repro.core.knn_dfs.nearest_dfs` and
+    friends) validate the query point against the tree dimension once and
+    then call this per entry; every rect inside one tree shares that
+    dimension by construction.
+    """
+    lo = rect.lo
+    hi = rect.hi
     total = 0.0
-    for p, lo, hi in zip(point, rect.lo, rect.hi):
-        if p < lo:
-            d = lo - p
+    for i in range(len(lo)):
+        p = point[i]
+        a = lo[i]
+        if p < a:
+            d = a - p
             total += d * d
-        elif p > hi:
-            d = p - hi
-            total += d * d
+        else:
+            b = hi[i]
+            if p > b:
+                d = p - b
+                total += d * d
     return total
 
 
@@ -84,19 +101,32 @@ def minmaxdist_squared(point: Sequence[float], rect: Rect) -> float:
     the bound of axis ``i`` farther from ``p_i``.
     """
     _check_dims(point, rect, "minmaxdist")
-    dim = rect.dimension
+    return _minmaxdist_sq_unchecked(point, rect)
+
+
+def _minmaxdist_sq_unchecked(point: Sequence[float], rect: Rect) -> float:
+    """Squared MINMAXDIST without the dimension check (see
+    :func:`_mindist_sq_unchecked` for the contract)."""
+    lo_b = rect.lo
+    hi_b = rect.hi
+    dim = len(lo_b)
 
     # Per-axis squared distance to the *near* bound (rm) and the *far*
     # bound (rM).  Each axis k contributes the candidate
     # near[k] + sum_{i != k} far[i].
     near_terms = []
     far_terms = []
-    for p, lo, hi in zip(point, rect.lo, rect.hi):
+    for i in range(dim):
+        p = point[i]
+        lo = lo_b[i]
+        hi = hi_b[i]
         mid = (lo + hi) / 2.0
         near_bound = lo if p <= mid else hi
         far_bound = lo if p >= mid else hi
-        near_terms.append((p - near_bound) ** 2)
-        far_terms.append((p - far_bound) ** 2)
+        d = p - near_bound
+        near_terms.append(d * d)
+        d = p - far_bound
+        far_terms.append(d * d)
 
     # Each candidate is summed directly in axis order rather than via the
     # O(d) shared-sum trick (far_sum - far[k] + near[k]): the subtraction
@@ -130,10 +160,13 @@ def maxdist_squared(point: Sequence[float], rect: Rect) -> float:
     mirror image of MINDIST's role in nearest-neighbor search.
     """
     _check_dims(point, rect, "maxdist")
+    lo_b = rect.lo
+    hi_b = rect.hi
     total = 0.0
-    for p, lo, hi in zip(point, rect.lo, rect.hi):
-        d_lo = p - lo
-        d_hi = hi - p
+    for i in range(len(lo_b)):
+        p = point[i]
+        d_lo = p - lo_b[i]
+        d_hi = hi_b[i] - p
         d = d_lo if d_lo >= d_hi else d_hi
         total += d * d
     return total

@@ -435,6 +435,8 @@ class DiskRTree:
         # concurrent queries (repro.service.QueryEngine workers) never
         # corrupt the LRU order or interleave seek/read pairs.
         self._load_lock = threading.RLock()
+        # One-shot PackedTree compile cache (the file is immutable).
+        self._packed_cache = None
         self.root = _DiskNode(self, root_page, level=height - 1)
 
     # ------------------------------------------------------------------
@@ -448,9 +450,39 @@ class DiskRTree:
         """Mutation counter; a disk tree is read-only, so always 0."""
         return 0
 
-    def snapshot(self) -> TreeSnapshot:
-        """A :class:`TreeSnapshot`; never goes stale (the file is frozen)."""
-        return TreeSnapshot(tree=self, epoch=0)
+    def snapshot(self, packed: bool = False) -> TreeSnapshot:
+        """A :class:`TreeSnapshot`; never goes stale (the file is frozen).
+
+        With ``packed=True`` the snapshot carries the
+        :class:`~repro.packed.PackedTree` compile (see :meth:`packed`).
+        """
+        return TreeSnapshot(
+            tree=self,
+            epoch=0,
+            packed=self.packed() if packed else None,
+        )
+
+    def packed(self) -> "object":
+        """Compile this disk tree into a :class:`~repro.packed.PackedTree`.
+
+        The compile reads every page exactly once (through the node
+        cache); afterwards queries on the packed form touch no storage at
+        all — the whole index lives in five flat arrays.  The result is
+        cached for the life of this handle: the file is read-only, so it
+        can never go stale.  Raises on corrupt pages under
+        ``on_corrupt="raise"`` exactly like a query would; under
+        ``"skip"`` the compile, like queries, silently omits unreadable
+        subtrees (check :attr:`degraded`).
+        """
+        from repro.packed.layout import PackedTree
+
+        with self._load_lock:
+            cached = self._packed_cache
+            if cached is not None:
+                return cached
+            compiled = PackedTree.from_tree(self)
+            self._packed_cache = compiled
+            return compiled
 
     def items(self) -> Iterator[Tuple[Rect, int]]:
         """Iterate all indexed ``(rect, payload_id)`` pairs."""

@@ -8,6 +8,7 @@ reinsertion on overflow.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -48,10 +49,17 @@ class TreeSnapshot:
     needing isolation must synchronize externally (e.g. through
     :class:`repro.service.QueryEngine`, which wraps queries and mutations
     in a read-write lock).
+
+    When requested via ``snapshot(packed=True)`` the handle also carries
+    the tree's :class:`~repro.packed.PackedTree` compile of the same
+    epoch in :attr:`packed` (``None`` otherwise).  Unlike the handle
+    itself the packed form *is* a real copy: it stays valid — and
+    internally consistent — even after the source tree mutates.
     """
 
     tree: Any
     epoch: int
+    packed: Optional[Any] = None
 
     @property
     def is_current(self) -> bool:
@@ -101,6 +109,11 @@ class RTree:
         self._dimension: Optional[int] = None
         self._node_count = 0
         self._epoch = 0
+        # Epoch-keyed PackedTree compile, built lazily by packed().  The
+        # lock only guards the cache slot (compiles may briefly duplicate
+        # under contention; the last writer wins and both are correct).
+        self._packed_cache: Optional[Any] = None
+        self._packed_lock = threading.Lock()
         self.root = self._new_node(level=0)
 
     # ------------------------------------------------------------------
@@ -134,9 +147,39 @@ class RTree:
         """
         return self._epoch
 
-    def snapshot(self) -> TreeSnapshot:
-        """A :class:`TreeSnapshot` pinned to the current epoch (O(1))."""
-        return TreeSnapshot(tree=self, epoch=self._epoch)
+    def snapshot(self, packed: bool = False) -> TreeSnapshot:
+        """A :class:`TreeSnapshot` pinned to the current epoch.
+
+        O(1) by default.  With ``packed=True`` the snapshot also carries
+        the :class:`~repro.packed.PackedTree` compile of this epoch
+        (built lazily and cached — see :meth:`packed`), so the handle
+        stays queryable at full speed even after the tree mutates.
+        """
+        return TreeSnapshot(
+            tree=self,
+            epoch=self._epoch,
+            packed=self.packed() if packed else None,
+        )
+
+    def packed(self) -> Any:
+        """The :class:`~repro.packed.PackedTree` compile of the current epoch.
+
+        Built lazily on first call and cached; any mutation (insert,
+        delete, clear) bumps :attr:`epoch`, and the next call recompiles.
+        The returned object is immutable and safe to query from any
+        thread — including while this tree keeps mutating.
+        """
+        from repro.packed.layout import PackedTree
+
+        epoch = self._epoch
+        with self._packed_lock:
+            cached = self._packed_cache
+            if cached is not None and cached.epoch == epoch:
+                return cached
+        compiled = PackedTree.from_tree(self)
+        with self._packed_lock:
+            self._packed_cache = compiled
+        return compiled
 
     def bounds(self) -> Rect:
         """MBR of the whole tree; raises :class:`EmptyIndexError` if empty."""

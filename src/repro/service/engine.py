@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import QueryConfig
 from repro.core.query import NNResult, _run_query, resolve_config
 from repro.errors import InvalidParameterError
+from repro.packed.kernels import run_packed_query
 from repro.service.cache import ResultCache
 from repro.service.locks import ReadWriteLock
 from repro.service.stats import EngineStats, LatencyRecorder
@@ -78,6 +79,16 @@ class QueryEngine:
             Workers never share a pool, so page accounting needs no locks
             and is never double-counted
             (:class:`~repro.storage.tracker.ShardedTracker`).
+        packed: Serve queries through the tree's
+            :class:`~repro.packed.PackedTree` compile (see
+            :mod:`repro.packed`) instead of the object-graph kernels.
+            Results, stats and page accounting are identical; latency is
+            typically ~3x lower.  The compile is epoch-keyed: the first
+            query after a mutation rebuilds it (under the read lock),
+            subsequent queries share it.  Queries whose config carries an
+            ``object_distance_sq`` hook fall back to the object kernels
+            automatically — exact object distance needs payloads on the
+            hot path.
 
     The engine itself never copies the tree: it relies on the tree's
     mutation epoch (see :meth:`~repro.rtree.tree.RTree.snapshot`) for
@@ -91,6 +102,7 @@ class QueryEngine:
         workers: int = 4,
         cache_size: int = DEFAULT_CACHE_SIZE,
         buffer_pages: int = 0,
+        packed: bool = False,
     ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
@@ -98,7 +110,13 @@ class QueryEngine:
             raise InvalidParameterError(
                 f"buffer_pages must be >= 0, got {buffer_pages}"
             )
+        if packed and not hasattr(tree, "packed"):
+            raise InvalidParameterError(
+                f"packed=True needs a tree with a .packed() compile; "
+                f"{type(tree).__name__} has none"
+            )
         self.tree = tree
+        self.packed = packed
         self.config = config if config is not None else QueryConfig()
         self.workers = workers
         self.cache = ResultCache(cache_size)
@@ -300,7 +318,15 @@ class QueryEngine:
                     if cached is not _CACHE_MISS:
                         self._count_hit()
                         return cached
-                result = _run_query(self.tree, point, cfg, self.tracker)
+                if self.packed and cfg.object_distance_sq is None:
+                    # tree.packed() is epoch-keyed: first query after a
+                    # mutation recompiles (under this read lock, so the
+                    # tree is stable), later queries share the compile.
+                    result = run_packed_query(
+                        self.tree.packed(), point, cfg, self.tracker
+                    )
+                else:
+                    result = _run_query(self.tree, point, cfg, self.tracker)
                 if use_cache:
                     self.cache.put(key, result)
                 self._count_executed(result)

@@ -1,0 +1,163 @@
+"""PackedTree compile: slab structure, invariants, introspection."""
+
+import pytest
+
+from repro import PackedTree, RTree, bulk_load
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.packed.layout import (
+    NODE_INTERNAL,
+    NODE_LEAF_POINTS,
+    NODE_LEAF_RECT,
+)
+
+pytestmark = pytest.mark.packed
+
+
+def _point_tree(n=200, dimension=2, max_entries=8):
+    tree = RTree(max_entries=max_entries)
+    for i in range(n):
+        p = tuple(float((i * (7 + axis * 6)) % 101) for axis in range(dimension))
+        tree.insert(p, payload=i)
+    return tree
+
+
+class TestCompile:
+    def test_counts_and_metadata(self):
+        tree = _point_tree(200)
+        packed = PackedTree.from_tree(tree)
+        assert len(packed) == len(tree) == packed.size
+        assert packed.dimension == tree.dimension
+        assert packed.epoch == tree.epoch
+        assert packed.node_count == tree.node_count
+        # Leaf entries = items; internal entries = child links = nodes - 1.
+        assert packed.entry_count == len(tree) + packed.node_count - 1
+        assert packed.nbytes() > 0
+        assert "PackedTree" in repr(packed)
+
+    def test_root_is_node_zero_and_starts_monotone(self):
+        packed = PackedTree.from_tree(_point_tree(300))
+        assert len(packed.starts) == packed.node_count + 1
+        assert packed.starts[0] == 0
+        assert packed.starts[-1] == packed.entry_count
+        assert all(
+            packed.starts[i] < packed.starts[i + 1]
+            for i in range(packed.node_count)
+        )
+
+    def test_internal_refs_ascend_in_entry_order(self):
+        # Load-bearing for the fast kernel's plain tuple sort: within an
+        # internal node, child refs must ascend in entry order so ref
+        # tie-breaks reproduce the object kernel's stable sort.
+        packed = PackedTree.from_tree(_point_tree(500))
+        for ni in range(packed.node_count):
+            if packed.kinds[ni] != NODE_INTERNAL:
+                continue
+            refs = packed.refs[packed.starts[ni]:packed.starts[ni + 1]]
+            assert list(refs) == sorted(refs)
+
+    def test_items_round_trip(self):
+        tree = _point_tree(150)
+        packed = PackedTree.from_tree(tree)
+        original = sorted(
+            (r.lo, r.hi, p) for r, p in tree.items()
+        )
+        compiled = sorted(
+            (r.lo, r.hi, p) for r, p in packed.items()
+        )
+        assert compiled == original
+
+    def test_leaf_rects_are_source_objects(self):
+        tree = _point_tree(60)
+        packed = PackedTree.from_tree(tree)
+        by_payload = {p: r for r, p in tree.items()}
+        for rect, payload in packed.items():
+            assert rect == by_payload[payload]
+        # The rects list holds identical objects, not reconstructions.
+        assert all(
+            packed.rects[i] is by_payload[packed.payloads[i]]
+            for i in range(len(packed.payloads))
+        )
+
+    def test_point_leaves_marked(self):
+        packed = PackedTree.from_tree(_point_tree(100))
+        leaf_kinds = {
+            packed.kinds[ni]
+            for ni in range(packed.node_count)
+            if packed.kinds[ni] != NODE_INTERNAL
+        }
+        assert leaf_kinds == {NODE_LEAF_POINTS}
+
+    def test_rect_leaves_marked(self):
+        tree = RTree(max_entries=8)
+        for i in range(40):
+            x = float(i % 10) * 10
+            y = float(i // 10) * 10
+            tree.insert(Rect((x, y), (x + 3.0, y + 5.0)), payload=i)
+        packed = PackedTree.from_tree(tree)
+        leaf_kinds = {
+            packed.kinds[ni]
+            for ni in range(packed.node_count)
+            if packed.kinds[ni] != NODE_INTERNAL
+        }
+        assert leaf_kinds == {NODE_LEAF_RECT}
+
+    def test_2d_mirrors_match_coords(self):
+        packed = PackedTree.from_tree(_point_tree(120))
+        assert list(packed.xlo) == list(packed.coords[0::4])
+        assert list(packed.ylo) == list(packed.coords[1::4])
+        assert list(packed.xhi) == list(packed.coords[2::4])
+        assert list(packed.yhi) == list(packed.coords[3::4])
+
+    def test_3d_tree_has_no_mirrors(self):
+        packed = PackedTree.from_tree(_point_tree(80, dimension=3))
+        assert packed.dimension == 3
+        assert packed.xlo is None and packed.yhi is None
+        assert packed.entry_count * 6 == len(packed.coords)
+
+    def test_empty_tree(self):
+        packed = PackedTree.from_tree(RTree())
+        assert len(packed) == 0
+        assert packed.node_count == 0
+        assert packed.entry_count == 0
+
+    def test_bulk_loaded_tree(self):
+        items = [((float(i % 31), float(i % 17)), i) for i in range(400)]
+        tree = bulk_load(items, max_entries=16)
+        packed = PackedTree.from_tree(tree)
+        assert len(packed) == 400
+        assert sorted(p for _, p in packed.items()) == list(range(400))
+
+
+class TestValidateAgainst:
+    def test_passes_on_source(self):
+        tree = _point_tree(50)
+        packed = PackedTree.from_tree(tree)
+        packed.validate_against(tree)
+
+    def test_detects_size_drift(self):
+        tree = _point_tree(50)
+        packed = PackedTree.from_tree(tree)
+        tree.insert((999.0, 999.0), payload=999)
+        with pytest.raises(InvalidParameterError):
+            packed.validate_against(tree)
+
+
+class TestEpochCache:
+    def test_packed_cached_per_epoch(self):
+        tree = _point_tree(100)
+        first = tree.packed()
+        assert tree.packed() is first
+        tree.insert((55.5, 44.5), payload=1000)
+        second = tree.packed()
+        assert second is not first
+        assert second.epoch == tree.epoch
+        assert len(second) == len(tree)
+
+    def test_snapshot_packed_flag(self):
+        tree = _point_tree(30)
+        plain = tree.snapshot()
+        assert plain.packed is None
+        carried = tree.snapshot(packed=True)
+        assert carried.packed is tree.packed()
+        assert carried.is_current

@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.bench",
     "repro.geometry",
     "repro.service",
+    "repro.packed",
 ]
 
 
@@ -54,6 +55,7 @@ def test_key_workflows_importable_from_top_level():
         "farthest_best_first", "aggregate_nearest", "intersection_join",
         "knn_join", "nearest_dfs_lp", "measure_quality",
         "PruningConfig", "mindist", "minmaxdist", "maxdist",
+        "PackedTree", "packed_nearest_dfs", "packed_nearest_best_first",
     ):
         assert hasattr(repro, name), f"repro.{name} missing"
 
