@@ -1,0 +1,151 @@
+"""E16 — tracer overhead on the packed DFS hot path.
+
+The observability acceptance gate: with tracing disabled (``trace=None``,
+the production default) the public packed DFS entry point must stay
+within 5% of the raw kernel floor at the headline 100k/k=10 workload.
+Enabled tracing dispatches to the separate traced kernels and is timed
+for the record, but is not gated — forensics is allowed to cost.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items
+from repro.core import knn_dfs as _knn_dfs
+from repro.core.stats import SearchStats
+from repro.datasets.queries import query_points_uniform
+from repro.datasets.synthetic import uniform_points
+from repro.obs.trace import Trace
+from repro.packed.kernels import (
+    _dfs_2d_fast,
+    _heap_to_neighbors,
+    packed_nearest_dfs,
+)
+from repro.packed.layout import PackedTree
+from repro.storage.pager import PageModel
+
+HEADLINE_N = 100_000
+HEADLINE_K = 10
+HEADLINE_QUERIES = 100
+HEADLINE_PAGE_SIZE = 4096
+
+
+@pytest.fixture(scope="module")
+def headline_packed():
+    points = uniform_points(HEADLINE_N, seed=160)
+    tree = build_tree(
+        points_as_items(points),
+        page_model=PageModel(page_size=HEADLINE_PAGE_SIZE),
+    )
+    return PackedTree.from_tree(tree)
+
+
+@pytest.fixture(scope="module")
+def headline_queries():
+    return query_points_uniform(HEADLINE_QUERIES, seed=161)
+
+
+def test_e16_disabled_benchmark(benchmark, headline_packed, headline_queries):
+    """Time the untraced public entry point over the headline batch."""
+
+    def run():
+        return [
+            packed_nearest_dfs(headline_packed, q, k=HEADLINE_K)
+            for q in headline_queries
+        ]
+
+    results = benchmark(run)
+    assert len(results) == len(headline_queries)
+
+
+def test_e16_traced_benchmark(benchmark, headline_packed, headline_queries):
+    """Time the traced kernels (fresh Trace per query) for the record."""
+
+    def run():
+        return [
+            packed_nearest_dfs(headline_packed, q, k=HEADLINE_K, trace=Trace())
+            for q in headline_queries
+        ]
+
+    results = benchmark(run)
+    assert len(results) == len(headline_queries)
+
+
+def test_e16_disabled_overhead_100k(headline_packed, headline_queries):
+    """The acceptance gate: disabled tracing stays near the kernel floor.
+
+    Floor and public runs are interleaved so CPU noise lands on both
+    sides equally.  The strict <5% budget is enforced by
+    ``python -m repro.bench obs`` in a clean process; inside a pytest
+    session (allocator and caches already churned by other benchmarks)
+    the same 1.1x flake-tolerant bound as CI applies.  Traced results
+    must also match untraced exactly — instrumentation that changes the
+    answer is worse than none.
+    """
+    slack = _knn_dfs._PRUNE_SLACK
+    for q in headline_queries[:8]:
+        plain_nb, plain_stats = packed_nearest_dfs(
+            headline_packed, q, k=HEADLINE_K
+        )
+        traced_nb, traced_stats = packed_nearest_dfs(
+            headline_packed, q, k=HEADLINE_K, trace=Trace()
+        )
+        assert [nb.payload for nb in plain_nb] == [
+            nb.payload for nb in traced_nb
+        ]
+        assert plain_stats == traced_stats
+
+    floor_times = []
+    public_times = []
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(9):
+            start = time.perf_counter()
+            for q in headline_queries:
+                heap = _dfs_2d_fast(
+                    headline_packed, q[0], q[1], HEADLINE_K, 1.0, slack,
+                    None, SearchStats(),
+                )
+                _heap_to_neighbors(headline_packed, heap)
+            floor_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            for q in headline_queries:
+                packed_nearest_dfs(headline_packed, q, k=HEADLINE_K)
+            public_times.append(time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    # Best-of, like the E16 experiment and `repro.bench obs`: the
+    # minimum is the noise-robust batch-latency estimator (anything
+    # above it is scheduler/GC interference, which lands on one side
+    # of an interleaved pair at random and would flake a median).
+    floor_ms = min(floor_times) * 1e3 / HEADLINE_QUERIES
+    public_ms = min(public_times) * 1e3 / HEADLINE_QUERIES
+    overhead = public_ms / floor_ms
+    print(
+        f"\nE16 headline: kernel floor {floor_ms:.4f} ms/q, "
+        f"public trace=None {public_ms:.4f} ms/q, ratio {overhead:.3f}x"
+    )
+    assert overhead <= 1.1, (
+        f"disabled-tracer overhead {overhead:.3f}x exceeds the "
+        f"flake-tolerant 1.1x bound "
+        f"(floor {floor_ms:.4f} ms/q vs public {public_ms:.4f} ms/q)"
+    )
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E16").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    ratios = [float(v) for v in table.column("vs kernel")]
+    # Row order: kernel only (1.0 by construction), public trace=None
+    # (noise-level at quick scale), public traced (pays for events).
+    assert ratios[0] == pytest.approx(1.0)
+    assert ratios[1] < 1.5  # generous: tiny batches are noisy
+    assert ratios[2] > ratios[1] * 0.5  # sanity: parsed the right column

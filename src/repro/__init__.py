@@ -68,6 +68,13 @@ from repro.errors import (
     TreeInvariantError,
 )
 from repro.geometry import Point, Rect, Segment
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    SlowQueryRecord,
+    Trace,
+    render_trace,
+)
 from repro.packed import (
     PackedTree,
     packed_nearest_best_first,
@@ -150,6 +157,11 @@ __all__ = [
     "QuadTree",
     "LruBufferPool",
     "EngineStats",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Trace",
+    "render_trace",
     "NNResult",
     "NearestNeighborQuery",
     "Neighbor",

@@ -16,13 +16,21 @@ adopts.  Each discarded subtree is then exhaustively scanned:
 
 The checks run at ``epsilon == 0`` only; approximate mode is governed by
 the looser Arya bound, which the oracle differ verifies instead.
+
+Passing a :class:`repro.obs.Trace` records the certified run as
+replayable evidence: the trace's prune events are cross-checked against
+the ``on_prune`` hook's event-for-event, so a soundness report can ship
+with a trace that provably describes the run it certifies.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.trace import Trace
 
 from repro.baselines.linear_scan import linear_scan_items
 from repro.core.knn_dfs import nearest_dfs
@@ -100,11 +108,14 @@ def check_pruning_soundness(
     k: int = 1,
     ordering: str = "mindist",
     pruning: Optional[PruningConfig] = None,
+    trace: Optional["Trace"] = None,
 ) -> List[SoundnessViolation]:
     """Replay one DFS query and certify every prune it made.
 
     *items* is the raw ``(rect, payload)`` ground truth (the tree's own
-    contents); *tree* may be an in-memory or disk R-tree.
+    contents); *tree* may be an in-memory or disk R-tree.  A *trace*
+    rides along as replayable evidence and is cross-checked against the
+    hook's event stream (any divergence is itself a violation).
     """
     query_t = tuple(float(c) for c in query)
     exact = linear_scan_items(items, query_t, k=k)
@@ -120,6 +131,7 @@ def check_pruning_soundness(
         ordering=ordering,
         pruning=pruning,
         on_prune=lambda kind, node, value: events.append((kind, node, value)),
+        trace=trace,
     )
     # Judge each prune against the k-th distance the search *returned*,
     # not the true k-th: when a prune discards the genuine nearest
@@ -166,6 +178,29 @@ def check_pruning_soundness(
                         f"pruned subtree contains an object at distance^2 "
                         f"{best_sq}, closer than the returned k-th "
                         f"distance^2 {kth_sq}"
+                    ),
+                )
+            )
+
+    if trace is not None:
+        # The evidence must describe the run it certifies: the trace's
+        # prune events must reproduce the hook's stream event-for-event.
+        hooked = [
+            (kind, node.node_id if node is not None else None, value)
+            for kind, node, value in events
+        ]
+        if trace.prune_events() != hooked:
+            violations.append(
+                SoundnessViolation(
+                    kind="trace-mismatch",
+                    query=query_t,
+                    k=k,
+                    ordering=ordering,
+                    offending_sq=float(len(trace.prune_events())),
+                    bound_sq=float(len(hooked)),
+                    detail=(
+                        "trace prune events diverge from the on_prune "
+                        "hook's stream"
                     ),
                 )
             )

@@ -16,6 +16,10 @@ Subcommands:
   correctness audit (same flags as ``python -m repro.audit``): replay
   seeded workloads through every algorithm and backend, certify the
   pruning invariants, and exit 1 on any diff.
+- ``obs [--n N] [--gate R] ...`` — the observability overhead smoke:
+  times the packed DFS hot path with tracing disabled against the raw
+  kernel floor and exits 1 if the disabled-tracer cost exceeds the gate
+  (default 1.05x; CI uses 1.1x).
 """
 
 from __future__ import annotations
@@ -181,6 +185,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="interleaved best-of timing repetitions (default: 7)",
     )
     packed.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability overhead smoke: disabled tracing must cost "
+        "<5%% on the packed DFS hot path (exit 1 above --gate)",
+    )
+    obs.add_argument(
+        "--n",
+        type=int,
+        default=100000,
+        help="indexed points (default: 100000)",
+    )
+    obs.add_argument(
+        "--queries", type=int, default=64, help="query batch size (default: 64)"
+    )
+    obs.add_argument(
+        "--k", type=int, default=10, help="neighbors per query (default: 10)"
+    )
+    obs.add_argument(
+        "--gate",
+        type=float,
+        default=1.05,
+        help="fail if (public trace=None)/(kernel only) exceeds this "
+        "ratio (default: 1.05; CI smoke uses 1.1 for flake tolerance)",
+    )
+    obs.add_argument(
+        "--reps",
+        type=int,
+        default=7,
+        help="interleaved best-of timing repetitions (default: 7)",
+    )
+    obs.add_argument("--seed", type=int, default=0, help="workload seed")
 
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
@@ -362,6 +398,90 @@ def _packed_command(args: argparse.Namespace) -> tuple:
     return "\n".join(lines), code
 
 
+def _obs_command(args: argparse.Namespace) -> tuple:
+    """Disabled-tracer overhead gate on the packed DFS hot path.
+
+    Three interleaved best-of-N timings: the raw kernel with the dispatch
+    layer peeled off (the floor), the public entry point with
+    ``trace=None`` (what every production query pays — validation, kernel
+    dispatch, and the ``trace is None`` test), and the public entry point
+    with tracing enabled (forensics price, reported but not gated).  The
+    gate holds disabled/floor to ``--gate``; the traced kernels are
+    separate code, so enabling tracing can never slow the untraced path.
+    """
+    from repro.bench.harness import build_tree, points_as_items
+    from repro.core import knn_dfs as _knn_dfs
+    from repro.core.stats import SearchStats
+    from repro.datasets.queries import query_points_uniform
+    from repro.datasets.synthetic import uniform_points
+    from repro.obs.trace import Trace
+    from repro.packed.kernels import (
+        _dfs_2d_fast,
+        _heap_to_neighbors,
+        packed_nearest_dfs,
+    )
+    from repro.packed.layout import PackedTree
+
+    points = uniform_points(args.n, seed=args.seed)
+    queries = query_points_uniform(args.queries, seed=args.seed + 1)
+    tree = build_tree(points_as_items(points))
+    ptree = PackedTree.from_tree(tree)
+    slack = _knn_dfs._PRUNE_SLACK
+    k = args.k
+
+    def kernel_only():
+        for q in queries:
+            heap = _dfs_2d_fast(
+                ptree, q[0], q[1], k, 1.0, slack, None, SearchStats()
+            )
+            _heap_to_neighbors(ptree, heap)
+
+    def disabled():
+        for q in queries:
+            packed_nearest_dfs(ptree, q, k=k)
+
+    def traced():
+        for q in queries:
+            packed_nearest_dfs(ptree, q, k=k, trace=Trace())
+
+    floor_s = disabled_s = traced_s = float("inf")
+    for _ in range(args.reps):
+        start = time.perf_counter()
+        kernel_only()
+        floor_s = min(floor_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        disabled()
+        disabled_s = min(disabled_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        traced()
+        traced_s = min(traced_s, time.perf_counter() - start)
+
+    probe = Trace()
+    packed_nearest_dfs(ptree, queries[0], k=k, trace=probe)
+
+    overhead = disabled_s / floor_s if floor_s else 0.0
+    per_query = 1e3 / len(queries)
+    lines = [
+        f"tracer overhead smoke — uniform n={args.n}, {args.queries} "
+        f"queries, k={k} (fanout {tree.max_entries})",
+        f"  kernel only          {floor_s * per_query:8.4f} ms/q",
+        f"  public trace=None    {disabled_s * per_query:8.4f} ms/q "
+        f"({overhead:.3f}x of floor, gate {args.gate}x)",
+        f"  public traced        {traced_s * per_query:8.4f} ms/q "
+        f"({traced_s / floor_s:.2f}x, {len(probe.events)} events/query)",
+    ]
+    code = 0
+    if overhead > args.gate:
+        lines.append(
+            f"FAIL: disabled-tracer overhead {overhead:.3f}x exceeds "
+            f"gate {args.gate}x"
+        )
+        code = 1
+    else:
+        lines.append("PASS")
+    return "\n".join(lines), code
+
+
 def _viz_command(args: argparse.Namespace) -> str:
     from repro.core.query import nearest
     from repro.datasets.synthetic import (
@@ -479,6 +599,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _engine_command(args)
     elif args.command == "packed":
         output, code = _packed_command(args)
+    elif args.command == "obs":
+        output, code = _obs_command(args)
     elif args.command == "audit":
         from repro.audit.__main__ import run_from_args
 

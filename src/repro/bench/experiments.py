@@ -922,6 +922,86 @@ def _run_e15(scale: Scale) -> List[Table]:
     return [table, micro]
 
 
+# ----------------------------------------------------------------------
+# E16 — tracer overhead and trace volume on the packed DFS hot path
+# ----------------------------------------------------------------------
+def _run_e16(scale: Scale) -> List[Table]:
+    from repro.core import knn_dfs as _knn_dfs
+    from repro.core.stats import SearchStats
+    from repro.obs.trace import Trace
+    from repro.packed.kernels import (
+        _dfs_2d_fast,
+        _heap_to_neighbors,
+        packed_nearest_dfs,
+    )
+    from repro.packed.layout import PackedTree
+
+    n = scale.base_size
+    k = 10
+    queries = query_points_uniform(scale.queries, seed=_QUERY_SEED)
+    tree = build_tree(_uniform_items(n))
+    ptree = PackedTree.from_tree(tree)
+    slack = _knn_dfs._PRUNE_SLACK
+
+    def _kernel_only() -> None:
+        # The raw hot loop with the dispatch layer peeled off: the floor
+        # the disabled-tracer public call is gated against.
+        for q in queries:
+            heap = _dfs_2d_fast(
+                ptree, q[0], q[1], k, 1.0, slack, None, SearchStats()
+            )
+            _heap_to_neighbors(ptree, heap)
+
+    def _disabled() -> None:
+        for q in queries:
+            packed_nearest_dfs(ptree, q, k=k)
+
+    def _traced() -> None:
+        for q in queries:
+            packed_nearest_dfs(ptree, q, k=k, trace=Trace())
+
+    modes = [
+        ("kernel only", _kernel_only),
+        ("public, trace=None", _disabled),
+        ("public, traced", _traced),
+    ]
+    best = {name: math.inf for name, _ in modes}
+    for _ in range(5):  # interleaved best-of: noise hits all modes equally
+        for name, fn in modes:
+            start = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+
+    probe = Trace()
+    packed_nearest_dfs(ptree, queries[0], k=k, trace=probe)
+    events_per_query = [None, None, float(len(probe.events))]
+
+    per_query = 1e3 / len(queries)
+    floor = best["kernel only"]
+    table = Table(
+        f"E16: tracer overhead on the packed DFS hot path (uniform n={n}, "
+        f"k={k}, {scale.queries} queries)",
+        ["mode", "ms/q", "vs kernel", "events/q"],
+        caption=(
+            "Interleaved best-of-5 wall clock.  'kernel only' strips the "
+            "public dispatch layer (validation + the `trace is None` "
+            "test); the gap to 'public, trace=None' is everything disabled "
+            "tracing can possibly cost, gated <5% by `repro.bench obs`.  "
+            "Enabled tracing dispatches to the separate traced kernels and "
+            "pays for event recording; its ratio bounds the price of "
+            "forensics, not of normal serving."
+        ),
+    )
+    for (name, _), events in zip(modes, events_per_query):
+        table.add_row(
+            name,
+            best[name] * per_query,
+            best[name] / floor,
+            "" if events is None else events,
+        )
+    return [table]
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.id: exp
     for exp in (
@@ -1017,6 +1097,16 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "point-to-MBR metrics it inlines; results and stats are "
             "bit-identical by construction.",
             _run_e15,
+        ),
+        Experiment(
+            "E16",
+            "Tracer overhead on the packed hot path",
+            "Observability extension (instrumentation must be free when off)",
+            "Disabled- and enabled-tracer latency of the packed DFS kernel "
+            "against the raw hot loop; the disabled path is the one every "
+            "production query takes and must stay within noise of the "
+            "kernel floor.",
+            _run_e16,
         ),
         Experiment(
             "E12",

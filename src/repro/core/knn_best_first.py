@@ -11,9 +11,12 @@ without a fixed k.
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.knn_dfs import ObjectDistance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.trace import Trace
 from repro.core.metrics import _mindist_sq_unchecked
 from repro.core.neighbors import Neighbor, NeighborBuffer
 from repro.core.stats import SearchStats
@@ -32,6 +35,7 @@ def nearest_best_first(
     tracker: Optional[AccessTracker] = None,
     object_distance_sq: Optional[ObjectDistance] = None,
     epsilon: float = 0.0,
+    trace: Optional["Trace"] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Find the *k* nearest objects by best-first node expansion.
 
@@ -45,6 +49,10 @@ def nearest_best_first(
     is only expanded if it could beat the k-th candidate by more than a
     ``(1 + epsilon)`` factor, so every returned distance is within
     ``(1 + epsilon)`` of its exact counterpart.
+
+    Pass a :class:`repro.obs.Trace` via *trace* to record the expansion
+    order (enter events carry each node's MINDIST key; exit events are
+    elided because the traversal is iterative, not nested).
     """
     query = as_point(point)
     if k < 1:
@@ -59,6 +67,7 @@ def nearest_best_first(
 
     shrink_sq = 1.0 / (1.0 + epsilon) ** 2
     buffer = NeighborBuffer(k)
+    root_level = tree.root.level
     counter = 0
     heap: List[tuple] = [(0.0, counter, tree.root)]
     while heap:
@@ -68,14 +77,21 @@ def nearest_best_first(
         if tracker is not None:
             tracker.access(node.node_id, node.is_leaf)
         stats.record_node(node.is_leaf)
+        if trace is not None:
+            trace.enter(
+                root_level - node.level, node.node_id, node.is_leaf, key_sq
+            )
         if node.is_leaf:
+            depth = root_level - node.level
             for entry in node.entries:
                 if object_distance_sq is not None:
                     dist_sq = object_distance_sq(query, entry.payload, entry.rect)
                 else:
                     dist_sq = _mindist_sq_unchecked(query, entry.rect)
                 stats.objects_examined += 1
-                buffer.offer(dist_sq, entry.payload, entry.rect)
+                accepted = buffer.offer(dist_sq, entry.payload, entry.rect)
+                if accepted and trace is not None:
+                    trace.accept(depth, dist_sq)
             continue
         for entry in node.entries:
             md_sq = _mindist_sq_unchecked(query, entry.rect)
@@ -85,6 +101,14 @@ def nearest_best_first(
                 heapq.heappush(heap, (md_sq, counter, entry.child))
             else:
                 stats.pruning.p3_pruned += 1
+                if trace is not None:
+                    trace.prune(
+                        "p3",
+                        root_level - entry.child.level,
+                        entry.child.node_id,
+                        md_sq,
+                        buffer.worst_distance_squared * shrink_sq,
+                    )
     return buffer.to_sorted_list(), stats
 
 
@@ -94,6 +118,7 @@ def nearest_incremental(
     tracker: Optional[AccessTracker] = None,
     object_distance_sq: Optional[ObjectDistance] = None,
     stats: Optional[SearchStats] = None,
+    trace: Optional["Trace"] = None,
 ) -> Iterator[Neighbor]:
     """Yield every indexed object in increasing distance from *point*.
 
@@ -114,18 +139,25 @@ def nearest_incremental(
     if tree.dimension != len(query):
         raise DimensionMismatchError(tree.dimension, len(query), "query point")
 
+    root_level = tree.root.level
     counter = 0
     # Heap items: (key_sq, tiebreak, is_object, node_or_neighbor)
     heap: List[tuple] = [(0.0, counter, False, tree.root)]
     while heap:
         key_sq, _, is_object, item = heapq.heappop(heap)
         if is_object:
+            if trace is not None:
+                trace.accept(root_level, item.distance_squared)
             yield item
             continue
         node = item
         if tracker is not None:
             tracker.access(node.node_id, node.is_leaf)
         stats.record_node(node.is_leaf)
+        if trace is not None:
+            trace.enter(
+                root_level - node.level, node.node_id, node.is_leaf, key_sq
+            )
         if node.is_leaf:
             for entry in node.entries:
                 if object_distance_sq is not None:

@@ -21,7 +21,10 @@ fewer pages; MINMAXDIST ordering is pessimistic.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.trace import Trace
 
 from repro.core.metrics import _mindist_sq_unchecked, _minmaxdist_sq_unchecked
 from repro.core.neighbors import Neighbor, NeighborBuffer
@@ -84,6 +87,7 @@ def nearest_dfs(
     object_distance_sq: Optional[ObjectDistance] = None,
     epsilon: float = 0.0,
     on_prune: Optional[PruneEvent] = None,
+    trace: Optional["Trace"] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Find the *k* objects in *tree* nearest to *point*.
 
@@ -105,6 +109,9 @@ def nearest_dfs(
         on_prune: Audit instrumentation (see :data:`PruneEvent`); receives
             every P1/P3-discarded subtree and every P2 bound update.
             ``None`` (the default) costs nothing on the search hot path.
+        trace: Optional :class:`repro.obs.Trace` recording the full event
+            stream (node enter/exit, prune decisions with both bounds,
+            candidate accepts).  ``None`` (the default) records nothing.
 
     Returns:
         ``(neighbors, stats)`` — neighbors sorted nearest-first, and the
@@ -130,8 +137,9 @@ def nearest_dfs(
     buffer = NeighborBuffer(k)
     search = _DfsSearch(
         query, config, ordering, buffer, stats, tracker, object_distance_sq,
-        epsilon, on_prune,
+        epsilon, on_prune, trace,
     )
+    search.root_level = tree.root.level
     search.visit(tree.root)
     return buffer.to_sorted_list(), stats
 
@@ -151,6 +159,8 @@ class _DfsSearch:
         "need_minmax",
         "shrink_sq",
         "on_prune",
+        "trace",
+        "root_level",
     )
 
     def __init__(
@@ -164,6 +174,7 @@ class _DfsSearch:
         object_distance_sq: Optional[ObjectDistance],
         epsilon: float = 0.0,
         on_prune: Optional[PruneEvent] = None,
+        trace: Optional["Trace"] = None,
     ) -> None:
         self.query = query
         self.config = config
@@ -173,6 +184,10 @@ class _DfsSearch:
         self.tracker = tracker
         self.object_distance_sq = object_distance_sq
         self.on_prune = on_prune
+        self.trace = trace
+        # Depth of a node is root_level - node.level (leaves have level 0);
+        # set by nearest_dfs before the root visit, used only when tracing.
+        self.root_level = 0
         # Smallest MINMAXDIST^2 over every MBR seen (the P2 bound): some
         # object is guaranteed to lie within this distance.
         self.minmax_bound_sq = math.inf
@@ -197,12 +212,18 @@ class _DfsSearch:
             return self.minmax_bound_sq
         return bound
 
-    def visit(self, node: Node) -> None:
+    def visit(self, node: Node, node_md_sq: float = 0.0) -> None:
         if self.tracker is not None:
             self.tracker.access(node.node_id, node.is_leaf)
         self.stats.record_node(node.is_leaf)
+        trace = self.trace
+        if trace is not None:
+            depth = self.root_level - node.level
+            trace.enter(depth, node.node_id, node.is_leaf, node_md_sq)
         if node.is_leaf:
             self._scan_leaf(node)
+            if trace is not None:
+                trace.exit(self.root_level - node.level, node.node_id)
             return
 
         branches = self._build_branch_list(node)
@@ -214,8 +235,18 @@ class _DfsSearch:
                 self.stats.pruning.p3_pruned += 1
                 if self.on_prune is not None:
                     self.on_prune("p3", _entry_child, md_sq)
+                if trace is not None:
+                    trace.prune(
+                        "p3",
+                        self.root_level - _entry_child.level,
+                        _entry_child.node_id,
+                        md_sq,
+                        self.prune_bound_sq(),
+                    )
                 continue
-            self.visit(_entry_child)
+            self.visit(_entry_child, md_sq)
+        if trace is not None:
+            trace.exit(self.root_level - node.level, node.node_id)
 
     def _scan_leaf(self, node: Node) -> None:
         # The query's dimension was validated against the tree's once, in
@@ -223,13 +254,17 @@ class _DfsSearch:
         # metric calls skip the check (the hoisted-_check_dims fast path).
         query = self.query
         hook = self.object_distance_sq
+        trace = self.trace
+        depth = self.root_level - node.level if trace is not None else 0
         for entry in node.entries:
             if hook is not None:
                 dist_sq = hook(query, entry.payload, entry.rect)
             else:
                 dist_sq = _mindist_sq_unchecked(query, entry.rect)
             self.stats.objects_examined += 1
-            self.buffer.offer(dist_sq, entry.payload, entry.rect)
+            accepted = self.buffer.offer(dist_sq, entry.payload, entry.rect)
+            if accepted and trace is not None:
+                trace.accept(depth, dist_sq)
 
     def _build_branch_list(self, node: Node) -> List[tuple]:
         """Generate, sort and downward-prune the Active Branch List."""
@@ -255,6 +290,8 @@ class _DfsSearch:
             self.stats.pruning.p2_bound_updates += 1
             if self.on_prune is not None:
                 self.on_prune("p2", None, min_minmax_sq)
+            if self.trace is not None:
+                self.trace.bound(self.root_level - node.level, min_minmax_sq)
 
         # P1: discard branches whose MINDIST exceeds a sibling's MINMAXDIST.
         # Comparing against the global minimum over the ABL is equivalent to
@@ -270,6 +307,14 @@ class _DfsSearch:
                     self.stats.pruning.p1_pruned += 1
                     if self.on_prune is not None:
                         self.on_prune("p1", b[2], b[1])
+                    if self.trace is not None:
+                        self.trace.prune(
+                            "p1",
+                            self.root_level - b[2].level,
+                            b[2].node_id,
+                            b[1],
+                            min_minmax_sq,
+                        )
             branches = kept
 
         branches.sort(key=lambda b: b[0])

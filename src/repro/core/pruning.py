@@ -29,6 +29,7 @@ correct — just slow — and the tests exploit that as an oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 __all__ = ["PruningConfig", "PruningStats"]
 
@@ -85,8 +86,17 @@ class PruningStats:
         """Branches discarded outright (P1 + P3; P2 tightens the bound)."""
         return self.p1_pruned + self.p3_pruned
 
-    def merge(self, other: "PruningStats") -> None:
-        """Accumulate *other* into this instance."""
+    def merge(self, other: "PruningStats") -> "PruningStats":
+        """Accumulate *other* into this instance and return it."""
         self.p1_pruned += other.p1_pruned
         self.p2_bound_updates += other.p2_bound_updates
         self.p3_pruned += other.p3_pruned
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat counter dict (the metrics registry's export protocol)."""
+        return {
+            "p1_pruned": self.p1_pruned,
+            "p2_bound_updates": self.p2_bound_updates,
+            "p3_pruned": self.p3_pruned,
+        }

@@ -27,7 +27,17 @@ use — the shape of the bench harness's inner loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.config import QueryConfig
 from repro.core.knn_best_first import nearest_best_first
@@ -37,6 +47,9 @@ from repro.core.pruning import PruningConfig
 from repro.core.stats import SearchStats
 from repro.rtree.tree import RTree
 from repro.storage.tracker import AccessTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.trace import Trace
 
 __all__ = ["NNResult", "NearestNeighborQuery", "nearest", "resolve_config"]
 
@@ -133,6 +146,7 @@ def nearest(
     object_distance_sq: Optional[ObjectDistance] = None,
     epsilon: Optional[float] = None,
     config: Optional[QueryConfig] = None,
+    trace: Optional["Trace"] = None,
 ) -> NNResult:
     """Find the *k* objects in *tree* nearest to *point*.
 
@@ -154,6 +168,9 @@ def nearest(
             fewer page reads.
         config: A :class:`QueryConfig` carrying all of the above except
             *tracker*; explicit keyword arguments override its fields.
+        trace: Optional :class:`repro.obs.Trace` recording the search's
+            full event stream (instrumentation, like *tracker*; not part
+            of the query configuration).
 
     Returns:
         An :class:`NNResult` with the neighbors (nearest first) and the
@@ -168,7 +185,7 @@ def nearest(
         object_distance_sq=object_distance_sq,
         epsilon=epsilon,
     )
-    return _run_query(tree, point, cfg, tracker)
+    return _run_query(tree, point, cfg, tracker, trace)
 
 
 def _run_query(
@@ -176,8 +193,15 @@ def _run_query(
     point: Sequence[float],
     cfg: QueryConfig,
     tracker: Optional[AccessTracker],
+    trace: Optional["Trace"] = None,
 ) -> NNResult:
     """Dispatch a validated :class:`QueryConfig` to the search kernels."""
+    if trace is not None:
+        trace.meta.update(
+            point=tuple(float(c) for c in point),
+            k=cfg.k,
+            algorithm=cfg.algorithm,
+        )
     # Disk trees opened with on_corrupt="skip" count skipped pages; the
     # per-query delta lands in the stats so degraded results are visible.
     skipped_before = getattr(tree, "pages_skipped", 0)
@@ -191,6 +215,7 @@ def _run_query(
             tracker=tracker,
             object_distance_sq=cfg.object_distance_sq,
             epsilon=cfg.epsilon,
+            trace=trace,
         )
     else:
         neighbors, stats = nearest_best_first(
@@ -200,10 +225,13 @@ def _run_query(
             tracker=tracker,
             object_distance_sq=cfg.object_distance_sq,
             epsilon=cfg.epsilon,
+            trace=trace,
         )
     stats.pages_skipped_corrupt = (
         getattr(tree, "pages_skipped", 0) - skipped_before
     )
+    if trace is not None:
+        trace.skips(stats.pages_skipped_corrupt)
     return NNResult(neighbors=neighbors, stats=stats)
 
 
@@ -275,10 +303,15 @@ class NearestNeighborQuery:
     def epsilon(self) -> float:
         return self.config.epsilon
 
-    def __call__(self, point: Sequence[float], k: Optional[int] = None) -> NNResult:
+    def __call__(
+        self,
+        point: Sequence[float],
+        k: Optional[int] = None,
+        trace: Optional["Trace"] = None,
+    ) -> NNResult:
         """Run the query from *point*; *k* overrides the configured value."""
         cfg = self.config if k is None else self.config.replace(k=k)
-        return _run_query(self.tree, point, cfg, self.tracker)
+        return _run_query(self.tree, point, cfg, self.tracker, trace)
 
     def __repr__(self) -> str:
         return (

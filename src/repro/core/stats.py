@@ -8,6 +8,7 @@ accessed, nodes pruned); every search algorithm in this library fills in a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 from repro.core.pruning import PruningStats
 
@@ -52,8 +53,12 @@ class SearchStats:
         """True if corruption was skipped — results may be incomplete."""
         return self.pages_skipped_corrupt > 0
 
-    def merge(self, other: "SearchStats") -> None:
-        """Accumulate *other* into this instance (for batch averaging)."""
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Accumulate *other* into this instance and return it.
+
+        Returning ``self`` lets batch code fold a stream of per-query
+        stats without a temporary: ``reduce(SearchStats.merge, parts)``.
+        """
         self.nodes_accessed += other.nodes_accessed
         self.leaf_accesses += other.leaf_accesses
         self.internal_accesses += other.internal_accesses
@@ -61,3 +66,22 @@ class SearchStats:
         self.branch_entries_considered += other.branch_entries_considered
         self.pages_skipped_corrupt += other.pages_skipped_corrupt
         self.pruning.merge(other.pruning)
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat counter dict with :class:`PruningStats` folded in.
+
+        This is the export shape the metrics registry ingests; keeping
+        pruning flattened means consumers never reach through the nested
+        dataclass.
+        """
+        out = {
+            "nodes_accessed": self.nodes_accessed,
+            "leaf_accesses": self.leaf_accesses,
+            "internal_accesses": self.internal_accesses,
+            "objects_examined": self.objects_examined,
+            "branch_entries_considered": self.branch_entries_considered,
+            "pages_skipped_corrupt": self.pages_skipped_corrupt,
+        }
+        out.update(self.pruning.as_dict())
+        return out

@@ -1,0 +1,157 @@
+"""Command-line entry point: ``python -m repro.obs``.
+
+Subcommands:
+
+- ``trace`` — build a seeded R-tree, run one traced k-NN query through
+  the public API, and render the resulting :class:`repro.obs.Trace` as
+  an indented tree (node → children visited/pruned, per-subtree page
+  counts).  Useful for eyeballing how the SIGMOD'95 pruning heuristics
+  shape a traversal.
+- ``top`` — load a slow-query log dumped with
+  :meth:`repro.obs.SlowQueryLog.dump_jsonl` and print the offender
+  summary (:func:`repro.obs.render_top`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Tracing and slow-query forensics for the k-NN stack.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser(
+        "trace", help="run one traced query on a seeded tree and render it"
+    )
+    trace.add_argument(
+        "--n", type=int, default=2000, help="indexed points (default: 2000)"
+    )
+    trace.add_argument("--seed", type=int, default=0, help="dataset seed")
+    trace.add_argument(
+        "--k", type=int, default=5, help="neighbors to find (default: 5)"
+    )
+    trace.add_argument(
+        "--algorithm",
+        default="dfs",
+        choices=["dfs", "best-first"],
+        help="search algorithm (default: dfs)",
+    )
+    trace.add_argument(
+        "--point",
+        type=float,
+        nargs=2,
+        metavar=("X", "Y"),
+        default=None,
+        help="query point (default: the dataset centroid area, 500 500)",
+    )
+    trace.add_argument(
+        "--dataset",
+        default="clustered",
+        choices=["uniform", "clustered", "skewed"],
+        help="point distribution (default: clustered)",
+    )
+    trace.add_argument(
+        "--max-children",
+        type=int,
+        default=12,
+        help="per-node child lines before eliding (default: 12)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw trace event stream as JSON instead of the tree",
+    )
+
+    top = sub.add_parser(
+        "top", help="summarize a slow-query log dumped as JSONL"
+    )
+    top.add_argument("file", help="path to a slow-query JSONL dump")
+    top.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="slowest requests to list individually (default: 10)",
+    )
+    return parser
+
+
+def _trace_command(args: argparse.Namespace) -> str:
+    from repro.core.config import QueryConfig
+    from repro.core.query import nearest
+    from repro.datasets.synthetic import (
+        gaussian_clusters,
+        skewed_points,
+        uniform_points,
+    )
+    from repro.obs.trace import Trace, render_trace
+    from repro.rtree.tree import RTree
+
+    generators = {
+        "uniform": uniform_points,
+        "clustered": gaussian_clusters,
+        "skewed": skewed_points,
+    }
+    points = generators[args.dataset](args.n, seed=args.seed)
+    tree = RTree(max_entries=8)
+    for i, point in enumerate(points):
+        tree.insert(point, payload=i)
+
+    query = tuple(args.point) if args.point else (500.0, 500.0)
+    trace = Trace(label=f"{args.dataset} n={args.n} seed={args.seed}")
+    config = QueryConfig(k=args.k, algorithm=args.algorithm)
+    neighbors = nearest(tree, query, config=config, trace=trace)
+
+    if args.json:
+        return trace.to_json()
+    lines = [render_trace(trace, max_children=args.max_children), ""]
+    lines.append(f"{len(neighbors)} nearest neighbors of {query}:")
+    for rank, nb in enumerate(neighbors, 1):
+        lines.append(
+            f"  {rank:2d}. payload={nb.payload} distance={nb.distance:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _top_command(args: argparse.Namespace) -> tuple:
+    from repro.obs.forensics import load_jsonl, render_top
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            records = load_jsonl(handle)
+    except OSError as exc:
+        return f"top: cannot read {args.file!r}: {exc}", 1
+    except ValueError as exc:
+        return f"top: malformed slow-query log {args.file!r}: {exc}", 1
+    return render_top(records, limit=args.limit), 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    code = 0
+    if args.command == "trace":
+        output = _trace_command(args)
+    else:
+        output, code = _top_command(args)
+    try:
+        print(output, file=sys.stderr if code else sys.stdout)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe — not an error.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

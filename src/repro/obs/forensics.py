@@ -1,0 +1,211 @@
+"""Slow-query forensics: keep full evidence for the queries that hurt.
+
+Aggregate latency percentiles say *that* the tail is bad; they cannot say
+*why*.  The engine therefore tail-samples: when constructed with a
+``slow_query_ms`` threshold it traces every executed query, and queries
+whose latency crosses the threshold are preserved — full trace included —
+in a bounded ring buffer (:class:`SlowQueryLog`).  Fast queries discard
+their trace immediately, so steady-state cost is one short-lived ``Trace``
+per executed query and zero retained memory.
+
+Each offender becomes a :class:`SlowQueryRecord`: request id, latency,
+the query's configuration description, headline counters from its
+``SearchStats`` and the trace.  ``dump_jsonl()`` serializes the ring for
+offline analysis; ``load_jsonl()`` / ``summarize()`` power the
+``python -m repro.obs top`` CLI, which answers "what do my slow queries
+have in common" (pages touched, prunes fired, corrupt-page skips).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional
+
+from repro.errors import InvalidParameterError
+from repro.obs.trace import Trace
+
+__all__ = [
+    "SlowQueryRecord",
+    "SlowQueryLog",
+    "load_jsonl",
+    "summarize_records",
+    "render_top",
+]
+
+
+@dataclass
+class SlowQueryRecord:
+    """One query that crossed the engine's slow-query threshold."""
+
+    request_id: int
+    latency_ms: float
+    #: ``QueryConfig.describe()`` of the offending query.
+    config: str
+    #: Headline counters from the query's ``SearchStats.as_dict()``.
+    stats: Dict[str, Any] = field(default_factory=dict)
+    #: Full event trace of the offender (``None`` if tracing failed).
+    trace: Optional[Trace] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "latency_ms": self.latency_ms,
+            "config": self.config,
+            "stats": dict(self.stats),
+            "trace": self.trace.to_dict() if self.trace else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SlowQueryRecord":
+        trace_data = data.get("trace")
+        return cls(
+            request_id=int(data.get("request_id", -1)),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+            config=data.get("config", ""),
+            stats=dict(data.get("stats", {})),
+            trace=Trace.from_dict(trace_data) if trace_data else None,
+        )
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring buffer of :class:`SlowQueryRecord`.
+
+    Oldest offenders fall off the back once *capacity* is reached — the
+    log is a forensic window, not an archive; persist with
+    :meth:`dump_jsonl` before it scrolls.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError(
+                f"slow-query log capacity must be > 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: "deque[SlowQueryRecord]" = deque(maxlen=capacity)
+        self._observed = 0
+
+    def add(self, record: SlowQueryRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            self._observed += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def observed(self) -> int:
+        """Slow queries seen in total, including any that scrolled off."""
+        with self._lock:
+            return self._observed
+
+    def records(self) -> List[SlowQueryRecord]:
+        """Current contents, oldest first (a copy; safe to keep)."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def dump_jsonl(self, fp: IO[str]) -> int:
+        """Write one JSON line per record to *fp*; returns lines written."""
+        records = self.records()
+        for record in records:
+            fp.write(json.dumps(record.to_dict(), separators=(",", ":")))
+            fp.write("\n")
+        return len(records)
+
+
+def load_jsonl(fp: IO[str]) -> List[SlowQueryRecord]:
+    """Parse records written by :meth:`SlowQueryLog.dump_jsonl`.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` with
+    its line number so a truncated log fails loudly, not silently short.
+    """
+    out: List[SlowQueryRecord] = []
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(SlowQueryRecord.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, TypeError, KeyError) as exc:
+            raise ValueError(
+                f"malformed slow-query log line {lineno}: {exc}"
+            ) from exc
+    return out
+
+
+def summarize_records(
+    records: Iterable[SlowQueryRecord],
+) -> Dict[str, Any]:
+    """Aggregate a slow-query set into the figures ``top`` prints.
+
+    Returns count, latency extremes/mean, mean pages and prunes per
+    offender, total corrupt-page skips, and the per-config breakdown
+    (how many offenders ran under each ``QueryConfig.describe()``).
+    """
+    records = list(records)
+    if not records:
+        return {"count": 0}
+    latencies = [r.latency_ms for r in records]
+    pages = [r.stats.get("nodes_accessed", 0) for r in records]
+    pruned = [
+        r.stats.get("p1_pruned", 0) + r.stats.get("p3_pruned", 0)
+        for r in records
+    ]
+    skips = sum(r.stats.get("pages_skipped_corrupt", 0) for r in records)
+    by_config: Dict[str, int] = {}
+    for record in records:
+        by_config[record.config] = by_config.get(record.config, 0) + 1
+    return {
+        "count": len(records),
+        "latency_ms_max": max(latencies),
+        "latency_ms_mean": sum(latencies) / len(latencies),
+        "latency_ms_min": min(latencies),
+        "pages_mean": sum(pages) / len(pages),
+        "pruned_mean": sum(pruned) / len(pruned),
+        "pages_skipped_corrupt": skips,
+        "by_config": by_config,
+    }
+
+
+def render_top(
+    records: List[SlowQueryRecord], limit: int = 10
+) -> str:
+    """Human-readable slow-query report (the ``obs top`` CLI output)."""
+    summary = summarize_records(records)
+    if not summary["count"]:
+        return "slow-query log: empty"
+    lines = [
+        f"slow-query log: {summary['count']} record(s)",
+        f"  latency ms   max {summary['latency_ms_max']:.3f}"
+        f"   mean {summary['latency_ms_mean']:.3f}"
+        f"   min {summary['latency_ms_min']:.3f}",
+        f"  pages/query  mean {summary['pages_mean']:.1f}"
+        f"   prunes/query mean {summary['pruned_mean']:.1f}",
+    ]
+    if summary["pages_skipped_corrupt"]:
+        lines.append(
+            f"  ! corrupt pages skipped across offenders: "
+            f"{summary['pages_skipped_corrupt']}"
+        )
+    for config, count in sorted(
+        summary["by_config"].items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  config x{count}: {config}")
+    worst = sorted(records, key=lambda r: -r.latency_ms)[:limit]
+    lines.append(f"  worst {len(worst)}:")
+    for record in worst:
+        pages = record.stats.get("nodes_accessed", "?")
+        lines.append(
+            f"    #{record.request_id}  {record.latency_ms:9.3f} ms"
+            f"  pages={pages}"
+            + (f"  events={len(record.trace)}" if record.trace else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,318 @@
+"""Metrics registry: one export surface over the repo's counter classes.
+
+The library grew six disjoint stats classes (``SearchStats``,
+``PruningStats``, ``EngineStats``, ``CacheStats``, ``BufferStats``,
+``AccessStats``), each with its own fields and no shared export format.
+This module gives them one: every stats class now implements ``as_dict()``
+(flat name → number), and a :class:`MetricsRegistry` collects any mix of
+
+* primitive instruments created here — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` (the histogram reuses
+  :class:`~repro.service.stats.LatencyRecorder`'s logarithmic bucket
+  scheme, so both report identical edges);
+* live stats objects registered by reference — anything exposing
+  ``as_dict()`` or ``export()``;
+* zero-argument callables returning a dict, for values computed at
+  collection time.
+
+``collect()`` flattens everything into ``{"source.metric": value}``,
+which the two exporters serialize: :func:`export_jsonl` (one JSON object
+per collection, for append-only logs) and :func:`export_prometheus`
+(Prometheus text exposition format, for scraping).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import InvalidParameterError
+from repro.service.stats import log_bucket_edge, log_bucket_index
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "export_jsonl",
+    "export_prometheus",
+]
+
+
+class Counter:
+    """Monotonically increasing integer metric (thread-safe)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0: counters never go down)."""
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Point-in-time numeric metric that can move both ways."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Log-bucket histogram of non-negative samples (thread-safe).
+
+    Uses the same geometric bucket scheme as
+    :class:`~repro.service.stats.LatencyRecorder` — bucket 0 up to
+    *base*, then edges growing by *growth* per step — so a latency
+    histogram here and the engine's recorder bucket identically.
+    Unbounded above: buckets are stored sparsely, so huge outliers cost
+    one dict entry instead of saturating silently.
+    """
+
+    __slots__ = ("name", "base", "growth", "_counts", "_total", "_sum",
+                 "_max", "_lock")
+
+    def __init__(
+        self, name: str, base: float = 1e-6, growth: float = 1.25
+    ) -> None:
+        if base <= 0 or growth <= 1.0:
+            raise InvalidParameterError(
+                f"histogram {name!r} needs base > 0 and growth > 1 "
+                f"(got base={base}, growth={growth})"
+            )
+        self.name = name
+        self.base = base
+        self.growth = growth
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if value < 0.0:
+            value = 0.0
+        index = log_bucket_index(value, self.base, self.growth)
+        with self._lock:
+            self._counts[index] = self._counts.get(index, 0) + 1
+            self._total += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._total
+
+    def percentile(self, fraction: float) -> float:
+        """Conservative (upper-bucket-edge) percentile, capped at max."""
+        if not 0.0 <= fraction <= 1.0:
+            raise InvalidParameterError(
+                f"percentile fraction must be in [0, 1], got {fraction}"
+            )
+        with self._lock:
+            if not self._total:
+                return 0.0
+            threshold = fraction * self._total
+            seen = 0
+            for index in sorted(self._counts):
+                seen += self._counts[index]
+                if seen >= threshold:
+                    edge = log_bucket_edge(index, self.base, self.growth)
+                    return min(edge, self._max)
+            return self._max
+
+    def as_dict(self) -> Dict[str, float]:
+        with self._lock:
+            total = self._total
+            mean = self._sum / total if total else 0.0
+            maximum = self._max
+        return {
+            "count": total,
+            "mean": mean,
+            "max": maximum,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_edge, count)`` pairs for occupied buckets, ascending."""
+        with self._lock:
+            return [
+                (log_bucket_edge(i, self.base, self.growth), self._counts[i])
+                for i in sorted(self._counts)
+            ]
+
+
+#: What register() accepts: an object with as_dict()/export(), a mapping,
+#: or a zero-argument callable producing any of those.
+MetricSource = Union[Any, Callable[[], Mapping[str, Any]]]
+
+
+def _read_source(source: MetricSource) -> Mapping[str, Any]:
+    """Resolve one registered source to its flat metric mapping."""
+    if callable(source) and not hasattr(source, "as_dict"):
+        source = source()
+    if hasattr(source, "as_dict"):
+        return source.as_dict()
+    if hasattr(source, "export"):
+        return source.export()
+    if isinstance(source, Mapping):
+        return source
+    raise InvalidParameterError(
+        f"metric source {source!r} has no as_dict()/export() and is not "
+        f"a mapping"
+    )
+
+
+class MetricsRegistry:
+    """Named collection of metric sources with one flattening collector.
+
+    Register primitives created via :meth:`counter` / :meth:`gauge` /
+    :meth:`histogram`, or any live stats object (``register("engine",
+    engine.stats)`` — note the *callable*: the registry re-reads it on
+    every collect, so snapshots are always current).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: "Dict[str, MetricSource]" = {}
+
+    def register(self, name: str, source: MetricSource) -> None:
+        """Attach *source* under *name* (replacing any previous source)."""
+        if not name:
+            raise InvalidParameterError("metric source name must be non-empty")
+        with self._lock:
+            self._sources[name] = source
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._sources.pop(name, None)
+
+    def counter(self, name: str) -> Counter:
+        """Create and register a :class:`Counter` in one step."""
+        metric = Counter(name)
+        self.register(name, metric)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Create and register a :class:`Gauge` in one step."""
+        metric = Gauge(name)
+        self.register(name, metric)
+        return metric
+
+    def histogram(
+        self, name: str, base: float = 1e-6, growth: float = 1.25
+    ) -> Histogram:
+        """Create and register a :class:`Histogram` in one step."""
+        metric = Histogram(name, base=base, growth=growth)
+        self.register(name, metric)
+        return metric
+
+    def sources(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sources)
+
+    def collect(self) -> Dict[str, Any]:
+        """Read every source and flatten to ``{"source.metric": value}``.
+
+        Single-value instruments (Counter/Gauge) flatten to their bare
+        source name rather than ``name.value``.
+        """
+        with self._lock:
+            items = list(self._sources.items())
+        out: Dict[str, Any] = {}
+        for name, source in items:
+            mapping = _read_source(source)
+            if isinstance(source, (Counter, Gauge)):
+                out[name] = mapping["value"]
+                continue
+            for key, value in mapping.items():
+                out[f"{name}.{key}"] = value
+        return out
+
+
+def export_jsonl(
+    registry: MetricsRegistry, extra: Optional[Mapping[str, Any]] = None
+) -> str:
+    """One JSON object (no trailing newline) holding a full collection.
+
+    Append the returned line to a ``.jsonl`` file per scrape; *extra*
+    merges caller fields (a timestamp, a run label) into the record.
+    """
+    record: Dict[str, Any] = {}
+    if extra:
+        record.update(extra)
+    record.update(registry.collect())
+    return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+
+def _prometheus_name(flat_key: str) -> str:
+    """``cache.hit_ratio`` → ``repro_cache_hit_ratio``."""
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in flat_key
+    )
+    return f"repro_{safe}"
+
+
+def export_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of the registry's current collection.
+
+    Counters get a ``# TYPE ... counter`` header, everything else is a
+    gauge (histogram summaries export their derived figures — count,
+    mean, percentiles — as individual gauges, which is what a fixed
+    text-format scrape can carry without native histogram types).
+    """
+    with registry._lock:
+        counter_names = {
+            name for name, src in registry._sources.items()
+            if isinstance(src, Counter)
+        }
+    lines: List[str] = []
+    for key, value in sorted(registry.collect().items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        name = _prometheus_name(key)
+        kind = "counter" if key in counter_names else "gauge"
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {value}")
+    return "\n".join(lines) + "\n"

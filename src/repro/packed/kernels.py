@@ -31,7 +31,10 @@ import math
 from bisect import bisect_right
 from heapq import heappop, heappush, heapreplace
 from operator import itemgetter
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.trace import Trace
 
 from repro.core import knn_dfs as _knn_dfs
 from repro.core.config import QueryConfig
@@ -72,12 +75,18 @@ def packed_nearest_dfs(
     pruning: Optional[PruningConfig] = None,
     tracker: Optional[AccessTracker] = None,
     epsilon: float = 0.0,
+    trace: Optional["Trace"] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Packed equivalent of :func:`repro.core.knn_dfs.nearest_dfs`.
 
     Same parameters, same results, same stats — minus the
     ``object_distance_sq`` hook (exact object distances need the payload
     objects on the hot path; use the object kernel for those queries).
+
+    Passing a :class:`repro.obs.Trace` dispatches to the traced kernel
+    variants in :mod:`repro.packed.traced`; with ``trace=None`` (the
+    default) the untraced hot loops below run untouched, so disabled
+    tracing costs one ``is None`` test per query.
     """
     query = as_point(point)
     if k < 1:
@@ -89,6 +98,12 @@ def packed_nearest_dfs(
     if epsilon < 0.0:
         raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
     stats = SearchStats()
+    # The snapshot reads no storage at query time, but the *compile* may
+    # have skipped corrupt pages — every query on such a snapshot is
+    # missing those subtrees (even the degenerate all-corrupt one that
+    # compiled empty), so surface the degradation exactly like the
+    # object kernels surface their per-query skips.
+    stats.pages_skipped_corrupt = ptree.pages_skipped_corrupt
     if ptree.size == 0:
         return [], stats
     dim = ptree.dimension
@@ -103,6 +118,15 @@ def packed_nearest_dfs(
         config = pruning.effective_for_k(k)
     shrink_sq = 1.0 / (1.0 + epsilon) ** 2
     slack = _knn_dfs._PRUNE_SLACK
+    if trace is not None:
+        from repro.packed.traced import traced_dfs
+
+        heap = traced_dfs(
+            ptree, query, k, config, ordering, shrink_sq, slack, tracker,
+            stats, trace,
+        )
+        trace.skips(ptree.pages_skipped_corrupt)
+        return _heap_to_neighbors(ptree, heap), stats
     fast = (
         ordering == "mindist"
         and config.use_p3
@@ -133,16 +157,20 @@ def packed_nearest_best_first(
     k: int = 1,
     tracker: Optional[AccessTracker] = None,
     epsilon: float = 0.0,
+    trace: Optional["Trace"] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Packed equivalent of
     :func:`repro.core.knn_best_first.nearest_best_first` (same contract as
-    :func:`packed_nearest_dfs`)."""
+    :func:`packed_nearest_dfs`, including the traced dispatch)."""
     query = as_point(point)
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
     if epsilon < 0.0:
         raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
     stats = SearchStats()
+    # Compile-time corrupt-page skips degrade every query on the
+    # snapshot; see packed_nearest_dfs.
+    stats.pages_skipped_corrupt = ptree.pages_skipped_corrupt
     if ptree.size == 0:
         return [], stats
     dim = ptree.dimension
@@ -150,6 +178,14 @@ def packed_nearest_best_first(
         raise DimensionMismatchError(dim, len(query), "query point")
 
     shrink_sq = 1.0 / (1.0 + epsilon) ** 2
+    if trace is not None:
+        from repro.packed.traced import traced_best_first
+
+        heap = traced_best_first(
+            ptree, query, k, shrink_sq, tracker, stats, trace
+        )
+        trace.skips(ptree.pages_skipped_corrupt)
+        return _heap_to_neighbors(ptree, heap), stats
     if dim == 2:
         heap = _best_first_2d(
             ptree, query[0], query[1], k, shrink_sq, tracker, stats
@@ -164,6 +200,7 @@ def run_packed_query(
     point: Sequence[float],
     cfg: QueryConfig,
     tracker: Optional[AccessTracker] = None,
+    trace: Optional["Trace"] = None,
 ) -> NNResult:
     """Dispatch a validated :class:`QueryConfig` to the packed kernels.
 
@@ -178,6 +215,12 @@ def run_packed_query(
             "packed kernels do not support object_distance_sq; "
             "run this query through the object-graph kernels"
         )
+    if trace is not None:
+        trace.meta.update(
+            point=tuple(float(c) for c in point),
+            k=cfg.k,
+            algorithm=cfg.algorithm,
+        )
     if cfg.algorithm == "dfs":
         neighbors, stats = packed_nearest_dfs(
             ptree,
@@ -187,6 +230,7 @@ def run_packed_query(
             pruning=cfg.pruning,
             tracker=tracker,
             epsilon=cfg.epsilon,
+            trace=trace,
         )
     else:
         neighbors, stats = packed_nearest_best_first(
@@ -195,8 +239,11 @@ def run_packed_query(
             k=cfg.k,
             tracker=tracker,
             epsilon=cfg.epsilon,
+            trace=trace,
         )
-    # A packed snapshot reads no storage, so no pages can be skipped.
+    # A packed snapshot reads no storage at query time; any corrupt-page
+    # skips happened at compile time and were already folded into the
+    # stats by the kernels above.
     return NNResult(neighbors=neighbors, stats=stats)
 
 

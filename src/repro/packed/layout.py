@@ -89,6 +89,7 @@ class PackedTree:
         "ylo",
         "xhi",
         "yhi",
+        "pages_skipped_corrupt",
     )
 
     def __init__(
@@ -103,10 +104,17 @@ class PackedTree:
         refs: array,
         payloads: List[Any],
         rects: List[Any],
+        pages_skipped_corrupt: int = 0,
     ) -> None:
         self.dimension = dimension
         self.size = size
         self.epoch = epoch
+        # Corrupt pages the source tree skipped while this snapshot was
+        # compiled (on_corrupt="skip").  Nonzero means whole subtrees are
+        # missing from the slabs, so *every* query on the snapshot is
+        # degraded; the kernels surface this in SearchStats to mirror the
+        # object kernels' per-query skip accounting.
+        self.pages_skipped_corrupt = pages_skipped_corrupt
         self.kinds = kinds
         self.starts = starts
         self.page_ids = page_ids
@@ -171,6 +179,7 @@ class PackedTree:
         # internal node the refs ascend in entry order, so the fast DFS
         # kernel's plain tuple sort of (mindist, ref) pairs breaks
         # distance ties exactly like the object kernel's stable sort.
+        skipped_before = getattr(tree, "pages_skipped", 0)
         extend_coords = coords.extend
         queue = deque((tree.root,))
         next_index = 1
@@ -215,6 +224,9 @@ class PackedTree:
             refs=refs,
             payloads=payloads,
             rects=rects,
+            pages_skipped_corrupt=(
+                getattr(tree, "pages_skipped", 0) - skipped_before
+            ),
         )
 
     # ------------------------------------------------------------------

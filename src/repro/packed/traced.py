@@ -1,0 +1,322 @@
+"""Traced variants of the packed k-NN kernels.
+
+The packed hot loops in :mod:`repro.packed.kernels` are written for raw
+speed; weaving per-event ``if trace is not None`` checks through them
+would tax every untraced query.  Instead, tracing dispatches *here*: one
+general DFS and one general best-first kernel (any dimension, every
+ordering/pruning/epsilon combination) that walk the same slabs in the
+same order while emitting the full :class:`repro.obs.Trace` event
+stream.  The untraced kernels stay byte-for-byte untouched, which is how
+the disabled-tracer overhead gate (`python -m repro.bench obs`) can hold
+the hot path to within noise of its committed baseline.
+
+Exactness: these kernels inherit the packed exactness contract — same
+neighbors, same order, same :class:`SearchStats` as both the untraced
+packed kernels and the object kernels.  They reproduce the general packed
+kernels' evaluation order (ABL build, stable sort, P3 re-check on pop)
+line for line, adding only the event emissions; the obs test suite
+asserts traced == untraced == object on randomized workloads.
+
+Depth bookkeeping: the explicit traversal stacks carry ``(..., depth)``
+so every event gets the root-relative depth the object kernels derive
+from ``node.level``.
+"""
+
+from __future__ import annotations
+
+import math
+from operator import itemgetter
+from heapq import heappop, heappush, heapreplace
+from typing import List, Optional, Sequence
+
+from repro.core.pruning import PruningConfig
+from repro.core.stats import SearchStats
+from repro.obs.trace import Trace
+from repro.packed.layout import PackedTree
+from repro.storage.tracker import AccessTracker
+
+__all__ = ["traced_dfs", "traced_best_first"]
+
+_INF = math.inf
+_key0 = itemgetter(0)
+_SENTINEL = (-math.inf, 0, -1)
+
+
+def traced_dfs(
+    ptree: PackedTree,
+    query: Sequence[float],
+    k: int,
+    config: PruningConfig,
+    ordering: str,
+    shrink_sq: float,
+    slack: float,
+    tracker: Optional[AccessTracker],
+    stats: SearchStats,
+    trace: Trace,
+) -> List[tuple]:
+    """Any-dimension packed DFS emitting trace events.
+
+    Mirror of :func:`repro.packed.kernels._dfs_nd_general` (which the 2-D
+    specializations are stats-equivalent to), plus event emission.
+    """
+    kinds = ptree.kinds
+    starts = ptree.starts
+    refs = ptree.refs
+    coords = ptree.coords
+    page_ids = ptree.page_ids
+    track = tracker.access if tracker is not None else None
+    use_p1 = config.use_p1
+    use_p2 = config.use_p2
+    use_p3 = config.use_p3
+    by_minmax = ordering == "minmaxdist"
+    need_minmax = by_minmax or use_p1 or use_p2
+    dim = ptree.dimension
+    twodim = 2 * dim
+    q = tuple(query)
+
+    minmax_bound = _INF
+    heap: List[tuple] = [_SENTINEL] * k
+    worst = _INF
+    counter = 0
+    leaves = internals = objects = branch_total = 0
+    p1 = p2 = p3 = 0
+    stack: List[tuple] = [(0.0, 0, 0)]  # (mindist_sq, node_index, depth)
+    pop = stack.pop
+    while stack:
+        md, ni, depth = pop()
+        if use_p3:
+            bound = worst * shrink_sq
+            if use_p2 and minmax_bound < bound:
+                bound = minmax_bound
+            if md > bound * slack:
+                p3 += 1
+                trace.prune("p3", depth, page_ids[ni], md, bound)
+                continue
+        s = starts[ni]
+        e = starts[ni + 1]
+        base = s * twodim
+        kind = kinds[ni]
+        if kind != 0:  # leaf
+            if track is not None:
+                track(page_ids[ni], True)
+            leaves += 1
+            trace.enter(depth, page_ids[ni], True, md)
+            objects += e - s
+            points_mode = kind == 2
+            for i in range(s, e):
+                d = 0.0
+                if points_mode:
+                    for j in range(dim):
+                        t = q[j] - coords[base + j]
+                        d += t * t
+                else:
+                    for j in range(dim):
+                        p = q[j]
+                        lo = coords[base + j]
+                        if p < lo:
+                            t = lo - p
+                            d += t * t
+                        else:
+                            hi = coords[base + dim + j]
+                            if p > hi:
+                                t = p - hi
+                                d += t * t
+                base += twodim
+                if d < worst:
+                    counter += 1
+                    heapreplace(heap, (-d, counter, i))
+                    worst = -heap[0][0]
+                    trace.accept(depth, d)
+            trace.exit(depth, page_ids[ni])
+            continue
+        # Internal node.
+        if track is not None:
+            track(page_ids[ni], False)
+        internals += 1
+        trace.enter(depth, page_ids[ni], False, md)
+        branch_total += e - s
+        abl = []
+        append = abl.append
+        min_minmax = _INF
+        for i in range(s, e):
+            d = 0.0
+            for j in range(dim):
+                p = q[j]
+                lo = coords[base + j]
+                if p < lo:
+                    t = lo - p
+                    d += t * t
+                else:
+                    hi = coords[base + dim + j]
+                    if p > hi:
+                        t = p - hi
+                        d += t * t
+            if need_minmax:
+                near_terms = []
+                far_terms = []
+                for j in range(dim):
+                    p = q[j]
+                    lo = coords[base + j]
+                    hi = coords[base + dim + j]
+                    mid = (lo + hi) / 2.0
+                    t = p - (lo if p <= mid else hi)
+                    near_terms.append(t * t)
+                    t = p - (lo if p >= mid else hi)
+                    far_terms.append(t * t)
+                mmd = _INF
+                for ax in range(dim):
+                    candidate = 0.0
+                    for j in range(dim):
+                        candidate += (
+                            near_terms[j] if j == ax else far_terms[j]
+                        )
+                    if candidate < mmd:
+                        mmd = candidate
+                if mmd < min_minmax:
+                    min_minmax = mmd
+            else:
+                mmd = _INF
+            base += twodim
+            append((mmd if by_minmax else d, d, refs[i]))
+
+        if use_p2 and min_minmax < minmax_bound:
+            minmax_bound = min_minmax
+            p2 += 1
+            trace.bound(depth, min_minmax)
+        if use_p1 and abl:
+            p1_bound = min_minmax * slack
+            kept = []
+            for b in abl:
+                if b[1] <= p1_bound:
+                    kept.append(b)
+                else:
+                    p1 += 1
+                    trace.prune(
+                        "p1", depth + 1, page_ids[b[2]], b[1], min_minmax
+                    )
+            abl = kept
+        abl.sort(key=_key0)
+        child_depth = depth + 1
+        for j in range(len(abl) - 1, -1, -1):
+            b = abl[j]
+            stack.append((b[1], b[2], child_depth))
+        trace.exit(depth, page_ids[ni])
+
+    stats.nodes_accessed = leaves + internals
+    stats.leaf_accesses = leaves
+    stats.internal_accesses = internals
+    stats.objects_examined = objects
+    stats.branch_entries_considered = branch_total
+    stats.pruning.p1_pruned = p1
+    stats.pruning.p2_bound_updates = p2
+    stats.pruning.p3_pruned = p3
+    return heap
+
+
+def traced_best_first(
+    ptree: PackedTree,
+    query: Sequence[float],
+    k: int,
+    shrink_sq: float,
+    tracker: Optional[AccessTracker],
+    stats: SearchStats,
+    trace: Trace,
+) -> List[tuple]:
+    """Any-dimension packed best-first search emitting trace events.
+
+    Mirror of :func:`repro.packed.kernels._best_first_nd`; iterative, so
+    exit events are elided like the object best-first kernel's.
+    """
+    kinds = ptree.kinds
+    starts = ptree.starts
+    refs = ptree.refs
+    coords = ptree.coords
+    page_ids = ptree.page_ids
+    track = tracker.access if tracker is not None else None
+    dim = ptree.dimension
+    twodim = 2 * dim
+    q = tuple(query)
+
+    heap: List[tuple] = [_SENTINEL] * k
+    worst = _INF
+    counter = 0
+    leaves = internals = objects = branch_total = p3 = 0
+    ncounter = 0
+    nheap: List[tuple] = [(0.0, 0, 0, 0)]  # (key_sq, tie, node_index, depth)
+    while nheap:
+        key_sq, _tie, ni, depth = heappop(nheap)
+        if key_sq >= worst * shrink_sq:
+            break
+        s = starts[ni]
+        e = starts[ni + 1]
+        base = s * twodim
+        kind = kinds[ni]
+        if kind != 0:  # leaf
+            if track is not None:
+                track(page_ids[ni], True)
+            leaves += 1
+            trace.enter(depth, page_ids[ni], True, key_sq)
+            objects += e - s
+            points_mode = kind == 2
+            for i in range(s, e):
+                d = 0.0
+                if points_mode:
+                    for j in range(dim):
+                        t = q[j] - coords[base + j]
+                        d += t * t
+                else:
+                    for j in range(dim):
+                        p = q[j]
+                        lo = coords[base + j]
+                        if p < lo:
+                            t = lo - p
+                            d += t * t
+                        else:
+                            hi = coords[base + dim + j]
+                            if p > hi:
+                                t = p - hi
+                                d += t * t
+                base += twodim
+                if d < worst:
+                    counter += 1
+                    heapreplace(heap, (-d, counter, i))
+                    worst = -heap[0][0]
+                    trace.accept(depth, d)
+            continue
+        if track is not None:
+            track(page_ids[ni], False)
+        internals += 1
+        trace.enter(depth, page_ids[ni], False, key_sq)
+        branch_total += e - s
+        child_depth = depth + 1
+        for i in range(s, e):
+            d = 0.0
+            for j in range(dim):
+                p = q[j]
+                lo = coords[base + j]
+                if p < lo:
+                    t = lo - p
+                    d += t * t
+                else:
+                    hi = coords[base + dim + j]
+                    if p > hi:
+                        t = p - hi
+                        d += t * t
+            base += twodim
+            if d < worst * shrink_sq:
+                ncounter += 1
+                heappush(nheap, (d, ncounter, refs[i], child_depth))
+            else:
+                p3 += 1
+                trace.prune(
+                    "p3", child_depth, page_ids[refs[i]], d,
+                    worst * shrink_sq,
+                )
+
+    stats.nodes_accessed = leaves + internals
+    stats.leaf_accesses = leaves
+    stats.internal_accesses = internals
+    stats.objects_examined = objects
+    stats.branch_entries_considered = branch_total
+    stats.pruning.p3_pruned = p3
+    return heap

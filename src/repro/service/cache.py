@@ -48,6 +48,17 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def as_dict(self) -> dict:
+        """Flat counter dict (the metrics registry's export protocol)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "lookups": self.lookups,
+            "hit_ratio": self.hit_ratio,
+        }
+
 
 class ResultCache:
     """Bounded LRU cache of query results, safe under concurrent access.

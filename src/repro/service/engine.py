@@ -34,6 +34,7 @@ stop querying while mutating.
 
 from __future__ import annotations
 
+import itertools
 import time
 from concurrent.futures import ThreadPoolExecutor
 from threading import Lock
@@ -42,6 +43,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import QueryConfig
 from repro.core.query import NNResult, _run_query, resolve_config
 from repro.errors import InvalidParameterError
+from repro.obs.forensics import SlowQueryLog, SlowQueryRecord
+from repro.obs.trace import Trace
 from repro.packed.kernels import run_packed_query
 from repro.service.cache import ResultCache
 from repro.service.locks import ReadWriteLock
@@ -89,6 +92,15 @@ class QueryEngine:
             ``object_distance_sq`` hook fall back to the object kernels
             automatically — exact object distance needs payloads on the
             hot path.
+        slow_query_ms: Slow-query threshold in milliseconds.  When set,
+            every *executed* query is traced (tail sampling) and queries
+            at or above the threshold are preserved — full trace included
+            — in :attr:`slow_queries`, a bounded
+            :class:`~repro.obs.SlowQueryLog` ring buffer.  ``None`` (the
+            default) disables forensics entirely; cache hits execute no
+            search and are never logged.
+        slow_log: Ring-buffer capacity of :attr:`slow_queries` (only
+            meaningful with *slow_query_ms*).
 
     The engine itself never copies the tree: it relies on the tree's
     mutation epoch (see :meth:`~repro.rtree.tree.RTree.snapshot`) for
@@ -103,12 +115,18 @@ class QueryEngine:
         cache_size: int = DEFAULT_CACHE_SIZE,
         buffer_pages: int = 0,
         packed: bool = False,
+        slow_query_ms: Optional[float] = None,
+        slow_log: int = 64,
     ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         if buffer_pages < 0:
             raise InvalidParameterError(
                 f"buffer_pages must be >= 0, got {buffer_pages}"
+            )
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise InvalidParameterError(
+                f"slow_query_ms must be >= 0, got {slow_query_ms}"
             )
         if packed and not hasattr(tree, "packed"):
             raise InvalidParameterError(
@@ -137,6 +155,14 @@ class QueryEngine:
             else None
         )
         self._closed = False
+        # Monotonic per-request ids; itertools.count is atomic under the
+        # GIL, so workers can draw ids without the stats lock.
+        self._request_ids = itertools.count(1)
+        self.slow_query_ms = slow_query_ms
+        #: Ring buffer of slow-query forensics (``None`` unless enabled).
+        self.slow_queries: Optional[SlowQueryLog] = (
+            SlowQueryLog(slow_log) if slow_query_ms is not None else None
+        )
         self._stats_lock = Lock()
         self._queries = 0
         self._cache_hits = 0
@@ -155,16 +181,20 @@ class QueryEngine:
         point: Sequence[float],
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
+        trace: Optional[Trace] = None,
     ) -> NNResult:
         """Answer one k-NN query (cache-first, then search).
 
         *config* overrides the engine default for this call; *k*
         overrides either.  Cache hits return the stored
         :class:`~repro.core.query.NNResult` — treat results as
-        immutable.
+        immutable.  Pass a :class:`~repro.obs.Trace` via *trace* to
+        capture this query's event stream (the engine stamps it with the
+        request id and records the cache verdict; a cache hit executes no
+        search, so the trace then holds only the ``cache`` event).
         """
         cfg = self._effective_config(k, config)
-        return self._serve(point, cfg)
+        return self._serve(point, cfg, trace)
 
     def query_batch(
         self,
@@ -237,7 +267,7 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
         """An immutable :class:`EngineStats` snapshot."""
-        p50, p95, p99, mean = self._latency.snapshot_ms()
+        p50, p95, p99, mean, max_ms = self._latency.snapshot_ms()
         with self._stats_lock:
             executed = self._executed
             return EngineStats(
@@ -251,6 +281,7 @@ class QueryEngine:
                 latency_p95_ms=p95,
                 latency_p99_ms=p99,
                 latency_mean_ms=mean,
+                latency_max_ms=max_ms,
                 pages_per_query=(
                     self._pages_total / executed if executed else 0.0
                 ),
@@ -303,11 +334,27 @@ class QueryEngine:
                 f"{type(self.tree).__name__} is read-only"
             )
 
-    def _serve(self, point: Sequence[float], cfg: QueryConfig) -> NNResult:
-        """One query: read lock, cache probe, search, cache fill."""
+    def _serve(
+        self,
+        point: Sequence[float],
+        cfg: QueryConfig,
+        trace: Optional[Trace] = None,
+    ) -> NNResult:
+        """One query: read lock, cache probe, search, cache fill.
+
+        With slow-query forensics enabled, every executed query runs with
+        a trace (the caller's, or a tail-sampling one created here); if
+        the final latency crosses the threshold, the trace and headline
+        stats are preserved in :attr:`slow_queries`.
+        """
         self._ensure_open()
         start = time.perf_counter()
         self._enter_flight()
+        request_id = next(self._request_ids)
+        if trace is not None:
+            trace.request_id = request_id
+        record_trace: Optional[Trace] = None
+        executed: Optional[NNResult] = None
         try:
             with self._rwlock.read():
                 epoch = self._observe_epoch()
@@ -317,23 +364,49 @@ class QueryEngine:
                     cached = self.cache.get(key, _CACHE_MISS)
                     if cached is not _CACHE_MISS:
                         self._count_hit()
+                        if trace is not None:
+                            trace.cache("hit")
                         return cached
+                if trace is not None:
+                    trace.cache("miss")
+                    record_trace = trace
+                elif self.slow_queries is not None:
+                    record_trace = Trace(request_id=request_id)
                 if self.packed and cfg.object_distance_sq is None:
                     # tree.packed() is epoch-keyed: first query after a
                     # mutation recompiles (under this read lock, so the
                     # tree is stable), later queries share the compile.
                     result = run_packed_query(
-                        self.tree.packed(), point, cfg, self.tracker
+                        self.tree.packed(), point, cfg, self.tracker,
+                        record_trace,
                     )
                 else:
-                    result = _run_query(self.tree, point, cfg, self.tracker)
+                    result = _run_query(
+                        self.tree, point, cfg, self.tracker, record_trace
+                    )
                 if use_cache:
                     self.cache.put(key, result)
                 self._count_executed(result)
+                executed = result
                 return result
         finally:
-            self._latency.record(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self._latency.record(elapsed)
             self._exit_flight()
+            if (
+                executed is not None
+                and self.slow_queries is not None
+                and elapsed * 1000.0 >= self.slow_query_ms
+            ):
+                self.slow_queries.add(
+                    SlowQueryRecord(
+                        request_id=request_id,
+                        latency_ms=elapsed * 1000.0,
+                        config=cfg.describe(),
+                        stats=executed.stats.as_dict(),
+                        trace=record_trace,
+                    )
+                )
 
     def _observe_epoch(self) -> int:
         """Current tree epoch; purge cache entries from older epochs."""

@@ -13,12 +13,18 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, NamedTuple
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["EngineStats", "LatencyRecorder"]
+__all__ = [
+    "EngineStats",
+    "LatencyRecorder",
+    "LatencySnapshot",
+    "log_bucket_index",
+    "log_bucket_edge",
+]
 
 #: Bucket boundaries grow by 25% per step from 1 µs; 96 buckets reach
 #: well past a minute, far beyond any sane single-query latency.
@@ -27,11 +33,50 @@ _GROWTH = 1.25
 _BUCKETS = 96
 
 
+def log_bucket_index(
+    value: float,
+    base: float = _BASE_SECONDS,
+    growth: float = _GROWTH,
+) -> int:
+    """Unbounded logarithmic bucket index for *value* (>= 0).
+
+    Bucket 0 holds everything up to *base*; bucket ``i`` (i >= 1) tops
+    out at ``base * growth**i``.  Shared by :class:`LatencyRecorder` and
+    :class:`repro.obs.Histogram` so both report the same edges.
+    """
+    if value <= base:
+        return 0
+    return 1 + int(math.log(value / base, growth))
+
+
+def log_bucket_edge(
+    index: int,
+    base: float = _BASE_SECONDS,
+    growth: float = _GROWTH,
+) -> float:
+    """Upper edge of bucket *index* in the same log-bucket scheme."""
+    return base if index == 0 else base * growth**index
+
+
 def _check_fraction(fraction: float) -> None:
     if not 0.0 <= fraction <= 1.0:
         raise InvalidParameterError(
             f"percentile fraction must be in [0, 1], got {fraction}"
         )
+
+
+class LatencySnapshot(NamedTuple):
+    """One consistent read of a :class:`LatencyRecorder`, in milliseconds.
+
+    A named tuple rather than a dict so hot-path callers can unpack it
+    positionally while dashboards use the field names.
+    """
+
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
 
 
 class LatencyRecorder:
@@ -49,22 +94,28 @@ class LatencyRecorder:
         self._total = 0
         self._sum = 0.0
         self._max = 0.0
+        self._overflows = 0
 
     def record(self, seconds: float) -> None:
-        """Add one latency sample (in seconds)."""
+        """Add one latency sample (in seconds).
+
+        Samples beyond the last bucket edge saturate into the last bucket
+        and are tallied in :attr:`overflows` — the distribution stays
+        bounded but the saturation is observable instead of silent (and
+        ``max`` still reports the true value).
+        """
         if seconds < 0.0:
             seconds = 0.0
-        if seconds <= _BASE_SECONDS:
-            index = 0
-        else:
-            index = min(
-                _BUCKETS - 1,
-                1 + int(math.log(seconds / _BASE_SECONDS, _GROWTH)),
-            )
+        index = log_bucket_index(seconds)
+        overflowed = index >= _BUCKETS
+        if overflowed:
+            index = _BUCKETS - 1
         with self._lock:
             self._counts[index] += 1
             self._total += 1
             self._sum += seconds
+            if overflowed:
+                self._overflows += 1
             if seconds > self._max:
                 self._max = seconds
 
@@ -72,6 +123,12 @@ class LatencyRecorder:
     def count(self) -> int:
         with self._lock:
             return self._total
+
+    @property
+    def overflows(self) -> int:
+        """Samples that saturated past the last bucket edge."""
+        with self._lock:
+            return self._overflows
 
     def mean(self) -> float:
         """Mean latency in seconds (0.0 with no samples)."""
@@ -106,30 +163,37 @@ class LatencyRecorder:
             seen += count
             if seen > 0 and seen >= threshold:
                 # Upper edge of this bucket, capped at the true max.
-                edge = (
-                    _BASE_SECONDS
-                    if index == 0
-                    else _BASE_SECONDS * _GROWTH**index
-                )
-                return min(edge, self._max)
+                return min(log_bucket_edge(index), self._max)
         return self._max
 
-    def snapshot_ms(self) -> Tuple[float, float, float, float]:
-        """(p50, p95, p99, mean) in milliseconds.
+    def snapshot_ms(self) -> LatencySnapshot:
+        """(p50, p95, p99, mean, max) in milliseconds.
 
-        All four figures are computed under one lock acquisition, so the
+        All five figures are computed under one lock acquisition, so the
         snapshot is internally consistent: concurrent ``record`` calls
         can never interleave between the percentiles and produce a
         nonsensical p50 > p99 reading.
         """
         with self._lock:
             mean = self._sum / self._total if self._total else 0.0
-            return (
+            return LatencySnapshot(
                 1000.0 * self._percentile_locked(0.50),
                 1000.0 * self._percentile_locked(0.95),
                 1000.0 * self._percentile_locked(0.99),
                 1000.0 * mean,
+                1000.0 * self._max,
             )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot plus sample accounting, keyed for the registry."""
+        snap = self.snapshot_ms()
+        with self._lock:
+            total = self._total
+            overflows = self._overflows
+        out: Dict[str, float] = dict(snap._asdict())
+        out["count"] = total
+        out["overflows"] = overflows
+        return out
 
 
 @dataclass(frozen=True)
@@ -158,6 +222,7 @@ class EngineStats:
     latency_p95_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
+    latency_max_ms: float
     #: Logical pages per *executed* query (cache hits touch no pages).
     pages_per_query: float
     #: Physical reads after per-worker buffering, total.
@@ -188,9 +253,20 @@ class EngineStats:
             f"latency p95        {self.latency_p95_ms:>12.3f} ms",
             f"latency p99        {self.latency_p99_ms:>12.3f} ms",
             f"latency mean       {self.latency_mean_ms:>12.3f} ms",
+            f"latency max        {self.latency_max_ms:>12.3f} ms",
             f"pages/query        {self.pages_per_query:>12.2f}",
             f"physical reads     {self.physical_reads:>12,}",
             f"objects/query      {self.objects_per_query:>12.2f}",
             f"max queue depth    {self.max_queue_depth:>12}",
         ]
         return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat field dict plus the derived ``hit_ratio``."""
+        out = asdict(self)
+        out["hit_ratio"] = self.hit_ratio
+        return out
+
+    def export(self) -> Dict[str, Any]:
+        """Registry-protocol alias for :meth:`as_dict`."""
+        return self.as_dict()

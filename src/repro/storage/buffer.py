@@ -39,6 +39,16 @@ class BufferStats:
             return 0.0
         return self.hits / self.accesses
 
+    def as_dict(self) -> dict:
+        """Flat counter dict (the metrics registry's export protocol)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "accesses": self.accesses,
+            "hit_ratio": self.hit_ratio,
+        }
+
 
 class BufferPool(AccessTracker):
     """Base class for fixed-capacity page buffers.

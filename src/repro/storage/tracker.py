@@ -78,6 +78,15 @@ class AccessStats:
             self.per_page[page_id] = self.per_page.get(page_id, 0) + count
         self.unique_pages = len(self.per_page)
 
+    def as_dict(self) -> Dict[str, int]:
+        """Scalar totals only (the per-page map stays internal)."""
+        return {
+            "total": self.total,
+            "leaf": self.leaf,
+            "internal": self.internal,
+            "unique_pages": self.unique_pages,
+        }
+
 
 class CountingTracker(AccessTracker):
     """Tracker that counts every access, split by leaf/internal pages."""

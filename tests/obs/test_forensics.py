@@ -1,0 +1,123 @@
+"""Slow-query log mechanics: ring buffer, JSONL persistence, summaries."""
+
+import io
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import (
+    SlowQueryLog,
+    SlowQueryRecord,
+    Trace,
+    load_jsonl,
+    render_top,
+    summarize_records,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _record(request_id, latency_ms, config="dfs k=3", **stats):
+    return SlowQueryRecord(
+        request_id=request_id,
+        latency_ms=latency_ms,
+        config=config,
+        stats=stats,
+    )
+
+
+class TestSlowQueryLog:
+    def test_ring_drops_oldest_but_counts_all(self):
+        log = SlowQueryLog(capacity=3)
+        for i in range(5):
+            log.add(_record(i, float(i)))
+        assert len(log) == 3
+        assert log.observed == 5
+        assert [r.request_id for r in log.records()] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            SlowQueryLog(capacity=0)
+
+    def test_clear_keeps_observed(self):
+        log = SlowQueryLog(capacity=4)
+        log.add(_record(1, 1.0))
+        log.clear()
+        assert len(log) == 0
+        assert log.observed == 1
+
+
+class TestJsonlRoundtrip:
+    def test_roundtrip_preserves_trace(self):
+        trace = Trace(request_id=7, label="slow")
+        trace.enter(0, 3, False, 0.0)
+        trace.prune("p3", 1, 4, 9.0, 1.0)
+        log = SlowQueryLog(capacity=4)
+        log.add(
+            SlowQueryRecord(
+                request_id=7, latency_ms=12.5, config="dfs k=10",
+                stats={"nodes_accessed": 8}, trace=trace,
+            )
+        )
+        log.add(_record(8, 3.25))
+        buf = io.StringIO()
+        assert log.dump_jsonl(buf) == 2
+        buf.seek(0)
+        loaded = load_jsonl(buf)
+        assert [r.request_id for r in loaded] == [7, 8]
+        assert loaded[0].latency_ms == 12.5
+        assert loaded[0].stats == {"nodes_accessed": 8}
+        assert loaded[0].trace is not None
+        assert loaded[0].trace.events == trace.events
+        assert loaded[1].trace is None
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO(
+            '\n{"request_id":1,"latency_ms":2.0,"config":"c"}\n\n'
+        )
+        assert [r.request_id for r in load_jsonl(buf)] == [1]
+
+    def test_malformed_line_reports_line_number(self):
+        buf = io.StringIO(
+            '{"request_id":1,"latency_ms":2.0,"config":"c"}\nnot json\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            load_jsonl(buf)
+
+
+class TestSummaries:
+    def _records(self):
+        return [
+            _record(1, 10.0, "dfs k=3", nodes_accessed=20, p3_pruned=4),
+            _record(2, 30.0, "dfs k=3", nodes_accessed=40, p1_pruned=2),
+            _record(
+                3, 20.0, "best-first k=3", nodes_accessed=30,
+                pages_skipped_corrupt=2,
+            ),
+        ]
+
+    def test_summarize_figures(self):
+        summary = summarize_records(self._records())
+        assert summary["count"] == 3
+        assert summary["latency_ms_max"] == 30.0
+        assert summary["latency_ms_min"] == 10.0
+        assert summary["latency_ms_mean"] == pytest.approx(20.0)
+        assert summary["pages_mean"] == pytest.approx(30.0)
+        assert summary["pruned_mean"] == pytest.approx(2.0)
+        assert summary["pages_skipped_corrupt"] == 2
+        assert summary["by_config"] == {"dfs k=3": 2, "best-first k=3": 1}
+
+    def test_summarize_empty(self):
+        assert summarize_records([]) == {"count": 0}
+
+    def test_render_top_orders_worst_first(self):
+        text = render_top(self._records(), limit=2)
+        assert "3 record(s)" in text
+        assert "corrupt pages skipped" in text
+        assert "config x2: dfs k=3" in text
+        worst_section = text[text.index("worst 2"):]
+        assert worst_section.index("#2") < worst_section.index("#3")
+        assert "#1" not in worst_section
+
+    def test_render_empty(self):
+        assert render_top([]) == "slow-query log: empty"

@@ -1,0 +1,168 @@
+"""LatencyRecorder: the conservative-percentile contract, under load.
+
+The recorder promises percentiles that never under-report and carry at
+most 25% relative error (one log bucket of growth 1.25).  These tests
+pin that contract with a hypothesis property test, check the estimator
+against a serial ground truth under 8-thread concurrent recording, and
+exercise the saturation path added for unbounded samples.
+"""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.service.stats import (
+    LatencyRecorder,
+    log_bucket_edge,
+    log_bucket_index,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.service]
+
+#: Largest representable sample: the upper edge of the last bucket.
+_LAST_EDGE = log_bucket_edge(95)
+
+
+def _true_percentile(samples, fraction):
+    """Smallest sample whose cumulative fraction reaches *fraction* —
+    the same convention the recorder's cumulative-count scan uses."""
+    ordered = sorted(samples)
+    if fraction == 0.0:
+        return ordered[0]
+    rank = math.ceil(fraction * len(ordered) - 1e-9)
+    return ordered[max(0, rank - 1)]
+
+
+class TestConservativeEstimate:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-6, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        ),
+        fraction=st.sampled_from([0.5, 0.9, 0.95, 0.99, 1.0]),
+    )
+    def test_never_under_reports_and_bounded_error(self, samples, fraction):
+        recorder = LatencyRecorder()
+        for s in samples:
+            recorder.record(s)
+        estimate = recorder.percentile(fraction)
+        truth = _true_percentile(samples, fraction)
+        # Conservative: the bucket's upper edge is >= every sample in it.
+        assert estimate >= truth * (1.0 - 1e-12)
+        # Bounded: one growth-1.25 bucket of slack (and the cap at max
+        # can only pull the estimate down toward the truth).
+        assert estimate <= truth * 1.25 * (1.0 + 1e-9)
+
+    def test_percentile_one_is_exactly_the_max(self):
+        recorder = LatencyRecorder()
+        for s in (0.002, 0.017, 0.3):
+            recorder.record(s)
+        # Capped at the true max, not the containing bucket's edge.
+        assert recorder.percentile(1.0) == 0.3
+        assert log_bucket_edge(log_bucket_index(0.3)) > 0.3
+
+    def test_fraction_validation(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(InvalidParameterError):
+            recorder.percentile(-0.1)
+        with pytest.raises(InvalidParameterError):
+            recorder.percentile(1.5)
+
+    def test_empty_recorder_reads_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(0.5) == 0.0
+        snap = recorder.snapshot_ms()
+        assert snap == (0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class TestConcurrentRecording:
+    def test_eight_threads_match_serial_ground_truth(self):
+        per_thread = 2000
+        threads = 8
+
+        def samples_for(worker):
+            # Deterministic, spread across ~5 decades, distinct per thread.
+            return [
+                1e-6 * (1.0 + ((worker * per_thread + i) * 7919) % 100000)
+                for i in range(per_thread)
+            ]
+
+        all_samples = [samples_for(w) for w in range(threads)]
+
+        concurrent = LatencyRecorder()
+        barrier = threading.Barrier(threads)
+
+        def worker(my_samples):
+            barrier.wait()
+            for s in my_samples:
+                concurrent.record(s)
+
+        pool = [
+            threading.Thread(target=worker, args=(chunk,))
+            for chunk in all_samples
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        serial = LatencyRecorder()
+        for chunk in all_samples:
+            for s in chunk:
+                serial.record(s)
+
+        assert concurrent.count == serial.count == threads * per_thread
+        c_snap, s_snap = concurrent.snapshot_ms(), serial.snapshot_ms()
+        assert c_snap.p50_ms == s_snap.p50_ms
+        assert c_snap.p95_ms == s_snap.p95_ms
+        assert c_snap.p99_ms == s_snap.p99_ms
+        assert c_snap.max_ms == s_snap.max_ms
+        # Mean is a float sum: addition order differs across schedules.
+        assert c_snap.mean_ms == pytest.approx(s_snap.mean_ms, rel=1e-9)
+        assert concurrent.mean() == pytest.approx(serial.mean(), rel=1e-9)
+        assert concurrent.overflows == serial.overflows == 0
+
+
+class TestSaturation:
+    def test_overflow_saturates_with_observable_counter(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.001)
+        huge = _LAST_EDGE * 1000.0
+        recorder.record(huge)
+        assert recorder.overflows == 1
+        assert recorder.count == 2
+        # max reports the true value even though the bucket saturated...
+        assert recorder.snapshot_ms().max_ms == pytest.approx(huge * 1000.0)
+        # ...while the percentile answers from the saturated bucket's
+        # edge — bounded by construction, with the clipping visible in
+        # ``overflows`` rather than silently absorbed.
+        assert recorder.percentile(1.0) == _LAST_EDGE
+
+    def test_in_range_samples_do_not_count_as_overflow(self):
+        recorder = LatencyRecorder()
+        recorder.record(_LAST_EDGE * 0.99)
+        assert recorder.overflows == 0
+
+    def test_negative_sample_clamps_to_zero(self):
+        recorder = LatencyRecorder()
+        recorder.record(-5.0)
+        assert recorder.count == 1
+        assert recorder.overflows == 0
+        assert recorder.percentile(1.0) == 0.0
+
+    def test_as_dict_reports_accounting(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.004)
+        recorder.record(_LAST_EDGE * 2.0)
+        out = recorder.as_dict()
+        assert out["count"] == 2
+        assert out["overflows"] == 1
+        assert out["max_ms"] == pytest.approx(_LAST_EDGE * 2.0 * 1000.0)
+        assert out["mean_ms"] > 0.0

@@ -1,0 +1,201 @@
+"""Metrics registry: instruments, the as_dict() protocol, exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.stats import SearchStats
+from repro.errors import InvalidParameterError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    export_jsonl,
+    export_prometheus,
+)
+from repro.service.cache import ResultCache
+from repro.service.stats import LatencyRecorder, log_bucket_edge
+from repro.storage.buffer import LruBufferPool
+from repro.storage.tracker import CountingTracker
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(InvalidParameterError):
+            c.inc(-1)
+        assert c.as_dict() == {"value": 5}
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("inflight")
+        g.set(3)
+        g.add(-1)
+        assert g.value == 2.0
+
+    def test_histogram_buckets_match_latency_recorder_edges(self):
+        h = Histogram("latency_s")
+        recorder = LatencyRecorder()
+        for s in (0.001, 0.003, 0.01, 0.05, 0.2):
+            h.observe(s)
+            recorder.record(s)
+        assert h.count == 5
+        # Same log-bucket scheme: identical conservative percentiles.
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert h.percentile(fraction) == recorder.percentile(fraction)
+        edges = [edge for edge, _ in h.buckets()]
+        assert edges == sorted(edges)
+
+    def test_histogram_outlier_costs_one_sparse_bucket(self):
+        h = Histogram("wild")
+        h.observe(1e-6)
+        h.observe(1e9)  # would saturate a fixed-width recorder
+        assert h.count == 2
+        assert h.percentile(1.0) == 1e9  # capped at the observed max
+        assert h.as_dict()["max"] == 1e9
+
+    def test_histogram_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("bad", base=0.0)
+        with pytest.raises(InvalidParameterError):
+            Histogram("bad", growth=1.0)
+        with pytest.raises(InvalidParameterError):
+            Histogram("h").percentile(1.5)
+
+    def test_histogram_concurrent_observe(self):
+        h = Histogram("mt")
+
+        def worker():
+            for i in range(1000):
+                h.observe(i * 1e-6)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 8000
+
+
+class TestRegistry:
+    def test_collect_flattens_sources(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests")
+        requests.inc(7)
+        depth = registry.gauge("queue_depth")
+        depth.set(2)
+        stats = SearchStats()
+        stats.nodes_accessed = 11
+        registry.register("search", stats)
+        registry.register("callable", lambda: {"live": 1.5})
+        flat = registry.collect()
+        assert flat["requests"] == 7  # bare name for single-value
+        assert flat["queue_depth"] == 2.0
+        assert flat["search.nodes_accessed"] == 11
+        assert flat["search.p1_pruned"] == 0  # PruningStats flattened in
+        assert flat["callable.live"] == 1.5
+        assert registry.sources() == [
+            "callable", "queue_depth", "requests", "search",
+        ]
+
+    def test_all_six_stats_classes_register(self):
+        """The tentpole protocol: every stats class exports via as_dict."""
+        from repro.core.pruning import PruningStats
+        from repro.service.stats import EngineStats
+
+        registry = MetricsRegistry()
+        registry.register("search", SearchStats())
+        registry.register("pruning", PruningStats())
+        registry.register("cache", ResultCache(4).stats)
+        registry.register("buffer", LruBufferPool(4).stats)
+        tracker = CountingTracker()
+        registry.register("access", lambda: tracker.stats)
+        registry.register(
+            "engine",
+            EngineStats(
+                queries=4, cache_hits=1, executed=3, cache_invalidated=0,
+                epoch=0, workers=1, latency_p50_ms=0.0, latency_p95_ms=0.0,
+                latency_p99_ms=0.0, latency_mean_ms=0.0, latency_max_ms=0.0,
+                pages_per_query=0.0, physical_reads=0,
+                objects_per_query=0.0, max_queue_depth=1,
+            ),
+        )
+        flat = registry.collect()
+        assert "search.nodes_accessed" in flat
+        assert "pruning.p3_pruned" in flat
+        assert "cache.hit_ratio" in flat
+        assert "buffer.hit_ratio" in flat
+        assert "access.total" in flat
+        assert "engine.latency_max_ms" in flat
+
+    def test_live_source_rereads_on_collect(self):
+        registry = MetricsRegistry()
+        cache = ResultCache(4)
+        registry.register("cache", cache.stats)
+        assert registry.collect()["cache.lookups"] == 0
+        cache.get("missing")
+        assert registry.collect()["cache.lookups"] == 1
+
+    def test_register_validation_and_unregister(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.register("", Counter("x"))
+        registry.register("a", {"v": 1})
+        registry.unregister("a")
+        assert registry.sources() == []
+
+    def test_bad_source_fails_loudly_at_collect(self):
+        registry = MetricsRegistry()
+        registry.register("junk", object())
+        with pytest.raises(InvalidParameterError):
+            registry.collect()
+
+
+class TestExporters:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        stats = SearchStats()
+        stats.nodes_accessed = 4
+        registry.register("search", stats)
+        return registry
+
+    def test_jsonl_is_one_sorted_compact_object(self):
+        line = export_jsonl(self._registry(), extra={"run": "t1"})
+        assert "\n" not in line
+        record = json.loads(line)
+        assert record["run"] == "t1"
+        assert record["requests"] == 3
+        assert record["search.nodes_accessed"] == 4
+        assert list(record) == sorted(record)
+
+    def test_prometheus_types_and_names(self):
+        text = export_prometheus(self._registry())
+        assert "# TYPE repro_requests counter" in text
+        assert "repro_requests 3" in text
+        assert "# TYPE repro_search_nodes_accessed gauge" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_skips_non_numeric_values(self):
+        registry = MetricsRegistry()
+        registry.register("mixed", {"ok": 1, "label": "text", "flag": True})
+        text = export_prometheus(registry)
+        assert "repro_mixed_ok 1" in text
+        assert "label" not in text
+        assert "flag" not in text
+
+    def test_histogram_exports_derived_figures(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        h.observe(0.004)
+        flat = registry.collect()
+        assert flat["lat.count"] == 1
+        assert flat["lat.p99"] == pytest.approx(0.004, rel=0.25)
+        edge = log_bucket_edge(0)
+        assert flat["lat.p50"] >= edge or flat["lat.p50"] > 0

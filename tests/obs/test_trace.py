@@ -1,0 +1,237 @@
+"""Trace correctness: the event stream must be faithful evidence.
+
+The load-bearing guarantee is equivalence with the audit's ``on_prune``
+hook: for any query, ``trace.prune_events()`` reproduces the hook's
+``(kind, node, value)`` stream event-for-event.  Everything else —
+tree reconstruction, rendering, serialization — builds on that stream.
+"""
+
+import json
+
+import pytest
+
+from repro import bulk_load
+from repro.audit.soundness import check_pruning_soundness
+from repro.core.config import QueryConfig
+from repro.core.knn_best_first import nearest_best_first, nearest_incremental
+from repro.core.knn_dfs import nearest_dfs
+from repro.core.pruning import PruningConfig
+from repro.core.query import nearest
+from repro.datasets.synthetic import gaussian_clusters, uniform_points
+from repro.obs import Trace, build_trace_tree, render_trace
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def tree():
+    points = uniform_points(600, seed=77)
+    return bulk_load([(p, i) for i, p in enumerate(points)], max_entries=8)
+
+
+@pytest.fixture(scope="module")
+def clustered_tree():
+    points = gaussian_clusters(500, seed=78)
+    return bulk_load([(p, i) for i, p in enumerate(points)], max_entries=8)
+
+
+QUERIES = [(500.0, 500.0), (10.0, 990.0), (250.0, 250.0)]
+
+
+class TestTracePrimitives:
+    def test_emitters_and_counts(self):
+        trace = Trace()
+        trace.enter(0, 7, False, 0.0)
+        trace.bound(0, 12.5)
+        trace.prune("p1", 1, 8, 20.0, 12.5)
+        trace.enter(1, 9, True, 1.0)
+        trace.accept(1, 2.0)
+        trace.exit(1, 9)
+        trace.prune("p3", 1, 10, 30.0, 2.0)
+        trace.exit(0, 7)
+        assert len(trace) == 8
+        assert trace.counts() == {
+            "enter": 2, "exit": 2, "p1": 1, "p2": 1, "p3": 1, "accept": 1,
+        }
+        assert trace.pages_entered() == 2
+        assert trace.prune_events() == [
+            ("p2", None, 12.5), ("p1", 8, 20.0), ("p3", 10, 30.0),
+        ]
+
+    def test_zero_skips_is_a_no_op(self):
+        trace = Trace()
+        trace.skips(0)
+        assert trace.events == []
+        trace.skips(3)
+        assert trace.events == [("skips", 3)]
+
+    def test_json_roundtrip(self):
+        trace = Trace(request_id=42, label="demo")
+        trace.meta["k"] = 3
+        trace.enter(0, 1, False, 0.0)
+        trace.prune("p3", 1, 2, 9.0, 4.0)
+        trace.cache("miss")
+        rebuilt = Trace.from_dict(json.loads(trace.to_json()))
+        assert rebuilt.request_id == 42
+        assert rebuilt.label == "demo"
+        assert rebuilt.meta == {"k": 3}
+        assert rebuilt.events == trace.events
+        assert rebuilt.prune_events() == trace.prune_events()
+
+
+class TestPruneEventEquivalence:
+    """Trace events match the on_prune hook output event-for-event."""
+
+    @pytest.mark.parametrize("ordering", ["mindist", "minmaxdist"])
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_dfs_matches_hook(self, tree, ordering, k):
+        for query in QUERIES:
+            hooked = []
+            trace = Trace()
+            traced_nb, traced_stats = nearest_dfs(
+                tree,
+                query,
+                k=k,
+                ordering=ordering,
+                on_prune=lambda kind, node, value: hooked.append(
+                    (kind, node.node_id if node is not None else None, value)
+                ),
+                trace=trace,
+            )
+            assert trace.prune_events() == hooked
+            # The traced run is still the exact search.
+            plain_nb, plain_stats = nearest_dfs(
+                tree, query, k=k, ordering=ordering
+            )
+            assert [n.payload for n in traced_nb] == [
+                n.payload for n in plain_nb
+            ]
+            assert traced_stats == plain_stats
+
+    @pytest.mark.parametrize(
+        "pruning",
+        [PruningConfig.all(), PruningConfig.none(), PruningConfig(
+            use_p1=False, use_p2=False, use_p3=True)],
+    )
+    def test_pruning_ablation_matches_hook(self, clustered_tree, pruning):
+        hooked = []
+        trace = Trace()
+        nearest_dfs(
+            clustered_tree,
+            (500.0, 500.0),
+            k=1,
+            pruning=pruning,
+            on_prune=lambda kind, node, value: hooked.append(
+                (kind, node.node_id if node is not None else None, value)
+            ),
+            trace=trace,
+        )
+        assert trace.prune_events() == hooked
+
+    def test_prune_counts_match_stats(self, tree):
+        trace = Trace()
+        _, stats = nearest_dfs(tree, (333.0, 777.0), k=3, trace=trace)
+        counts = trace.counts()
+        assert counts.get("p1", 0) == stats.pruning.p1_pruned
+        assert counts.get("p2", 0) == stats.pruning.p2_bound_updates
+        assert counts.get("p3", 0) == stats.pruning.p3_pruned
+        assert trace.pages_entered() == stats.nodes_accessed
+        assert counts.get("accept", 0) >= 3
+
+
+class TestKernelCoverage:
+    def test_best_first_emits_enters_and_accepts(self, tree):
+        trace = Trace()
+        neighbors, stats = nearest_best_first(
+            tree, (400.0, 600.0), k=5, trace=trace
+        )
+        assert trace.pages_entered() == stats.nodes_accessed
+        assert trace.counts().get("accept", 0) >= len(neighbors)
+
+    def test_incremental_emits_accept_per_yield(self, tree):
+        trace = Trace()
+        taken = []
+        for neighbor in nearest_incremental(tree, (100.0, 100.0), trace=trace):
+            taken.append(neighbor)
+            if len(taken) == 7:
+                break
+        assert trace.counts().get("accept", 0) == 7
+        assert trace.pages_entered() >= 1
+
+    def test_facade_sets_meta_and_traces(self, tree):
+        trace = Trace()
+        result = nearest(
+            tree, (222.0, 444.0), config=QueryConfig(k=2), trace=trace
+        )
+        assert trace.meta["k"] == 2
+        assert trace.meta["algorithm"] == "dfs"
+        assert trace.meta["point"] == (222.0, 444.0)
+        assert trace.pages_entered() == result.stats.nodes_accessed
+
+
+class TestTraceTreeAndRendering:
+    def test_tree_reconstruction_accounts_every_visit(self, tree):
+        trace = Trace()
+        _, stats = nearest_dfs(tree, (500.0, 500.0), k=4, trace=trace)
+        root = build_trace_tree(trace)
+        assert root is not None
+        assert root.depth == 0
+        assert not root.is_leaf
+        assert root.subtree_pages() == stats.nodes_accessed
+
+    def test_render_lists_header_and_prunes(self, tree):
+        trace = Trace(label="unit")
+        nearest_dfs(tree, (500.0, 500.0), k=4, trace=trace)
+        text = render_trace(trace)
+        assert text.startswith("trace:")
+        assert "unit" in text
+        assert "[subtree pages:" in text
+        if trace.counts().get("p3"):
+            assert "pruned page=" in text
+
+    def test_render_empty_trace(self):
+        text = render_trace(Trace())
+        assert "(no node visits recorded)" in text
+
+
+class TestAuditIntegration:
+    def test_soundness_check_accepts_trace_evidence(self, tree):
+        items = [
+            (entry.rect, entry.payload)
+            for leaf in _leaves(tree.root)
+            for entry in leaf.entries
+        ]
+        trace = Trace()
+        violations = check_pruning_soundness(
+            tree, items, (500.0, 500.0), k=3, trace=trace
+        )
+        assert violations == []
+        assert trace.pages_entered() >= 1
+
+    def test_tampered_trace_is_a_violation(self, tree):
+        items = [
+            (entry.rect, entry.payload)
+            for leaf in _leaves(tree.root)
+            for entry in leaf.entries
+        ]
+
+        class Tampered(Trace):
+            """Evidence that drops its first prune event."""
+
+            def prune_events(self):
+                return super().prune_events()[1:]
+
+        trace = Tampered()
+        violations = check_pruning_soundness(
+            tree, items, (500.0, 500.0), k=3, trace=trace
+        )
+        assert trace.prune_events()  # the run did prune something
+        assert any(v.kind == "trace-mismatch" for v in violations)
+
+
+def _leaves(node):
+    if node.is_leaf:
+        yield node
+        return
+    for entry in node.entries:
+        yield from _leaves(entry.child)

@@ -192,10 +192,11 @@ class TestLatencyRecorder:
     def test_snapshot_ms_units(self):
         recorder = LatencyRecorder()
         recorder.record(0.002)
-        p50, p95, p99, mean = recorder.snapshot_ms()
+        p50, p95, p99, mean, max_ms = recorder.snapshot_ms()
         assert 2.0 <= p50 <= 2.5
-        assert p50 <= p95 <= p99
+        assert p50 <= p95 <= p99 <= max_ms
         assert mean == pytest.approx(2.0)
+        assert max_ms == pytest.approx(2.0)
 
     def test_negative_and_tiny_samples_clamp(self):
         recorder = LatencyRecorder()

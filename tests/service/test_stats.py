@@ -80,9 +80,9 @@ class TestConsistentSnapshot:
             t.start()
         try:
             for _ in range(300):
-                p50, p95, p99, mean = recorder.snapshot_ms()
-                if not (p50 <= p95 <= p99):
-                    violations.append((p50, p95, p99))
+                p50, p95, p99, mean, max_ms = recorder.snapshot_ms()
+                if not (p50 <= p95 <= p99 <= max_ms):
+                    violations.append((p50, p95, p99, max_ms))
                 if recorder.count and mean <= 0.0:
                     violations.append(("mean", mean))
         finally:
@@ -95,8 +95,9 @@ class TestConsistentSnapshot:
         recorder = LatencyRecorder()
         for s in (0.001, 0.003, 0.01, 0.05, 0.2):
             recorder.record(s)
-        p50, p95, p99, mean = recorder.snapshot_ms()
+        p50, p95, p99, mean, max_ms = recorder.snapshot_ms()
         assert p50 == 1000.0 * recorder.percentile(0.50)
         assert p95 == 1000.0 * recorder.percentile(0.95)
         assert p99 == 1000.0 * recorder.percentile(0.99)
         assert mean == 1000.0 * recorder.mean()
+        assert max_ms == pytest.approx(200.0)

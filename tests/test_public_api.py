@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.geometry",
     "repro.service",
     "repro.packed",
+    "repro.obs",
 ]
 
 
