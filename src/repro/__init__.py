@@ -53,8 +53,11 @@ from repro.core import (
     nearest_incremental,
     within_distance,
 )
+from repro.core.budget import Budget
 from repro.errors import (
+    AdmissionRejected,
     ChecksumError,
+    DeadlineExceeded,
     CorruptionWarning,
     DimensionMismatchError,
     EmptyIndexError,
@@ -63,6 +66,7 @@ from repro.errors import (
     InvalidRectError,
     PageFileError,
     ReproError,
+    QuotaExceeded,
     TornWriteError,
     TransientIOError,
     TreeInvariantError,
@@ -95,9 +99,18 @@ from repro.rtree import (
     save_tree,
     validate_tree,
 )
-from repro.service import EngineStats, QueryEngine, ResultCache
+from repro.service import (
+    BrownoutController,
+    BrownoutLevel,
+    EngineStats,
+    QueryEngine,
+    ResilientEngine,
+    ResultCache,
+    TokenBucket,
+)
 from repro.storage import (
     AccessTracker,
+    CircuitBreaker,
     FaultInjectingPageFile,
     FaultPlan,
     PageFile,
@@ -116,6 +129,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessTracker",
+    "AdmissionRejected",
+    "Budget",
+    "BrownoutController",
+    "BrownoutLevel",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "QuotaExceeded",
+    "ResilientEngine",
+    "TokenBucket",
     "CountingTracker",
     "DiskCostModel",
     "aggregate_nearest",

@@ -34,6 +34,7 @@ standing runtime proof:
 from repro.audit.oracle import (
     Discrepancy,
     check_result,
+    check_truncated_result,
     diff_backends,
     exact_neighbors,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "check_k_monotonicity",
     "check_pruning_soundness",
     "check_result",
+    "check_truncated_result",
     "check_scale_invariance",
     "check_translation_invariance",
     "diff_backends",

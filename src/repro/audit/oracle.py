@@ -36,6 +36,7 @@ from repro.packed.kernels import (
 __all__ = [
     "Discrepancy",
     "check_result",
+    "check_truncated_result",
     "diff_backends",
     "exact_neighbors",
     "ALGORITHM_COMBOS",
@@ -89,40 +90,16 @@ def exact_neighbors(
     return linear_scan_items(items, query, k=k)
 
 
-def check_result(
+def _check_neighbor_integrity(
     neighbors: Sequence[Neighbor],
-    query: Sequence[float],
+    query_t: Tuple[float, ...],
     k: int,
-    exact: Sequence[Neighbor],
     combo: str,
-    points: Optional[Sequence[Sequence[float]]] = None,
-    epsilon: float = 0.0,
+    points: Optional[Sequence[Sequence[float]]],
 ) -> List[Discrepancy]:
-    """All the ways one result can disagree with the oracle.
-
-    Checks, in order: result size, per-neighbor self-consistency
-    (distance matches the neighbor's own rect; payload maps back to the
-    workload point when *points* is given), sorted order, and the
-    distance sequence against *exact* — exact equality at ``epsilon ==
-    0``, the ``(1 + epsilon)`` band otherwise.
-    """
-    query_t = tuple(float(c) for c in query)
+    """Per-neighbor self-consistency and sortedness (shared by both
+    :func:`check_result` and :func:`check_truncated_result`)."""
     problems: List[Discrepancy] = []
-    expected_len = len(exact)
-    if len(neighbors) != expected_len:
-        problems.append(
-            Discrepancy(
-                kind="size-mismatch",
-                combo=combo,
-                query=query_t,
-                k=k,
-                expected=[n.distance for n in exact],
-                actual=[n.distance for n in neighbors],
-                detail=f"expected {expected_len} neighbors, got {len(neighbors)}",
-            )
-        )
-        return problems
-
     prev = -math.inf
     for rank, n in enumerate(neighbors):
         # Self-consistency: the reported distance must be the distance to
@@ -181,7 +158,46 @@ def check_result(
                 )
             )
         prev = n.distance
+    return problems
 
+
+def check_result(
+    neighbors: Sequence[Neighbor],
+    query: Sequence[float],
+    k: int,
+    exact: Sequence[Neighbor],
+    combo: str,
+    points: Optional[Sequence[Sequence[float]]] = None,
+    epsilon: float = 0.0,
+) -> List[Discrepancy]:
+    """All the ways one result can disagree with the oracle.
+
+    Checks, in order: result size, per-neighbor self-consistency
+    (distance matches the neighbor's own rect; payload maps back to the
+    workload point when *points* is given), sorted order, and the
+    distance sequence against *exact* — exact equality at ``epsilon ==
+    0``, the ``(1 + epsilon)`` band otherwise.
+    """
+    query_t = tuple(float(c) for c in query)
+    problems: List[Discrepancy] = []
+    expected_len = len(exact)
+    if len(neighbors) != expected_len:
+        problems.append(
+            Discrepancy(
+                kind="size-mismatch",
+                combo=combo,
+                query=query_t,
+                k=k,
+                expected=[n.distance for n in exact],
+                actual=[n.distance for n in neighbors],
+                detail=f"expected {expected_len} neighbors, got {len(neighbors)}",
+            )
+        )
+        return problems
+
+    problems.extend(
+        _check_neighbor_integrity(neighbors, query_t, k, combo, points)
+    )
     expected_d = [n.distance for n in exact]
     actual_d = [n.distance for n in neighbors]
     if epsilon == 0.0:
@@ -218,6 +234,103 @@ def check_result(
                     )
                 )
                 break
+    return problems
+
+
+def check_truncated_result(
+    neighbors: Sequence[Neighbor],
+    query: Sequence[float],
+    k: int,
+    exact: Sequence[Neighbor],
+    combo: str,
+    frontier: float = math.inf,
+    points: Optional[Sequence[Sequence[float]]] = None,
+    epsilon: float = 0.0,
+) -> List[Discrepancy]:
+    """All the ways a *budget-truncated* result can be unsound.
+
+    A truncated answer makes a weaker promise than an exact one, but the
+    promise is still checkable: the result is a **sound prefix** of the
+    truth within its reported *frontier* (the smallest MINDIST over every
+    subtree the budget forced the search to abandon; see
+    :mod:`repro.core.budget`).  Concretely:
+
+    - every returned neighbor is a real object at its true distance, in
+      sorted order (same integrity checks as :func:`check_result`);
+    - **subset property** — a search that only ever inspects real
+      objects can never beat the oracle, so ``d_returned[i] >=
+      d_exact[i]`` at every rank;
+    - **soundness within the frontier** — any returned distance strictly
+      below the frontier cannot have been displaced by an unvisited
+      object, so it must satisfy the full (epsilon-banded) guarantee
+      ``d_returned[i] <= (1 + epsilon) * d_exact[i]``.  At or beyond the
+      frontier nothing is promised: a better object may sit in an
+      abandoned subtree.
+
+    ``len(neighbors) <= len(exact)`` is required (a truncated search may
+    find fewer than *k*, never more).
+    """
+    query_t = tuple(float(c) for c in query)
+    problems: List[Discrepancy] = []
+    if len(neighbors) > len(exact):
+        problems.append(
+            Discrepancy(
+                kind="size-mismatch",
+                combo=combo,
+                query=query_t,
+                k=k,
+                expected=[n.distance for n in exact],
+                actual=[n.distance for n in neighbors],
+                detail=(
+                    f"truncated result has {len(neighbors)} neighbors, "
+                    f"oracle only {len(exact)}"
+                ),
+            )
+        )
+        return problems
+
+    problems.extend(
+        _check_neighbor_integrity(neighbors, query_t, k, combo, points)
+    )
+
+    band = 1.0 + epsilon
+    for rank, n in enumerate(neighbors):
+        e = exact[rank].distance
+        a = n.distance
+        if a < e - _TOL:
+            problems.append(
+                Discrepancy(
+                    kind="subset-violation",
+                    combo=combo,
+                    query=query_t,
+                    k=k,
+                    expected=[m.distance for m in exact],
+                    actual=[m.distance for m in neighbors],
+                    detail=(
+                        f"rank {rank}: returned {a} beats the exhaustive "
+                        f"oracle {e} — impossible for a search over real "
+                        f"objects"
+                    ),
+                )
+            )
+            break
+        if a < frontier - _TOL and a > e * band + _TOL:
+            problems.append(
+                Discrepancy(
+                    kind="frontier-violation",
+                    combo=combo,
+                    query=query_t,
+                    k=k,
+                    expected=[m.distance for m in exact],
+                    actual=[m.distance for m in neighbors],
+                    detail=(
+                        f"rank {rank}: returned {a} < frontier {frontier} "
+                        f"but outside [{e}, {e * band}] (eps={epsilon}) — "
+                        f"the budget cannot excuse it"
+                    ),
+                )
+            )
+            break
     return problems
 
 

@@ -20,6 +20,11 @@ Subcommands:
   times the packed DFS hot path with tracing disabled against the raw
   kernel floor and exits 1 if the disabled-tracer cost exceeds the gate
   (default 1.05x; CI uses 1.1x).
+- ``resilience [--gate R] [--soak-queries N] ...`` — the overload
+  resilience smoke: gates the cost of the ``budget is None`` check on
+  the unbudgeted packed hot path (same shape as ``obs``) and then runs
+  a seeded mini chaos soak (``python -m repro.chaos`` semantics) that
+  must certify every served answer and conserve its accounting.
 """
 
 from __future__ import annotations
@@ -217,6 +222,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="interleaved best-of timing repetitions (default: 7)",
     )
     obs.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    resil = sub.add_parser(
+        "resilience",
+        help="resilience overhead smoke: the budget check must cost "
+        "<5%% on the unbudgeted packed DFS hot path (exit 1 above "
+        "--gate), plus a seeded mini chaos soak that must PASS",
+    )
+    resil.add_argument(
+        "--n",
+        type=int,
+        default=100000,
+        help="indexed points (default: 100000)",
+    )
+    resil.add_argument(
+        "--queries", type=int, default=64, help="query batch size (default: 64)"
+    )
+    resil.add_argument(
+        "--k", type=int, default=10, help="neighbors per query (default: 10)"
+    )
+    resil.add_argument(
+        "--gate",
+        type=float,
+        default=1.05,
+        help="fail if (public budget=None)/(kernel only) exceeds this "
+        "ratio (default: 1.05; CI smoke uses 1.1 for flake tolerance)",
+    )
+    resil.add_argument(
+        "--reps",
+        type=int,
+        default=7,
+        help="interleaved best-of timing repetitions (default: 7)",
+    )
+    resil.add_argument(
+        "--soak-queries",
+        type=int,
+        default=1000,
+        help="queries for the embedded chaos soak (default: 1000; "
+        "0 skips the soak)",
+    )
+    resil.add_argument("--seed", type=int, default=0, help="workload seed")
 
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
@@ -482,6 +527,101 @@ def _obs_command(args: argparse.Namespace) -> tuple:
     return "\n".join(lines), code
 
 
+def _resilience_command(args: argparse.Namespace) -> tuple:
+    """Budget-check overhead gate plus a seeded mini chaos soak.
+
+    Three interleaved best-of-N timings mirror ``repro.bench obs``: the
+    raw kernel floor, the public entry point with ``budget=None`` (what
+    every production query pays for cancellability it is not using —
+    one ``budget is None`` test), and the public entry point with a
+    loose page budget (the budgeted kernels charge a clock per node
+    visit; reported, not gated).  The gate holds unbudgeted/floor to
+    ``--gate``.  Then a short seeded soak (``python -m repro.chaos``
+    semantics) must PASS: every certified answer sound, accounting
+    conserved, workers drained.
+    """
+    from repro.bench.harness import build_tree, points_as_items
+    from repro.core import knn_dfs as _knn_dfs
+    from repro.core.budget import Budget
+    from repro.core.stats import SearchStats
+    from repro.datasets.queries import query_points_uniform
+    from repro.datasets.synthetic import uniform_points
+    from repro.packed.kernels import (
+        _dfs_2d_fast,
+        _heap_to_neighbors,
+        packed_nearest_dfs,
+    )
+    from repro.packed.layout import PackedTree
+
+    points = uniform_points(args.n, seed=args.seed)
+    queries = query_points_uniform(args.queries, seed=args.seed + 1)
+    tree = build_tree(points_as_items(points))
+    ptree = PackedTree.from_tree(tree)
+    slack = _knn_dfs._PRUNE_SLACK
+    k = args.k
+    loose = Budget(max_pages=1_000_000_000)
+
+    def kernel_only():
+        for q in queries:
+            heap = _dfs_2d_fast(
+                ptree, q[0], q[1], k, 1.0, slack, None, SearchStats()
+            )
+            _heap_to_neighbors(ptree, heap)
+
+    def no_budget():
+        for q in queries:
+            packed_nearest_dfs(ptree, q, k=k)
+
+    def budgeted():
+        for q in queries:
+            packed_nearest_dfs(ptree, q, k=k, budget=loose)
+
+    floor_s = plain_s = budget_s = float("inf")
+    for _ in range(args.reps):
+        start = time.perf_counter()
+        kernel_only()
+        floor_s = min(floor_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        no_budget()
+        plain_s = min(plain_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        budgeted()
+        budget_s = min(budget_s, time.perf_counter() - start)
+
+    overhead = plain_s / floor_s if floor_s else 0.0
+    per_query = 1e3 / len(queries)
+    lines = [
+        f"budget overhead smoke — uniform n={args.n}, {args.queries} "
+        f"queries, k={k} (fanout {tree.max_entries})",
+        f"  kernel only          {floor_s * per_query:8.4f} ms/q",
+        f"  public budget=None   {plain_s * per_query:8.4f} ms/q "
+        f"({overhead:.3f}x of floor, gate {args.gate}x)",
+        f"  public loose budget  {budget_s * per_query:8.4f} ms/q "
+        f"({budget_s / floor_s:.2f}x; clock charged per node visit)",
+    ]
+    code = 0
+    if overhead > args.gate:
+        lines.append(
+            f"FAIL: unbudgeted overhead {overhead:.3f}x exceeds "
+            f"gate {args.gate}x"
+        )
+        code = 1
+
+    if args.soak_queries > 0:
+        from repro.chaos import ChaosConfig, run_soak
+
+        report = run_soak(
+            ChaosConfig(seed=args.seed + 17, queries=args.soak_queries)
+        )
+        lines.append("")
+        lines.append(report.render())
+        if not report.passed:
+            code = 1
+    elif code == 0:
+        lines.append("PASS")
+    return "\n".join(lines), code
+
+
 def _viz_command(args: argparse.Namespace) -> str:
     from repro.core.query import nearest
     from repro.datasets.synthetic import (
@@ -601,6 +741,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _packed_command(args)
     elif args.command == "obs":
         output, code = _obs_command(args)
+    elif args.command == "resilience":
+        output, code = _resilience_command(args)
     elif args.command == "audit":
         from repro.audit.__main__ import run_from_args
 

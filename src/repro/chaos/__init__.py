@@ -1,0 +1,10 @@
+"""Chaos soak harness: overload + fault injection, oracle-certified.
+
+Run ``python -m repro.chaos`` for the CLI, or use
+:func:`~repro.chaos.harness.run_soak` programmatically.  See
+``docs/RESILIENCE.md`` for what the soak certifies and why.
+"""
+
+from repro.chaos.harness import ChaosConfig, ChaosReport, run_soak
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_soak"]

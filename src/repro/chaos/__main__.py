@@ -1,0 +1,69 @@
+"""``python -m repro.chaos`` — run one seeded chaos soak and certify it.
+
+Exit status 0 means every invariant held (the ``PASS`` line); 1 means at
+least one violation (each printed).  ``--json`` emits the full report
+for baselines and CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.chaos.harness import ChaosConfig, run_soak
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description=(
+            "Soak the resilient serving stack under synthetic overload "
+            "and injected storage faults, certifying every answer "
+            "against the exhaustive oracle."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--queries", type=int, default=2000,
+        help="total queries across the three segments (default 2000)",
+    )
+    parser.add_argument("--points", type=int, default=4000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-capacity", type=int, default=32)
+    parser.add_argument(
+        "--shed-policy", default="adaptive-lifo",
+        choices=("reject-newest", "adaptive-lifo", "expired-drop"),
+    )
+    parser.add_argument(
+        "--no-brownout", action="store_true",
+        help="disable the brownout controller",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    cfg = ChaosConfig(
+        seed=args.seed,
+        queries=args.queries,
+        n_points=args.points,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        brownout=not args.no_brownout,
+    )
+    report = run_soak(cfg)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

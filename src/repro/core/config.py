@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Optional, Tuple
 
+from repro.core.budget import Budget
 from repro.core.knn_dfs import ObjectDistance
 from repro.core.pruning import PruningConfig
 from repro.errors import InvalidParameterError
@@ -53,6 +54,9 @@ class QueryConfig:
         pruning: DFS pruning strategy toggles (``None`` = all sound ones).
         epsilon: Approximation slack; 0 is exact.
         object_distance_sq: Exact squared object-distance hook.
+        budget: Optional per-query work bound
+            (:class:`~repro.core.budget.Budget`); ``None`` means
+            unbounded, the pre-existing behavior.
 
     All fields are validated eagerly at construction;
     :class:`~repro.errors.InvalidParameterError` lists the valid choices.
@@ -64,6 +68,7 @@ class QueryConfig:
     pruning: Optional[PruningConfig] = None
     epsilon: float = 0.0
     object_distance_sq: Optional[ObjectDistance] = None
+    budget: Optional[Budget] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.k, int) or self.k < 1:
@@ -92,6 +97,10 @@ class QueryConfig:
             raise InvalidParameterError(
                 "object_distance_sq must be callable or None, "
                 f"got {self.object_distance_sq!r}"
+            )
+        if self.budget is not None and not isinstance(self.budget, Budget):
+            raise InvalidParameterError(
+                f"budget must be a Budget or None, got {self.budget!r}"
             )
 
     def replace(self, **changes: Any) -> "QueryConfig":
@@ -130,6 +139,10 @@ class QueryConfig:
             None
             if self.object_distance_sq is None
             else id(self.object_distance_sq),
+            # The budget is part of result identity: a truncated answer
+            # must never be served to a caller with a looser (or no)
+            # budget, and brownout-widened budgets form their own tier.
+            self.budget,
         )
 
     def describe(self) -> str:
@@ -143,4 +156,6 @@ class QueryConfig:
             parts.append(f"epsilon={self.epsilon}")
         if self.object_distance_sq is not None:
             parts.append("object-distance")
+        if self.budget is not None:
+            parts.append(self.budget.describe())
         return " ".join(parts)

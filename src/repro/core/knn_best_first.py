@@ -11,8 +11,10 @@ without a fixed k.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.budget import Budget, finish_truncated
 from repro.core.knn_dfs import ObjectDistance
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -36,6 +38,7 @@ def nearest_best_first(
     object_distance_sq: Optional[ObjectDistance] = None,
     epsilon: float = 0.0,
     trace: Optional["Trace"] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Find the *k* nearest objects by best-first node expansion.
 
@@ -53,6 +56,13 @@ def nearest_best_first(
     Pass a :class:`repro.obs.Trace` via *trace* to record the expansion
     order (enter events carry each node's MINDIST key; exit events are
     elided because the traversal is iterative, not nested).
+
+    A *budget* is charged once per node expansion.  On exhaustion the
+    frontier bound is simply the refused node's MINDIST key — the heap
+    minimum, which lower-bounds everything still pending — and the
+    best-so-far neighbors form a sound prefix within it (or
+    :class:`~repro.errors.DeadlineExceeded` raises, per the budget's
+    ``on_exhausted`` policy).
     """
     query = as_point(point)
     if k < 1:
@@ -66,6 +76,8 @@ def nearest_best_first(
         raise DimensionMismatchError(tree.dimension, len(query), "query point")
 
     shrink_sq = 1.0 / (1.0 + epsilon) ** 2
+    clock = budget.start() if budget is not None else None
+    frontier_sq = math.inf
     buffer = NeighborBuffer(k)
     root_level = tree.root.level
     counter = 0
@@ -73,6 +85,11 @@ def nearest_best_first(
     while heap:
         key_sq, _, node = heapq.heappop(heap)
         if key_sq >= buffer.worst_distance_squared * shrink_sq:
+            break
+        if clock is not None and clock.charge():
+            # The popped key is the heap minimum: a sound lower bound on
+            # every pending node's subtree, hence the frontier.
+            frontier_sq = key_sq
             break
         if tracker is not None:
             tracker.access(node.node_id, node.is_leaf)
@@ -109,6 +126,8 @@ def nearest_best_first(
                         md_sq,
                         buffer.worst_distance_squared * shrink_sq,
                     )
+    if clock is not None and clock.reason:
+        finish_truncated(stats, budget, clock.reason, frontier_sq)
     return buffer.to_sorted_list(), stats
 
 
@@ -119,6 +138,7 @@ def nearest_incremental(
     object_distance_sq: Optional[ObjectDistance] = None,
     stats: Optional[SearchStats] = None,
     trace: Optional["Trace"] = None,
+    budget: Optional[Budget] = None,
 ) -> Iterator[Neighbor]:
     """Yield every indexed object in increasing distance from *point*.
 
@@ -130,6 +150,14 @@ def nearest_incremental(
     content) and objects (keyed by actual distance); an object can be
     yielded exactly when it reaches the front, because nothing still queued
     can be closer.
+
+    A *budget* is charged once per node expansion (object pops are free —
+    their work was already paid for).  In ``"truncate"`` mode the stream
+    simply ends early, with the caller's *stats* flagged ``truncated``
+    and ``frontier_sq`` set to the refused heap key; every neighbor
+    already yielded is exact, since it reached the heap front.  In
+    ``"raise"`` mode, :class:`~repro.errors.DeadlineExceeded` raises out
+    of the generator.
     """
     query = as_point(point)
     if stats is None:
@@ -139,6 +167,7 @@ def nearest_incremental(
     if tree.dimension != len(query):
         raise DimensionMismatchError(tree.dimension, len(query), "query point")
 
+    clock = budget.start() if budget is not None else None
     root_level = tree.root.level
     counter = 0
     # Heap items: (key_sq, tiebreak, is_object, node_or_neighbor)
@@ -151,6 +180,9 @@ def nearest_incremental(
             yield item
             continue
         node = item
+        if clock is not None and clock.charge():
+            finish_truncated(stats, budget, clock.reason, key_sq)
+            return
         if tracker is not None:
             tracker.access(node.node_id, node.is_leaf)
         stats.record_node(node.is_leaf)

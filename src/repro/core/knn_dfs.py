@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.trace import Trace
 
+from repro.core.budget import Budget, BudgetClock, finish_truncated
 from repro.core.metrics import _mindist_sq_unchecked, _minmaxdist_sq_unchecked
 from repro.core.neighbors import Neighbor, NeighborBuffer
 from repro.core.pruning import PruningConfig
@@ -88,6 +89,7 @@ def nearest_dfs(
     epsilon: float = 0.0,
     on_prune: Optional[PruneEvent] = None,
     trace: Optional["Trace"] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Find the *k* objects in *tree* nearest to *point*.
 
@@ -112,6 +114,14 @@ def nearest_dfs(
         trace: Optional :class:`repro.obs.Trace` recording the full event
             stream (node enter/exit, prune decisions with both bounds,
             candidate accepts).  ``None`` (the default) records nothing.
+        budget: Optional :class:`~repro.core.budget.Budget` bounding the
+            work of this one query.  The budget is charged once per node
+            visit; on exhaustion the search unwinds, folding the MINDIST
+            of every abandoned subtree into ``stats.frontier_sq``, and
+            either flags the (sound-prefix) partial result
+            ``truncated=True`` or raises
+            :class:`~repro.errors.DeadlineExceeded` per the budget's
+            ``on_exhausted`` policy.
 
     Returns:
         ``(neighbors, stats)`` — neighbors sorted nearest-first, and the
@@ -138,9 +148,12 @@ def nearest_dfs(
     search = _DfsSearch(
         query, config, ordering, buffer, stats, tracker, object_distance_sq,
         epsilon, on_prune, trace,
+        clock=budget.start() if budget is not None else None,
     )
     search.root_level = tree.root.level
     search.visit(tree.root)
+    if search.clock is not None and search.clock.reason:
+        finish_truncated(stats, budget, search.clock.reason, search.frontier_sq)
     return buffer.to_sorted_list(), stats
 
 
@@ -161,6 +174,8 @@ class _DfsSearch:
         "on_prune",
         "trace",
         "root_level",
+        "clock",
+        "frontier_sq",
     )
 
     def __init__(
@@ -175,6 +190,7 @@ class _DfsSearch:
         epsilon: float = 0.0,
         on_prune: Optional[PruneEvent] = None,
         trace: Optional["Trace"] = None,
+        clock: Optional[BudgetClock] = None,
     ) -> None:
         self.query = query
         self.config = config
@@ -199,6 +215,11 @@ class _DfsSearch:
         # that factor, so no returned distance exceeds (1 + eps) times its
         # exact counterpart.
         self.shrink_sq = 1.0 / (1.0 + epsilon) ** 2
+        # Budget state: the armed clock (None = unbounded) and the
+        # running frontier bound — the smallest MINDIST^2 of any subtree
+        # the budget forced the search to abandon unexplored.
+        self.clock = clock
+        self.frontier_sq = math.inf
 
     def prune_bound_sq(self) -> float:
         """Current squared pruning bound for P3 checks.
@@ -213,6 +234,14 @@ class _DfsSearch:
         return bound
 
     def visit(self, node: Node, node_md_sq: float = 0.0) -> None:
+        clock = self.clock
+        if clock is not None and clock.charge():
+            # Budget exhausted: this subtree will not be explored.  Its
+            # MINDIST lower-bounds everything inside it, so folding it
+            # into the frontier keeps the truncation bound sound.
+            if node_md_sq < self.frontier_sq:
+                self.frontier_sq = node_md_sq
+            return
         if self.tracker is not None:
             self.tracker.access(node.node_id, node.is_leaf)
         self.stats.record_node(node.is_leaf)
@@ -228,7 +257,8 @@ class _DfsSearch:
 
         branches = self._build_branch_list(node)
         use_p3 = self.config.use_p3
-        for order_key, md_sq, _entry_child in branches:
+        branch_iter = iter(branches)
+        for order_key, md_sq, _entry_child in branch_iter:
             # P3: the bound may have tightened since the ABL was built, so
             # re-check right before descending (the paper's upward prune).
             if use_p3 and md_sq > self.prune_bound_sq() * _PRUNE_SLACK:
@@ -245,6 +275,14 @@ class _DfsSearch:
                     )
                 continue
             self.visit(_entry_child, md_sq)
+            if clock is not None and clock.reason:
+                # Exhausted somewhere below: abandon the remaining
+                # siblings, folding their MINDISTs into the frontier
+                # (no P3 re-filtering here — strictly conservative).
+                for _rem_key, rem_md_sq, _rem_child in branch_iter:
+                    if rem_md_sq < self.frontier_sq:
+                        self.frontier_sq = rem_md_sq
+                break
         if trace is not None:
             trace.exit(self.root_level - node.level, node.node_id)
 

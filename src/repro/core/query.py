@@ -39,6 +39,7 @@ from typing import (
     Union,
 )
 
+from repro.core.budget import Budget
 from repro.core.config import QueryConfig
 from repro.core.knn_best_first import nearest_best_first
 from repro.core.knn_dfs import ObjectDistance, nearest_dfs
@@ -62,6 +63,7 @@ def resolve_config(
     pruning: Optional[PruningConfig] = None,
     object_distance_sq: Optional[ObjectDistance] = None,
     epsilon: Optional[float] = None,
+    budget: Optional[Budget] = None,
 ) -> QueryConfig:
     """Merge a base config with legacy keyword overrides.
 
@@ -77,6 +79,7 @@ def resolve_config(
         pruning=pruning,
         object_distance_sq=object_distance_sq,
         epsilon=epsilon,
+        budget=budget,
     )
 
 
@@ -103,6 +106,26 @@ class NNResult:
     def distances(self) -> List[float]:
         """Distances of the neighbors, nearest first."""
         return [n.distance for n in self.neighbors]
+
+    @property
+    def truncated(self) -> bool:
+        """True if a budget stopped the search early (sound prefix)."""
+        return self.stats.truncated
+
+    @property
+    def truncation_reason(self) -> str:
+        """Why the budget refused: ``"deadline"``, ``"pages"``, or ``""``."""
+        return self.stats.truncation_reason
+
+    @property
+    def frontier_distance(self) -> float:
+        """Lower bound on the distance of anything left unexamined.
+
+        ``inf`` for a complete search.  For a truncated one, every
+        returned neighbor closer than this bound is within the query's
+        epsilon band of the true answer at its rank.
+        """
+        return self.stats.frontier_sq ** 0.5
 
     def points(self) -> List[Tuple[float, ...]]:
         """Center of each neighbor's MBR, nearest first.
@@ -147,6 +170,7 @@ def nearest(
     epsilon: Optional[float] = None,
     config: Optional[QueryConfig] = None,
     trace: Optional["Trace"] = None,
+    budget: Optional[Budget] = None,
 ) -> NNResult:
     """Find the *k* objects in *tree* nearest to *point*.
 
@@ -171,6 +195,10 @@ def nearest(
         trace: Optional :class:`repro.obs.Trace` recording the search's
             full event stream (instrumentation, like *tracker*; not part
             of the query configuration).
+        budget: Optional :class:`~repro.core.budget.Budget` bounding this
+            query's work (deadline and/or page limit); exhaustion either
+            truncates the result (``result.truncated``) or raises, per
+            the budget's ``on_exhausted`` policy.
 
     Returns:
         An :class:`NNResult` with the neighbors (nearest first) and the
@@ -184,6 +212,7 @@ def nearest(
         pruning=pruning,
         object_distance_sq=object_distance_sq,
         epsilon=epsilon,
+        budget=budget,
     )
     return _run_query(tree, point, cfg, tracker, trace)
 
@@ -216,6 +245,7 @@ def _run_query(
             object_distance_sq=cfg.object_distance_sq,
             epsilon=cfg.epsilon,
             trace=trace,
+            budget=cfg.budget,
         )
     else:
         neighbors, stats = nearest_best_first(
@@ -226,6 +256,7 @@ def _run_query(
             object_distance_sq=cfg.object_distance_sq,
             epsilon=cfg.epsilon,
             trace=trace,
+            budget=cfg.budget,
         )
     stats.pages_skipped_corrupt = (
         getattr(tree, "pages_skipped", 0) - skipped_before

@@ -7,6 +7,7 @@ accessed, nodes pruned); every search algorithm in this library fills in a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -32,6 +33,17 @@ class SearchStats:
     #: Corrupt pages skipped during this query (disk trees opened with
     #: ``on_corrupt="skip"``; nonzero means results may be incomplete).
     pages_skipped_corrupt: int = 0
+    #: True if a :class:`~repro.core.budget.Budget` stopped the search
+    #: before it could prove optimality; the neighbors returned are a
+    #: sound prefix within :attr:`frontier_sq`.
+    truncated: bool = False
+    #: Why the budget refused: ``"deadline"`` or ``"pages"`` (empty when
+    #: not truncated).
+    truncation_reason: str = ""
+    #: Sound lower bound on the squared distance of anything the
+    #: truncated search did not examine (``inf`` when not truncated —
+    #: a complete search examined, or soundly pruned, everything).
+    frontier_sq: float = math.inf
     #: Pruning counters, split by strategy.
     pruning: PruningStats = field(default_factory=PruningStats)
 
@@ -65,6 +77,13 @@ class SearchStats:
         self.objects_examined += other.objects_examined
         self.branch_entries_considered += other.branch_entries_considered
         self.pages_skipped_corrupt += other.pages_skipped_corrupt
+        # Truncation ORs across a batch (any truncated part taints the
+        # fold); the frontier bound is the min — sound for the union.
+        self.truncated = self.truncated or other.truncated
+        if other.truncated and not self.truncation_reason:
+            self.truncation_reason = other.truncation_reason
+        if other.frontier_sq < self.frontier_sq:
+            self.frontier_sq = other.frontier_sq
         self.pruning.merge(other.pruning)
         return self
 
@@ -82,6 +101,9 @@ class SearchStats:
             "objects_examined": self.objects_examined,
             "branch_entries_considered": self.branch_entries_considered,
             "pages_skipped_corrupt": self.pages_skipped_corrupt,
+            # int-valued so Prometheus export stays numeric; the (possibly
+            # infinite) frontier bound is deliberately not exported here.
+            "truncated": int(self.truncated),
         }
         out.update(self.pruning.as_dict())
         return out

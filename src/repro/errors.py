@@ -21,6 +21,9 @@ __all__ = [
     "TornWriteError",
     "TransientIOError",
     "CorruptionWarning",
+    "DeadlineExceeded",
+    "AdmissionRejected",
+    "QuotaExceeded",
 ]
 
 
@@ -98,6 +101,47 @@ class TransientIOError(PageFileError, OSError):
     the operating system (e.g. an intermittent ``EIO``).  The disk R-tree's
     read path retries these with bounded exponential backoff.
     """
+
+
+class DeadlineExceeded(ReproError):
+    """A query exhausted its :class:`~repro.core.budget.Budget`.
+
+    Raised only when the budget was built with ``on_exhausted="raise"``;
+    the default ``"truncate"`` mode returns a partial result flagged
+    ``truncated=True`` instead.  ``reason`` is ``"deadline"`` or
+    ``"pages"``; ``frontier_sq`` is a sound lower bound on the squared
+    distance of anything the truncated search did not examine.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "deadline",
+        frontier_sq: float = float("inf"),
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.frontier_sq = frontier_sq
+
+
+class AdmissionRejected(ReproError):
+    """The admission controller shed this request before execution.
+
+    ``reason`` names the shed path: ``"queue_full"``, ``"expired"``,
+    ``"shutdown"``, or ``"quota"`` (the latter via the
+    :class:`QuotaExceeded` subclass).
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A per-client token-bucket quota rejected this request."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="quota")
 
 
 class CorruptionWarning(UserWarning):

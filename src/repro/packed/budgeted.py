@@ -1,54 +1,51 @@
-"""Traced variants of the packed k-NN kernels.
+"""Budget-aware variants of the packed k-NN kernels.
 
-The packed hot loops in :mod:`repro.packed.kernels` are written for raw
-speed; weaving per-event ``if trace is not None`` checks through them
-would tax every untraced query.  Instead, tracing dispatches *here*: one
-general DFS and one general best-first kernel (any dimension, every
-ordering/pruning/epsilon combination) that walk the same slabs in the
-same order while emitting the full :class:`repro.obs.Trace` event
-stream.  The untraced kernels stay byte-for-byte untouched, which is how
-the disabled-tracer overhead gate (`python -m repro.bench obs`) can hold
-the hot path to within noise of its committed baseline.
+The packed hot loops in :mod:`repro.packed.kernels` stay free of
+per-node budget checks for the same reason they stay free of trace
+emissions: every untraced, unbudgeted query would pay for them.  When a
+query carries a :class:`~repro.core.budget.Budget`, the public kernels
+dispatch *here* instead — one general DFS and one general best-first
+kernel (any dimension, every ordering/pruning/epsilon combination, with
+or without a trace) that walk the same slabs in the same order while
+charging the budget clock once per node, exactly where the object
+kernels charge theirs.
 
-Exactness: these kernels inherit the packed exactness contract — same
-neighbors, same order, same :class:`SearchStats` as both the untraced
-packed kernels and the object kernels.  They reproduce the general packed
-kernels' evaluation order (ABL build, stable sort, P3 re-check on pop)
-line for line, adding only the event emissions; the obs test suite
-asserts traced == untraced == object on randomized workloads.
+Truncation-point parity: the object DFS charges at ``visit()`` entry,
+which a node reaches only after surviving its parent's P3 re-check; the
+kernel below charges after the pop-time P3 re-check passes.  The two
+charge sequences are therefore identical, so under a deterministic
+``max_pages`` budget both kernels truncate at the same node — and the
+abandoned set (the refused node plus everything still on the explicit
+stack) is exactly the set the object kernel's unwinding folds into its
+frontier, giving bit-identical frontier bounds too.
 
-Depth bookkeeping: the explicit traversal stacks carry ``(..., depth)``
-so every event gets the root-relative depth the object kernels derive
-from ``node.level``.
-
-Dispatch ordering: a query that carries *both* a trace and a
-:class:`~repro.core.budget.Budget` goes to :mod:`repro.packed.budgeted`,
-not here — the budgeted kernels accept an optional trace, so the budget
-branch in the public kernels is checked first and these kernels only
-ever see unbudgeted queries.
+Each kernel returns ``(heap, frontier_sq)``; the caller applies the
+budget's exhaustion policy via
+:func:`repro.core.budget.finish_truncated`.
 """
 
 from __future__ import annotations
 
 import math
-from operator import itemgetter
 from heapq import heappop, heappush, heapreplace
-from typing import List, Optional, Sequence
+from operator import itemgetter
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core.budget import BudgetClock
 from repro.core.pruning import PruningConfig
 from repro.core.stats import SearchStats
 from repro.obs.trace import Trace
 from repro.packed.layout import PackedTree
 from repro.storage.tracker import AccessTracker
 
-__all__ = ["traced_dfs", "traced_best_first"]
+__all__ = ["budgeted_dfs", "budgeted_best_first"]
 
 _INF = math.inf
 _key0 = itemgetter(0)
 _SENTINEL = (-math.inf, 0, -1)
 
 
-def traced_dfs(
+def budgeted_dfs(
     ptree: PackedTree,
     query: Sequence[float],
     k: int,
@@ -58,12 +55,14 @@ def traced_dfs(
     slack: float,
     tracker: Optional[AccessTracker],
     stats: SearchStats,
-    trace: Trace,
-) -> List[tuple]:
-    """Any-dimension packed DFS emitting trace events.
+    clock: BudgetClock,
+    trace: Optional[Trace] = None,
+) -> Tuple[List[tuple], float]:
+    """Any-dimension packed DFS charging *clock* once per node visit.
 
-    Mirror of :func:`repro.packed.kernels._dfs_nd_general` (which the 2-D
-    specializations are stats-equivalent to), plus event emission.
+    Mirror of :func:`repro.packed.traced.traced_dfs` with the budget
+    check woven in (and the trace made optional).  Returns the candidate
+    heap and the frontier bound — ``inf`` unless the clock refused.
     """
     kinds = ptree.kinds
     starts = ptree.starts
@@ -79,6 +78,7 @@ def traced_dfs(
     dim = ptree.dimension
     twodim = 2 * dim
     q = tuple(query)
+    charge = clock.charge
 
     minmax_bound = _INF
     heap: List[tuple] = [_SENTINEL] * k
@@ -86,6 +86,7 @@ def traced_dfs(
     counter = 0
     leaves = internals = objects = branch_total = 0
     p1 = p2 = p3 = 0
+    frontier = _INF
     stack: List[tuple] = [(0.0, 0, 0)]  # (mindist_sq, node_index, depth)
     pop = stack.pop
     while stack:
@@ -96,8 +97,19 @@ def traced_dfs(
                 bound = minmax_bound
             if md > bound * slack:
                 p3 += 1
-                trace.prune("p3", depth, page_ids[ni], md, bound)
+                if trace is not None:
+                    trace.prune("p3", depth, page_ids[ni], md, bound)
                 continue
+        if charge():
+            # Budget exhausted.  The refused node and everything still
+            # stacked are exactly the subtrees the search abandons;
+            # their MINDISTs lower-bound their contents, so the minimum
+            # is a sound frontier (no P3 re-filtering — conservative).
+            frontier = md
+            for rem_md, _rem_ni, _rem_depth in stack:
+                if rem_md < frontier:
+                    frontier = rem_md
+            break
         s = starts[ni]
         e = starts[ni + 1]
         base = s * twodim
@@ -106,7 +118,8 @@ def traced_dfs(
             if track is not None:
                 track(page_ids[ni], True)
             leaves += 1
-            trace.enter(depth, page_ids[ni], True, md)
+            if trace is not None:
+                trace.enter(depth, page_ids[ni], True, md)
             objects += e - s
             points_mode = kind == 2
             for i in range(s, e):
@@ -132,14 +145,17 @@ def traced_dfs(
                     counter += 1
                     heapreplace(heap, (-d, counter, i))
                     worst = -heap[0][0]
-                    trace.accept(depth, d)
-            trace.exit(depth, page_ids[ni])
+                    if trace is not None:
+                        trace.accept(depth, d)
+            if trace is not None:
+                trace.exit(depth, page_ids[ni])
             continue
         # Internal node.
         if track is not None:
             track(page_ids[ni], False)
         internals += 1
-        trace.enter(depth, page_ids[ni], False, md)
+        if trace is not None:
+            trace.enter(depth, page_ids[ni], False, md)
         branch_total += e - s
         abl = []
         append = abl.append
@@ -188,7 +204,8 @@ def traced_dfs(
         if use_p2 and min_minmax < minmax_bound:
             minmax_bound = min_minmax
             p2 += 1
-            trace.bound(depth, min_minmax)
+            if trace is not None:
+                trace.bound(depth, min_minmax)
         if use_p1 and abl:
             p1_bound = min_minmax * slack
             kept = []
@@ -197,16 +214,18 @@ def traced_dfs(
                     kept.append(b)
                 else:
                     p1 += 1
-                    trace.prune(
-                        "p1", depth + 1, page_ids[b[2]], b[1], min_minmax
-                    )
+                    if trace is not None:
+                        trace.prune(
+                            "p1", depth + 1, page_ids[b[2]], b[1], min_minmax
+                        )
             abl = kept
         abl.sort(key=_key0)
         child_depth = depth + 1
         for j in range(len(abl) - 1, -1, -1):
             b = abl[j]
             stack.append((b[1], b[2], child_depth))
-        trace.exit(depth, page_ids[ni])
+        if trace is not None:
+            trace.exit(depth, page_ids[ni])
 
     stats.nodes_accessed = leaves + internals
     stats.leaf_accesses = leaves
@@ -216,22 +235,25 @@ def traced_dfs(
     stats.pruning.p1_pruned = p1
     stats.pruning.p2_bound_updates = p2
     stats.pruning.p3_pruned = p3
-    return heap
+    return heap, frontier
 
 
-def traced_best_first(
+def budgeted_best_first(
     ptree: PackedTree,
     query: Sequence[float],
     k: int,
     shrink_sq: float,
     tracker: Optional[AccessTracker],
     stats: SearchStats,
-    trace: Trace,
-) -> List[tuple]:
-    """Any-dimension packed best-first search emitting trace events.
+    clock: BudgetClock,
+    trace: Optional[Trace] = None,
+) -> Tuple[List[tuple], float]:
+    """Any-dimension packed best-first search charging *clock* per node.
 
-    Mirror of :func:`repro.packed.kernels._best_first_nd`; iterative, so
-    exit events are elided like the object best-first kernel's.
+    Mirror of :func:`repro.packed.traced.traced_best_first` with the
+    budget check after the worst-bound break test, matching the object
+    kernel; on refusal the frontier is the popped key — the heap
+    minimum, which lower-bounds everything still pending.
     """
     kinds = ptree.kinds
     starts = ptree.starts
@@ -242,16 +264,21 @@ def traced_best_first(
     dim = ptree.dimension
     twodim = 2 * dim
     q = tuple(query)
+    charge = clock.charge
 
     heap: List[tuple] = [_SENTINEL] * k
     worst = _INF
     counter = 0
     leaves = internals = objects = branch_total = p3 = 0
+    frontier = _INF
     ncounter = 0
     nheap: List[tuple] = [(0.0, 0, 0, 0)]  # (key_sq, tie, node_index, depth)
     while nheap:
         key_sq, _tie, ni, depth = heappop(nheap)
         if key_sq >= worst * shrink_sq:
+            break
+        if charge():
+            frontier = key_sq
             break
         s = starts[ni]
         e = starts[ni + 1]
@@ -261,7 +288,8 @@ def traced_best_first(
             if track is not None:
                 track(page_ids[ni], True)
             leaves += 1
-            trace.enter(depth, page_ids[ni], True, key_sq)
+            if trace is not None:
+                trace.enter(depth, page_ids[ni], True, key_sq)
             objects += e - s
             points_mode = kind == 2
             for i in range(s, e):
@@ -287,12 +315,14 @@ def traced_best_first(
                     counter += 1
                     heapreplace(heap, (-d, counter, i))
                     worst = -heap[0][0]
-                    trace.accept(depth, d)
+                    if trace is not None:
+                        trace.accept(depth, d)
             continue
         if track is not None:
             track(page_ids[ni], False)
         internals += 1
-        trace.enter(depth, page_ids[ni], False, key_sq)
+        if trace is not None:
+            trace.enter(depth, page_ids[ni], False, key_sq)
         branch_total += e - s
         child_depth = depth + 1
         for i in range(s, e):
@@ -314,10 +344,11 @@ def traced_best_first(
                 heappush(nheap, (d, ncounter, refs[i], child_depth))
             else:
                 p3 += 1
-                trace.prune(
-                    "p3", child_depth, page_ids[refs[i]], d,
-                    worst * shrink_sq,
-                )
+                if trace is not None:
+                    trace.prune(
+                        "p3", child_depth, page_ids[refs[i]], d,
+                        worst * shrink_sq,
+                    )
 
     stats.nodes_accessed = leaves + internals
     stats.leaf_accesses = leaves
@@ -325,4 +356,4 @@ def traced_best_first(
     stats.objects_examined = objects
     stats.branch_entries_considered = branch_total
     stats.pruning.p3_pruned = p3
-    return heap
+    return heap, frontier

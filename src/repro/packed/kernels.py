@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.trace import Trace
 
 from repro.core import knn_dfs as _knn_dfs
+from repro.core.budget import Budget, finish_truncated
 from repro.core.config import QueryConfig
 from repro.core.neighbors import Neighbor
 from repro.core.pruning import PruningConfig
@@ -76,6 +77,7 @@ def packed_nearest_dfs(
     tracker: Optional[AccessTracker] = None,
     epsilon: float = 0.0,
     trace: Optional["Trace"] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Packed equivalent of :func:`repro.core.knn_dfs.nearest_dfs`.
 
@@ -86,7 +88,11 @@ def packed_nearest_dfs(
     Passing a :class:`repro.obs.Trace` dispatches to the traced kernel
     variants in :mod:`repro.packed.traced`; with ``trace=None`` (the
     default) the untraced hot loops below run untouched, so disabled
-    tracing costs one ``is None`` test per query.
+    tracing costs one ``is None`` test per query.  A *budget* likewise
+    dispatches to :mod:`repro.packed.budgeted` (which also handles
+    budget+trace combined), so unbudgeted queries pay one more ``is
+    None`` test and nothing else — the E17 gate holds both together
+    under 5% of the raw kernel floor.
     """
     query = as_point(point)
     if k < 1:
@@ -118,6 +124,21 @@ def packed_nearest_dfs(
         config = pruning.effective_for_k(k)
     shrink_sq = 1.0 / (1.0 + epsilon) ** 2
     slack = _knn_dfs._PRUNE_SLACK
+    if budget is not None:
+        # Budget dispatch comes first: the budgeted kernel also emits
+        # trace events when given one, covering the budget+trace case.
+        from repro.packed.budgeted import budgeted_dfs
+
+        clock = budget.start()
+        heap, frontier_sq = budgeted_dfs(
+            ptree, query, k, config, ordering, shrink_sq, slack, tracker,
+            stats, clock, trace,
+        )
+        if trace is not None:
+            trace.skips(ptree.pages_skipped_corrupt)
+        if clock.reason:
+            finish_truncated(stats, budget, clock.reason, frontier_sq)
+        return _heap_to_neighbors(ptree, heap), stats
     if trace is not None:
         from repro.packed.traced import traced_dfs
 
@@ -158,10 +179,12 @@ def packed_nearest_best_first(
     tracker: Optional[AccessTracker] = None,
     epsilon: float = 0.0,
     trace: Optional["Trace"] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """Packed equivalent of
     :func:`repro.core.knn_best_first.nearest_best_first` (same contract as
-    :func:`packed_nearest_dfs`, including the traced dispatch)."""
+    :func:`packed_nearest_dfs`, including the traced and budgeted
+    dispatches)."""
     query = as_point(point)
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -178,6 +201,18 @@ def packed_nearest_best_first(
         raise DimensionMismatchError(dim, len(query), "query point")
 
     shrink_sq = 1.0 / (1.0 + epsilon) ** 2
+    if budget is not None:
+        from repro.packed.budgeted import budgeted_best_first
+
+        clock = budget.start()
+        heap, frontier_sq = budgeted_best_first(
+            ptree, query, k, shrink_sq, tracker, stats, clock, trace
+        )
+        if trace is not None:
+            trace.skips(ptree.pages_skipped_corrupt)
+        if clock.reason:
+            finish_truncated(stats, budget, clock.reason, frontier_sq)
+        return _heap_to_neighbors(ptree, heap), stats
     if trace is not None:
         from repro.packed.traced import traced_best_first
 
@@ -231,6 +266,7 @@ def run_packed_query(
             tracker=tracker,
             epsilon=cfg.epsilon,
             trace=trace,
+            budget=cfg.budget,
         )
     else:
         neighbors, stats = packed_nearest_best_first(
@@ -240,6 +276,7 @@ def run_packed_query(
             tracker=tracker,
             epsilon=cfg.epsilon,
             trace=trace,
+            budget=cfg.budget,
         )
     # A packed snapshot reads no storage at query time; any corrupt-page
     # skips happened at compile time and were already folded into the

@@ -63,6 +63,7 @@ from repro.geometry.rect import Rect
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree, TreeSnapshot
+from repro.storage.breaker import CircuitBreaker
 from repro.storage.pagefile import PageFile, PageFileError, RetryPolicy
 
 __all__ = [
@@ -353,6 +354,17 @@ class DiskRTree:
         page_file: An already-open :class:`PageFile` (or fault-injecting
             subclass) to use instead of opening *path*; takes ownership
             and closes it with the tree.
+        breaker: Optional :class:`~repro.storage.breaker.CircuitBreaker`
+            wrapping every page load (above the retry layer: one breaker
+            failure = one exhausted retry sequence).  While the breaker
+            is open, loads are refused instantly and degrade to
+            ``on_corrupt="skip"`` semantics *regardless* of the
+            configured ``on_corrupt`` — the subtree is dropped, counted
+            in :attr:`pages_skipped` and :attr:`breaker_skips`, and the
+            query's stats come back flagged degraded.  Refused pages are
+            **not** recorded in :attr:`corrupt_pages` (nothing is known
+            to be corrupt; the device is just being left alone to
+            recover).
 
     All of :func:`repro.core.nearest_dfs`, the best-first/incremental
     searches, :func:`repro.core.within_distance`, farthest and aggregate
@@ -367,6 +379,7 @@ class DiskRTree:
         on_corrupt: str = "raise",
         retry: Optional[RetryPolicy] = None,
         page_file: Optional[PageFile] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if cache_nodes < 1:
             raise InvalidParameterError(
@@ -389,8 +402,14 @@ class DiskRTree:
             self._pages = PageFile(path, page_size=page_size, create=False)
         self.on_corrupt = on_corrupt
         self.retry = retry if retry is not None else RetryPolicy()
+        # The breaker guards query-time loads only; the header bootstrap
+        # below goes straight to retry.run — a tree that cannot read its
+        # own header has nothing to degrade to.
+        self.breaker = breaker
         #: Number of times a corrupt page was skipped (``on_corrupt="skip"``).
         self.pages_skipped = 0
+        #: Of those, loads refused by an open circuit breaker.
+        self.breaker_skips = 0
         #: Page id -> first error message, for every page ever skipped.
         self.corrupt_pages: Dict[int, str] = {}
         try:
@@ -575,16 +594,28 @@ class DiskRTree:
             if cached is not None:
                 self._cache.move_to_end(node.node_id)
                 return cached
+            breaker = self.breaker
+            if breaker is not None and not breaker.allow():
+                # Open breaker: refuse instantly, skip-degrade the
+                # subtree.  Deliberately not in corrupt_pages — the page
+                # may be fine; the device is being left alone.
+                self.pages_skipped += 1
+                self.breaker_skips += 1
+                return []
             try:
                 raw = self.retry.run(
                     lambda: self._pages.read_page(node.node_id)
                 )
                 entries = self._decode_node(raw, node)
             except (ChecksumError, PageFileError) as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 if self.on_corrupt == "skip" and not self._pages.closed:
                     self._record_skip(node.node_id, exc)
                     return []
                 raise
+            if breaker is not None:
+                breaker.record_success()
             if len(self._cache) >= self._cache_capacity:
                 self._cache.popitem(last=False)
             self._cache[node.node_id] = entries

@@ -8,6 +8,10 @@ on an unchanged index cost nothing, and aggregates serving statistics
 (latency percentiles, cache hit rate, pages per query, queue depth) into
 :class:`EngineStats`.
 
+:class:`ResilientEngine` (see :mod:`repro.service.resilience`) stacks
+admission control, per-client quotas, and brownout degradation on top —
+the overload story ``docs/RESILIENCE.md`` documents end to end.
+
 Sharding and async I/O layers plug in here in later growth steps; the
 engine is the substrate they schedule onto.
 """
@@ -15,14 +19,32 @@ engine is the substrate they schedule onto.
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.engine import DEFAULT_CACHE_SIZE, QueryEngine
 from repro.service.locks import ReadWriteLock
+from repro.service.resilience import (
+    BrownoutController,
+    BrownoutLevel,
+    DEFAULT_LADDER,
+    ResilienceStats,
+    ResilientEngine,
+    SHED_POLICIES,
+    Served,
+    TokenBucket,
+)
 from repro.service.stats import EngineStats, LatencyRecorder
 
 __all__ = [
+    "BrownoutController",
+    "BrownoutLevel",
     "CacheStats",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_LADDER",
     "EngineStats",
     "LatencyRecorder",
     "QueryEngine",
     "ReadWriteLock",
+    "ResilienceStats",
+    "ResilientEngine",
     "ResultCache",
+    "SHED_POLICIES",
+    "Served",
+    "TokenBucket",
 ]

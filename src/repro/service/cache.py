@@ -9,6 +9,15 @@ the dead entries in one sweep instead of waiting for LRU pressure.
 
 Cached values are returned by reference and must be treated as immutable
 by callers — the engine hands the same ``NNResult`` to every hit.
+
+Result-identity contract: the ``QueryConfig`` component of the key (see
+:meth:`QueryConfig.cache_key`) includes the *effective* epsilon and
+budget tier, so a brownout-widened approximate answer can never be
+served to a caller that asked for the exact one, and a caller without a
+budget can never receive an answer computed under someone else's.  The
+engine additionally refuses to ``put`` truncated results at all — where
+a deadline-budgeted search stopped depends on wall-clock luck, so a
+partial answer is never allowed to outlive the query that produced it.
 """
 
 from __future__ import annotations

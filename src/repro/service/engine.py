@@ -37,7 +37,7 @@ from __future__ import annotations
 import itertools
 import time
 from concurrent.futures import ThreadPoolExecutor
-from threading import Lock
+from threading import Lock, Thread
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import QueryConfig
@@ -167,6 +167,7 @@ class QueryEngine:
         self._queries = 0
         self._cache_hits = 0
         self._executed = 0
+        self._failures = 0
         self._pages_total = 0
         self._objects_total = 0
         self._inflight = 0
@@ -193,6 +194,7 @@ class QueryEngine:
         request id and records the cache verdict; a cache hit executes no
         search, so the trace then holds only the ``cache`` event).
         """
+        self._ensure_open()
         cfg = self._effective_config(k, config)
         return self._serve(point, cfg, trace)
 
@@ -214,14 +216,17 @@ class QueryEngine:
             raise InvalidParameterError("points must be non-empty")
         self._ensure_open()
         cfg = self._effective_config(k, config)
-        if self._executor is None:
+        # Snapshot the executor once: a concurrent shutdown() may null
+        # the attribute between the check and the submits.
+        executor = self._executor
+        if executor is None:
             return [self._serve(p, cfg) for p in points]
 
         if self.cache.capacity == 0:
             # No caching, no coalescing: every occurrence executes, in
             # the legacy one-search-per-point accounting.
             submitted = [
-                self._executor.submit(self._serve, p, cfg) for p in points
+                executor.submit(self._serve, p, cfg) for p in points
             ]
             return [future.result() for future in submitted]
 
@@ -232,7 +237,7 @@ class QueryEngine:
         for p in points:
             key = _point_key(p)
             if key not in primary:
-                primary[key] = self._executor.submit(self._serve, p, cfg)
+                primary[key] = executor.submit(self._serve, p, cfg)
                 slots.append((key, False))
             else:
                 slots.append((key, True))
@@ -290,14 +295,48 @@ class QueryEngine:
                     self._objects_total / executed if executed else 0.0
                 ),
                 max_queue_depth=self._max_queue_depth,
+                failures=self._failures,
             )
 
-    def close(self) -> None:
-        """Shut the worker pool down.  Idempotent."""
+    def shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting queries and drain in-flight work.  Idempotent.
+
+        New :meth:`query` / :meth:`query_batch` calls fail immediately
+        once shutdown begins; work already submitted to the pool drains
+        to completion (queued futures resolve — never a hang).  With
+        ``timeout=None`` this blocks until the pool is fully drained and
+        returns ``True``.  With a timeout, it waits at most that many
+        seconds and returns whether the drain completed; an unfinished
+        drain keeps running in the background and a later ``shutdown()``
+        can be used to wait again.
+        """
         self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        executor = self._executor
+        if executor is None:
+            return True
+        if timeout is None:
+            executor.shutdown(wait=True)
             self._executor = None
+            return True
+        # Bounded drain: ThreadPoolExecutor.shutdown has no timeout of
+        # its own, so park the blocking wait on a helper thread and join
+        # that with the deadline.
+        waiter = Thread(
+            target=executor.shutdown,
+            kwargs={"wait": True},
+            name="repro-engine-drain",
+            daemon=True,
+        )
+        waiter.start()
+        waiter.join(timeout)
+        drained = not waiter.is_alive()
+        if drained:
+            self._executor = None
+        return drained
+
+    def close(self) -> None:
+        """Shut the worker pool down (full drain).  Idempotent."""
+        self.shutdown()
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -346,8 +385,12 @@ class QueryEngine:
         a trace (the caller's, or a tail-sampling one created here); if
         the final latency crosses the threshold, the trace and headline
         stats are preserved in :attr:`slow_queries`.
+
+        Deliberately no ``_ensure_open`` here: the open check lives in
+        the public entry points, so work already queued on the pool when
+        :meth:`shutdown` begins still drains to a real answer instead of
+        failing spuriously.
         """
-        self._ensure_open()
         start = time.perf_counter()
         self._enter_flight()
         request_id = next(self._request_ids)
@@ -384,11 +427,23 @@ class QueryEngine:
                     result = _run_query(
                         self.tree, point, cfg, self.tracker, record_trace
                     )
-                if use_cache:
+                if use_cache and not result.stats.truncated:
+                    # Truncated results are never cached: where the
+                    # search stopped depends on wall-clock luck (for
+                    # deadline budgets), and a partial answer must not
+                    # outlive the overload that produced it.  The cache
+                    # key's budget component already isolates tiers;
+                    # this keeps even same-budget callers fresh.
                     self.cache.put(key, result)
                 self._count_executed(result)
                 executed = result
                 return result
+        except BaseException:
+            # Surface worker failures in the stats (the future still
+            # carries the exception to its caller — never a hang).
+            with self._stats_lock:
+                self._failures += 1
+            raise
         finally:
             elapsed = time.perf_counter() - start
             self._latency.record(elapsed)

@@ -231,6 +231,11 @@ class EngineStats:
     objects_per_query: float
     #: Highest number of queries simultaneously in flight observed.
     max_queue_depth: int
+    #: Queries that raised out of the serving path (the exception still
+    #: propagates to the caller's future; it is also counted here so a
+    #: worker-thread failure can never pass silently).  Defaulted so
+    #: pre-existing snapshot constructions remain valid.
+    failures: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -258,6 +263,7 @@ class EngineStats:
             f"physical reads     {self.physical_reads:>12,}",
             f"objects/query      {self.objects_per_query:>12.2f}",
             f"max queue depth    {self.max_queue_depth:>12}",
+            f"failures           {self.failures:>12,}",
         ]
         return "\n".join(lines)
 

@@ -19,6 +19,7 @@ from repro.storage.tracker import (
     NullTracker,
     ShardedTracker,
 )
+from repro.storage.breaker import BREAKER_STATE_CODES, CircuitBreaker
 from repro.storage.buffer import BufferPool, BufferStats, FifoBufferPool, LruBufferPool
 from repro.storage.cost import DiskCostModel
 from repro.storage.faults import FaultInjectingPageFile, FaultPlan
@@ -29,8 +30,10 @@ from repro.storage.replay import ReplayResult, TraceRecorder, replay
 __all__ = [
     "AccessStats",
     "AccessTracker",
+    "BREAKER_STATE_CODES",
     "BufferPool",
     "BufferStats",
+    "CircuitBreaker",
     "CountingTracker",
     "DiskCostModel",
     "FaultInjectingPageFile",

@@ -1,0 +1,194 @@
+"""A circuit breaker for the physical page-read path.
+
+:class:`RetryPolicy` handles *transient* faults by paying more latency;
+a breaker handles *persistent* ones by refusing to pay at all.  When a
+device degrades hard (every read erroring), retry loops multiply the
+damage — each query grinds through ``attempts × backoff`` per page while
+holding a worker.  The breaker sits above the retry layer in
+:class:`repro.rtree.disk.DiskRTree`: after ``failure_threshold``
+consecutive failed reads it *opens*, and while open every page load is
+refused instantly and degrades to ``on_corrupt="skip"`` semantics (the
+subtree is dropped from results, counted in ``pages_skipped``, and the
+query is flagged degraded) regardless of the tree's configured policy —
+the explicit trade of partial answers for bounded latency.
+
+States follow the classic machine:
+
+- ``closed`` — healthy; reads flow, consecutive failures are counted.
+- ``open`` — tripped; reads are refused until a cooldown (decorrelated
+  jitter: ``min(cap, uniform(base, 3 * previous))``) elapses, so a
+  thundering herd of recovering workers does not re-probe in lockstep.
+- ``half-open`` — cooldown elapsed; up to ``probes`` trial reads are
+  allowed through.  A failure re-opens (with a grown cooldown); enough
+  successes close and reset.
+
+The legal transition set is exactly ``closed→open``, ``open→half-open``,
+``half-open→closed`` and ``half-open→open``; every transition is
+recorded in :attr:`transitions` so the chaos harness can certify no
+illegal jump ever happened.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["CircuitBreaker", "BREAKER_STATE_CODES"]
+
+#: Gauge encoding for dashboards: healthy states sort low.
+BREAKER_STATE_CODES = {"closed": 0, "half-open": 1, "open": 2}
+
+_LEGAL = frozenset(
+    [
+        ("closed", "open"),
+        ("open", "half-open"),
+        ("half-open", "closed"),
+        ("half-open", "open"),
+    ]
+)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with jittered cooldowns.
+
+    Args:
+        failure_threshold: Consecutive failures (in ``closed`` state)
+            that trip the breaker open.
+        cooldown: Base cooldown in seconds before an open breaker lets a
+            probe through; subsequent trips grow it with decorrelated
+            jitter up to *max_cooldown*.
+        max_cooldown: Ceiling on any single cooldown.
+        probes: Trial reads allowed through while ``half-open``; that
+            many consecutive probe successes close the breaker.
+        clock: Injectable monotonic clock (tests pass a fake).
+        rng: Injectable ``random.Random`` for the jitter.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 0.05,
+        max_cooldown: float = 5.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise InvalidParameterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0 or max_cooldown < cooldown:
+            raise InvalidParameterError(
+                "need 0 < cooldown <= max_cooldown, got "
+                f"cooldown={cooldown}, max_cooldown={max_cooldown}"
+            )
+        if probes < 1:
+            raise InvalidParameterError(f"probes must be >= 1, got {probes}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self.probes = probes
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._probe_budget = 0
+        self._probe_successes = 0
+        self._current_cooldown = cooldown
+        self._open_until = 0.0
+        #: (monotonic_time, from_state, to_state) history, for audits.
+        self.transitions: List[Tuple[float, str, str]] = []
+        #: Loads refused while open (the skip-degradation counter).
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state: ``"closed"``, ``"open"`` or ``"half-open"``.
+
+        Reading the state advances ``open → half-open`` if the cooldown
+        has elapsed, so observers and callers agree.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def state_code(self) -> int:
+        """Numeric gauge value (closed=0, half-open=1, open=2)."""
+        return BREAKER_STATE_CODES[self.state]
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt the protected operation now.
+
+        ``False`` means refuse instantly (and is tallied in
+        :attr:`rejections`); the disk tree maps that to skip semantics.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half-open" and self._probe_budget > 0:
+                self._probe_budget -= 1
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """Report that a permitted operation succeeded."""
+        with self._lock:
+            if self._state == "half-open":
+                self._probe_successes += 1
+                if self._probe_successes >= self.probes:
+                    self._transition("closed")
+                    self._failures = 0
+                    self._current_cooldown = self.cooldown
+            elif self._state == "closed":
+                self._failures = 0
+
+    def record_failure(self) -> None:
+        """Report that a permitted operation failed."""
+        with self._lock:
+            if self._state == "half-open":
+                self._trip()
+            elif self._state == "closed":
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        """Open (or re-open) with a decorrelated-jitter cooldown."""
+        self._transition("open")
+        # Decorrelated jitter (Brooker): each cooldown is drawn from
+        # [base, 3 * previous], capped — grows on repeated trips without
+        # synchronizing independent breakers.
+        self._current_cooldown = min(
+            self.max_cooldown,
+            self._rng.uniform(self.cooldown, self._current_cooldown * 3.0),
+        )
+        self._open_until = self._clock() + self._current_cooldown
+        self._failures = 0
+        self._probe_successes = 0
+
+    def _maybe_half_open(self) -> None:
+        if self._state == "open" and self._clock() >= self._open_until:
+            self._transition("half-open")
+            self._probe_budget = self.probes
+            self._probe_successes = 0
+
+    def _transition(self, to_state: str) -> None:
+        assert (self._state, to_state) in _LEGAL, (self._state, to_state)
+        self.transitions.append((self._clock(), self._state, to_state))
+        self._state = to_state
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self.failure_threshold}, "
+            f"rejections={self.rejections})"
+        )

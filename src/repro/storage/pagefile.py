@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import errno
 import os
+import random
 import time
-from typing import Callable, Union
+from typing import Callable, Optional, Union
 
 from repro.errors import (
     InvalidParameterError,
@@ -43,16 +44,33 @@ def _is_transient(exc: BaseException) -> bool:
     )
 
 
+#: Valid backoff jitter modes.
+_VALID_JITTER = ("none", "decorrelated")
+
+
 class RetryPolicy:
-    """Bounded exponential backoff for transient I/O errors.
+    """Bounded backoff for transient I/O errors.
 
     Args:
         attempts: Total tries, including the first (``1`` disables
             retrying entirely).
-        base_delay: Sleep before the first retry, in seconds; doubles on
-            each subsequent retry.
+        base_delay: Sleep before the first retry, in seconds; with
+            ``jitter="none"`` it doubles on each subsequent retry.
         max_delay: Ceiling on any single sleep.
         sleep: Injectable sleep function (tests pass a no-op).
+        jitter: ``"none"`` (default) keeps the original deterministic
+            doubling schedule; ``"decorrelated"`` draws each sleep from
+            ``uniform(base_delay, 3 * previous)`` capped at
+            ``max_delay`` — independent retriers spread out instead of
+            hammering a recovering device in lockstep.
+        max_elapsed: Optional cap, in seconds, on the total time
+            :meth:`run` may spend (measured from its first attempt).
+            Once exceeded, the next transient failure re-raises instead
+            of sleeping again, so a retry storm can never blow through a
+            caller's deadline.  ``None`` (default) keeps the attempts
+            count as the only bound.
+        rng: Injectable ``random.Random`` for the jitter.
+        clock: Injectable monotonic clock for the elapsed-time cap.
 
     Only :class:`~repro.errors.TransientIOError` and ``OSError`` with a
     transient errno (``EIO``, ``EAGAIN``, ``EINTR``, ``EBUSY``) are
@@ -65,6 +83,10 @@ class RetryPolicy:
         base_delay: float = 0.001,
         max_delay: float = 0.1,
         sleep: Callable[[float], None] = time.sleep,
+        jitter: str = "none",
+        max_elapsed: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if attempts < 1:
             raise InvalidParameterError(
@@ -72,30 +94,66 @@ class RetryPolicy:
             )
         if base_delay < 0 or max_delay < 0:
             raise InvalidParameterError("delays must be non-negative")
+        if jitter not in _VALID_JITTER:
+            raise InvalidParameterError(
+                f"jitter must be one of {_VALID_JITTER}, got {jitter!r}"
+            )
+        if max_elapsed is not None and not max_elapsed > 0:
+            raise InvalidParameterError(
+                f"max_elapsed must be > 0, got {max_elapsed}"
+            )
         self.attempts = attempts
         self.base_delay = base_delay
         self.max_delay = max_delay
+        self.jitter = jitter
+        self.max_elapsed = max_elapsed
         self.retries_performed = 0
+        #: Retry sequences abandoned by the elapsed-time cap.
+        self.deadline_abandonments = 0
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
 
     def run(self, fn: Callable[[], "object"]) -> "object":
         """Call *fn*, retrying transient failures; re-raises the last one."""
         delay = self.base_delay
+        started = self._clock() if self.max_elapsed is not None else 0.0
         for attempt in range(self.attempts):
             try:
                 return fn()
             except Exception as exc:
                 if not _is_transient(exc) or attempt == self.attempts - 1:
                     raise
+                if (
+                    self.max_elapsed is not None
+                    and self._clock() - started >= self.max_elapsed
+                ):
+                    self.deadline_abandonments += 1
+                    raise
                 self.retries_performed += 1
-                self._sleep(min(delay, self.max_delay))
-                delay *= 2
+                if self.jitter == "decorrelated":
+                    # Decorrelated jitter (Brooker): next sleep drawn
+                    # from [base, 3 * previous], capped.
+                    delay = min(
+                        self.max_delay,
+                        self._rng.uniform(self.base_delay, delay * 3.0),
+                    )
+                    self._sleep(delay)
+                else:
+                    self._sleep(min(delay, self.max_delay))
+                    delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
     def __repr__(self) -> str:
+        extras = ""
+        if self.jitter != "none":
+            extras += f", jitter={self.jitter!r}"
+        if self.max_elapsed is not None:
+            extras += f", max_elapsed={self.max_elapsed}"
         return (
             f"RetryPolicy(attempts={self.attempts}, "
-            f"base_delay={self.base_delay}, max_delay={self.max_delay})"
+            f"base_delay={self.base_delay}, max_delay={self.max_delay}"
+            f"{extras})"
         )
 
 

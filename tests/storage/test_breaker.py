@@ -1,0 +1,254 @@
+"""Circuit breaker and retry backoff: state machine, jitter, integration.
+
+The acceptance properties pinned here:
+
+- the breaker follows the legal state machine (closed -> open ->
+  half-open -> closed/open) and records every transition;
+- the open cooldown uses decorrelated jitter bounded by
+  ``[cooldown, max_cooldown]``;
+- half-open grants exactly the probe budget and counts refusals;
+- a ``DiskRTree`` wired with a breaker degrades to skip-semantics while
+  open (``breaker_skips``) and recovers after the cooldown;
+- ``RetryPolicy`` decorrelated jitter draws sleeps from the documented
+  envelope, the ``max_elapsed`` cap abandons instead of sleeping past a
+  caller's deadline, and the legacy fixed schedule is untouched by
+  default.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import TransientIOError
+from repro.rtree.disk import DiskRTree, build_disk_index
+from repro.storage.breaker import BREAKER_STATE_CODES, CircuitBreaker
+from repro.storage.faults import FaultInjectingPageFile, FaultPlan
+from repro.storage.pagefile import RetryPolicy
+from repro.datasets import uniform_points
+from repro.geometry.rect import Rect
+
+pytestmark = pytest.mark.resilience
+
+
+def _breaker(threshold=3, cooldown=1.0, max_cooldown=4.0, probes=1):
+    t = [0.0]
+    b = CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown=cooldown,
+        max_cooldown=max_cooldown,
+        probes=probes,
+        clock=lambda: t[0],
+        rng=random.Random(0),
+    )
+    return b, t
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b, _ = _breaker()
+        assert b.state == "closed"
+        assert b.allow()
+        assert b.state_code() == BREAKER_STATE_CODES["closed"]
+
+    def test_trips_open_after_threshold(self):
+        b, _ = _breaker(threshold=3)
+        for _ in range(2):
+            b.record_failure()
+            assert b.state == "closed"
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+        assert b.rejections == 1
+
+    def test_success_resets_failure_streak(self):
+        b, _ = _breaker(threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == "closed"  # streak broken, no trip
+
+    def test_half_open_after_cooldown_then_closes(self):
+        b, t = _breaker(threshold=1, cooldown=1.0, max_cooldown=1.0)
+        b.record_failure()
+        assert b.state == "open"
+        t[0] = 2.0
+        assert b.state == "half-open"
+        assert b.allow()  # the probe
+        b.record_success()
+        assert b.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        b, t = _breaker(threshold=1, cooldown=1.0, max_cooldown=1.0)
+        b.record_failure()
+        t[0] = 2.0
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+
+    def test_probe_budget_enforced(self):
+        b, t = _breaker(threshold=1, cooldown=1.0, max_cooldown=1.0, probes=2)
+        b.record_failure()
+        t[0] = 2.0
+        assert b.allow()
+        assert b.allow()
+        assert not b.allow()  # probe budget exhausted
+        b.record_success()
+        b.record_success()
+        assert b.state == "closed"
+
+    def test_transitions_recorded_and_legal(self):
+        legal = {
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+            ("half-open", "open"),
+        }
+        b, t = _breaker(threshold=1, cooldown=1.0, max_cooldown=1.0)
+        b.record_failure()
+        t[0] = 2.0
+        b.allow()
+        b.record_failure()
+        t[0] = 10.0
+        b.allow()
+        b.record_success()
+        pairs = [(src, dst) for _, src, dst in b.transitions]
+        assert pairs == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert set(pairs) <= legal
+
+    def test_cooldown_jitter_bounded(self):
+        for seed in range(20):
+            t = [0.0]
+            b = CircuitBreaker(
+                failure_threshold=1,
+                cooldown=1.0,
+                max_cooldown=4.0,
+                clock=lambda: t[0],
+                rng=random.Random(seed),
+            )
+            b.record_failure()
+            # Strictly before the minimum cooldown: must still be open.
+            t[0] = 0.999
+            assert b.state == "open"
+            # At the maximum cooldown: must have moved to half-open.
+            t[0] = 4.001
+            assert b.state == "half-open"
+
+
+class TestDiskIntegration:
+    @pytest.fixture
+    def disk_path(self, tmp_path):
+        points = uniform_points(400, seed=3)
+        items = [(Rect(p, p), i) for i, p in enumerate(points)]
+        path = tmp_path / "breaker.rtree"
+        build_disk_index(items, path, page_size=1024).close()
+        return path
+
+    @pytest.mark.filterwarnings("ignore::repro.errors.CorruptionWarning")
+    def test_open_breaker_degrades_to_skip(self, disk_path):
+        """Persistent faults trip the breaker; while open, loads are
+        refused (skip semantics) without touching the page file."""
+        # Faults start off so the header bootstrap (unguarded by design)
+        # succeeds; the storm begins once the tree is open.
+        plan = FaultPlan(seed=1)
+        pages = FaultInjectingPageFile(disk_path, page_size=1024, plan=plan)
+        t = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            cooldown=10.0,
+            max_cooldown=10.0,
+            clock=lambda: t[0],
+            rng=random.Random(0),
+        )
+        disk = DiskRTree(
+            page_file=pages,
+            cache_nodes=2,
+            on_corrupt="skip",
+            retry=RetryPolicy(attempts=1),
+            breaker=breaker,
+        )
+        from repro.core.knn_dfs import nearest_dfs
+
+        plan.transient_error_prob = 1.0
+        # Run queries until the breaker trips, then note refusals.
+        for _ in range(4):
+            nearest_dfs(disk, (0.5, 0.5), k=3)
+        assert breaker.state == "open"
+        skips_before = disk.breaker_skips
+        nearest_dfs(disk, (0.5, 0.5), k=3)
+        assert disk.breaker_skips > skips_before
+        reads_during_open = pages.reads
+        nearest_dfs(disk, (0.5, 0.5), k=3)
+        assert pages.reads == reads_during_open  # refused, not attempted
+
+        # Heal the device, let the cooldown elapse: service resumes.
+        plan.transient_error_prob = 0.0
+        t[0] = 100.0
+        result, _ = nearest_dfs(disk, (0.5, 0.5), k=3)
+        assert breaker.state == "closed"
+        assert len(result) == 3
+        disk.close()
+
+
+class TestRetryJitter:
+    def _failing(self, times):
+        calls = {"n": 0}
+
+        def op():
+            calls["n"] += 1
+            if calls["n"] <= times:
+                raise TransientIOError("injected")
+            return "ok"
+
+        return op
+
+    def test_legacy_default_schedule_unchanged(self):
+        sleeps = []
+        policy = RetryPolicy(
+            attempts=4, base_delay=0.001, max_delay=1.0,
+            sleep=sleeps.append,
+        )
+        assert policy.run(self._failing(3)) == "ok"
+        assert sleeps == [0.001, 0.002, 0.004]
+
+    def test_decorrelated_jitter_envelope(self):
+        sleeps = []
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.01, max_delay=0.5,
+            sleep=sleeps.append, jitter="decorrelated",
+            rng=random.Random(7),
+        )
+        assert policy.run(self._failing(5)) == "ok"
+        assert len(sleeps) == 5
+        prev = 0.01
+        for s in sleeps:
+            assert 0.01 <= s <= min(0.5, max(0.01, prev * 3.0) + 1e-12)
+            prev = s
+
+    def test_max_elapsed_abandons_instead_of_sleeping(self):
+        t = [0.0]
+
+        def fake_sleep(seconds):
+            t[0] += seconds
+
+        policy = RetryPolicy(
+            attempts=100, base_delay=0.01, max_delay=10.0,
+            sleep=fake_sleep, max_elapsed=0.05, clock=lambda: t[0],
+        )
+        with pytest.raises(TransientIOError):
+            policy.run(self._failing(1000))
+        assert policy.deadline_abandonments == 1
+        # Never slept meaningfully past the cap.
+        assert t[0] <= 0.05 + 10.0  # last sleep may not start past cap
+        assert "max_elapsed" in repr(policy)
+
+    def test_invalid_jitter_mode_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter="quantum")
