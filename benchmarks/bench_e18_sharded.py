@@ -1,0 +1,118 @@
+"""E18 — sharded multi-process scaling vs the thread engine.
+
+The serving-architecture gate: the multi-process
+:class:`~repro.shard.ShardedQueryEngine` must answer bit-for-bit like
+the GIL-bound thread :class:`~repro.service.QueryEngine` (payloads *and*
+distances — the cross-process merge reuses the kernels' tie discipline),
+must leak no shared-memory segments after ``close()``, and — on hosts
+with the cores to show it — must out-scale the thread pool.  The
+scaling assertion itself lives in ``python -m repro.bench shard`` and
+is core-aware; here timings are recorded for the trend and only parity
+and the leak contract are asserted, because CI runners and containers
+pin as few as one CPU.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items
+from repro.datasets.queries import query_points_uniform
+from repro.datasets.synthetic import uniform_points
+from repro.service.engine import QueryEngine
+from repro.service.options import EngineOptions
+from repro.shard import ShardedQueryEngine
+
+HEADLINE_N = 20_000
+HEADLINE_K = 10
+HEADLINE_QUERIES = 64
+HEADLINE_SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def headline_items():
+    return points_as_items(uniform_points(HEADLINE_N, seed=180))
+
+
+@pytest.fixture(scope="module")
+def headline_queries():
+    return query_points_uniform(HEADLINE_QUERIES, seed=181)
+
+
+@pytest.fixture(scope="module")
+def thread_engine(headline_items):
+    tree = build_tree(headline_items)
+    with QueryEngine(
+        tree,
+        options=EngineOptions(
+            workers=HEADLINE_SHARDS, cache_size=0, packed=True
+        ),
+    ) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def sharded_engine(headline_items):
+    engine = ShardedQueryEngine(
+        items=headline_items,
+        shards=HEADLINE_SHARDS,
+        options=EngineOptions(workers=1, cache_size=0),
+    )
+    yield engine
+    engine.close()
+
+
+def _drain(engine, queries):
+    for fut in [engine.submit(q, k=HEADLINE_K) for q in queries]:
+        fut.result()
+
+
+def test_e18_thread_benchmark(benchmark, thread_engine, headline_queries):
+    """Time the thread pool's batch throughput (the GIL-bound baseline)."""
+    benchmark(_drain, thread_engine, headline_queries)
+
+
+def test_e18_sharded_benchmark(benchmark, sharded_engine, headline_queries):
+    """Time the 2-process scatter-gather batch throughput."""
+    benchmark(_drain, sharded_engine, headline_queries)
+
+
+def test_e18_parity(thread_engine, sharded_engine, headline_queries):
+    """Every cross-process answer matches the thread engine bit-for-bit."""
+    for q in headline_queries:
+        expect = thread_engine.query(q, k=HEADLINE_K)
+        got = sharded_engine.query(q, k=HEADLINE_K)
+        assert [(nb.payload, nb.distance) for nb in got.neighbors] == [
+            (nb.payload, nb.distance) for nb in expect.neighbors
+        ]
+
+
+def test_e18_no_segment_leak(headline_items):
+    """The leak contract: close() leaves nothing under /dev/shm."""
+    engine = ShardedQueryEngine(
+        items=headline_items[:2000],
+        shards=HEADLINE_SHARDS,
+        options=EngineOptions(workers=1, cache_size=0),
+    )
+    prefix = engine.name_prefix
+    if os.path.isdir("/dev/shm"):
+        assert glob.glob(f"/dev/shm/{prefix}*"), "engine published no slabs?"
+    engine.close()
+    if os.path.isdir("/dev/shm"):
+        assert glob.glob(f"/dev/shm/{prefix}*") == []
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E18").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    engines = table.column("engine")
+    assert engines == ["thread"] * 3 + ["sharded"] * 3
+    # Each family's width-1 row is its own baseline by construction.
+    own = [float(v) for v in table.column("vs own x1")]
+    assert own[0] == pytest.approx(1.0)
+    assert own[3] == pytest.approx(1.0)
+    qps = [float(str(q).replace(",", "")) for q in table.column("qps")]
+    assert all(v > 0.0 for v in qps)

@@ -15,6 +15,7 @@ Run with::
 """
 
 from repro import (
+    QueryConfig,
     aggregate_nearest,
     bulk_load,
     farthest_best_first,
@@ -62,8 +63,8 @@ def main() -> None:
     )
 
     # Approximate k-NN: trade a bounded error for fewer page reads.
-    exact = nearest(tree, here, k=8, epsilon=0.0)
-    approx = nearest(tree, here, k=8, epsilon=0.5)
+    exact = nearest(tree, here, config=QueryConfig(k=8, epsilon=0.0))
+    approx = nearest(tree, here, config=QueryConfig(k=8, epsilon=0.5))
     ratio = approx.distances()[-1] / exact.distances()[-1]
     print(
         f"\nApproximate 8-NN (eps=0.5): {approx.stats.nodes_accessed} pages "

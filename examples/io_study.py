@@ -11,16 +11,16 @@ Run with::
     python examples/io_study.py
 """
 
-from repro import LruBufferPool, PageModel, bulk_load, nearest
+from repro import LruBufferPool, PageModel, QueryConfig, bulk_load, nearest
 from repro.datasets import skewed_points
 from repro.datasets.queries import query_points_uniform
 
 
-def average_pages(tree, queries, **query_kwargs) -> float:
+def average_pages(tree, queries, config, **query_kwargs) -> float:
     """Average logical page reads per query."""
     total = 0
     for q in queries:
-        result = nearest(tree, q, **query_kwargs)
+        result = nearest(tree, q, config=config, **query_kwargs)
         total += result.stats.nodes_accessed
     return total / len(queries)
 
@@ -44,13 +44,13 @@ def main() -> None:
 
     # Question 1 (paper Fig. "ordering"): which ABL ordering reads less?
     for ordering in ("mindist", "minmaxdist"):
-        pages = average_pages(tree, queries, k=1, ordering=ordering)
+        pages = average_pages(tree, queries, QueryConfig(k=1, ordering=ordering))
         print(f"1-NN with {ordering:>10} ordering: {pages:5.2f} pages/query")
 
     # Question 2 (paper Fig. "k sweep"): cost of asking for more neighbors.
     print()
     for k in (1, 2, 4, 8, 16):
-        pages = average_pages(tree, queries, k=k)
+        pages = average_pages(tree, queries, QueryConfig(k=k))
         print(f"k={k:>2}: {pages:5.2f} pages/query")
 
     # Question 3 (paper Fig. "buffering"): what does a buffer save?

@@ -12,6 +12,7 @@ Run with::
 
 from repro import (
     PruningConfig,
+    QueryConfig,
     RTree,
     mindist,
     minmaxdist,
@@ -64,13 +65,17 @@ def main() -> None:
         f"P3 pruned {result.stats.pruning.p3_pruned})."
     )
 
-    exhaustive = nearest(tree, query, k=1, pruning=PruningConfig.none())
+    exhaustive = nearest(
+        tree, query, config=QueryConfig(k=1, pruning=PruningConfig.none())
+    )
     print(
         f"Without pruning the same answer costs "
         f"{exhaustive.stats.nodes_accessed} pages — every node."
     )
 
-    pessimistic = nearest(tree, query, k=1, ordering="minmaxdist")
+    pessimistic = nearest(
+        tree, query, config=QueryConfig(k=1, ordering="minmaxdist")
+    )
     print(
         f"MINMAXDIST (pessimistic) ordering reads "
         f"{pessimistic.stats.nodes_accessed} pages on this query; the "

@@ -6,7 +6,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import CountingTracker, RTree, nearest
+from repro import CountingTracker, QueryConfig, RTree, nearest
 
 
 def main() -> None:
@@ -39,8 +39,8 @@ def main() -> None:
     )
 
     # 4. Compare the paper's DFS search with the best-first alternative.
-    dfs = nearest(tree, me, k=3, algorithm="dfs")
-    bf = nearest(tree, me, k=3, algorithm="best-first")
+    dfs = nearest(tree, me, config=QueryConfig(k=3, algorithm="dfs"))
+    bf = nearest(tree, me, config=QueryConfig(k=3, algorithm="best-first"))
     print(
         f"\nDFS read {dfs.stats.nodes_accessed} nodes, "
         f"best-first read {bf.stats.nodes_accessed}; "

@@ -16,7 +16,7 @@ Run with::
     python examples/road_network_nn.py
 """
 
-from repro import CountingTracker, bulk_load, nearest
+from repro import CountingTracker, QueryConfig, bulk_load, nearest
 from repro.datasets import road_segments
 from repro.datasets.queries import query_points_uniform
 
@@ -41,7 +41,8 @@ def main() -> None:
     for q in query_points_uniform(5, seed=42):
         tracker = CountingTracker()
         result = nearest(
-            tree, q, k=1, object_distance_sq=segment_distance_sq,
+            tree, q,
+            config=QueryConfig(k=1, object_distance_sq=segment_distance_sq),
             tracker=tracker,
         )
         nearest_street = result[0]
@@ -54,7 +55,9 @@ def main() -> None:
     # Why the hook matters: the MBR of a long diagonal street can be close
     # while the street itself is far.
     q = (500.0, 500.0)
-    exact = nearest(tree, q, k=1, object_distance_sq=segment_distance_sq)
+    exact = nearest(
+        tree, q, config=QueryConfig(k=1, object_distance_sq=segment_distance_sq)
+    )
     mbr_only = nearest(tree, q, k=1)
     print(
         f"\nAt {q}: exact nearest street is {exact.distances()[0]:.2f} away; "
@@ -64,7 +67,9 @@ def main() -> None:
 
     # k-nearest streets: the emergency-services question ("which 5 street
     # segments should we search first?").
-    five = nearest(tree, q, k=5, object_distance_sq=segment_distance_sq)
+    five = nearest(
+        tree, q, config=QueryConfig(k=5, object_distance_sq=segment_distance_sq)
+    )
     print("\nFive nearest streets:")
     for rank, n in enumerate(five, start=1):
         mid = n.payload.midpoint()

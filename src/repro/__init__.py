@@ -67,6 +67,7 @@ from repro.errors import (
     PageFileError,
     ReproError,
     QuotaExceeded,
+    ShardLostError,
     TornWriteError,
     TransientIOError,
     TreeInvariantError,
@@ -102,12 +103,16 @@ from repro.rtree import (
 from repro.service import (
     BrownoutController,
     BrownoutLevel,
+    Engine,
+    EngineOptions,
+    EngineSnapshot,
     EngineStats,
     QueryEngine,
     ResilientEngine,
     ResultCache,
     TokenBucket,
 )
+from repro.shard import ShardedQueryEngine, ShardedStats
 from repro.storage import (
     AccessTracker,
     CircuitBreaker,
@@ -178,7 +183,13 @@ __all__ = [
     "KdTree",
     "QuadTree",
     "LruBufferPool",
+    "Engine",
+    "EngineOptions",
+    "EngineSnapshot",
     "EngineStats",
+    "ShardedQueryEngine",
+    "ShardedStats",
+    "ShardLostError",
     "MetricsRegistry",
     "SlowQueryLog",
     "SlowQueryRecord",

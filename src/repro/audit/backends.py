@@ -1,13 +1,15 @@
 """Build every index backend the audit diffs against each other.
 
-One workload's points are indexed five ways — dynamic in-memory
+One workload's points are indexed six ways — dynamic in-memory
 :class:`~repro.rtree.tree.RTree` (or an STR bulk load, per the case's
 coin flip), its :class:`~repro.packed.PackedTree` compile, the same tree
 serialized and reopened as a :class:`~repro.rtree.disk.DiskRTree`, a
-:class:`~repro.baselines.kdtree.KdTree`, and the raw item list for
+two-shard multi-process :class:`~repro.shard.ShardedQueryEngine` over
+shared-memory slabs, a :class:`~repro.baselines.kdtree.KdTree`, and the
+raw item list for
 :func:`~repro.baselines.linear_scan.linear_scan_items` — so a diff
 isolates *where* an answer went wrong: algorithm, packed compile,
-serialization, or baseline.
+serialization, cross-process scatter-gather merge, or baseline.
 """
 
 from __future__ import annotations
@@ -28,16 +30,20 @@ __all__ = ["Backends", "build_backends"]
 
 @dataclass
 class Backends:
-    """The five index representations of one workload, plus raw items."""
+    """The six index representations of one workload, plus raw items."""
 
     tree: RTree
     disk: Optional[DiskRTree]
     kdtree: KdTree
     items: List[Tuple[Rect, int]]
     packed: Optional[Any] = None
+    sharded: Optional[Any] = None
     _disk_path: Optional[str] = None
 
     def close(self) -> None:
+        if self.sharded is not None:
+            self.sharded.close()
+            self.sharded = None
         if self.disk is not None:
             self.disk.close()
             self.disk = None
@@ -81,14 +87,19 @@ def build_backends(
     use_bulk_load: bool = False,
     tmp_dir: Optional[str] = None,
     with_disk: bool = True,
+    with_sharded: bool = True,
 ) -> Backends:
-    """All four backends over *points*; payloads are point indices.
+    """All backends over *points*; payloads are point indices.
 
     The disk backend serializes the in-memory tree (structure-preserving,
     so a diff against it implicates the serialization round-trip, not
     tree construction) into *tmp_dir* (or the system temp directory).
     The packed backend compiles the in-memory tree, so a diff against it
-    implicates the struct-of-arrays compile or the packed kernels.
+    implicates the struct-of-arrays compile or the packed kernels.  The
+    sharded backend partitions the items across two worker *processes*
+    over shared-memory slabs, so a diff against it (with a clean
+    ``@packed`` row) implicates the partitioner, the slab round-trip, or
+    the scatter-gather merge.
     """
     tree = build_memory_tree(
         points,
@@ -107,11 +118,25 @@ def build_backends(
         disk = DiskRTree(disk_path)
     kdtree = KdTree([(p, i) for i, p in enumerate(points)])
     items = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+    sharded = None
+    if with_sharded:
+        # Imported here: repro.shard pulls in repro.service, and the
+        # audit must stay importable without the serving stack loaded.
+        from repro.service.options import EngineOptions
+        from repro.shard import ShardedQueryEngine
+
+        sharded = ShardedQueryEngine(
+            items=items,
+            shards=2,
+            max_entries=max_entries,
+            options=EngineOptions(workers=1, cache_size=0),
+        )
     return Backends(
         tree=tree,
         disk=disk,
         kdtree=kdtree,
         items=items,
         packed=tree.packed(),
+        sharded=sharded,
         _disk_path=disk_path,
     )

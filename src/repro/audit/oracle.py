@@ -23,6 +23,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.audit.backends import Backends
 from repro.baselines.linear_scan import linear_scan_items
+from repro.core.config import QueryConfig
 from repro.core.knn_best_first import nearest_best_first, nearest_incremental
 from repro.core.knn_dfs import nearest_dfs
 from repro.core.metrics import mindist_squared
@@ -433,6 +434,53 @@ _PACKED_EPSILON_COMBOS: List[Tuple[str, Callable]] = [
     ),
 ]
 
+#: The algorithm grid against the two-process sharded engine
+#: ("incremental" has no sharded form; "noprune"/"p3only" configs route
+#: through the same per-shard kernels as ``@packed``, so the sharded
+#: rows focus on what is *new* here: the cross-process scatter-gather
+#: merge under every ordering/algorithm).  A diff with a clean
+#: ``@packed`` row implicates the partitioner, the shared-memory slab
+#: round-trip, or the merge — not the kernels.
+_SHARDED_COMBOS: List[Tuple[str, Callable]] = [
+    (
+        "dfs-mindist",
+        lambda e, q, k: e.query(q, config=QueryConfig(k=k)).neighbors,
+    ),
+    (
+        "dfs-minmaxdist",
+        lambda e, q, k: e.query(
+            q, config=QueryConfig(k=k, ordering="minmaxdist")
+        ).neighbors,
+    ),
+    (
+        "dfs-p3only",
+        lambda e, q, k: e.query(
+            q, config=QueryConfig(k=k, pruning=PruningConfig.only_p3())
+        ).neighbors,
+    ),
+    (
+        "best-first",
+        lambda e, q, k: e.query(
+            q, config=QueryConfig(k=k, algorithm="best-first")
+        ).neighbors,
+    ),
+]
+
+_SHARDED_EPSILON_COMBOS: List[Tuple[str, Callable]] = [
+    (
+        "dfs-mindist-eps",
+        lambda e, q, k, eps: e.query(
+            q, config=QueryConfig(k=k, epsilon=eps)
+        ).neighbors,
+    ),
+    (
+        "best-first-eps",
+        lambda e, q, k, eps: e.query(
+            q, config=QueryConfig(k=k, algorithm="best-first", epsilon=eps)
+        ).neighbors,
+    ),
+]
+
 
 def diff_backends(
     backends: Backends,
@@ -499,6 +547,34 @@ def diff_backends(
                     k,
                     exact,
                     combo=f"{name}@packed",
+                    points=points,
+                    epsilon=epsilon,
+                )
+            )
+
+    if backends.sharded is not None:
+        engine = backends.sharded
+        for name, runner in _SHARDED_COMBOS:
+            result = runner(engine, query, k)
+            problems.extend(
+                check_result(
+                    result,
+                    query,
+                    k,
+                    exact,
+                    combo=f"{name}@sharded",
+                    points=points,
+                )
+            )
+        for name, runner in _SHARDED_EPSILON_COMBOS:
+            result = runner(engine, query, k, epsilon)
+            problems.extend(
+                check_result(
+                    result,
+                    query,
+                    k,
+                    exact,
+                    combo=f"{name}@sharded",
                     points=points,
                     epsilon=epsilon,
                 )

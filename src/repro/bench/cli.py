@@ -263,6 +263,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     resil.add_argument("--seed", type=int, default=0, help="workload seed")
 
+    shard = sub.add_parser(
+        "shard",
+        help="sharded-engine smoke: cross-process answer parity + "
+        "shared-memory leak check, plus a core-aware scaling gate "
+        "vs the thread engine (exit 1 on any failure)",
+    )
+    shard.add_argument(
+        "--n", type=int, default=20000, help="indexed points (default: 20000)"
+    )
+    shard.add_argument(
+        "--queries",
+        type=int,
+        default=256,
+        help="query batch size (default: 256)",
+    )
+    shard.add_argument(
+        "--k", type=int, default=10, help="neighbors per query (default: 10)"
+    )
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker processes / thread-engine pool width (default: 2)",
+    )
+    shard.add_argument(
+        "--min-scaling",
+        type=float,
+        default=None,
+        help="fail below this sharded/thread QPS ratio; default: gate "
+        "1.1x only when the host exposes more CPUs than --shards, "
+        "otherwise report the ratio and gate parity + leaks only",
+    )
+    shard.add_argument(
+        "--reps",
+        type=int,
+        default=5,
+        help="interleaved best-of timing repetitions (default: 5)",
+    )
+    shard.add_argument("--seed", type=int, default=0, help="workload seed")
+
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
     run.add_argument(
@@ -622,6 +662,125 @@ def _resilience_command(args: argparse.Namespace) -> tuple:
     return "\n".join(lines), code
 
 
+def _shard_command(args: argparse.Namespace) -> tuple:
+    """Sharded-engine smoke: parity, leak contract, core-aware scaling.
+
+    Three checks, two of them unconditional: (1) every answer from the
+    multi-process :class:`~repro.shard.ShardedQueryEngine` must match
+    the thread engine bit-for-bit (payloads *and* distances — the
+    cross-process merge reuses the kernels' tie discipline, so nothing
+    weaker is acceptable); (2) after ``close()`` no shared-memory
+    segment with the engine's name prefix may remain under ``/dev/shm``.
+    The scaling gate (3) is core-aware: multi-process QPS cannot beat a
+    GIL-bound engine on a single visible CPU, so by default the ratio
+    is only gated when the host exposes more CPUs than ``--shards``;
+    CI pins an explicit ``--min-scaling`` for its runner class.
+    """
+    import glob
+    import os
+
+    from repro.bench.harness import build_tree, points_as_items
+    from repro.datasets.queries import query_points_uniform
+    from repro.datasets.synthetic import uniform_points
+    from repro.service.engine import QueryEngine
+    from repro.service.options import EngineOptions
+    from repro.shard import ShardedQueryEngine
+
+    points = uniform_points(args.n, seed=args.seed)
+    queries = query_points_uniform(args.queries, seed=args.seed + 1)
+    items = points_as_items(points)
+    tree = build_tree(items)
+    affinity = getattr(os, "sched_getaffinity", None)
+    cpus = len(affinity(0)) if affinity is not None else (os.cpu_count() or 1)
+    k = args.k
+
+    thread = QueryEngine(
+        tree,
+        options=EngineOptions(workers=args.shards, cache_size=0, packed=True),
+    )
+    sharded = ShardedQueryEngine(
+        items=items,
+        shards=args.shards,
+        options=EngineOptions(workers=1, cache_size=0),
+    )
+    prefix = sharded.name_prefix
+    try:
+        mismatches = 0
+        for q in queries:
+            expect = thread.query(q, k=k)
+            got = sharded.query(q, k=k)
+            if [(nb.payload, nb.distance) for nb in got.neighbors] != [
+                (nb.payload, nb.distance) for nb in expect.neighbors
+            ]:
+                mismatches += 1
+
+        def drain(engine) -> float:
+            start = time.perf_counter()
+            for fut in [engine.submit(q, k=k) for q in queries]:
+                fut.result()
+            return time.perf_counter() - start
+
+        thread_s = sharded_s = float("inf")
+        for _ in range(args.reps):
+            thread_s = min(thread_s, drain(thread))
+            sharded_s = min(sharded_s, drain(sharded))
+        shard_stats = sharded.stats()
+    finally:
+        thread.close()
+        sharded.close()
+
+    leaked = (
+        glob.glob(f"/dev/shm/{prefix}*")
+        if os.path.isdir("/dev/shm")
+        else []
+    )
+    scaling = thread_s / sharded_s if sharded_s else 0.0
+    gate = args.min_scaling
+    if gate is None and cpus > args.shards:
+        gate = 1.1
+
+    per_query = 1e3 / len(queries)
+    lines = [
+        f"sharded engine smoke — uniform n={args.n}, {args.queries} "
+        f"queries, k={k}, {args.shards} shards, {cpus} CPU(s) visible",
+        f"  parity     {len(queries) - mismatches}/{len(queries)} answers "
+        f"identical to the thread engine (payloads + distances)",
+        f"  thread     {thread_s * per_query:8.4f} ms/q "
+        f"({len(queries) / thread_s:,.0f} q/s, {args.shards} pool workers)",
+        f"  sharded    {sharded_s * per_query:8.4f} ms/q "
+        f"({len(queries) / sharded_s:,.0f} q/s, {args.shards} processes, "
+        f"{shard_stats.shards_pruned} shard visits pruned)",
+        f"  scaling    {scaling:8.2f}x "
+        + (
+            f"(threshold {gate}x)"
+            if gate is not None
+            else f"(not gated: {cpus} CPU(s) for {args.shards} workers "
+            f"+ merge; pass --min-scaling to force)"
+        ),
+        f"  segments   {len(leaked)} leaked under /dev/shm ({prefix}*)",
+    ]
+    code = 0
+    if mismatches:
+        lines.append(
+            f"FAIL: {mismatches} answers diverged from the thread engine"
+        )
+        code = 1
+    if leaked:
+        lines.append(
+            "FAIL: shared-memory segments leaked: "
+            + ", ".join(os.path.basename(p) for p in leaked)
+        )
+        code = 1
+    if gate is not None and scaling < gate:
+        lines.append(
+            f"FAIL: scaling {scaling:.2f}x below threshold {gate}x"
+        )
+        code = 1
+    if code == 0:
+        lines.append("PASS")
+    return "\n".join(lines), code
+
+
 def _viz_command(args: argparse.Namespace) -> str:
     from repro.core.query import nearest
     from repro.datasets.synthetic import (
@@ -743,6 +902,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _obs_command(args)
     elif args.command == "resilience":
         output, code = _resilience_command(args)
+    elif args.command == "shard":
+        output, code = _shard_command(args)
     elif args.command == "audit":
         from repro.audit.__main__ import run_from_args
 

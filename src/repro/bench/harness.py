@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.core.config import QueryConfig
 from repro.core.knn_dfs import ObjectDistance
 from repro.core.pruning import PruningConfig
 from repro.core.query import nearest
@@ -115,6 +116,15 @@ def run_query_batch(
     """
     if not queries:
         raise InvalidParameterError("query batch must be non-empty")
+    # Resolve once up front (not per call through the deprecated keyword
+    # shim): the harness's own knobs map 1:1 onto QueryConfig fields.
+    cfg = QueryConfig(
+        k=k,
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        object_distance_sq=object_distance_sq,
+    )
     totals = SearchStats()
     total_time = 0.0
     total_disk_reads = 0.0
@@ -132,16 +142,7 @@ def run_query_batch(
             tracker = None
             before = 0.0
         start = time.perf_counter()
-        result = nearest(
-            tree,
-            point,
-            k=k,
-            algorithm=algorithm,
-            ordering=ordering,
-            pruning=pruning,
-            tracker=tracker,
-            object_distance_sq=object_distance_sq,
-        )
+        result = nearest(tree, point, config=cfg, tracker=tracker)
         total_time += time.perf_counter() - start
         totals.merge(result.stats)
         if shared_tracker is not None:

@@ -5,24 +5,31 @@ pool so the tree's upper levels are read once — packaged as an API instead
 of a loop the caller writes.
 
 Since the serving layer landed, :func:`nearest_batch` is a thin veneer
-over :class:`repro.service.QueryEngine`: the default configuration
-(``workers=1``, result cache off) reproduces the historical sequential
-semantics and page accounting exactly, while ``workers=4`` or
-``cache_size=4096`` opt a call site into the engine's concurrency and
+over :class:`repro.service.QueryEngine`.  Execution knobs route through
+one shared :class:`~repro.service.options.EngineOptions` bundle — the
+same dataclass every engine constructor takes — whose
+:meth:`~repro.service.options.EngineOptions.batch_defaults` profile
+(``workers=1``, result cache off, 64-page shared buffer) reproduces the
+historical sequential semantics and page accounting exactly.  Pass
+``options=EngineOptions(workers=4, cache_size=4096)`` (or the matching
+legacy keywords) to opt a call site into the engine's concurrency and
 result reuse without changing the return contract.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.core.config import QueryConfig
+from repro.core.config import QueryConfig, warn_legacy_query_kwargs
 from repro.core.knn_dfs import ObjectDistance
 from repro.core.pruning import PruningConfig
 from repro.core.query import NNResult, resolve_config
 from repro.core.stats import SearchStats
 from repro.errors import InvalidParameterError
 from repro.rtree.tree import RTree
+
+if TYPE_CHECKING:  # a runtime import would cycle through repro.service
+    from repro.service.options import EngineOptions
 
 __all__ = ["nearest_batch"]
 
@@ -34,33 +41,35 @@ def nearest_batch(
     algorithm: Optional[str] = None,
     ordering: Optional[str] = None,
     pruning: Optional[PruningConfig] = None,
-    buffer_pages: int = 64,
+    buffer_pages: Optional[int] = None,
     object_distance_sq: Optional[ObjectDistance] = None,
     epsilon: Optional[float] = None,
     config: Optional[QueryConfig] = None,
-    workers: int = 1,
-    cache_size: int = 0,
-    packed: bool = False,
+    workers: Optional[int] = None,
+    cache_size: Optional[int] = None,
+    packed: Optional[bool] = None,
+    options: Optional["EngineOptions"] = None,
 ) -> Tuple[List[NNResult], SearchStats, float]:
     """Run one k-NN query per point through a shared LRU buffer.
 
     Args:
         tree: The index.
         points: Query points, answered in order.
-        buffer_pages: LRU page-buffer capacity (0 disables buffering).
-            With one worker the buffer is shared by the whole batch; with
-            several, each worker owns a private pool of this size.
-        config: A :class:`~repro.core.config.QueryConfig`; explicit
-            keyword arguments override its fields.
-        workers: Worker threads (default 1 = sequential).
-        cache_size: Result-cache capacity (default 0 = off, preserving
-            one search per point).
-        packed: Route the batch through the tree's
-            :class:`~repro.packed.PackedTree` compile (identical results
-            and stats, ~3x lower latency; see :mod:`repro.packed`).
-            Queries carrying ``object_distance_sq`` fall back to the
-            object kernels automatically.
-        (Remaining arguments as in :func:`repro.core.query.nearest`.)
+        config: A :class:`~repro.core.config.QueryConfig` describing how
+            each query runs; explicit keyword arguments override its
+            fields.
+        options: An :class:`~repro.service.options.EngineOptions`
+            describing how the batch *executes* (workers, cache,
+            buffering, packed routing).  Defaults to
+            :meth:`~repro.service.options.EngineOptions.batch_defaults`
+            — sequential, uncached, 64-page shared buffer: one search
+            per point, the legacy accounting.
+        workers / cache_size / buffer_pages / packed: Legacy spellings of
+            the matching *options* fields; override them when passed.
+        algorithm / ordering / pruning / object_distance_sq / epsilon:
+            **Deprecated** legacy spellings of the matching
+            :class:`QueryConfig` fields; each use warns (docs/API.md,
+            'Migrating to QueryConfig').
 
     Returns:
         ``(results, combined_stats, disk_reads_per_query)`` — one
@@ -68,13 +77,18 @@ def nearest_batch(
         the average *physical* reads per query after buffering.
     """
     from repro.service.engine import QueryEngine
+    from repro.service.options import EngineOptions
 
     if not points:
         raise InvalidParameterError("points must be non-empty")
-    if buffer_pages < 0:
-        raise InvalidParameterError(
-            f"buffer_pages must be >= 0, got {buffer_pages}"
-        )
+    warn_legacy_query_kwargs(
+        "nearest_batch()",
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        object_distance_sq=object_distance_sq,
+        epsilon=epsilon,
+    )
     cfg = resolve_config(
         config,
         k=k,
@@ -84,14 +98,15 @@ def nearest_batch(
         object_distance_sq=object_distance_sq,
         epsilon=epsilon,
     )
-    with QueryEngine(
-        tree,
-        config=cfg,
+    opts = (
+        options if options is not None else EngineOptions.batch_defaults()
+    ).merged(
         workers=workers,
         cache_size=cache_size,
         buffer_pages=buffer_pages,
         packed=packed,
-    ) as engine:
+    )
+    with QueryEngine(tree, config=cfg, options=opts) as engine:
         results = engine.query_batch(points)
         physical_reads = engine.tracker.physical_reads()
     combined = SearchStats()

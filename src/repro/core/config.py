@@ -21,6 +21,7 @@ only in their tracker must hit the same cache entry.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Optional, Tuple
 
@@ -29,7 +30,12 @@ from repro.core.knn_dfs import ObjectDistance
 from repro.core.pruning import PruningConfig
 from repro.errors import InvalidParameterError
 
-__all__ = ["QueryConfig", "VALID_ALGORITHMS", "VALID_ORDERINGS"]
+__all__ = [
+    "QueryConfig",
+    "VALID_ALGORITHMS",
+    "VALID_ORDERINGS",
+    "warn_legacy_query_kwargs",
+]
 
 #: Search algorithms the façade dispatches on.
 VALID_ALGORITHMS = ("dfs", "best-first")
@@ -39,6 +45,34 @@ VALID_ORDERINGS = ("mindist", "minmaxdist")
 #: Sentinel distinguishing "not passed" from an explicit value in the
 #: keyword-compatibility shims.
 _UNSET = None
+
+
+def warn_legacy_query_kwargs(api: str, **passed: Any) -> None:
+    """Emit one :class:`DeprecationWarning` for legacy query kwargs.
+
+    The entry points (:func:`repro.core.query.nearest`,
+    :class:`~repro.core.query.NearestNeighborQuery`,
+    :func:`repro.core.batch.nearest_batch`) call this with every legacy
+    keyword they received; any that is not ``None`` (i.e. actually
+    passed) triggers the warning.  ``k=`` stays first-class and silent —
+    only the configuration sprawl (``algorithm=``, ``ordering=``, ...)
+    is deprecated in favor of ``config=QueryConfig(...)``.
+
+    The migration path is documented in docs/API.md (§ Migrating to
+    ``QueryConfig``); warnings point there.  ``stacklevel=3`` attributes
+    the warning to the caller of the entry point, not the shim.
+    """
+    legacy = sorted(name for name, value in passed.items() if value is not None)
+    if not legacy:
+        return
+    spelled = ", ".join(f"{name}=" for name in legacy)
+    warnings.warn(
+        f"{api}: the keyword argument(s) {spelled} are deprecated; pass "
+        f"config=QueryConfig(...) instead (docs/API.md, 'Migrating to "
+        f"QueryConfig')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)

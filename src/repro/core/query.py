@@ -10,18 +10,17 @@ Most callers only need :func:`nearest`::
     result.payloads()     # ["library"]
     result.stats.nodes_accessed
 
-Configuration comes in two equivalent styles:
-
-- the legacy keyword arguments (``algorithm=``, ``ordering=``, ...), kept
-  as a thin compatibility shim; and
-- a single :class:`~repro.core.config.QueryConfig` passed as ``config=``,
-  shared verbatim by :func:`nearest`, :class:`NearestNeighborQuery`,
-  :func:`repro.core.batch.nearest_batch` and
-  :class:`repro.service.QueryEngine`.
-
-When both are supplied, the explicit keyword wins over the config field.
-:class:`NearestNeighborQuery` packages a fixed configuration for repeated
-use — the shape of the bench harness's inner loop.
+Configuration is a single :class:`~repro.core.config.QueryConfig` passed
+as ``config=``, shared verbatim by :func:`nearest`,
+:class:`NearestNeighborQuery`, :func:`repro.core.batch.nearest_batch`
+and :class:`repro.service.QueryEngine`.  The legacy keyword arguments
+(``algorithm=``, ``ordering=``, ...) still work — explicit keywords
+override the corresponding config field — but are **deprecated**: each
+use emits a :class:`DeprecationWarning` pointing at the one migration
+path, docs/API.md § *Migrating to QueryConfig*.  ``k=`` stays
+first-class (it is per-call intent, not configuration sprawl).
+:class:`NearestNeighborQuery` packages a fixed configuration for
+repeated use — the shape of the bench harness's inner loop.
 """
 
 from __future__ import annotations
@@ -40,7 +39,7 @@ from typing import (
 )
 
 from repro.core.budget import Budget
-from repro.core.config import QueryConfig
+from repro.core.config import QueryConfig, warn_legacy_query_kwargs
 from repro.core.knn_best_first import nearest_best_first
 from repro.core.knn_dfs import ObjectDistance, nearest_dfs
 from repro.core.neighbors import Neighbor
@@ -178,32 +177,33 @@ def nearest(
         tree: The R-tree to search.
         point: Query point.
         k: How many neighbors to return (default 1).
-        algorithm: ``"dfs"`` — the paper's branch-and-bound depth-first
-            search — or ``"best-first"`` — the Hjaltason-Samet priority
-            search (page-optimal, ignores *ordering* and *pruning*).
-        ordering: Active-branch-list metric for DFS, ``"mindist"`` or
-            ``"minmaxdist"``.
-        pruning: DFS pruning strategy toggles (default: all sound ones).
+        config: A :class:`QueryConfig` describing how the query runs
+            (algorithm, ordering, pruning, epsilon, object distance,
+            budget) — the one configuration surface.
         tracker: Page-access tracker / buffer pool (instrumentation; not
             part of the query configuration).
-        object_distance_sq: Exact squared object distance hook.
-        epsilon: Approximation slack; 0 is exact, larger values trade
-            accuracy (each distance within ``1 + epsilon`` of exact) for
-            fewer page reads.
-        config: A :class:`QueryConfig` carrying all of the above except
-            *tracker*; explicit keyword arguments override its fields.
         trace: Optional :class:`repro.obs.Trace` recording the search's
             full event stream (instrumentation, like *tracker*; not part
             of the query configuration).
-        budget: Optional :class:`~repro.core.budget.Budget` bounding this
-            query's work (deadline and/or page limit); exhaustion either
-            truncates the result (``result.truncated``) or raises, per
-            the budget's ``on_exhausted`` policy.
+        algorithm / ordering / pruning / object_distance_sq / epsilon /
+            budget: **Deprecated** legacy spellings of the matching
+            :class:`QueryConfig` fields; each use warns.  They still
+            override the config field when passed (docs/API.md,
+            'Migrating to QueryConfig').
 
     Returns:
         An :class:`NNResult` with the neighbors (nearest first) and the
         search statistics.
     """
+    warn_legacy_query_kwargs(
+        "nearest()",
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        object_distance_sq=object_distance_sq,
+        epsilon=epsilon,
+        budget=budget,
+    )
     cfg = resolve_config(
         config,
         k=k,
@@ -271,14 +271,14 @@ class NearestNeighborQuery:
 
     Example::
 
-        query = NearestNeighborQuery(tree, k=4, ordering="minmaxdist")
+        cfg = QueryConfig(k=4, ordering="minmaxdist")
+        query = NearestNeighborQuery(tree, config=cfg)
         for p in query_points:
             result = query(p)
 
-    Equivalently, pass a shared :class:`QueryConfig`::
-
-        cfg = QueryConfig(k=4, ordering="minmaxdist")
-        query = NearestNeighborQuery(tree, config=cfg)
+    The legacy keyword spellings (``ordering="minmaxdist"`` etc.) still
+    work but are deprecated; each use emits a :class:`DeprecationWarning`
+    (docs/API.md, 'Migrating to QueryConfig').
 
     All configuration is validated eagerly at construction — a typo'd
     ordering raises :class:`~repro.errors.InvalidParameterError` here,
@@ -297,6 +297,14 @@ class NearestNeighborQuery:
         epsilon: Optional[float] = None,
         config: Optional[QueryConfig] = None,
     ) -> None:
+        warn_legacy_query_kwargs(
+            "NearestNeighborQuery",
+            algorithm=algorithm,
+            ordering=ordering,
+            pruning=pruning,
+            object_distance_sq=object_distance_sq,
+            epsilon=epsilon,
+        )
         self.tree = tree
         self.tracker = tracker
         self.config = resolve_config(

@@ -21,6 +21,7 @@ __all__ = [
     "TornWriteError",
     "TransientIOError",
     "CorruptionWarning",
+    "ShardLostError",
     "DeadlineExceeded",
     "AdmissionRejected",
     "QuotaExceeded",
@@ -100,6 +101,18 @@ class TransientIOError(PageFileError, OSError):
     Also an :class:`OSError`, mirroring how the failure would surface from
     the operating system (e.g. an intermittent ``EIO``).  The disk R-tree's
     read path retries these with bounded exponential backoff.
+    """
+
+
+class ShardLostError(ReproError):
+    """A shard worker process died (or its pipe broke) mid-request.
+
+    Internal to :class:`~repro.shard.ShardedQueryEngine`: the engine
+    catches it per shard and degrades the merged answer — the result
+    comes back ``truncated=True`` with ``truncation_reason="shard-lost"``
+    and the dead shard's MBR MINDIST folded into the frontier bound, so
+    :func:`~repro.audit.check_truncated_result` can certify it.  It only
+    escapes to callers when *every* shard is unreachable.
     """
 
 

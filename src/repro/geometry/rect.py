@@ -52,6 +52,14 @@ class Rect:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rect is immutable")
 
+    # Slots + the frozen __setattr__ break the default pickle protocol
+    # (it restores slot state via setattr).  Rebuild through the
+    # constructor instead — bounds that came out of a valid Rect always
+    # revalidate.  Needed by the sharded engine, whose worker processes
+    # ship result rectangles back over a pipe.
+    def __reduce__(self):
+        return (Rect, (self.lo, self.hi))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -12,13 +12,20 @@ on an unchanged index cost nothing, and aggregates serving statistics
 admission control, per-client quotas, and brownout degradation on top —
 the overload story ``docs/RESILIENCE.md`` documents end to end.
 
-Sharding and async I/O layers plug in here in later growth steps; the
-engine is the substrate they schedule onto.
+Every serving backend — :class:`QueryEngine`, :class:`ResilientEngine`,
+and the multi-process :class:`~repro.shard.ShardedQueryEngine` —
+implements the formal :class:`Engine` protocol
+(:mod:`repro.service.protocol`): ``query`` / ``submit`` / ``stats`` /
+``snapshot`` / ``close``.  Construction knobs are bundled in
+:class:`EngineOptions` (:mod:`repro.service.options`), shared by every
+engine constructor and by :func:`repro.core.batch.nearest_batch`.
 """
 
 from repro.service.cache import CacheStats, ResultCache
-from repro.service.engine import DEFAULT_CACHE_SIZE, QueryEngine
+from repro.service.engine import QueryEngine
 from repro.service.locks import ReadWriteLock
+from repro.service.options import DEFAULT_CACHE_SIZE, EngineOptions
+from repro.service.protocol import Engine, EngineSnapshot
 from repro.service.resilience import (
     BrownoutController,
     BrownoutLevel,
@@ -37,6 +44,9 @@ __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_LADDER",
+    "Engine",
+    "EngineOptions",
+    "EngineSnapshot",
     "EngineStats",
     "LatencyRecorder",
     "QueryEngine",

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from threading import Lock, Thread
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -48,14 +48,13 @@ from repro.obs.trace import Trace
 from repro.packed.kernels import run_packed_query
 from repro.service.cache import ResultCache
 from repro.service.locks import ReadWriteLock
+from repro.service.options import DEFAULT_CACHE_SIZE, EngineOptions
+from repro.service.protocol import EngineSnapshot
 from repro.service.stats import EngineStats, LatencyRecorder
 from repro.storage.buffer import LruBufferPool
 from repro.storage.tracker import AccessTracker, CountingTracker, ShardedTracker
 
 __all__ = ["QueryEngine", "DEFAULT_CACHE_SIZE"]
-
-#: Result-cache capacity unless the caller chooses otherwise.
-DEFAULT_CACHE_SIZE = 4096
 
 #: Miss sentinel for cache probes: an ``NNResult`` is never ``None``, but
 #: probing with a private object keeps the hit test correct even for
@@ -101,6 +100,10 @@ class QueryEngine:
             search and are never logged.
         slow_log: Ring-buffer capacity of :attr:`slow_queries` (only
             meaningful with *slow_query_ms*).
+        options: An :class:`~repro.service.options.EngineOptions` bundle
+            carrying all of the above execution knobs at once.  Explicit
+            keyword arguments override matching option fields, so the
+            legacy spellings keep working unchanged.
 
     The engine itself never copies the tree: it relies on the tree's
     mutation epoch (see :meth:`~repro.rtree.tree.RTree.snapshot`) for
@@ -111,36 +114,37 @@ class QueryEngine:
         self,
         tree: Any,
         config: Optional[QueryConfig] = None,
-        workers: int = 4,
-        cache_size: int = DEFAULT_CACHE_SIZE,
-        buffer_pages: int = 0,
-        packed: bool = False,
+        workers: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        buffer_pages: Optional[int] = None,
+        packed: Optional[bool] = None,
         slow_query_ms: Optional[float] = None,
-        slow_log: int = 64,
+        slow_log: Optional[int] = None,
+        options: Optional[EngineOptions] = None,
     ) -> None:
-        if workers < 1:
-            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
-        if buffer_pages < 0:
-            raise InvalidParameterError(
-                f"buffer_pages must be >= 0, got {buffer_pages}"
-            )
-        if slow_query_ms is not None and slow_query_ms < 0:
-            raise InvalidParameterError(
-                f"slow_query_ms must be >= 0, got {slow_query_ms}"
-            )
-        if packed and not hasattr(tree, "packed"):
+        opts = (options if options is not None else EngineOptions()).merged(
+            workers=workers,
+            cache_size=cache_size,
+            buffer_pages=buffer_pages,
+            packed=packed,
+            slow_query_ms=slow_query_ms,
+            slow_log=slow_log,
+        )
+        if opts.packed and not hasattr(tree, "packed"):
             raise InvalidParameterError(
                 f"packed=True needs a tree with a .packed() compile; "
                 f"{type(tree).__name__} has none"
             )
         self.tree = tree
-        self.packed = packed
+        self.options = opts
+        self.packed = opts.packed
         self.config = config if config is not None else QueryConfig()
-        self.workers = workers
-        self.cache = ResultCache(cache_size)
-        if buffer_pages > 0:
+        self.workers = opts.workers
+        self.cache = ResultCache(opts.cache_size)
+        if opts.buffer_pages > 0:
+            pages = opts.buffer_pages
             shard_factory: Callable[[], AccessTracker] = (
-                lambda: LruBufferPool(buffer_pages)
+                lambda: LruBufferPool(pages)
             )
         else:
             shard_factory = CountingTracker
@@ -149,19 +153,21 @@ class QueryEngine:
         self._latency = LatencyRecorder()
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-engine"
+                max_workers=opts.workers, thread_name_prefix="repro-engine"
             )
-            if workers > 1
+            if opts.workers > 1
             else None
         )
         self._closed = False
         # Monotonic per-request ids; itertools.count is atomic under the
         # GIL, so workers can draw ids without the stats lock.
         self._request_ids = itertools.count(1)
-        self.slow_query_ms = slow_query_ms
+        self.slow_query_ms = opts.slow_query_ms
         #: Ring buffer of slow-query forensics (``None`` unless enabled).
         self.slow_queries: Optional[SlowQueryLog] = (
-            SlowQueryLog(slow_log) if slow_query_ms is not None else None
+            SlowQueryLog(opts.slow_log)
+            if opts.slow_query_ms is not None
+            else None
         )
         self._stats_lock = Lock()
         self._queries = 0
@@ -197,6 +203,30 @@ class QueryEngine:
         self._ensure_open()
         cfg = self._effective_config(k, config)
         return self._serve(point, cfg, trace)
+
+    def submit(
+        self,
+        point: Sequence[float],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> "Future[NNResult]":
+        """Asynchronous :meth:`query`: a future that never hangs.
+
+        With ``workers > 1`` the query runs on the pool; with one worker
+        it executes inline and the returned future is already resolved.
+        Part of the :class:`~repro.service.protocol.Engine` contract.
+        """
+        self._ensure_open()
+        cfg = self._effective_config(k, config)
+        executor = self._executor
+        if executor is not None:
+            return executor.submit(self._serve, point, cfg)
+        future: "Future[NNResult]" = Future()
+        try:
+            future.set_result(self._serve(point, cfg))
+        except BaseException as exc:  # delivered through the future
+            future.set_exception(exc)
+        return future
 
     def query_batch(
         self,
@@ -297,6 +327,23 @@ class QueryEngine:
                 max_queue_depth=self._max_queue_depth,
                 failures=self._failures,
             )
+
+    def snapshot(self) -> EngineSnapshot:
+        """What this engine is serving (the Engine-protocol view)."""
+        try:
+            size = len(self.tree)
+        except TypeError:  # trees without __len__ (test doubles)
+            size = 0
+        return EngineSnapshot(
+            backend="thread",
+            epoch=self._tree_epoch(),
+            size=size,
+            detail={
+                "workers": self.workers,
+                "packed": self.packed,
+                "cache_capacity": self.cache.capacity,
+            },
+        )
 
     def shutdown(self, timeout: Optional[float] = None) -> bool:
         """Stop accepting queries and drain in-flight work.  Idempotent.

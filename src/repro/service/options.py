@@ -1,0 +1,111 @@
+"""``EngineOptions``: the one engine-construction surface.
+
+``QueryEngine`` grew constructor knobs (workers, cache size, buffer
+pages, packed routing, forensics), and then :func:`repro.core.batch.
+nearest_batch` grew a *second*, drifting copy of the same knobs as loose
+keyword arguments.  ``EngineOptions`` is the single dataclass both — and
+``ResilientEngine`` and ``ShardedQueryEngine`` — construct from, so a
+new knob is added once, validated once, and defaulted once.
+
+Two default profiles exist because two call shapes exist:
+
+- :meth:`EngineOptions` (the bare constructor) is the *serving* profile:
+  ``workers=4``, result cache on (:data:`DEFAULT_CACHE_SIZE`), no page
+  buffer — what ``QueryEngine()`` has always defaulted to.
+- :meth:`EngineOptions.batch_defaults` is the *legacy batch* profile:
+  ``workers=1``, cache off, ``buffer_pages=64`` — the historical
+  sequential ``nearest_batch`` semantics, preserved exactly.
+
+``merged(**overrides)`` applies explicit per-call keyword arguments on
+top (``None`` = not passed), which is how the legacy keyword spellings
+of both constructors keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["EngineOptions", "DEFAULT_CACHE_SIZE"]
+
+#: Result-cache capacity unless the caller chooses otherwise.
+DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How an engine executes — pool size, caching, buffering, routing.
+
+    Orthogonal to :class:`~repro.core.config.QueryConfig`, which says
+    what a *query* means; options say how the *engine* runs it.
+
+    Args:
+        workers: Worker threads (``QueryEngine``) or the client-side
+            submit pool (``ShardedQueryEngine``); ``1`` = run in the
+            calling thread.
+        cache_size: Result-cache capacity; ``0`` disables caching and
+            duplicate coalescing.
+        buffer_pages: Per-worker LRU page-buffer capacity (``0`` = plain
+            counting).  Only meaningful for disk-backed trees.
+        packed: Route queries through the tree's
+            :class:`~repro.packed.PackedTree` compile (sharded engines
+            are always packed — the slabs *are* the shards).
+        slow_query_ms: Slow-query forensics threshold (``None`` = off).
+        slow_log: Forensics ring-buffer capacity.
+    """
+
+    workers: int = 4
+    cache_size: int = DEFAULT_CACHE_SIZE
+    buffer_pages: int = 0
+    packed: bool = False
+    slow_query_ms: Optional[float] = None
+    slow_log: int = 64
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be an int >= 1, got {self.workers!r}"
+            )
+        if self.cache_size < 0:
+            raise InvalidParameterError(
+                f"cache_size must be >= 0, got {self.cache_size}"
+            )
+        if self.buffer_pages < 0:
+            raise InvalidParameterError(
+                f"buffer_pages must be >= 0, got {self.buffer_pages}"
+            )
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise InvalidParameterError(
+                f"slow_query_ms must be >= 0, got {self.slow_query_ms}"
+            )
+        if self.slow_log < 1:
+            raise InvalidParameterError(
+                f"slow_log must be >= 1, got {self.slow_log}"
+            )
+
+    @classmethod
+    def batch_defaults(cls) -> "EngineOptions":
+        """The historical :func:`~repro.core.batch.nearest_batch` profile.
+
+        Sequential, uncached, with the batch's shared 64-page LRU buffer
+        — one search per point, legacy page accounting preserved.
+        """
+        return cls(workers=1, cache_size=0, buffer_pages=64)
+
+    def merged(self, **overrides: Any) -> "EngineOptions":
+        """A copy with every non-``None`` override applied (revalidated).
+
+        ``None`` means "not passed, keep this options object's value" —
+        the same convention :meth:`QueryConfig.with_overrides` uses, and
+        what lets legacy keyword arguments coexist with ``options=``.
+        """
+        changes = {
+            name: value
+            for name, value in overrides.items()
+            if value is not None
+        }
+        if not changes:
+            return self
+        return replace(self, **changes)

@@ -1,0 +1,109 @@
+"""The formal ``Engine`` protocol every serving backend implements.
+
+Three engines serve k-NN queries today — :class:`~repro.service.engine.
+QueryEngine` (thread pool over one tree), :class:`~repro.service.
+resilience.ResilientEngine` (admission control wrapped around any
+backend), and :class:`~repro.shard.engine.ShardedQueryEngine`
+(multi-process scatter-gather over shared-memory shards).  They grew up
+separately; this module writes down the contract they share so callers
+— and wrappers like ``ResilientEngine`` — program against the
+*protocol*, never against a concrete class:
+
+- ``query(point, k=None, config=None) -> NNResult`` — synchronous
+  answer, cache-first.
+- ``submit(point, k=None, config=None) -> Future[NNResult]`` —
+  asynchronous answer; the future never hangs (it resolves with a
+  result or an exception even across shutdown).
+- ``stats()`` — an immutable snapshot of serving counters.  The
+  concrete type varies by engine (:class:`~repro.service.stats.
+  EngineStats`, ``ResilienceStats``, ``ShardedStats``); all of them
+  render and export.
+- ``snapshot() -> EngineSnapshot`` — what index state is being served:
+  backend name, tree epoch, item count, and backend-specific detail.
+  The epoch is the cache-invalidation token the serving layer already
+  uses (:meth:`repro.rtree.tree.RTree.snapshot`); a sharded engine
+  reports its publish epoch.
+- ``close()`` — idempotent shutdown that drains or fails in-flight
+  work, releases every OS resource (threads, processes, shared-memory
+  segments), and makes subsequent ``query`` calls raise.
+
+``Engine`` is a :func:`typing.runtime_checkable` protocol, so
+``isinstance(obj, Engine)`` verifies the *shape* — which is exactly how
+``ResilientEngine`` accepts arbitrary backends without special-casing
+any concrete engine class.  See docs/API.md (§ The Engine protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.core.config import QueryConfig
+
+__all__ = ["Engine", "EngineSnapshot"]
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """What an engine is serving right now.
+
+    ``backend`` names the serving strategy (``"thread"``, ``"sharded"``,
+    ``"resilient+<inner>"``); ``epoch`` is the index mutation epoch the
+    answers reflect; ``size`` the item count.  ``detail`` carries
+    backend-specific facts (shard count, segment names, worker states)
+    without widening the protocol.
+    """
+
+    backend: str
+    epoch: int
+    size: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Compact one-line rendering."""
+        extra = ""
+        if self.detail:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+            extra = f" ({parts})"
+        return f"{self.backend} epoch={self.epoch} size={self.size}{extra}"
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Structural contract shared by every serving engine.
+
+    See the module docstring for the semantic contract each method
+    carries; ``runtime_checkable`` verifies only the method shape.
+    """
+
+    def query(
+        self,
+        point: Sequence[float],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> Any:
+        ...  # pragma: no cover - protocol signature only
+
+    def submit(
+        self,
+        point: Sequence[float],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> Any:
+        ...  # pragma: no cover - protocol signature only
+
+    def stats(self) -> Any:
+        ...  # pragma: no cover - protocol signature only
+
+    def snapshot(self) -> EngineSnapshot:
+        ...  # pragma: no cover - protocol signature only
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol signature only

@@ -59,9 +59,11 @@ from typing import (
 
 from repro.core.budget import Budget
 from repro.core.config import QueryConfig
-from repro.core.query import NNResult
+from repro.core.query import NNResult, resolve_config
 from repro.errors import AdmissionRejected, InvalidParameterError, QuotaExceeded
 from repro.service.engine import DEFAULT_CACHE_SIZE, QueryEngine
+from repro.service.options import EngineOptions
+from repro.service.protocol import Engine, EngineSnapshot
 from repro.storage.breaker import CircuitBreaker
 
 if TYPE_CHECKING:  # a runtime import would cycle through repro.obs
@@ -400,10 +402,18 @@ class _Request:
 
 
 class ResilientEngine:
-    """Admission-controlled serving over a :class:`QueryEngine`.
+    """Admission-controlled serving over any backend :class:`Engine`.
 
     Args:
-        tree: The index to serve (as for :class:`QueryEngine`).
+        tree: The index to serve — builds an inner :class:`QueryEngine`
+            over it.  Mutually exclusive with *engine*.
+        engine: An already-constructed backend implementing the
+            :class:`~repro.service.protocol.Engine` protocol (a
+            :class:`QueryEngine`, a
+            :class:`~repro.shard.ShardedQueryEngine`, anything
+            shape-compatible).  The wrapper takes ownership: its
+            :meth:`close` closes the backend.  No ``isinstance``
+            special-casing — only the protocol surface is used.
         config: Default :class:`QueryConfig`; per-submit overrides apply.
         workers: Serving worker threads (the bounded queue feeds them).
         queue_capacity: Maximum waiting requests before shedding.
@@ -420,19 +430,26 @@ class ResilientEngine:
         breaker: Optional :class:`~repro.storage.breaker.CircuitBreaker`
             whose state is exported with the stats (wire the same
             instance into the :class:`~repro.rtree.disk.DiskRTree`).
+        options: :class:`~repro.service.options.EngineOptions` for the
+            inner engine built from *tree* (its ``workers`` field is
+            forced to 1 — see below).  Only valid with *tree*.
         cache_size / packed / buffer_pages / slow_query_ms / slow_log:
-            Passed through to the inner :class:`QueryEngine`.
+            Legacy spellings of the same inner-engine options; override
+            matching *options* fields.  Only valid with *tree*.
         clock: Injectable monotonic clock (tests).
 
-    The inner engine runs with ``workers=1`` — meaning *no* second
-    thread pool; this class's workers call into it directly, and its
-    read-write lock keeps concurrent serving safe.  A context manager;
-    :meth:`close` is idempotent and resolves every remaining future.
+    A *tree*-built inner engine runs with ``workers=1`` — meaning *no*
+    second thread pool; this class's workers call into it directly, and
+    its read-write lock keeps concurrent serving safe.  (A passed-in
+    *engine* keeps whatever concurrency it was built with — a sharded
+    backend's worker processes are the point of wrapping it.)  A context
+    manager; :meth:`close` is idempotent and resolves every remaining
+    future.
     """
 
     def __init__(
         self,
-        tree: Any,
+        tree: Any = None,
         config: Optional[QueryConfig] = None,
         workers: int = 4,
         queue_capacity: int = 64,
@@ -443,12 +460,14 @@ class ResilientEngine:
         quota_burst: Optional[float] = None,
         brownout: Optional[BrownoutController] = None,
         breaker: Optional[CircuitBreaker] = None,
-        cache_size: int = DEFAULT_CACHE_SIZE,
-        buffer_pages: int = 0,
-        packed: bool = False,
+        cache_size: Optional[int] = None,
+        buffer_pages: Optional[int] = None,
+        packed: Optional[bool] = None,
         slow_query_ms: Optional[float] = None,
-        slow_log: int = 64,
+        slow_log: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        engine: Optional[Engine] = None,
+        options: Optional[EngineOptions] = None,
     ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
@@ -469,16 +488,34 @@ class ResilientEngine:
             raise InvalidParameterError(
                 "quota_rate and quota_burst must be set together"
             )
-        self.engine = QueryEngine(
-            tree,
-            config=config,
-            workers=1,
-            cache_size=cache_size,
-            buffer_pages=buffer_pages,
-            packed=packed,
-            slow_query_ms=slow_query_ms,
-            slow_log=slow_log,
-        )
+        if (tree is None) == (engine is None):
+            raise InvalidParameterError(
+                "pass exactly one of tree= or engine="
+            )
+        if engine is not None:
+            engine_knobs = (
+                options, cache_size, buffer_pages, packed,
+                slow_query_ms, slow_log,
+            )
+            if any(knob is not None for knob in engine_knobs):
+                raise InvalidParameterError(
+                    "engine= carries its own execution options; drop "
+                    "options=/cache_size=/buffer_pages=/packed=/"
+                    "slow_query_ms=/slow_log="
+                )
+            self.engine: Engine = engine
+        else:
+            inner = (
+                options if options is not None else EngineOptions()
+            ).merged(
+                cache_size=cache_size,
+                buffer_pages=buffer_pages,
+                packed=packed,
+                slow_query_ms=slow_query_ms,
+                slow_log=slow_log,
+            ).merged(workers=1)
+            self.engine = QueryEngine(tree, config=config, options=inner)
+        self._default_config = config
         self.workers = workers
         self.queue_capacity = queue_capacity
         self.shed_policy = shed_policy
@@ -554,7 +591,7 @@ class ResilientEngine:
         future, so producers and the admission path stay decoupled.
         """
         future: "Future[Served]" = Future()
-        cfg = self.engine._effective_config(k, config)
+        cfg = self._effective_config(k, config)
         if budget is not None:
             cfg = cfg.replace(budget=budget)
         elif cfg.budget is None and self.default_budget is not None:
@@ -620,6 +657,24 @@ class ResilientEngine:
         return self.submit(
             point, k=k, config=config, budget=budget, client=client
         ).result(timeout)
+
+    def _effective_config(
+        self, k: Optional[int], config: Optional[QueryConfig]
+    ) -> QueryConfig:
+        """Resolve a per-submit config against the serving defaults.
+
+        Deliberately local — programming against the backend through the
+        public :class:`Engine` protocol only, never its private helpers.
+        A backend that exposes a ``config`` default (all in-tree engines
+        do) contributes it when neither the submit nor this wrapper set
+        one.
+        """
+        base = config
+        if base is None:
+            base = self._default_config
+        if base is None:
+            base = getattr(self.engine, "config", None)
+        return resolve_config(base if base is not None else QueryConfig(), k=k)
 
     # ------------------------------------------------------------------
     # Admission internals (callers hold self._lock)
@@ -807,6 +862,27 @@ class ResilientEngine:
                     else 0
                 ),
             )
+
+    def snapshot(self) -> EngineSnapshot:
+        """The backend's snapshot, tagged with the admission layer.
+
+        ``backend`` composes as ``"resilient+<inner>"`` so a wrapped
+        sharded engine reports ``"resilient+sharded"``; epoch and size
+        pass through from the backend.
+        """
+        inner = self.engine.snapshot()
+        detail = dict(inner.detail)
+        detail.update(
+            admission_workers=self.workers,
+            queue_capacity=self.queue_capacity,
+            shed_policy=self.shed_policy,
+        )
+        return EngineSnapshot(
+            backend=f"resilient+{inner.backend}",
+            epoch=inner.epoch,
+            size=inner.size,
+            detail=detail,
+        )
 
     def register_metrics(
         self, registry: MetricsRegistry, prefix: str = "resilience"

@@ -1,0 +1,46 @@
+"""Sharded multi-process serving over shared-memory packed slabs.
+
+The GIL caps the thread-based :class:`~repro.service.QueryEngine` at
+one core of packed-kernel work no matter how many worker threads it
+runs.  :class:`ShardedQueryEngine` escapes that ceiling:
+
+- :mod:`repro.shard.partition` tiles the item set into N spatially
+  coherent shards (STR discipline, hash-of-region fallback);
+- :mod:`repro.shard.slab` exports each shard's
+  :class:`~repro.packed.PackedTree` slabs into one
+  ``multiprocessing.shared_memory`` segment, attached zero-copy;
+- :mod:`repro.shard.worker` hosts each shard in a worker process;
+- :mod:`repro.shard.engine` scatter-gathers queries across the
+  workers, pruning whole shards with the paper's P3 bound lifted to
+  shard MBRs, and merges with the kernels' tie discipline.
+
+It implements the same :class:`~repro.service.protocol.Engine` protocol
+as the thread engines, so it drops in behind
+:class:`~repro.service.ResilientEngine` or the audit unchanged.  Start
+here: docs/SHARDING.md.
+"""
+
+from repro.shard.engine import ShardedQueryEngine, ShardedStats
+from repro.shard.partition import PARTITION_METHODS, ShardPlan, plan_shards
+from repro.shard.slab import (
+    AttachedSlab,
+    ExportedSlab,
+    LazyRects,
+    SlabManifest,
+    attach_slab,
+    export_slab,
+)
+
+__all__ = [
+    "AttachedSlab",
+    "ExportedSlab",
+    "LazyRects",
+    "PARTITION_METHODS",
+    "ShardPlan",
+    "ShardedQueryEngine",
+    "ShardedStats",
+    "SlabManifest",
+    "attach_slab",
+    "export_slab",
+    "plan_shards",
+]

@@ -1,0 +1,919 @@
+"""`ShardedQueryEngine`: multi-process scatter-gather k-NN serving.
+
+The thread-based :class:`~repro.service.QueryEngine` serializes packed-
+kernel CPU work on the GIL; this engine escapes it.  The index is
+partitioned into N spatially coherent :class:`~repro.packed.PackedTree`
+shards (:mod:`repro.shard.partition`), each shard's slabs live in a
+``multiprocessing.shared_memory`` segment (:mod:`repro.shard.slab`),
+and each shard is served by its own worker *process*
+(:mod:`repro.shard.worker`) that attached the segment zero-copy.
+
+A query is answered by scatter-gather with the paper's P3 bound lifted
+from node level to shard level:
+
+1. Compute ``MINDIST(q, shard_MBR)`` for every shard and sort.
+2. **Round 1:** query the nearest shard synchronously.  If it returns a
+   full k (untruncated), its k-th distance ``d_k`` becomes the pruning
+   bound.
+3. **Round 2:** every other shard with
+   ``MINDIST >= d_k / (1 + eps)^2`` is pruned outright — by Theorem 1
+   (MINDIST lower-bounds the distance of everything inside an MBR) it
+   cannot improve any of the k distances.  Survivors are queried *in
+   parallel*, one in-flight request per worker pipe.
+4. Merge all per-shard results with the same tie discipline the
+   kernels use — sort by ``(distance², shard, within-shard rank)`` —
+   and keep the first k.
+
+Degradation is first-class: a worker that dies (crash, OOM-kill) fails
+only in-flight requests.  The merged answer is then flagged
+``truncated=True`` with ``truncation_reason="shard-lost"`` and a
+frontier bound of ``min`` over the lost shard MINDISTs (plus any
+truncated-shard frontiers and pruned-shard MINDISTs), which is exactly
+the contract :func:`repro.audit.check_truncated_result` certifies.
+
+A snapshot swap (:meth:`ShardedQueryEngine.republish`) re-partitions,
+exports fresh segments under the next epoch, and publishes each
+segment *name* to its worker; workers re-attach and the old epoch's
+segments are unlinked once every worker acknowledged — dead workers are
+respawned in the same pass.  See docs/SHARDING.md for the lifecycle
+state machine and the pruning-bound derivation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import secrets
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import QueryConfig
+from repro.core.metrics import mindist_squared
+from repro.core.query import NNResult, resolve_config
+from repro.core.stats import SearchStats
+from repro.errors import InvalidParameterError, ShardLostError
+from repro.geometry.rect import Rect
+from repro.packed.kernels import run_packed_query
+from repro.packed.layout import PackedTree
+from repro.rtree.bulk import bulk_load
+from repro.service.cache import ResultCache
+from repro.service.locks import ReadWriteLock
+from repro.service.options import EngineOptions
+from repro.service.protocol import EngineSnapshot
+from repro.service.stats import LatencyRecorder
+from repro.shard.partition import ShardPlan, plan_shards
+from repro.shard.slab import ExportedSlab, export_slab
+from repro.shard.worker import shard_worker_main
+
+__all__ = ["ShardedQueryEngine", "ShardedStats"]
+
+_INF = float("inf")
+
+#: Miss sentinel (an ``NNResult`` is never ``None``, but a falsy cached
+#: value must not read as a miss — same convention as the thread engine).
+_CACHE_MISS = object()
+
+#: How long boot/publish/close waits on a worker before declaring it
+#: lost.  Generous: attach cost is milliseconds even for large slabs.
+_WORKER_TIMEOUT = 30.0
+
+
+def _point_key(point: Sequence[float]) -> Tuple[float, ...]:
+    return tuple(float(c) for c in point)
+
+
+def _mp_context():
+    """Prefer fork (fast, Linux); fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass(frozen=True)
+class ShardedStats:
+    """One immutable snapshot of a :class:`ShardedQueryEngine`."""
+
+    #: Queries answered (hits + executed).
+    queries: int
+    #: Answered straight from the result cache.
+    cache_hits: int
+    #: Answered by scatter-gather.
+    executed: int
+    #: Queries that raised out of the serving path.
+    failures: int
+    #: Shard count (== worker processes in process mode).
+    shards: int
+    #: Workers currently alive (== ``shards`` unless some died).
+    workers_alive: int
+    #: Publish epoch being served.
+    epoch: int
+    #: Per-shard requests actually sent (after pruning).
+    shards_queried: int
+    #: Shards skipped because their MBR MINDIST beat the k-th distance.
+    shards_pruned: int
+    #: Merged answers degraded by a lost worker (``shard-lost``).
+    degraded: int
+    #: Median / tail latencies, milliseconds.
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    latency_max_ms: float
+    #: Logical pages per executed query, summed across queried shards.
+    pages_per_query: float
+    #: Shared-memory bytes currently published across all shards.
+    segment_bytes: int
+    #: Item count per shard (load-balance visibility).
+    shard_sizes: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.queries:
+            return 0.0
+        return self.cache_hits / self.queries
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of shard visits avoided by the shard-level P3 bound."""
+        considered = self.shards_queried + self.shards_pruned
+        if not considered:
+            return 0.0
+        return self.shards_pruned / considered
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"sharded engine: {self.shards} shards "
+            f"({self.workers_alive} alive), epoch {self.epoch}, "
+            f"{self.segment_bytes}B shared",
+            f"  queries {self.queries} (hits {self.cache_hits}, "
+            f"executed {self.executed}, failures {self.failures}, "
+            f"degraded {self.degraded})",
+            f"  shard visits {self.shards_queried}, pruned "
+            f"{self.shards_pruned} ({self.prune_ratio:.0%})",
+            f"  latency ms p50 {self.latency_p50_ms:.3f} "
+            f"p95 {self.latency_p95_ms:.3f} p99 {self.latency_p99_ms:.3f} "
+            f"max {self.latency_max_ms:.3f}",
+            f"  pages/query {self.pages_per_query:.1f}, "
+            f"shard sizes {list(self.shard_sizes)}",
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat counter dict (metrics-registry export shape)."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failures": self.failures,
+            "shards": self.shards,
+            "workers_alive": self.workers_alive,
+            "epoch": self.epoch,
+            "shards_queried": self.shards_queried,
+            "shards_pruned": self.shards_pruned,
+            "prune_ratio": self.prune_ratio,
+            "degraded": self.degraded,
+            "hit_ratio": self.hit_ratio,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "latency_max_ms": self.latency_max_ms,
+            "pages_per_query": self.pages_per_query,
+            "segment_bytes": self.segment_bytes,
+        }
+
+    def export(self) -> Dict[str, Any]:
+        return self.as_dict()
+
+
+class _ProcessShard:
+    """Parent-side handle on one shard worker process.
+
+    Owns the pipe, a dedicated reader thread that resolves responses to
+    futures by request id (so many queries pipeline over one pipe), and
+    the dead/alive state.  All sends go through one lock; the reader
+    thread is the only receiver.
+    """
+
+    def __init__(self, index: int, ctx: Any) -> None:
+        self.index = index
+        self.mbr: Optional[Rect] = None
+        self.size = 0
+        self._ctx = ctx
+        self.dead = False
+        self.proc: Optional[Any] = None
+        self.conn: Optional[Any] = None
+        self._reader: Optional[threading.Thread] = None
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._rids = itertools.count(1)
+        self._cond = threading.Condition()
+        self._ready_epochs: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, slab: ExportedSlab, mbr: Optional[Rect], size: int) -> None:
+        self.mbr = mbr
+        self.size = size
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, slab.manifest),
+            name=f"repro-shard-{self.index}",
+            daemon=True,
+        )
+        proc.start()
+        # The parent must drop its copy of the child end, or a worker
+        # crash would never surface as EOF on the parent's pipe.
+        child_conn.close()
+        self.proc = proc
+        self.conn = parent_conn
+        self.dead = False
+        self._ready_epochs.clear()
+        reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-shard-reader-{self.index}",
+            daemon=True,
+        )
+        reader.start()
+        self._reader = reader
+
+    def wait_ready(self, epoch: int, timeout: float = _WORKER_TIMEOUT) -> None:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: epoch in self._ready_epochs or self.dead, timeout
+            )
+        if self.dead or not ok:
+            self._mark_dead()
+            raise ShardLostError(
+                f"shard {self.index} worker failed to attach epoch {epoch}"
+            )
+
+    def publish(self, slab: ExportedSlab, mbr: Optional[Rect], size: int) -> None:
+        """Send the new segment name; caller waits via :meth:`wait_ready`."""
+        self.mbr = mbr
+        self.size = size
+        with self._send_lock:
+            if self.dead:
+                raise ShardLostError(f"shard {self.index} worker is dead")
+            self.conn.send(("publish", slab.manifest))
+
+    def request_close(self) -> None:
+        with self._send_lock:
+            if self.dead or self.conn is None:
+                return
+            try:
+                self.conn.send(("close",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+
+    def finalize(self, timeout: float = _WORKER_TIMEOUT) -> None:
+        proc = self.proc
+        if proc is not None:
+            proc.join(timeout)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(1.0)
+            if proc.is_alive() and hasattr(proc, "kill"):  # pragma: no cover
+                proc.kill()
+                proc.join(1.0)
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        reader = self._reader
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=5.0)
+        self._mark_dead()
+
+    # -- request path --------------------------------------------------
+    def submit(self, point: Tuple[float, ...], cfg: QueryConfig) -> Future:
+        fut: Future = Future()
+        with self._send_lock:
+            if self.dead:
+                fut.set_exception(
+                    ShardLostError(f"shard {self.index} worker is dead")
+                )
+                return fut
+            rid = next(self._rids)
+            with self._pending_lock:
+                self._pending[rid] = fut
+            try:
+                self.conn.send(("query", rid, point, cfg))
+            except (OSError, ValueError, BrokenPipeError):
+                with self._pending_lock:
+                    self._pending.pop(rid, None)
+                self._mark_dead()
+                fut.set_exception(
+                    ShardLostError(f"shard {self.index} pipe broke on send")
+                )
+        return fut
+
+    # -- internals -----------------------------------------------------
+    def _read_loop(self) -> None:
+        conn = self.conn
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            except (TypeError, ValueError):
+                # finalize() closed our end of the pipe from another
+                # thread mid-recv: Connection nulls its handle and the
+                # blocked read surfaces this instead of EOFError.
+                break
+            tag = msg[0]
+            if tag == "ok":
+                fut = self._pop(msg[1])
+                if fut is not None:
+                    fut.set_result(msg[2])
+            elif tag == "err":
+                fut = self._pop(msg[1])
+                if fut is not None:
+                    fut.set_exception(msg[2])
+            elif tag == "ready":
+                with self._cond:
+                    self._ready_epochs.add(msg[1])
+                    self._cond.notify_all()
+            elif tag == "closed":
+                # The worker is about to exit; EOF follows.
+                continue
+        self._mark_dead()
+
+    def _pop(self, rid: int) -> Optional[Future]:
+        with self._pending_lock:
+            return self._pending.pop(rid, None)
+
+    def _mark_dead(self) -> None:
+        self.dead = True
+        with self._pending_lock:
+            orphans = list(self._pending.values())
+            self._pending.clear()
+        for fut in orphans:
+            if not fut.done():
+                fut.set_exception(
+                    ShardLostError(f"shard {self.index} worker died mid-query")
+                )
+        with self._cond:
+            self._cond.notify_all()
+
+
+class _InlineShard:
+    """Same interface as :class:`_ProcessShard`, executed in-process.
+
+    Used by ``processes=False`` — no shared memory, no pipes, the packed
+    kernels run in the calling thread.  Differential tests rely on the
+    two modes producing bit-identical answers.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.mbr: Optional[Rect] = None
+        self.size = 0
+        self.dead = False
+        self.ptree: Optional[PackedTree] = None
+
+    def start(self, ptree: PackedTree, mbr: Optional[Rect], size: int) -> None:
+        self.ptree = ptree
+        self.mbr = mbr
+        self.size = size
+
+    def wait_ready(self, epoch: int, timeout: float = 0.0) -> None:
+        pass
+
+    def publish(self, ptree: PackedTree, mbr: Optional[Rect], size: int) -> None:
+        self.start(ptree, mbr, size)
+
+    def request_close(self) -> None:
+        pass
+
+    def finalize(self, timeout: float = 0.0) -> None:
+        self.ptree = None
+        self.dead = True
+
+    def submit(self, point: Tuple[float, ...], cfg: QueryConfig) -> Future:
+        fut: Future = Future()
+        try:
+            fut.set_result(run_packed_query(self.ptree, point, cfg))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            fut.set_exception(exc)
+        return fut
+
+
+class ShardedQueryEngine:
+    """Scatter-gather k-NN over N process-hosted packed shards.
+
+    Args:
+        tree: The index to shard — any tree exposing ``items()`` (an
+            :class:`~repro.rtree.tree.RTree`, a
+            :class:`~repro.rtree.disk.DiskRTree`, …).  Mutually
+            exclusive with *items*.
+        items: Raw ``(rect_or_point, payload)`` pairs to index, for
+            callers that never built a single tree at all.
+        shards: Target shard count (effective count is capped at the
+            item count; each shard gets its own worker process).
+        config: Default :class:`QueryConfig`, per-call overridable —
+            same contract as the thread engine.
+        options: :class:`~repro.service.options.EngineOptions`;
+            ``workers`` sizes the client-side submit pool, ``cache_size``
+            the result cache.  ``packed`` is implied (the slabs *are*
+            the shards) and ``buffer_pages`` does not apply.
+        partitioner: ``"auto"`` | ``"str"`` | ``"hash"`` (see
+            :func:`repro.shard.partition.plan_shards`).
+        processes: ``False`` runs every shard inline in the calling
+            thread — no workers, no shared memory — producing
+            bit-identical answers (the differential-testing seam, and a
+            useful mode on single-core machines).
+        max_entries: Node fanout for the per-shard STR bulk loads
+            (default: the source tree's, else 8).
+
+    The engine is read-only: there is no ``insert``/``delete``; call
+    :meth:`republish` with fresh items to swap the whole snapshot.
+    Thread-safe: any thread may call ``query``/``submit``; ``republish``
+    and ``close`` exclude queries with a writer-preferring RW lock.
+    """
+
+    def __init__(
+        self,
+        tree: Any = None,
+        items: Optional[Sequence[Tuple[Any, Any]]] = None,
+        shards: int = 4,
+        config: Optional[QueryConfig] = None,
+        options: Optional[EngineOptions] = None,
+        partitioner: str = "auto",
+        processes: bool = True,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if (tree is None) == (items is None):
+            raise InvalidParameterError(
+                "pass exactly one of tree= or items="
+            )
+        if shards < 1:
+            raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+        self.config = config if config is not None else QueryConfig()
+        self.options = (options or EngineOptions()).merged(packed=True)
+        self.partitioner = partitioner
+        self.processes = processes
+        self._max_entries = max_entries or getattr(tree, "max_entries", None) or 8
+        self._ctx = _mp_context() if processes else None
+        self._name_prefix = (
+            f"repro-shard-{os.getpid():x}-{secrets.token_hex(4)}"
+        )
+        self._rwlock = ReadWriteLock()
+        self._swap_lock = threading.Lock()
+        self.cache = ResultCache(self.options.cache_size)
+        self._latency = LatencyRecorder()
+        self._closed = False
+        self._epoch = 0
+        self._plan: Optional[ShardPlan] = None
+        self._handles: List[Any] = []
+        self._slabs: List[ExportedSlab] = []
+        self._client_pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=self.options.workers,
+                thread_name_prefix="repro-shard-client",
+            )
+            if self.options.workers > 1
+            else None
+        )
+        self._stats_lock = threading.Lock()
+        self._queries = 0
+        self._cache_hits = 0
+        self._executed = 0
+        self._failures = 0
+        self._shards_queried = 0
+        self._shards_pruned = 0
+        self._degraded = 0
+        self._pages_total = 0
+        source = list(tree.items()) if tree is not None else list(items)
+        try:
+            self._publish(source, shards, boot=True)
+        except BaseException:
+            self._teardown()
+            raise
+
+    @property
+    def name_prefix(self) -> str:
+        """The name prefix of every shared-memory segment this engine owns.
+
+        The leak contract: after :meth:`close` returns, no segment whose
+        name starts with this prefix exists system-wide (checked by the
+        CI shard job and ``repro.bench shard`` against ``/dev/shm``).
+        """
+        return self._name_prefix
+
+    # ------------------------------------------------------------------
+    # Publish / swap
+    # ------------------------------------------------------------------
+    def _build_shards(
+        self, source: List[Tuple[Any, Any]], shards: int, epoch: int
+    ) -> Tuple[ShardPlan, List[PackedTree], List[ExportedSlab]]:
+        """Partition, bulk-load, pack and (in process mode) export."""
+        plan = plan_shards(source, shards, self.partitioner)
+        ptrees: List[PackedTree] = []
+        slabs: List[ExportedSlab] = []
+        for index, group in enumerate(plan.groups):
+            subtree = bulk_load(list(group), max_entries=self._max_entries)
+            ptree = PackedTree.from_tree(subtree)
+            # Stamp the engine's publish epoch: it keys worker ready
+            # acks, segment names and the result cache.
+            ptree.epoch = epoch
+            ptrees.append(ptree)
+            if self.processes:
+                name = f"{self._name_prefix}-e{epoch}-s{index}"
+                slabs.append(
+                    export_slab(ptree, index, plan.mbrs[index], name)
+                )
+        return plan, ptrees, slabs
+
+    def _publish(
+        self, source: List[Tuple[Any, Any]], shards: int, boot: bool
+    ) -> None:
+        epoch = self._epoch + 1
+        plan, ptrees, slabs = self._build_shards(source, shards, epoch)
+        if not boot and plan.shards != len(self._handles):
+            for slab in slabs:
+                slab.unlink()
+            raise InvalidParameterError(
+                f"republish must keep the shard count: engine has "
+                f"{len(self._handles)} shards, new plan has {plan.shards} "
+                f"(need >= one item per shard)"
+            )
+        if boot:
+            if self.processes:
+                self._handles = [
+                    _ProcessShard(i, self._ctx) for i in range(plan.shards)
+                ]
+            else:
+                self._handles = [
+                    _InlineShard(i) for i in range(plan.shards)
+                ]
+        old_slabs = self._slabs
+        if self.processes:
+            pending: List[_ProcessShard] = []
+            for handle, slab, mbr, group in zip(
+                self._handles, slabs, plan.mbrs, plan.groups
+            ):
+                if boot or handle.dead:
+                    # Boot, or self-heal a dead worker on republish.
+                    handle.start(slab, mbr, len(group))
+                else:
+                    handle.publish(slab, mbr, len(group))
+                pending.append(handle)
+            for handle in pending:
+                handle.wait_ready(epoch)
+        else:
+            for handle, ptree, mbr, group in zip(
+                self._handles, ptrees, plan.mbrs, plan.groups
+            ):
+                if boot:
+                    handle.start(ptree, mbr, len(group))
+                else:
+                    handle.publish(ptree, mbr, len(group))
+        # Every worker acknowledged the new epoch: retire the old one.
+        self._plan = plan
+        self._slabs = slabs
+        self._epoch = epoch
+        for slab in old_slabs:
+            slab.unlink()
+        if self.cache.capacity > 0:
+            self.cache.invalidate_epoch(epoch)
+
+    def republish(
+        self,
+        tree: Any = None,
+        items: Optional[Sequence[Tuple[Any, Any]]] = None,
+    ) -> int:
+        """Swap the served snapshot for fresh data; returns the new epoch.
+
+        One name-publish per shard: new segments are exported under the
+        next epoch, workers re-attach (dead workers are respawned), and
+        the previous epoch's segments are unlinked only after every
+        worker acknowledged.  Queries in flight during the swap see the
+        old epoch; queries after it see the new one — the result cache
+        is keyed by epoch, so no stale answer survives.
+        """
+        if (tree is None) == (items is None):
+            raise InvalidParameterError("pass exactly one of tree= or items=")
+        source = list(tree.items()) if tree is not None else list(items)
+        with self._swap_lock:
+            self._ensure_open()
+            with self._rwlock.write():
+                self._publish(source, len(self._handles), boot=False)
+                return self._epoch
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        point: Sequence[float],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> NNResult:
+        """Answer one k-NN query (cache-first, then scatter-gather)."""
+        self._ensure_open()
+        cfg = self._effective_config(k, config)
+        return self._serve(point, cfg)
+
+    def submit(
+        self,
+        point: Sequence[float],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> "Future[NNResult]":
+        """Asynchronous :meth:`query`; the future never hangs."""
+        self._ensure_open()
+        cfg = self._effective_config(k, config)
+        pool = self._client_pool
+        if pool is None:
+            fut: Future = Future()
+            try:
+                fut.set_result(self._serve(point, cfg))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                fut.set_exception(exc)
+            return fut
+        return pool.submit(self._serve, point, cfg)
+
+    def query_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        k: Optional[int] = None,
+        config: Optional[QueryConfig] = None,
+    ) -> List[NNResult]:
+        """Answer a batch, one result per point, in order."""
+        if not points:
+            raise InvalidParameterError("points must be non-empty")
+        self._ensure_open()
+        cfg = self._effective_config(k, config)
+        pool = self._client_pool
+        if pool is None:
+            return [self._serve(p, cfg) for p in points]
+        futures = [pool.submit(self._serve, p, cfg) for p in points]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ShardedStats:
+        """An immutable :class:`ShardedStats` snapshot."""
+        p50, p95, p99, mean, max_ms = self._latency.snapshot_ms()
+        alive = sum(1 for h in self._handles if not h.dead)
+        seg_bytes = sum(s.manifest.total_bytes for s in self._slabs)
+        sizes = tuple(h.size for h in self._handles)
+        with self._stats_lock:
+            executed = self._executed
+            return ShardedStats(
+                queries=self._queries,
+                cache_hits=self._cache_hits,
+                executed=executed,
+                failures=self._failures,
+                shards=len(self._handles),
+                workers_alive=alive,
+                epoch=self._epoch,
+                shards_queried=self._shards_queried,
+                shards_pruned=self._shards_pruned,
+                degraded=self._degraded,
+                latency_p50_ms=p50,
+                latency_p95_ms=p95,
+                latency_p99_ms=p99,
+                latency_mean_ms=mean,
+                latency_max_ms=max_ms,
+                pages_per_query=(
+                    self._pages_total / executed if executed else 0.0
+                ),
+                segment_bytes=seg_bytes,
+                shard_sizes=sizes,
+            )
+
+    def snapshot(self) -> EngineSnapshot:
+        """What this engine serves: epoch, size, shard layout."""
+        detail: Dict[str, Any] = {
+            "shards": len(self._handles),
+            "mode": "process" if self.processes else "inline",
+            "partitioner": self._plan.method if self._plan else "?",
+            "workers_alive": sum(1 for h in self._handles if not h.dead),
+        }
+        if self.processes:
+            detail["segments"] = [s.name for s in self._slabs]
+        return EngineSnapshot(
+            backend="sharded",
+            epoch=self._epoch,
+            size=sum(h.size for h in self._handles),
+            detail=detail,
+        )
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop serving, stop workers, unlink every segment.  Idempotent.
+
+        After ``close()`` returns there are no worker processes, no
+        reader threads, and — the leak contract the CI job asserts — no
+        shared-memory segments left under this engine's name prefix.
+        """
+        with self._swap_lock:
+            if self._closed:
+                return
+            self._closed = True
+        pool = self._client_pool
+        if pool is not None:
+            pool.shutdown(wait=True)
+            self._client_pool = None
+        self._teardown(timeout if timeout is not None else _WORKER_TIMEOUT)
+
+    def _teardown(self, timeout: float = _WORKER_TIMEOUT) -> None:
+        for handle in self._handles:
+            handle.request_close()
+        for handle in self._handles:
+            handle.finalize(timeout)
+        for slab in self._slabs:
+            slab.unlink()
+        self._slabs = []
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "process" if self.processes else "inline"
+        return (
+            f"ShardedQueryEngine(shards={len(self._handles)}, mode={mode}, "
+            f"epoch={self._epoch}, size={sum(h.size for h in self._handles)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _effective_config(
+        self, k: Optional[int], config: Optional[QueryConfig]
+    ) -> QueryConfig:
+        base = config if config is not None else self.config
+        cfg = resolve_config(base, k=k)
+        if cfg.object_distance_sq is not None:
+            raise InvalidParameterError(
+                "ShardedQueryEngine serves packed kernels only; "
+                "object_distance_sq needs the object-graph kernels "
+                "(use QueryEngine)"
+            )
+        return cfg
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise InvalidParameterError("ShardedQueryEngine is closed")
+
+    def _serve(self, point: Sequence[float], cfg: QueryConfig) -> NNResult:
+        start = time.perf_counter()
+        try:
+            with self._rwlock.read():
+                epoch = self._epoch
+                use_cache = self.cache.capacity > 0
+                key = (_point_key(point), cfg.cache_key(), epoch)
+                if use_cache:
+                    cached = self.cache.get(key, _CACHE_MISS)
+                    if cached is not _CACHE_MISS:
+                        with self._stats_lock:
+                            self._queries += 1
+                            self._cache_hits += 1
+                        return cached
+                result = self._scatter(_point_key(point), cfg)
+                if use_cache and not result.stats.truncated:
+                    self.cache.put(key, result)
+                with self._stats_lock:
+                    self._queries += 1
+                    self._executed += 1
+                    self._pages_total += result.stats.nodes_accessed
+                return result
+        except BaseException:
+            with self._stats_lock:
+                self._failures += 1
+            raise
+        finally:
+            self._latency.record(time.perf_counter() - start)
+
+    def _scatter(self, point: Tuple[float, ...], cfg: QueryConfig) -> NNResult:
+        handles = self._handles
+        minds = [
+            mindist_squared(point, h.mbr) if h.mbr is not None else _INF
+            for h in handles
+        ]
+        order = sorted(range(len(handles)), key=lambda i: (minds[i], i))
+        epsilon = cfg.epsilon
+        shrink_sq = (
+            1.0 / ((1.0 + epsilon) * (1.0 + epsilon)) if epsilon else 1.0
+        )
+        # Shard pruning is the paper's P3 lifted to shard MBRs; respect
+        # a pruning config that turned P3 off (audit parity).
+        use_prune = cfg.pruning is None or cfg.pruning.use_p3
+
+        collected: List[Tuple[int, NNResult]] = []
+        lost: List[Tuple[int, float]] = []
+        pruned_minds: List[float] = []
+
+        # Round 1: nearest live shard, synchronously — its k-th distance
+        # is the bound that prunes the rest.
+        bound = _INF
+        rest: List[int] = []
+        for pos, i in enumerate(order):
+            if minds[i] == _INF:
+                continue  # empty shard: nothing to ask
+            handle = handles[i]
+            if handle.dead:
+                lost.append((i, minds[i]))
+                continue
+            try:
+                first = handle.submit(point, cfg).result()
+            except ShardLostError:
+                lost.append((i, minds[i]))
+                continue
+            collected.append((i, first))
+            if (
+                use_prune
+                and len(first.neighbors) >= cfg.k
+                and not first.stats.truncated
+            ):
+                bound = first.neighbors[-1].distance_squared
+            rest = order[pos + 1:]
+            break
+
+        # Round 2: prune, then scatter the survivors in parallel.
+        in_flight: List[Tuple[int, Future]] = []
+        for i in rest:
+            if minds[i] == _INF:
+                continue
+            if bound < _INF and minds[i] >= bound * shrink_sq:
+                pruned_minds.append(minds[i])
+                continue
+            handle = handles[i]
+            if handle.dead:
+                lost.append((i, minds[i]))
+                continue
+            in_flight.append((i, handle.submit(point, cfg)))
+        for i, fut in in_flight:
+            try:
+                collected.append((i, fut.result()))
+            except ShardLostError:
+                lost.append((i, minds[i]))
+
+        with self._stats_lock:
+            self._shards_queried += len(collected)
+            self._shards_pruned += len(pruned_minds)
+            if lost:
+                self._degraded += 1
+
+        if not collected and lost:
+            # Every reachable shard died under us: the merged "answer"
+            # would be vacuous.  Still degrade soundly rather than raise
+            # — unless literally no shard is left to recover on.
+            if all(h.dead for h in handles):
+                raise ShardLostError(
+                    "all shard workers are dead; republish() to respawn"
+                )
+        return self._merge(cfg, collected, lost, pruned_minds)
+
+    def _merge(
+        self,
+        cfg: QueryConfig,
+        collected: List[Tuple[int, NNResult]],
+        lost: List[Tuple[int, float]],
+        pruned_minds: List[float],
+    ) -> NNResult:
+        """Tie-aware k-way merge plus degraded-mode accounting."""
+        stats = SearchStats()
+        entries: List[Tuple[float, int, int, Any]] = []
+        for shard_index, result in sorted(collected, key=lambda t: t[0]):
+            stats.merge(result.stats)
+            for rank, neighbor in enumerate(result.neighbors):
+                entries.append(
+                    (neighbor.distance_squared, shard_index, rank, neighbor)
+                )
+        # The kernels break exact distance ties by accept order within
+        # one tree; across shards the deterministic extension is
+        # (distance², shard, within-shard rank).
+        entries.sort(key=lambda e: (e[0], e[1], e[2]))
+        neighbors = [e[3] for e in entries[:cfg.k]]
+
+        shard_frontiers = [
+            r.stats.frontier_sq for _, r in collected if r.stats.truncated
+        ]
+        if shard_frontiers or lost:
+            # Sound frontier for the merged prefix: anything unexamined
+            # lives past a truncated shard's frontier, past a lost
+            # shard's MBR MINDIST, or past a pruned shard's MINDIST.
+            candidates = (
+                shard_frontiers
+                + [mind for _, mind in lost]
+                + pruned_minds
+            )
+            stats.truncated = True
+            if lost:
+                stats.truncation_reason = "shard-lost"
+            stats.frontier_sq = min(candidates) if candidates else 0.0
+        return NNResult(neighbors=neighbors, stats=stats)

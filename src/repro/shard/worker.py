@@ -1,0 +1,92 @@
+"""The shard worker: one process, one attached slab, one command loop.
+
+Workers are deliberately dumb.  The parent engine owns partitioning,
+pruning, merging, caching and statistics; a worker only attaches the
+published segment and answers ``query`` commands by running the packed
+kernels (:func:`repro.packed.kernels.run_packed_query`) on its
+zero-copy :class:`~repro.packed.PackedTree` view.  Keeping workers
+stateless-but-for-the-slab is what makes failure handling simple: a
+dead worker loses in-flight *requests*, never data, and the parent can
+certify the degraded answer with the shard's MBR as the frontier bound
+(see :mod:`repro.shard.engine`).
+
+Wire protocol (one pickled tuple per message, over a ``Pipe``):
+
+========================  =================================================
+parent → worker            worker → parent
+========================  =================================================
+``("query", rid, p, cfg)`` ``("ok", rid, NNResult)`` or ``("err", rid, exc)``
+``("publish", manifest)``  ``("ready", epoch)`` after the re-attach
+``("ping",)``              ``("pong",)``
+``("sleep", seconds)``     *nothing* — test hook to simulate a stall
+``("close",)``             ``("closed",)``, then the worker exits
+========================  =================================================
+
+Requests carry monotonically increasing ids so the parent can pipeline:
+many queries may be in flight on one pipe, and the reader thread on the
+parent side resolves each response to its future by ``rid``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.packed.kernels import run_packed_query
+from repro.shard.slab import AttachedSlab, SlabManifest, attach_slab
+
+__all__ = ["shard_worker_main"]
+
+
+def shard_worker_main(conn: Any, manifest: SlabManifest) -> None:
+    """Entry point of a shard worker process.
+
+    Attaches *manifest*'s segment (untracked — the parent owns cleanup),
+    reports readiness, then serves commands until ``close`` or EOF.  Any
+    per-query exception is shipped back tagged with the request id; only
+    a broken pipe (parent died) or ``close`` ends the loop.
+    """
+    slab: Optional[AttachedSlab] = None
+    try:
+        slab = attach_slab(manifest, untrack=True)
+        conn.send(("ready", manifest.epoch))
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            if op == "query":
+                _, rid, point, cfg = msg
+                try:
+                    result = run_packed_query(slab.ptree, point, cfg)
+                    conn.send(("ok", rid, result))
+                except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                    try:
+                        conn.send(("err", rid, exc))
+                    except Exception:
+                        # Unpicklable exception: degrade to its repr.
+                        conn.send(("err", rid, RuntimeError(repr(exc))))
+            elif op == "publish":
+                _, new_manifest = msg
+                fresh = attach_slab(new_manifest, untrack=True)
+                old, slab = slab, fresh
+                if old is not None:
+                    old.close()
+                conn.send(("ready", new_manifest.epoch))
+            elif op == "ping":
+                conn.send(("pong",))
+            elif op == "sleep":
+                # Test hook: stall the command loop so harnesses can
+                # deterministically kill a worker *mid-request*.
+                time.sleep(msg[1])
+            elif op == "close":
+                break
+    finally:
+        if slab is not None:
+            slab.close()
+        try:
+            conn.send(("closed",))
+        except (OSError, BrokenPipeError):
+            pass
+        conn.close()

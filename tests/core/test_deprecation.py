@@ -1,0 +1,116 @@
+"""The legacy-kwargs deprecation shim: warn once, change nothing.
+
+``config=QueryConfig(...)`` is the query surface; the scattered
+``algorithm=``/``ordering=``/... keywords are deprecated spellings that
+must (a) emit a ``DeprecationWarning`` pointing at the migration guide,
+(b) keep returning exactly the same answers, and (c) never fire for
+callers already on ``config=``.  ``k=`` stays first-class and silent.
+"""
+
+import warnings
+
+import pytest
+
+from repro import QueryConfig, nearest, nearest_batch
+from repro.core.query import NearestNeighborQuery
+from repro.service.options import EngineOptions
+
+from tests.conftest import build_point_tree
+
+
+@pytest.fixture
+def tree(small_points):
+    return build_point_tree(small_points)
+
+
+QUERY = (0.5, 0.5)
+
+
+class TestWarns:
+    def test_nearest_legacy_kwarg_warns(self, tree):
+        with pytest.warns(DeprecationWarning, match="algorithm="):
+            nearest(tree, QUERY, k=2, algorithm="best-first")
+
+    def test_warning_names_every_legacy_kwarg_and_the_guide(self, tree):
+        with pytest.warns(DeprecationWarning) as caught:
+            nearest(tree, QUERY, k=2, ordering="minmaxdist", epsilon=0.1)
+        message = str(caught[0].message)
+        assert "ordering=" in message and "epsilon=" in message
+        assert "QueryConfig" in message
+        assert "docs/API.md" in message
+
+    def test_query_object_legacy_kwarg_warns(self, tree):
+        with pytest.warns(DeprecationWarning, match="NearestNeighborQuery"):
+            NearestNeighborQuery(tree, algorithm="best-first")
+
+    def test_nearest_batch_legacy_kwarg_warns(self, tree):
+        with pytest.warns(DeprecationWarning, match="nearest_batch"):
+            nearest_batch(tree, [QUERY], k=1, ordering="mindist")
+
+
+class TestSilent:
+    def test_config_spelling_is_warning_free(self, tree):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            nearest(tree, QUERY, config=QueryConfig(k=2, algorithm="best-first"))
+            nearest_batch(tree, [QUERY], config=QueryConfig(k=2))
+            NearestNeighborQuery(tree, config=QueryConfig(k=1))
+
+    def test_k_stays_first_class_and_silent(self, tree):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            nearest(tree, QUERY, k=3)
+            nearest_batch(tree, [QUERY], k=3)
+
+
+class TestSameAnswers:
+    def test_legacy_and_config_spellings_agree(self, tree):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = nearest(
+                tree, QUERY, k=3, algorithm="best-first", epsilon=0.2
+            )
+        modern = nearest(
+            tree,
+            QUERY,
+            config=QueryConfig(k=3, algorithm="best-first", epsilon=0.2),
+        )
+        assert [n.payload for n in legacy.neighbors] == [
+            n.payload for n in modern.neighbors
+        ]
+        assert legacy.stats == modern.stats
+
+
+class TestBatchOptionsRouting:
+    """nearest_batch execution knobs route through one EngineOptions."""
+
+    def test_legacy_knobs_and_options_agree(self, tree):
+        queries = [QUERY, (0.2, 0.8), (0.9, 0.1)]
+        legacy_results, legacy_stats, legacy_reads = nearest_batch(
+            tree, queries, k=2, buffer_pages=16
+        )
+        opt_results, opt_stats, opt_reads = nearest_batch(
+            tree,
+            queries,
+            k=2,
+            options=EngineOptions.batch_defaults().merged(buffer_pages=16),
+        )
+        assert [r.distances() for r in legacy_results] == [
+            r.distances() for r in opt_results
+        ]
+        assert legacy_stats == opt_stats
+        assert legacy_reads == opt_reads
+
+    def test_batch_defaults_reproduce_sequential_accounting(self, tree):
+        queries = [QUERY, (0.3, 0.3)]
+        results, stats, reads = nearest_batch(tree, queries, k=1)
+        singles = [nearest(tree, q, k=1) for q in queries]
+        assert [r.distances() for r in results] == [
+            s.distances() for s in singles
+        ]
+
+    def test_batch_defaults_profile(self):
+        opts = EngineOptions.batch_defaults()
+        assert opts.workers == 1
+        assert opts.cache_size == 0
+        assert opts.buffer_pages == 64

@@ -1,0 +1,53 @@
+"""Fixtures for the multi-process sharded-engine suite.
+
+The tie-heavy workload is the adversarial one for a cross-process
+merge: grid-snapped duplicate points sit at *exactly* equal distances
+from grid-aligned queries, and the STR partitioner is guaranteed to cut
+straight through duplicate groups — so any slip in the merge's tie
+discipline (or any float drift crossing the process boundary) shows up
+as a distance-sequence mismatch against the single-tree packed kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.datasets import uniform_points
+from repro.geometry.rect import Rect
+
+
+def grid_tie_items(
+    side: int = 12, copies: int = 3
+) -> List[Tuple[Rect, int]]:
+    """``copies`` duplicate points on every cell of a ``side``x``side`` grid."""
+    items: List[Tuple[Rect, int]] = []
+    payload = 0
+    for gx in range(side):
+        for gy in range(side):
+            for _ in range(copies):
+                items.append(
+                    (Rect.from_point((float(gx), float(gy))), payload)
+                )
+                payload += 1
+    return items
+
+
+def tie_queries(side: int = 12) -> List[Tuple[float, float]]:
+    """Grid-aligned and cell-center queries — maximally tie-provoking."""
+    queries = [(float(g), float(g)) for g in range(0, side, 3)]
+    queries += [(g + 0.5, g + 0.5) for g in range(0, side - 1, 3)]
+    queries += [(float(side) / 2.0, 0.0), (0.0, float(side) / 2.0)]
+    return queries
+
+
+@pytest.fixture(scope="module")
+def tie_items() -> List[Tuple[Rect, int]]:
+    return grid_tie_items()
+
+
+@pytest.fixture(scope="module")
+def uniform_items() -> List[Tuple[Rect, int]]:
+    points = uniform_points(600, seed=77)
+    return [(Rect.from_point(p), i) for i, p in enumerate(points)]

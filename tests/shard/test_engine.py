@@ -1,0 +1,244 @@
+"""ShardedQueryEngine correctness: merge fidelity, options, lifecycle.
+
+The headline property: scatter-gather across worker processes is
+*observationally identical* to the single-tree packed kernel on the
+distance sequence (payloads may differ under exact ties — the merge
+breaks them by ``(distance², shard, within-shard rank)``, the kernels by
+accept order), and the process-hosted engine is bit-identical to the
+inline one, payloads included, because partitioning and merging are
+deterministic.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.baselines.linear_scan import linear_scan_items
+from repro.audit.oracle import check_result, check_truncated_result
+from repro.core.budget import Budget
+from repro.core.config import QueryConfig
+from repro.core.pruning import PruningConfig
+from repro.errors import InvalidParameterError
+from repro.packed.kernels import run_packed_query
+from repro.packed.layout import PackedTree
+from repro.rtree.bulk import bulk_load
+from repro.service.options import EngineOptions
+from repro.service.protocol import Engine, EngineSnapshot
+from repro.shard import ShardedQueryEngine
+
+from tests.shard.conftest import grid_tie_items, tie_queries
+
+pytestmark = pytest.mark.shard
+
+FAST = EngineOptions(workers=1, cache_size=0)
+
+
+def _pairs(result):
+    return [(n.payload, n.distance) for n in result.neighbors]
+
+
+@pytest.fixture(scope="module")
+def tie_engine(tie_items):
+    with ShardedQueryEngine(items=tie_items, shards=3, options=FAST) as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def tie_packed(tie_items):
+    return PackedTree.from_tree(bulk_load(list(tie_items), max_entries=8))
+
+
+class TestTieHeavyMerge:
+    @pytest.mark.parametrize("k", [1, 3, 7, 16])
+    def test_distance_sequence_bit_identical_to_single_tree(
+        self, tie_engine, tie_packed, k
+    ):
+        """Cross-shard merge == single packed tree, exact float equality.
+
+        Distances are computed from the same coordinates by the same
+        kernels on both sides, so nothing weaker than ``==`` (no
+        tolerance) is acceptable even with duplicates straddling every
+        shard boundary.
+        """
+        cfg = QueryConfig(k=k)
+        for q in tie_queries():
+            merged = tie_engine.query(q, config=cfg)
+            single = run_packed_query(tie_packed, q, cfg)
+            assert [n.distance for n in merged.neighbors] == [
+                n.distance for n in single.neighbors
+            ]
+            assert len(merged.neighbors) == k
+
+    @pytest.mark.parametrize("k", [3, 16])
+    def test_oracle_clean_on_ties(self, tie_engine, tie_items, k):
+        for q in tie_queries():
+            exact = linear_scan_items(tie_items, q, k=k)
+            result = tie_engine.query(q, k=k)
+            assert (
+                check_result(result.neighbors, q, k, exact, combo="sharded")
+                == []
+            )
+
+    def test_process_and_inline_bit_identical(self, tie_items, tie_engine):
+        """Same plan, same kernels, same merge — payloads included."""
+        with ShardedQueryEngine(
+            items=tie_items, shards=3, options=FAST, processes=False
+        ) as inline:
+            for q in tie_queries():
+                for k in (1, 5, 12):
+                    assert _pairs(inline.query(q, k=k)) == _pairs(
+                        tie_engine.query(q, k=k)
+                    )
+
+
+class TestConfigSemantics:
+    def test_epsilon_band_respected(self, uniform_items):
+        eps = 0.5
+        cfg = QueryConfig(k=5, epsilon=eps)
+        with ShardedQueryEngine(
+            items=uniform_items, shards=3, options=FAST
+        ) as engine:
+            for q in [(0.0, 0.0), (400.0, 600.0), (999.0, 999.0)]:
+                exact = linear_scan_items(uniform_items, q, k=5)
+                result = engine.query(q, config=cfg)
+                assert (
+                    check_result(
+                        result.neighbors,
+                        q,
+                        5,
+                        exact,
+                        combo="sharded-eps",
+                        epsilon=eps,
+                    )
+                    == []
+                )
+
+    def test_page_budget_truncates_soundly(self, uniform_items):
+        cfg = QueryConfig(k=8, budget=Budget(max_pages=2))
+        with ShardedQueryEngine(
+            items=uniform_items, shards=3, options=FAST, processes=False
+        ) as engine:
+            truncated_seen = 0
+            for q in [(0.0, 0.0), (500.0, 500.0), (999.0, 0.0)]:
+                exact = linear_scan_items(uniform_items, q, k=8)
+                result = engine.query(q, config=cfg)
+                if result.truncated:
+                    truncated_seen += 1
+                    assert (
+                        check_truncated_result(
+                            result.neighbors,
+                            q,
+                            8,
+                            exact,
+                            combo="sharded-budget",
+                            frontier=result.frontier_distance,
+                        )
+                        == []
+                    )
+            assert truncated_seen > 0, "2-page budget never truncated?"
+
+    def test_pruning_config_p3_off_disables_shard_pruning(self, uniform_items):
+        cfg = QueryConfig(k=3, pruning=PruningConfig(True, True, False))
+        with ShardedQueryEngine(
+            items=uniform_items, shards=4, options=FAST
+        ) as engine:
+            engine.query((500.0, 500.0), config=cfg)
+            assert engine.stats().shards_pruned == 0
+            engine.query((500.0, 500.0), k=3)
+            assert engine.stats().shards_pruned > 0
+
+    def test_object_distance_rejected(self, uniform_items):
+        with ShardedQueryEngine(
+            items=uniform_items, shards=2, options=FAST, processes=False
+        ) as engine:
+            with pytest.raises(InvalidParameterError):
+                engine.query(
+                    (0.0, 0.0),
+                    config=QueryConfig(
+                        k=1, object_distance_sq=lambda q, p, r: 0.0
+                    ),
+                )
+
+
+class TestLifecycle:
+    def test_republish_swaps_snapshot_and_unlinks_old_epoch(
+        self, uniform_items
+    ):
+        half = uniform_items[: len(uniform_items) // 2]
+        engine = ShardedQueryEngine(items=half, shards=2, options=FAST)
+        prefix = engine.name_prefix
+        try:
+            first_epoch = engine.snapshot().epoch
+            before = engine.query((500.0, 500.0), k=3)
+            new_epoch = engine.republish(items=uniform_items)
+            assert new_epoch == first_epoch + 1
+            assert engine.snapshot().size == len(uniform_items)
+            exact = linear_scan_items(uniform_items, (500.0, 500.0), k=3)
+            after = engine.query((500.0, 500.0), k=3)
+            assert [n.distance for n in after.neighbors] == [
+                n.distance for n in exact
+            ]
+            assert before is not after
+            if os.path.isdir("/dev/shm"):
+                live = glob.glob(f"/dev/shm/{prefix}*")
+                assert live, "republish left no segments?"
+                assert all(f"-e{new_epoch}-" in seg for seg in live)
+        finally:
+            engine.close()
+        if os.path.isdir("/dev/shm"):
+            assert glob.glob(f"/dev/shm/{prefix}*") == []
+
+    def test_close_is_idempotent_and_query_after_close_raises(
+        self, uniform_items
+    ):
+        engine = ShardedQueryEngine(items=uniform_items, shards=2, options=FAST)
+        engine.close()
+        engine.close()
+        with pytest.raises(InvalidParameterError):
+            engine.query((0.0, 0.0), k=1)
+
+    def test_constructor_validation(self, uniform_items):
+        with pytest.raises(InvalidParameterError):
+            ShardedQueryEngine()
+        with pytest.raises(InvalidParameterError):
+            ShardedQueryEngine(items=uniform_items, shards=0)
+
+    def test_result_cache_serves_repeats(self, uniform_items):
+        with ShardedQueryEngine(
+            items=uniform_items,
+            shards=2,
+            options=EngineOptions(workers=1, cache_size=16),
+        ) as engine:
+            a = engine.query((1.0, 2.0), k=4)
+            b = engine.query((1.0, 2.0), k=4)
+            assert b is a
+            assert engine.stats().cache_hits == 1
+
+
+class TestProtocol:
+    def test_sharded_engine_satisfies_engine_protocol(self, uniform_items):
+        with ShardedQueryEngine(
+            items=uniform_items, shards=2, options=FAST, processes=False
+        ) as engine:
+            assert isinstance(engine, Engine)
+            snap = engine.snapshot()
+            assert isinstance(snap, EngineSnapshot)
+            assert snap.backend == "sharded"
+            assert snap.size == len(uniform_items)
+            assert snap.detail["shards"] == 2
+            fut = engine.submit((3.0, 4.0), k=2)
+            assert len(fut.result().neighbors) == 2
+
+    def test_resilient_engine_wraps_sharded_backend(self, uniform_items):
+        from repro.service.resilience import ResilientEngine
+
+        inner = ShardedQueryEngine(
+            items=uniform_items, shards=2, options=FAST, processes=False
+        )
+        with ResilientEngine(engine=inner, workers=1) as resilient:
+            snap = resilient.snapshot()
+            assert snap.backend == "resilient+sharded"
+            direct = inner.query((250.0, 250.0), k=3)
+            served = resilient.query((250.0, 250.0), k=3)
+            assert _pairs(served.result) == _pairs(direct)

@@ -1,0 +1,143 @@
+"""Worker-loss semantics: degraded answers must be *certified*, not hoped.
+
+A dead worker loses requests, never data.  The engine folds the lost
+shard's MBR MINDIST into the merged result's frontier and reports
+``truncation_reason == "shard-lost"`` — which makes the degraded answer
+checkable with the same :func:`check_truncated_result` contract the
+budget machinery uses: a sound prefix, complete below the frontier.
+"""
+
+import glob
+import os
+import threading
+import time
+
+import pytest
+
+from repro.audit.oracle import check_truncated_result
+from repro.baselines.linear_scan import linear_scan_items
+from repro.errors import ShardLostError
+from repro.service.options import EngineOptions
+from repro.shard import ShardedQueryEngine
+
+pytestmark = pytest.mark.shard
+
+FAST = EngineOptions(workers=1, cache_size=0)
+
+
+def _kill_worker(engine, index):
+    handle = engine._handles[index]
+    handle.proc.kill()
+    handle.proc.join(timeout=10.0)
+    # The reader thread flips `dead` when it sees the pipe EOF; a query
+    # racing that flip still degrades (the send fails instead), but
+    # waiting keeps the assertions below deterministic.
+    deadline = time.monotonic() + 10.0
+    while not handle.dead and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert handle.dead
+    return handle
+
+
+def _certify_degraded(engine, items, point, k):
+    exact = linear_scan_items(items, point, k=k)
+    result = engine.query(point, k=k)
+    assert result.truncated
+    assert result.truncation_reason == "shard-lost"
+    assert result.frontier_distance < float("inf")
+    problems = check_truncated_result(
+        result.neighbors,
+        point,
+        k,
+        exact,
+        combo="sharded-lost",
+        frontier=result.frontier_distance,
+    )
+    assert problems == []
+    return result
+
+
+class TestWorkerLoss:
+    def test_dead_worker_degrades_answer_soundly(self, uniform_items):
+        with ShardedQueryEngine(
+            items=uniform_items, shards=3, options=FAST
+        ) as engine:
+            victim = _kill_worker(engine, 0)
+            # Aim at the lost shard's region: the nearest shard can never
+            # be pruned, so the loss must surface in the answer's frontier.
+            point = victim.mbr.center
+            _certify_degraded(engine, uniform_items, point, k=5)
+            stats = engine.stats()
+            assert stats.workers_alive == 2
+            assert stats.degraded >= 1
+
+    def test_kill_mid_query_resolves_inflight_future(self, uniform_items):
+        with ShardedQueryEngine(
+            items=uniform_items, shards=3, options=FAST
+        ) as engine:
+            victim = engine._handles[1]
+            point = tuple(victim.mbr.center)
+            # Stall the worker's command loop, then query it: the request
+            # sits behind the sleep, deterministically in flight.
+            victim.conn.send(("sleep", 30.0))
+            outcome = {}
+
+            def ask():
+                outcome["result"] = engine.query(point, k=4)
+
+            t = threading.Thread(target=ask)
+            t.start()
+            time.sleep(0.3)
+            victim.proc.kill()
+            t.join(timeout=15.0)
+            assert not t.is_alive(), "query hung on a killed worker"
+            result = outcome["result"]
+            assert result.truncated
+            assert result.truncation_reason == "shard-lost"
+            exact = linear_scan_items(uniform_items, point, k=4)
+            assert (
+                check_truncated_result(
+                    result.neighbors,
+                    point,
+                    4,
+                    exact,
+                    combo="sharded-midquery",
+                    frontier=result.frontier_distance,
+                )
+                == []
+            )
+
+    def test_all_workers_dead_raises(self, uniform_items):
+        with ShardedQueryEngine(
+            items=uniform_items, shards=2, options=FAST
+        ) as engine:
+            _kill_worker(engine, 0)
+            _kill_worker(engine, 1)
+            with pytest.raises(ShardLostError):
+                engine.query((500.0, 500.0), k=3)
+
+    def test_republish_respawns_dead_worker(self, uniform_items):
+        with ShardedQueryEngine(
+            items=uniform_items, shards=3, options=FAST
+        ) as engine:
+            _kill_worker(engine, 2)
+            assert engine.stats().workers_alive == 2
+            engine.republish(items=uniform_items)
+            assert engine.stats().workers_alive == 3
+            point = (500.0, 500.0)
+            exact = linear_scan_items(uniform_items, point, k=5)
+            result = engine.query(point, k=5)
+            assert not result.truncated
+            assert [n.distance for n in result.neighbors] == [
+                n.distance for n in exact
+            ]
+
+    def test_no_segments_leak_even_after_worker_loss(self, uniform_items):
+        engine = ShardedQueryEngine(
+            items=uniform_items, shards=2, options=FAST
+        )
+        prefix = engine.name_prefix
+        _kill_worker(engine, 0)
+        engine.close()
+        if os.path.isdir("/dev/shm"):
+            assert glob.glob(f"/dev/shm/{prefix}*") == []

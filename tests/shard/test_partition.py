@@ -1,0 +1,92 @@
+"""The shard partitioner: balance, determinism, degeneracy fallback."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.shard.partition import PARTITION_METHODS, plan_shards
+
+from tests.shard.conftest import grid_tie_items
+
+pytestmark = pytest.mark.shard
+
+
+class TestBalance:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 5, 7])
+    def test_sizes_within_one(self, uniform_items, shards):
+        plan = plan_shards(uniform_items, shards)
+        sizes = plan.sizes()
+        assert sum(sizes) == len(uniform_items)
+        assert max(sizes) - min(sizes) <= 1
+        assert all(s > 0 for s in sizes)
+
+    def test_every_item_assigned_exactly_once(self, uniform_items):
+        plan = plan_shards(uniform_items, 4)
+        seen = [payload for group in plan.groups for _, payload in group]
+        assert sorted(seen) == sorted(p for _, p in uniform_items)
+
+    def test_mbrs_cover_their_groups(self, uniform_items):
+        plan = plan_shards(uniform_items, 4)
+        for group, mbr in zip(plan.groups, plan.mbrs):
+            for rect, _ in group:
+                assert mbr.contains_rect(rect)
+
+
+class TestDeterminism:
+    def test_same_input_same_plan(self, uniform_items):
+        a = plan_shards(uniform_items, 4)
+        b = plan_shards(list(uniform_items), 4)
+        assert a.method == b.method
+        assert a.mbrs == b.mbrs
+        assert [
+            [p for _, p in g] for g in a.groups
+        ] == [[p for _, p in g] for g in b.groups]
+
+    def test_tie_heavy_grid_is_deterministic(self):
+        items = grid_tie_items(side=6, copies=2)
+        a = plan_shards(items, 3)
+        b = plan_shards(items, 3)
+        assert a.groups == b.groups
+
+
+class TestDegenerate:
+    def test_auto_uses_str_on_spread_data(self, uniform_items):
+        assert plan_shards(uniform_items, 3).method == "str"
+
+    def test_auto_falls_back_to_hash_on_single_point(self):
+        items = [(Rect.from_point((5.0, 5.0)), i) for i in range(40)]
+        plan = plan_shards(items, 4)
+        assert plan.method == "hash"
+        sizes = plan.sizes()
+        assert sum(sizes) == 40
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_hash_never_leaves_an_empty_shard(self, uniform_items):
+        plan = plan_shards(uniform_items, 5, method="hash")
+        assert all(plan.sizes())
+        assert max(plan.sizes()) - min(plan.sizes()) <= 1
+
+    def test_fewer_items_than_shards(self):
+        items = [(Rect.from_point((float(i), 0.0)), i) for i in range(3)]
+        plan = plan_shards(items, 8)
+        assert plan.shards == 3
+        assert plan.sizes() == [1, 1, 1]
+
+
+class TestValidation:
+    def test_rejects_unknown_method(self, uniform_items):
+        with pytest.raises(InvalidParameterError):
+            plan_shards(uniform_items, 2, method="zorder")
+
+    def test_rejects_bad_shard_count(self, uniform_items):
+        with pytest.raises(InvalidParameterError):
+            plan_shards(uniform_items, 0)
+
+    def test_rejects_empty_items(self):
+        with pytest.raises(InvalidParameterError):
+            plan_shards([], 2)
+
+    def test_method_never_reports_auto(self, uniform_items):
+        plan = plan_shards(uniform_items, 2, method="auto")
+        assert plan.method in PARTITION_METHODS
+        assert plan.method != "auto"

@@ -1,0 +1,142 @@
+"""Shared-memory slab export/attach: zero-copy fidelity and lifecycle."""
+
+import glob
+import os
+import pickle
+
+import pytest
+
+from repro.core.config import QueryConfig
+from repro.packed.kernels import run_packed_query
+from repro.packed.layout import PackedTree
+from repro.rtree.bulk import bulk_load
+from repro.shard.slab import attach_slab, export_slab
+
+pytestmark = pytest.mark.shard
+
+_SEG_DIR = "/dev/shm"
+
+
+def _leaked(name: str):
+    if not os.path.isdir(_SEG_DIR):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob(os.path.join(_SEG_DIR, name + "*"))
+
+
+@pytest.fixture()
+def ptree(uniform_items):
+    tree = bulk_load(list(uniform_items), max_entries=8)
+    packed = PackedTree.from_tree(tree)
+    packed.epoch = 7
+    return packed
+
+
+class TestRoundTrip:
+    def test_attached_tree_answers_identically(self, ptree, uniform_items):
+        exported = export_slab(
+            ptree, 0, None, "repro-test-slab-rt-%d" % os.getpid()
+        )
+        try:
+            attached = attach_slab(exported.manifest)
+            try:
+                cfg = QueryConfig(k=5)
+                for q in [(0.1, 0.2), (500.0, 500.0), (999.0, 1.0)]:
+                    mine = run_packed_query(attached.ptree, q, cfg)
+                    theirs = run_packed_query(ptree, q, cfg)
+                    assert [
+                        (n.payload, n.distance) for n in mine.neighbors
+                    ] == [(n.payload, n.distance) for n in theirs.neighbors]
+                    assert mine.stats == theirs.stats
+            finally:
+                attached.close()
+        finally:
+            exported.unlink()
+
+    def test_slabs_and_payloads_survive_the_copy(self, ptree):
+        exported = export_slab(
+            ptree, 0, None, "repro-test-slab-bytes-%d" % os.getpid()
+        )
+        try:
+            attached = attach_slab(exported.manifest)
+            try:
+                view = attached.ptree
+                assert list(view.kinds) == list(ptree.kinds)
+                assert list(view.starts) == list(ptree.starts)
+                assert list(view.refs) == list(ptree.refs)
+                assert list(view.coords) == list(ptree.coords)
+                assert list(view.payloads) == list(ptree.payloads)
+                assert view.epoch == ptree.epoch
+                assert view.size == ptree.size
+            finally:
+                attached.close()
+        finally:
+            exported.unlink()
+
+    def test_lazy_rects_match_eager_rects(self, ptree):
+        exported = export_slab(
+            ptree, 0, None, "repro-test-slab-rects-%d" % os.getpid()
+        )
+        try:
+            attached = attach_slab(exported.manifest)
+            try:
+                lazy = attached.ptree.rects
+                assert len(lazy) == len(ptree.rects)
+                for ref in range(len(lazy)):
+                    assert lazy[ref] == ptree.rects[ref]
+            finally:
+                attached.close()
+        finally:
+            exported.unlink()
+
+    def test_manifest_is_plain_picklable_data(self, ptree):
+        exported = export_slab(
+            ptree, 3, ptree.rects[0], "repro-test-slab-pkl-%d" % os.getpid()
+        )
+        try:
+            clone = pickle.loads(pickle.dumps(exported.manifest))
+            assert clone == exported.manifest
+            assert clone.mbr() == exported.manifest.mbr()
+            assert clone.shard_index == 3
+        finally:
+            exported.unlink()
+
+
+class TestLifecycle:
+    def test_unlink_removes_the_segment(self, ptree):
+        name = "repro-test-slab-unlink-%d" % os.getpid()
+        exported = export_slab(ptree, 0, None, name)
+        if os.path.isdir(_SEG_DIR):
+            assert _leaked(name), "segment was never created?"
+        exported.unlink()
+        assert _leaked(name) == []
+        exported.unlink()  # idempotent
+
+    def test_close_is_idempotent_and_releases_views(self, ptree):
+        exported = export_slab(
+            ptree, 0, None, "repro-test-slab-close-%d" % os.getpid()
+        )
+        try:
+            attached = attach_slab(exported.manifest)
+            attached.close()
+            attached.close()
+            assert attached.ptree is None
+        finally:
+            exported.unlink()
+
+    def test_attach_rejects_truncated_segment(self, ptree):
+        from dataclasses import replace
+
+        from repro.errors import InvalidParameterError
+
+        exported = export_slab(
+            ptree, 0, None, "repro-test-slab-trunc-%d" % os.getpid()
+        )
+        try:
+            lying = replace(
+                exported.manifest,
+                total_bytes=exported.manifest.total_bytes + 4096,
+            )
+            with pytest.raises(InvalidParameterError):
+                attach_slab(lying)
+        finally:
+            exported.unlink()
