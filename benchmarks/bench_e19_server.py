@@ -1,0 +1,141 @@
+"""E19 — front-door micro-batch coalescing over real sockets.
+
+The serving gate for the asyncio HTTP front door: every answer the
+server emits must be certifiable against the linear-scan oracle, the
+client and server ledgers must reconcile (no lost or invented
+requests), and pooling singleton ``/query`` arrivals into <= 1 ms
+micro-batch windows through :meth:`ShardedQueryEngine.query_batch`
+must beat per-request dispatch on aggregate QPS.  The speedup
+assertion itself lives in ``python -m repro.bench server`` (CI pins a
+flake-proof 1.2x; the committed ``BENCH_e19_server.json`` baseline
+shows ~1.7x at 10k connections against the tentpole's 1.5x gate) —
+here a small soak is timed for the trend and only soundness and
+ledger reconciliation are asserted, because shared runners time-share
+the server, the shard worker and the client fleet on few cores.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.baselines.linear_scan import linear_scan_items
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import points_as_items
+from repro.datasets.queries import query_points_uniform
+from repro.datasets.synthetic import uniform_points
+from repro.server.soak import run_soak
+from repro.service.options import EngineOptions
+from repro.shard import ShardedQueryEngine
+
+HEADLINE_N = 8_192
+HEADLINE_K = 10
+HEADLINE_QUERIES = 32
+HEADLINE_CONNECTIONS = 100
+HEADLINE_REQUESTS = 3
+
+
+@pytest.fixture(scope="module")
+def headline_items():
+    return points_as_items(uniform_points(HEADLINE_N, seed=190))
+
+
+@pytest.fixture(scope="module")
+def headline_queries():
+    return query_points_uniform(HEADLINE_QUERIES, seed=191)
+
+
+@pytest.fixture(scope="module")
+def headline_exact(headline_items, headline_queries):
+    return [
+        linear_scan_items(headline_items, q, k=HEADLINE_K)
+        for q in headline_queries
+    ]
+
+
+def _soak(items, queries, exact, coalesce):
+    # run_soak's drain closes the engine, so every soak gets a fresh one.
+    return run_soak(
+        ShardedQueryEngine(
+            items=items,
+            shards=1,
+            options=EngineOptions(workers=1, cache_size=0),
+        ),
+        connections=HEADLINE_CONNECTIONS,
+        requests_per_connection=HEADLINE_REQUESTS,
+        points=queries,
+        exact=exact,
+        k=HEADLINE_K,
+        coalesce=coalesce,
+        fleet_processes=0,
+    )
+
+
+def test_e19_direct_benchmark(
+    benchmark, headline_items, headline_queries, headline_exact
+):
+    """Time the per-request dispatch path (the uncoalesced baseline)."""
+    report = benchmark.pedantic(
+        _soak,
+        args=(headline_items, headline_queries, headline_exact, False),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.passed, report.violations
+
+
+def test_e19_coalesced_benchmark(
+    benchmark, headline_items, headline_queries, headline_exact
+):
+    """Time the micro-batch coalescing path over the same engine."""
+    report = benchmark.pedantic(
+        _soak,
+        args=(headline_items, headline_queries, headline_exact, True),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.passed, report.violations
+    assert report.coalesced_responses > 0
+
+
+def test_e19_every_answer_certified(
+    headline_items, headline_queries, headline_exact
+):
+    """Both modes serve every request, certify every 200, reconcile."""
+    total = HEADLINE_CONNECTIONS * HEADLINE_REQUESTS
+    for coalesce in (False, True):
+        report = _soak(
+            headline_items, headline_queries, headline_exact, coalesce
+        )
+        assert report.passed, report.violations
+        assert report.ok == total
+        assert report.certified == total
+        assert report.errors == 0
+
+
+def test_e19_no_segment_leak(
+    headline_items, headline_queries, headline_exact
+):
+    """The soak's drain closes the engine: nothing left under /dev/shm."""
+    _soak(headline_items, headline_queries, headline_exact, True)
+    if os.path.isdir("/dev/shm"):
+        assert glob.glob("/dev/shm/repro-shard-*") == []
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E19").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    assert table.column("mode") == ["direct", "coalesced"]
+    qps = [float(str(v).replace(",", "")) for v in table.column("qps")]
+    assert all(v > 0.0 for v in qps)
+    # The direct row is its own baseline by construction.
+    speedups = [float(v) for v in table.column("speedup")]
+    assert speedups[0] == pytest.approx(1.0)
+    # Soundness gates unconditionally (a violation raises inside run());
+    # certification totals must cover every request in both modes.
+    certified = table.column("certified")
+    assert all("/" in str(c) for c in certified)
+    for cell in certified:
+        got, want = str(cell).split("/")
+        assert got == want

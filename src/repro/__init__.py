@@ -112,6 +112,7 @@ from repro.service import (
     ResultCache,
     TokenBucket,
 )
+from repro.server import NNServer, ServerConfig
 from repro.shard import ShardedQueryEngine, ShardedStats
 from repro.storage import (
     AccessTracker,
@@ -196,6 +197,8 @@ __all__ = [
     "Trace",
     "render_trace",
     "NNResult",
+    "NNServer",
+    "ServerConfig",
     "NearestNeighborQuery",
     "Neighbor",
     "NeighborBuffer",

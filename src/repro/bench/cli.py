@@ -25,6 +25,13 @@ Subcommands:
   the unbudgeted packed hot path (same shape as ``obs``) and then runs
   a seeded mini chaos soak (``python -m repro.chaos`` semantics) that
   must certify every served answer and conserve its accounting.
+- ``server [--connections N] [--min-speedup R] ...`` — the asyncio
+  front-door soak smoke: boots the HTTP server over a sharded engine
+  with coalescing off and on, floods it over real sockets, certifies
+  every served answer against the linear-scan oracle and reconciles the
+  client ledger against the server's own metrics; exits 1 on any
+  soundness violation, and on a coalesced/direct QPS ratio below
+  ``--min-speedup`` when one is given.
 """
 
 from __future__ import annotations
@@ -302,6 +309,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="interleaved best-of timing repetitions (default: 5)",
     )
     shard.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    server = sub.add_parser(
+        "server",
+        help="front-door soak smoke: real-socket flood with coalescing "
+        "off vs on, every answer oracle-certified and the client ledger "
+        "reconciled against server metrics (exit 1 on any violation; "
+        "--min-speedup additionally gates the QPS ratio)",
+    )
+    server.add_argument(
+        "--n", type=int, default=32768, help="indexed points (default: 32768)"
+    )
+    server.add_argument(
+        "--connections",
+        type=int,
+        default=500,
+        help="concurrent client connections (default: 500)",
+    )
+    server.add_argument(
+        "--requests",
+        type=int,
+        default=4,
+        help="requests per connection per soak (default: 4)",
+    )
+    server.add_argument(
+        "--queries",
+        type=int,
+        default=128,
+        help="distinct query points, each oracle-precomputed "
+        "(default: 128)",
+    )
+    server.add_argument(
+        "--k", type=int, default=10, help="neighbors per query (default: 10)"
+    )
+    server.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="engine worker processes behind the front door (default: 1 "
+        "— per-request RPC overhead is what coalescing amortizes; more "
+        "shards duplicate batch fan-out work on small hosts)",
+    )
+    server.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=1.0,
+        help="coalescing window (default: 1.0)",
+    )
+    server.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="coalescing batch cap (default: 64)",
+    )
+    server.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail below this coalesced/direct QPS ratio; default: "
+        "report the ratio and gate soundness only (shared runners are "
+        "noisy — the committed E19 baseline carries the 1.5x gate)",
+    )
+    server.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="interleaved best-of soak repetitions per mode (default: 3)",
+    )
+    server.add_argument("--seed", type=int, default=0, help="workload seed")
 
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
@@ -781,6 +856,103 @@ def _shard_command(args: argparse.Namespace) -> tuple:
     return "\n".join(lines), code
 
 
+def _server_command(args: argparse.Namespace) -> tuple:
+    """Front-door soak smoke: coalescing off vs on, soundness gated.
+
+    Each repetition boots a fresh server+engine per mode (the server's
+    drain closes its engine) and floods it through
+    :func:`repro.server.soak.run_soak`, which certifies **every** HTTP
+    200 against a precomputed linear-scan oracle and reconciles the
+    client ledger against the server's own metrics — so this smoke
+    fails on unsound answers, dropped requests, leaked connections or
+    stranded coalescer entries regardless of how fast the box is.
+    Modes are interleaved and the best repetition per mode is kept (the
+    same noise discipline as ``shard``/``obs``); the resulting
+    coalesced/direct QPS ratio is only gated when ``--min-speedup`` is
+    given, because wall-clock throughput on a shared runner is noisy —
+    the committed E19 baseline carries the tentpole's 1.5x gate.
+    """
+    import os
+
+    from repro.baselines.linear_scan import linear_scan_items
+    from repro.bench.harness import points_as_items
+    from repro.datasets.queries import query_points_uniform
+    from repro.datasets.synthetic import uniform_points
+    from repro.server.soak import run_soak
+    from repro.service.options import EngineOptions
+    from repro.shard import ShardedQueryEngine
+
+    points = uniform_points(args.n, seed=args.seed)
+    items = points_as_items(points)
+    queries = query_points_uniform(args.queries, seed=args.seed + 1)
+    exact = [linear_scan_items(items, q, k=args.k) for q in queries]
+    affinity = getattr(os, "sched_getaffinity", None)
+    cpus = len(affinity(0)) if affinity is not None else (os.cpu_count() or 1)
+
+    def _soak(coalesce: bool):
+        return run_soak(
+            ShardedQueryEngine(
+                items=items,
+                shards=args.shards,
+                options=EngineOptions(workers=1, cache_size=0),
+            ),
+            connections=args.connections,
+            requests_per_connection=args.requests,
+            points=queries,
+            exact=exact,
+            k=args.k,
+            coalesce=coalesce,
+            max_wait_ms=args.max_wait_ms,
+            max_batch=args.max_batch,
+        )
+
+    best = {False: None, True: None}
+    violations: List[str] = []
+    for _ in range(args.reps):
+        for mode in (False, True):
+            report = _soak(mode)
+            violations.extend(report.violations)
+            if best[mode] is None or report.qps > best[mode].qps:
+                best[mode] = report
+
+    direct, coalesced = best[False], best[True]
+    speedup = coalesced.qps / direct.qps if direct.qps else 0.0
+    requests = args.connections * args.requests
+    lines = [
+        f"serving front door soak — uniform n={args.n}, "
+        f"{args.connections} connections x {args.requests} requests, "
+        f"k={args.k}, {args.shards} shard(s), {cpus} CPU(s) visible",
+        f"  direct     {direct.qps:8,.0f} q/s  "
+        f"p50 {direct.p50_ms:6.2f} ms  p99 {direct.p99_ms:7.2f} ms  "
+        f"({direct.certified}/{requests} certified)",
+        f"  coalesced  {coalesced.qps:8,.0f} q/s  "
+        f"p50 {coalesced.p50_ms:6.2f} ms  p99 {coalesced.p99_ms:7.2f} ms  "
+        f"({coalesced.certified}/{requests} certified, "
+        f"{coalesced.coalesced_responses} responses coalesced, "
+        f"largest batch {coalesced.coalescer.get('largest_batch', 0)})",
+        f"  speedup    {speedup:8.2f}x "
+        + (
+            f"(threshold {args.min_speedup}x)"
+            if args.min_speedup is not None
+            else "(not gated; pass --min-speedup to gate)"
+        ),
+    ]
+    code = 0
+    if violations:
+        for v in violations[:8]:
+            lines.append(f"FAIL: {v}")
+        code = 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        lines.append(
+            f"FAIL: coalescing speedup {speedup:.2f}x below threshold "
+            f"{args.min_speedup}x"
+        )
+        code = 1
+    if code == 0:
+        lines.append("PASS")
+    return "\n".join(lines), code
+
+
 def _viz_command(args: argparse.Namespace) -> str:
     from repro.core.query import nearest
     from repro.datasets.synthetic import (
@@ -904,6 +1076,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _resilience_command(args)
     elif args.command == "shard":
         output, code = _shard_command(args)
+    elif args.command == "server":
+        output, code = _server_command(args)
     elif args.command == "audit":
         from repro.audit.__main__ import run_from_args
 

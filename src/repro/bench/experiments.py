@@ -1220,6 +1220,112 @@ def _run_e18(scale: Scale) -> List[Table]:
     return [table]
 
 
+# ----------------------------------------------------------------------
+# E19 — front-door micro-batch coalescing over real sockets
+# ----------------------------------------------------------------------
+def _run_e19(scale: Scale) -> List[Table]:
+    import os
+
+    from repro.server.soak import run_soak
+    from repro.service.options import EngineOptions
+    from repro.shard import ShardedQueryEngine
+
+    n = scale.base_size
+    k = 10
+    # Only default/full run the tentpole's 10k-connection fleet (sharded
+    # over barrier-synchronized client subprocesses by run_soak); every
+    # smaller preset (quick, the test suite's tiny) keeps the fleet
+    # in-process for the pytest smoke.
+    full_fleet = scale.name in ("default", "full")
+    connections = 10000 if full_fleet else 200
+    per_connection = 2 if full_fleet else 3
+    reps = 3 if full_fleet else 2
+    items = _uniform_items(n)
+    queries = query_points_uniform(scale.queries, seed=_QUERY_SEED)
+    exact = [linear_scan_items(items, q, k=k) for q in queries]
+    affinity = getattr(os, "sched_getaffinity", None)
+    cpus = len(affinity(0)) if affinity is not None else (os.cpu_count() or 1)
+
+    def _soak(coalesce: bool) -> Any:
+        # One shard: the engine lives in a single worker process behind
+        # the front door (the canonical RPC-isolated deployment), so
+        # coalescing's win is amortizing per-request IPC + dispatch
+        # overhead; the batch path fans out to every shard, so more
+        # shards would duplicate kernel work on small hosts.
+        return run_soak(
+            ShardedQueryEngine(
+                items=items,
+                shards=1,
+                options=EngineOptions(workers=1, cache_size=0),
+            ),
+            connections=connections,
+            requests_per_connection=per_connection,
+            points=queries,
+            exact=exact,
+            k=k,
+            coalesce=coalesce,
+        )
+
+    best: Dict[bool, Any] = {False: None, True: None}
+    violations: List[str] = []
+    for _ in range(reps):  # interleaved best-of: noise lands everywhere
+        for mode in (False, True):
+            report = _soak(mode)
+            violations.extend(report.violations)
+            if best[mode] is None or report.qps > best[mode].qps:
+                best[mode] = report
+    if violations:  # pragma: no cover - soundness is test-enforced
+        raise InvalidParameterError(
+            "E19 soak violations: " + "; ".join(violations[:3])
+        )
+
+    direct, coal = best[False], best[True]
+    table = Table(
+        f"E19: front-door micro-batch coalescing over real sockets "
+        f"(uniform n={n}, k={k}, {connections} connections x "
+        f"{per_connection} requests, 1 shard, {cpus} CPU(s) visible)",
+        [
+            "mode",
+            "qps",
+            "speedup",
+            "p50 ms",
+            "p99 ms",
+            "certified",
+            "errors",
+            "coalesced",
+            "largest batch",
+        ],
+        caption=(
+            "Real-socket soak of the asyncio HTTP front door over a "
+            "one-worker-process sharded engine: per-request dispatch "
+            "vs 1 ms micro-batch coalescing windows (interleaved "
+            f"best-of-{reps} per mode; the window covers synchronized "
+            "steady-state load, never connection setup).  Every served "
+            "answer is certified against the linear-scan oracle and the "
+            "client ledger is reconciled against the server's own "
+            "metrics before any number is reported.  Coalescing wins by "
+            "deleting per-request overhead — one IPC round trip, one "
+            "event-loop wakeup and one executor handoff per *window* "
+            "instead of per request — so the ratio holds even on a "
+            "single visible CPU."
+        ),
+    )
+    total = connections * per_connection
+    for label, report in (("direct", direct), ("coalesced", coal)):
+        table.add_row(
+            label,
+            report.qps,
+            report.qps / direct.qps if direct.qps else 0.0,
+            report.p50_ms,
+            report.p99_ms,
+            f"{report.certified}/{total}",
+            report.errors,
+            report.coalesced_responses,
+            report.coalescer.get("largest_batch", 0),
+        )
+    return [table]
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.id: exp
     for exp in (
@@ -1345,6 +1451,17 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "bit-identical answer parity enforced before timing and the "
             "host's visible CPU count recorded alongside the numbers.",
             _run_e18,
+        ),
+        Experiment(
+            "E19",
+            "Front-door micro-batch coalescing over real sockets",
+            "Extension: serving architecture (beyond the paper)",
+            "Real-socket soak of the asyncio HTTP front door at 10k "
+            "concurrent connections: per-request dispatch vs micro-batch "
+            "coalescing through the sharded engine's packed batch path, "
+            "with every served answer oracle-certified and client/server "
+            "ledgers reconciled before any throughput is reported.",
+            _run_e19,
         ),
         Experiment(
             "E12",

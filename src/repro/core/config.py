@@ -21,6 +21,8 @@ only in their tracker must hit the same cache entry.
 
 from __future__ import annotations
 
+import os
+import sys
 import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Optional, Tuple
@@ -46,6 +48,40 @@ VALID_ORDERINGS = ("mindist", "minmaxdist")
 #: keyword-compatibility shims.
 _UNSET = None
 
+#: Root directory of the installed ``repro`` package; any stack frame
+#: whose code file lives under it belongs to the library, not a caller.
+_PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _caller_stacklevel() -> int:
+    """Stacklevel (for a ``warnings.warn`` issued by our direct caller)
+    of the nearest stack frame *outside* the ``repro`` package.
+
+    A fixed ``stacklevel=3`` only attributes the warning correctly when
+    user code calls the public entry point directly; any internal
+    forwarding layer (``nearest_batch`` routing through the engine, a
+    wrapper built on :func:`repro.core.query.nearest`, ...) inserts
+    extra ``repro`` frames and the warning lands inside the library —
+    which user code cannot silence by line and cannot act on.  This is
+    the pre-3.12 backport of ``warnings.warn(skip_file_prefixes=...)``:
+    walk outward until the first frame whose file is not under the
+    package root, and point the warning there.
+    """
+    if not hasattr(sys, "_getframe"):  # pragma: no cover - non-CPython
+        return 3
+    # Relative to warnings.warn in our caller: stacklevel=2 is the
+    # caller's caller, which from here is sys._getframe(2).
+    level = 2
+    while True:
+        try:
+            frame = sys._getframe(level)
+        except ValueError:  # ran off the stack: blame the outermost frame
+            return max(2, level - 1)
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if not filename.startswith(_PACKAGE_ROOT + os.sep):
+            return level
+        level += 1
+
 
 def warn_legacy_query_kwargs(api: str, **passed: Any) -> None:
     """Emit one :class:`DeprecationWarning` for legacy query kwargs.
@@ -59,8 +95,10 @@ def warn_legacy_query_kwargs(api: str, **passed: Any) -> None:
     is deprecated in favor of ``config=QueryConfig(...)``.
 
     The migration path is documented in docs/API.md (§ Migrating to
-    ``QueryConfig``); warnings point there.  ``stacklevel=3`` attributes
-    the warning to the caller of the entry point, not the shim.
+    ``QueryConfig``); warnings point there.  The stacklevel is computed
+    dynamically (:func:`_caller_stacklevel`) so the warning always
+    points at the first line *outside* ``repro`` — the caller's code —
+    no matter how many internal forwarding frames sit in between.
     """
     legacy = sorted(name for name, value in passed.items() if value is not None)
     if not legacy:
@@ -71,7 +109,7 @@ def warn_legacy_query_kwargs(api: str, **passed: Any) -> None:
         f"config=QueryConfig(...) instead (docs/API.md, 'Migrating to "
         f"QueryConfig')",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=_caller_stacklevel(),
     )
 
 

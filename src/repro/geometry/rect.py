@@ -114,6 +114,8 @@ class Rect:
     @property
     def center(self) -> Point:
         """Geometric center of the rectangle."""
+        if self.lo == self.hi:  # degenerate (point) rect: hot in serving
+            return self.lo
         return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
 
     def side(self, axis: int) -> float:

@@ -252,6 +252,14 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._sources)
 
+    def export(self) -> str:
+        """Prometheus text exposition of the current collection.
+
+        Convenience method over :func:`export_prometheus` — the serving
+        front door's ``/stats`` endpoint returns exactly this string.
+        """
+        return export_prometheus(self)
+
     def collect(self) -> Dict[str, Any]:
         """Read every source and flatten to ``{"source.metric": value}``.
 

@@ -1,0 +1,26 @@
+"""The asyncio HTTP/JSON serving front door.
+
+``python -m repro.server`` boots a demo server over a synthetic
+dataset; programmatic use wraps any engine::
+
+    from repro import QueryEngine
+    from repro.server import NNServer, ServerConfig
+
+    engine = QueryEngine(tree, options=EngineOptions(packed=True))
+    NNServer(engine, ServerConfig(port=8080)).run()  # SIGTERM drains
+
+Endpoints, coalescing semantics, the drain sequence and the HTTP status
+mapping are documented in docs/SERVING.md.
+"""
+
+from repro.server.app import NNServer, ServerConfig
+from repro.server.coalesce import Coalescer
+from repro.server.http import HTTPError, Request
+
+__all__ = [
+    "Coalescer",
+    "HTTPError",
+    "NNServer",
+    "Request",
+    "ServerConfig",
+]

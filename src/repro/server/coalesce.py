@@ -1,0 +1,211 @@
+"""Micro-batch request coalescing for the serving front door.
+
+Singleton ``/query`` arrivals within a sub-millisecond window are
+collected per :class:`~repro.core.config.QueryConfig` and dispatched as
+*one* engine batch — the serving-side analogue of the packed batched
+MINDIST evaluation: one thread hop and one kernel entry amortized over
+the whole window instead of per request.  Windows close on whichever
+comes first of ``max_wait_ms`` elapsing or ``max_batch`` arrivals.
+
+Deadlines stay honored: a request whose budget cannot survive the
+coalescing window (``deadline_ms <= max_wait_ms``) must not sit in it —
+:meth:`Coalescer.bypasses` tells the front door to dispatch it directly
+instead.
+
+All coalescer state is confined to the event-loop thread; only the
+batch execution itself runs on the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import QueryConfig
+
+__all__ = ["Coalescer"]
+
+#: Per-entry outcome tags produced by the executor-side batch runner.
+_OK, _ERR = "ok", "err"
+
+
+class _Window:
+    __slots__ = ("cfg", "entries", "handle")
+
+    def __init__(self, cfg: QueryConfig) -> None:
+        self.cfg = cfg
+        self.entries: List[Tuple[Tuple[float, ...], asyncio.Future]] = []
+        self.handle: Optional[asyncio.TimerHandle] = None
+
+
+class Coalescer:
+    """Collects singleton queries into engine batches.
+
+    Args:
+        engine: Any :class:`~repro.service.protocol.Engine`.  A backend
+            exposing ``query_batch`` (thread or sharded engine) gets the
+            packed batch path; otherwise the window pipelines through
+            ``submit`` (one admission verdict per request — a resilient
+            backend sheds individually even inside a window).
+        executor: Where batch dispatch runs (the front door's pool).
+        max_wait_ms: Longest a request may sit waiting for company.
+        max_batch: Window size that triggers an immediate flush.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        executor: Any,
+        *,
+        max_wait_ms: float = 1.0,
+        max_batch: int = 64,
+    ) -> None:
+        if max_wait_ms <= 0:
+            raise ValueError(f"max_wait_ms must be > 0, got {max_wait_ms}")
+        if max_batch < 2:
+            raise ValueError(f"max_batch must be >= 2, got {max_batch}")
+        self.engine = engine
+        self.executor = executor
+        self.max_wait_ms = max_wait_ms
+        self.max_batch = max_batch
+        self._query_batch = getattr(engine, "query_batch", None)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._windows: Dict[QueryConfig, _Window] = {}
+        self._outstanding: set = set()
+        # Counters (event-loop thread only).
+        self.requests = 0
+        self.windows = 0
+        self.flush_full = 0
+        self.flush_timer = 0
+        self.flush_drain = 0
+        self.coalesced_requests = 0  # requests sharing a window with others
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # Submission (event-loop thread)
+    # ------------------------------------------------------------------
+    def bypasses(self, cfg: QueryConfig) -> bool:
+        """True when *cfg*'s deadline cannot survive the window wait."""
+        budget = cfg.budget
+        return (
+            budget is not None
+            and budget.deadline_ms is not None
+            and budget.deadline_ms <= self.max_wait_ms
+        )
+
+    async def submit(self, point: Sequence[float], cfg: QueryConfig) -> Any:
+        """Queue one query into the current window; await its answer.
+
+        The returned value is whatever the engine produced for it — an
+        ``NNResult`` (thread/sharded backends) or a ``Served`` record
+        (resilient backend); per-request shed verdicts raise here
+        exactly as they would from a direct ``submit``.
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        future: asyncio.Future = loop.create_future()
+        window = self._windows.get(cfg)
+        if window is None:
+            window = _Window(cfg)
+            self._windows[cfg] = window
+            self.windows += 1
+            window.handle = loop.call_later(
+                self.max_wait_ms / 1000.0, self._flush, cfg, "timer"
+            )
+        window.entries.append(
+            (tuple(float(c) for c in point), future)
+        )
+        self.requests += 1
+        if len(window.entries) >= self.max_batch:
+            self._flush(cfg, "full")
+        return await future
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in open windows."""
+        return sum(len(w.entries) for w in self._windows.values())
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "windows": self.windows,
+            "flush_full": self.flush_full,
+            "flush_timer": self.flush_timer,
+            "flush_drain": self.flush_drain,
+            "coalesced_requests": self.coalesced_requests,
+            "largest_batch": self.largest_batch,
+            "pending": self.pending,
+        }
+
+    # ------------------------------------------------------------------
+    # Flushing (event-loop thread)
+    # ------------------------------------------------------------------
+    def _flush(self, cfg: QueryConfig, why: str) -> None:
+        window = self._windows.pop(cfg, None)
+        if window is None or not window.entries:
+            return
+        if window.handle is not None:
+            window.handle.cancel()
+        if why == "full":
+            self.flush_full += 1
+        elif why == "drain":
+            self.flush_drain += 1
+        else:
+            self.flush_timer += 1
+        size = len(window.entries)
+        if size > 1:
+            self.coalesced_requests += size
+        if size > self.largest_batch:
+            self.largest_batch = size
+        assert self._loop is not None
+        task = self._loop.run_in_executor(
+            self.executor, self._run_batch, window
+        )
+        self._outstanding.add(task)
+        task.add_done_callback(
+            lambda done, window=window: self._distribute(window, done)
+        )
+
+    def _run_batch(self, window: _Window) -> List[Tuple[str, Any]]:
+        """Execute one window on the executor; one outcome per entry."""
+        points = [point for point, _ in window.entries]
+        if self._query_batch is not None:
+            results = self._query_batch(points, config=window.cfg)
+            return [(_OK, result) for result in results]
+        submitted = [
+            self.engine.submit(point, config=window.cfg) for point in points
+        ]
+        outcomes: List[Tuple[str, Any]] = []
+        for request_future in submitted:
+            try:
+                outcomes.append((_OK, request_future.result()))
+            except BaseException as exc:
+                outcomes.append((_ERR, exc))
+        return outcomes
+
+    def _distribute(self, window: _Window, done: "asyncio.Future") -> None:
+        """Resolve every waiter from the finished batch (loop thread)."""
+        self._outstanding.discard(done)
+        try:
+            outcomes = done.result()
+        except BaseException as exc:  # whole-batch failure
+            for _, future in window.entries:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), (tag, value) in zip(window.entries, outcomes):
+            if future.done():  # waiter gone (disconnect / cancellation)
+                continue
+            if tag == _OK:
+                future.set_result(value)
+            else:
+                future.set_exception(value)
+
+    async def drain(self) -> None:
+        """Flush every open window and await all dispatched batches."""
+        for cfg in list(self._windows):
+            self._flush(cfg, "drain")
+        while self._outstanding:
+            await asyncio.gather(
+                *list(self._outstanding), return_exceptions=True
+            )

@@ -1,0 +1,152 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+The front door speaks just enough HTTP for a JSON API behind a load
+balancer: request line + headers + ``Content-Length`` body in, status +
+headers + body out, with keep-alive.  Deliberately *not* a general web
+server — no chunked transfer, no multipart, no TLS — so the whole wire
+format stays auditable in one screen of code and the repository keeps
+its zero-hard-dependency rule (stdlib only).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HTTPError", "Request", "read_request", "render_response"]
+
+#: Reason phrases for the statuses the front door actually emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+_MAX_LINE = 8 * 1024
+_MAX_HEADERS = 64
+
+
+class HTTPError(Exception):
+    """A request that cannot be served; maps to one response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 keep-alive semantics (``Connection: close`` opts out)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = 1 << 20
+) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF before any bytes (the peer closed an
+    idle keep-alive connection — not an error).  Raises
+    :class:`HTTPError` for anything malformed or over limits, and lets
+    ``asyncio.IncompleteReadError`` / ``ConnectionError`` surface for a
+    peer that vanished mid-request.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > _MAX_LINE:
+        raise HTTPError(400, "request line too long")
+    try:
+        method, target, version = line.decode("ascii").split()
+    except ValueError:
+        raise HTTPError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, f"unsupported protocol {version!r}")
+    parts = urlsplit(target)
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        if len(line) > _MAX_LINE:
+            raise HTTPError(400, "header line too long")
+        if len(headers) >= _MAX_HEADERS:
+            raise HTTPError(400, "too many headers")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise HTTPError(400, "undecodable header")
+        if not _:
+            raise HTTPError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding"):
+        raise HTTPError(501, "chunked transfer encoding not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HTTPError(400, "malformed Content-Length")
+        if length < 0:
+            raise HTTPError(400, "negative Content-Length")
+        if length > max_body:
+            raise HTTPError(413, f"body exceeds {max_body} bytes")
+        if length:
+            body = await reader.readexactly(length)
+    request = Request(
+        method=method.upper(),
+        path=parts.path or "/",
+        query=dict(parse_qsl(parts.query)),
+        headers=headers,
+        body=body,
+    )
+    if version == "HTTP/1.0" and headers.get(
+        "connection", ""
+    ).lower() != "keep-alive":
+        request.headers["connection"] = "close"
+    return request
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Tuple[Tuple[str, str], ...]] = None,
+) -> bytes:
+    """Serialize one response, ready for ``writer.write``."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers or ():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body

@@ -1,0 +1,655 @@
+"""Real-socket soak harness for the serving front door.
+
+Boots an :class:`~repro.server.NNServer` on a background event-loop
+thread and floods it over real TCP connections with an asyncio client
+fleet, then certifies **every** served answer against a precomputed
+linear-scan oracle (:func:`~repro.audit.oracle.check_truncated_result`)
+and cross-checks the server's own accounting (requests, responses,
+open-connection gauge, coalescer windows) against the client's ledger.
+
+Used by ``repro.bench server`` (the CI gate) and experiment E19 (the
+committed baseline).  Two scaling problems push the fleet out of the
+server's process at the 10k+ scale the experiment targets:
+
+* **fds** — a process cannot hold two sockets per connection without
+  hitting ``RLIMIT_NOFILE``, and
+* **client GIL** — one Python process driving 10k asyncio connections
+  saturates its own interpreter around ~2k requests/s, which would
+  throttle the server under test and flatten any mode-vs-mode
+  comparison.
+
+So large fleets run as *several* ``python -m repro.server.soak``
+subprocesses (the spec travels in on stdin, the ledger comes back on
+stdout), each driving a slice of the connections.  A ready/go barrier
+keeps the measurement honest: every subprocess finishes opening its
+slice, reports ready, and only then does the parent release them to
+fire together — the QPS window covers synchronized steady-state
+requests, never connection setup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.audit.oracle import check_truncated_result
+from repro.core.neighbors import Neighbor
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.obs.registry import MetricsRegistry
+from repro.server.app import NNServer, ServerConfig
+
+__all__ = ["ServerThread", "SoakReport", "run_soak"]
+
+#: Connection-open wave size: the listener's backlog is 4096, so waves
+#: of 512 with retries never overflow it even at 10k connections.
+_WAVE = 512
+_CONNECT_RETRIES = 5
+
+
+class ServerThread:
+    """One NNServer on a private event loop in a daemon thread."""
+
+    def __init__(self, server: NNServer) -> None:
+        self.server = server
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced to the driving thread
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(30) or self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread failed to drain")
+        if self._error is not None:
+            raise self._error
+
+
+@dataclass
+class SoakReport:
+    """One soak run's ledger, reconciled client-side and server-side."""
+
+    connections: int
+    requests: int
+    ok: int
+    errors: int
+    certified: int
+    elapsed_s: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    coalesced_responses: int
+    peak_open: int
+    coalescer: Dict[str, Any] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "connections": self.connections,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "certified": self.certified,
+            "elapsed_s": self.elapsed_s,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "coalesced_responses": self.coalesced_responses,
+            "peak_open": self.peak_open,
+            "coalescer": dict(self.coalescer),
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+
+# ----------------------------------------------------------------------
+# The client fleet (runs in-process or as ``python -m repro.server.soak``)
+# ----------------------------------------------------------------------
+def _neighbors_from_dicts(dicts: Sequence[Dict[str, Any]]) -> List[Neighbor]:
+    return [
+        Neighbor(
+            payload=d["payload"],
+            rect=Rect.from_point(d["point"]),
+            distance=float(d["distance"]),
+            distance_squared=float(d["distance"]) ** 2,
+        )
+        for d in dicts
+    ]
+
+
+async def _http_post(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    path: str,
+    body: bytes,
+) -> Tuple[int, bytes]:
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("ascii")
+        + body
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value)
+    payload = await reader.readexactly(length) if length else b""
+    return status, payload
+
+
+async def _open_fleet(
+    host: str, port: int, connections: int
+) -> List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+    async def _open_one() -> Tuple:
+        for attempt in range(_CONNECT_RETRIES):
+            try:
+                return await asyncio.open_connection(host, port)
+            except OSError:
+                if attempt == _CONNECT_RETRIES - 1:
+                    raise
+                await asyncio.sleep(0.05 * (attempt + 1))
+        raise OSError("unreachable")  # pragma: no cover
+
+    fleet: List[Tuple] = []
+    for base in range(0, connections, _WAVE):
+        wave = min(_WAVE, connections - base)
+        fleet.extend(
+            await asyncio.gather(*(_open_one() for _ in range(wave)))
+        )
+    return fleet
+
+
+async def _run_fleet(spec: Dict[str, Any]) -> Dict[str, Any]:
+    host = spec["host"]
+    port = spec["port"]
+    connections = spec["connections"]
+    per_connection = spec["requests_per_connection"]
+    offset = spec.get("conn_offset", 0)
+    k = spec["k"]
+    points = [tuple(p) for p in spec["points"]]
+    bodies = [
+        json.dumps({"point": list(p), "k": k}).encode("utf-8")
+        for p in points
+    ]
+    exact = [_neighbors_from_dicts(e) for e in spec["exact"]]
+
+    fleet = await _open_fleet(host, port, connections)
+    if spec.get("barrier"):
+        # Multi-process soak: announce the open fleet and hold fire
+        # until the parent releases every sibling at once, so the
+        # measured window is synchronized steady-state load.
+        sys.stdout.write(json.dumps({"phase": "ready"}) + "\n")
+        sys.stdout.flush()
+        await asyncio.get_running_loop().run_in_executor(
+            None, sys.stdin.readline
+        )
+    responses: List[Tuple[int, int, bytes]] = []
+    latencies: List[float] = []
+    loop = asyncio.get_running_loop()
+
+    async def _client(conn_id: int) -> None:
+        reader, writer = fleet[conn_id]
+        for j in range(per_connection):
+            idx = ((offset + conn_id) * per_connection + j) % len(points)
+            started = loop.time()
+            status, payload = await _http_post(
+                reader, writer, "/query", bodies[idx]
+            )
+            latencies.append(loop.time() - started)
+            responses.append((idx, status, payload))
+
+    start_ts = time.time()
+    start = time.perf_counter()
+    await asyncio.gather(*(_client(i) for i in range(connections)))
+    elapsed = time.perf_counter() - start
+    end_ts = time.time()
+    for _, writer in fleet:
+        writer.close()
+    for _, writer in fleet:
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    # -- certification: every 200 must be provably sound ---------------
+    ok = errors = certified = coalesced = 0
+    violations: List[str] = []
+    for idx, status, payload in responses:
+        if status != 200:
+            errors += 1
+            if len(violations) < 8:
+                violations.append(
+                    f"query for point {idx} got HTTP {status}"
+                )
+            continue
+        ok += 1
+        body = json.loads(payload)
+        if body.get("coalesced"):
+            coalesced += 1
+        frontier = body.get("frontier_distance")
+        problems = check_truncated_result(
+            _neighbors_from_dicts(body["neighbors"]),
+            points[idx],
+            k,
+            exact[idx],
+            combo="soak",
+            frontier=float("inf") if frontier is None else float(frontier),
+        )
+        if problems:
+            if len(violations) < 8:
+                violations.append(
+                    f"uncertified answer for point {idx}: "
+                    f"{problems[0].kind}"
+                )
+        else:
+            certified += 1
+
+    latencies.sort()
+
+    def _pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        pos = min(len(latencies) - 1, int(q * len(latencies)))
+        return latencies[pos] * 1e3
+
+    total = len(responses)
+    return {
+        "connections": connections,
+        "requests": total,
+        "ok": ok,
+        "errors": errors,
+        "certified": certified,
+        "coalesced_responses": coalesced,
+        "elapsed_s": elapsed,
+        "start_ts": start_ts,
+        "end_ts": end_ts,
+        "qps": (total / elapsed) if elapsed > 0 else 0.0,
+        "p50_ms": _pct(0.50),
+        "p99_ms": _pct(0.99),
+        "latencies_ms": [round(v * 1e3, 3) for v in latencies],
+        "violations": violations,
+    }
+
+
+def _fleet_subprocesses(
+    specs: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Run one client-fleet subprocess per spec, barrier-synchronized.
+
+    Each subprocess opens its slice of the connections, prints a
+    ``ready`` line, and blocks until the parent writes the go line to
+    its stdin — only after *every* fleet is open does anyone fire, so
+    the per-process QPS windows overlap as one synchronized window.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    procs: List[subprocess.Popen] = []
+
+    def _fail(proc: subprocess.Popen, why: str) -> RuntimeError:
+        stderr = ""
+        try:
+            proc.kill()
+            stderr = (proc.communicate(timeout=10)[1] or "")[-2000:]
+        except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+            pass
+        return RuntimeError(f"soak client subprocess {why}: {stderr}")
+
+    try:
+        for spec in specs:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.server.soak"],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            procs.append(proc)
+            proc.stdin.write(json.dumps(spec) + "\n")
+            proc.stdin.flush()
+        for proc in procs:
+            line = proc.stdout.readline()
+            if not line or json.loads(line).get("phase") != "ready":
+                raise _fail(proc, "died before opening its fleet")
+        for proc in procs:  # every fleet is open: release them together
+            proc.stdin.write("go\n")
+            proc.stdin.flush()
+        ledgers = []
+        for proc in procs:
+            line = proc.stdout.readline()
+            if not line:
+                raise _fail(proc, "died mid-soak")
+            ledgers.append(json.loads(line))
+        return ledgers
+    finally:
+        for proc in procs:
+            try:
+                proc.stdin.close()
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(10)
+
+
+def _merge_ledgers(ledgers: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-process fleet ledgers into one.
+
+    Throughput uses the union window — first shot fired to last
+    response received across all processes (wall-clock timestamps are
+    comparable between processes); percentiles merge the raw latency
+    samples.
+    """
+    if len(ledgers) == 1:
+        return ledgers[0]
+    latencies = sorted(
+        sample for ledger in ledgers for sample in ledger["latencies_ms"]
+    )
+
+    def _pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    total = sum(ledger["requests"] for ledger in ledgers)
+    window = (
+        max(ledger["end_ts"] for ledger in ledgers)
+        - min(ledger["start_ts"] for ledger in ledgers)
+    )
+    return {
+        "connections": sum(l["connections"] for l in ledgers),
+        "requests": total,
+        "ok": sum(l["ok"] for l in ledgers),
+        "errors": sum(l["errors"] for l in ledgers),
+        "certified": sum(l["certified"] for l in ledgers),
+        "coalesced_responses": sum(
+            l["coalesced_responses"] for l in ledgers
+        ),
+        "elapsed_s": window,
+        "qps": (total / window) if window > 0 else 0.0,
+        "p50_ms": _pct(0.50),
+        "p99_ms": _pct(0.99),
+        "violations": [v for l in ledgers for v in l["violations"]],
+    }
+
+
+def _fd_budget() -> int:
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < hard:  # claim everything the host allows
+            resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+            soft = hard
+        return soft
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        return 1024
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+def run_soak(
+    engine: Any,
+    *,
+    connections: int,
+    requests_per_connection: int = 3,
+    points: Sequence[Sequence[float]],
+    exact: Sequence[Sequence[Neighbor]],
+    k: int = 10,
+    coalesce: bool = True,
+    max_wait_ms: float = 1.0,
+    max_batch: int = 64,
+    dispatch_threads: int = 4,
+    fleet_processes: Optional[int] = None,
+    host: str = "127.0.0.1",
+) -> SoakReport:
+    """Boot a server around *engine*, flood it, reconcile the ledgers.
+
+    *exact* holds the oracle answer per query point (from
+    :func:`~repro.audit.oracle.linear_scan_items`); every HTTP 200 is
+    certified against it.  The engine is **closed** by the server's
+    drain when the soak ends.
+
+    *fleet_processes* controls the client side: ``0`` runs the fleet
+    in-process (small tests), ``N >= 1`` shards it over N
+    barrier-synchronized subprocesses.  The default (``None``) picks
+    in-process for small fleets and ~2500 connections per subprocess
+    otherwise, so the client fleet never becomes the throughput
+    bottleneck of the server under test.
+    """
+    if connections < 1:
+        raise InvalidParameterError(
+            f"connections must be >= 1, got {connections}"
+        )
+    if len(points) != len(exact):
+        raise InvalidParameterError(
+            f"{len(points)} query points but {len(exact)} oracle entries"
+        )
+    registry = MetricsRegistry()
+    server = NNServer(
+        engine,
+        ServerConfig(
+            host=host,
+            port=0,
+            coalesce=coalesce,
+            max_wait_ms=max_wait_ms,
+            max_batch=max_batch,
+            dispatch_threads=dispatch_threads,
+        ),
+        registry,
+    )
+    runner = ServerThread(server).start()
+    spec = {
+        "host": host,
+        "port": runner.port,
+        "connections": connections,
+        "requests_per_connection": requests_per_connection,
+        "k": k,
+        "points": [list(p) for p in points],
+        "exact": [
+            [
+                {
+                    "payload": nb.payload,
+                    "point": list(nb.rect.center),
+                    "distance": nb.distance,
+                }
+                for nb in per_point
+            ]
+            for per_point in exact
+        ],
+    }
+
+    # Sample the open-connection gauge while the fleet runs: the soak
+    # must prove the connections were genuinely concurrent, not serial.
+    peak = {"open": 0}
+    sampling = threading.Event()
+
+    def _sample() -> None:
+        while not sampling.wait(0.02):
+            open_now = registry.collect().get("server.connections_open", 0)
+            if open_now > peak["open"]:
+                peak["open"] = int(open_now)
+
+    if fleet_processes is None:
+        # In-process only when both the fd table (two sockets per
+        # connection) and the client's own GIL can keep up; past that,
+        # ~2500 connections per subprocess.
+        if connections <= 2048 and connections * 2 + 512 <= _fd_budget():
+            fleet_processes = 0
+        else:
+            fleet_processes = max(2, min(8, -(-connections // 2500)))
+
+    sampler = threading.Thread(target=_sample, daemon=True)
+    sampler.start()
+    try:
+        if fleet_processes == 0:
+            ledger = asyncio.run(_run_fleet(spec))
+        else:
+            share = connections // fleet_processes
+            extra = connections % fleet_processes
+            specs = []
+            offset = 0
+            for rank in range(fleet_processes):
+                size = share + (1 if rank < extra else 0)
+                if size == 0:
+                    continue
+                sliced = dict(spec)
+                sliced["connections"] = size
+                sliced["conn_offset"] = offset
+                sliced["barrier"] = True
+                specs.append(sliced)
+                offset += size
+            ledger = _merge_ledgers(_fleet_subprocesses(specs))
+    finally:
+        sampling.set()
+        sampler.join(5)
+
+    # Let the server observe the last client hangups before reading
+    # its gauges, then reconcile and drain.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if registry.collect().get("server.connections_open", 1) == 0:
+            break
+        time.sleep(0.05)
+    metrics = registry.collect()
+    coalescer_stats = (
+        dict(server.coalescer.stats()) if server.coalescer else {}
+    )
+    runner.stop()
+
+    violations = list(ledger["violations"])
+    expected = connections * requests_per_connection
+    if ledger["requests"] != expected:
+        violations.append(
+            f"client sent {ledger['requests']} requests, expected {expected}"
+        )
+    if ledger["certified"] != ledger["ok"]:
+        violations.append(
+            f"only {ledger['certified']}/{ledger['ok']} served answers "
+            f"were oracle-certified"
+        )
+    server_requests = int(metrics.get("server.requests", 0))
+    if server_requests != ledger["requests"]:
+        violations.append(
+            f"server counted {server_requests} requests, client sent "
+            f"{ledger['requests']}"
+        )
+    server_ok = int(metrics.get("server.responses_200", 0))
+    if server_ok != ledger["ok"]:
+        violations.append(
+            f"server counted {server_ok} HTTP 200s, client saw "
+            f"{ledger['ok']}"
+        )
+    open_after = int(metrics.get("server.connections_open", 0))
+    if open_after != 0:
+        violations.append(
+            f"{open_after} connections still open after the fleet closed"
+        )
+    if peak["open"] < connections:
+        violations.append(
+            f"peak open connections {peak['open']} < fleet size "
+            f"{connections}: the soak was not fully concurrent"
+        )
+    if coalescer_stats.get("pending", 0) != 0:
+        violations.append(
+            f"{coalescer_stats['pending']} requests stranded in the "
+            f"coalescer after drain"
+        )
+    if coalesce:
+        # Every soak query is coalesce-eligible (no deadlines, no
+        # per-client quotas), so the coalescer must have seen them all.
+        window_total = coalescer_stats.get("requests", 0)
+        if window_total != ledger["requests"]:
+            violations.append(
+                f"coalescer saw {window_total} requests, fleet sent "
+                f"{ledger['requests']}"
+            )
+
+    return SoakReport(
+        connections=connections,
+        requests=ledger["requests"],
+        ok=ledger["ok"],
+        errors=ledger["errors"],
+        certified=ledger["certified"],
+        elapsed_s=ledger["elapsed_s"],
+        qps=ledger["qps"],
+        p50_ms=ledger["p50_ms"],
+        p99_ms=ledger["p99_ms"],
+        coalesced_responses=ledger["coalesced_responses"],
+        peak_open=peak["open"],
+        coalescer=coalescer_stats,
+        violations=violations,
+    )
+
+
+def main() -> int:
+    """Client-fleet mode: spec JSON line on stdin, ledger line on stdout.
+
+    With ``"barrier": true`` in the spec, a ``{"phase": "ready"}`` line
+    precedes the ledger and the fleet holds fire until any line arrives
+    on stdin (see :func:`_fleet_subprocesses`).
+    """
+    _fd_budget()  # claim the hard RLIMIT_NOFILE before opening the fleet
+    spec = json.loads(sys.stdin.readline())
+    ledger = asyncio.run(_run_fleet(spec))
+    json.dump(ledger, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

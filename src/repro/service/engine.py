@@ -345,6 +345,20 @@ class QueryEngine:
             },
         )
 
+    def liveness(self) -> Dict[str, Any]:
+        """Readiness hook for front doors (``/readyz``-style probes).
+
+        ``ready`` is the load-balancer verdict: ``True`` while the
+        engine accepts queries, ``False`` once shutdown began.  The
+        other fields are diagnostic context for the probe body.
+        """
+        return {
+            "ready": not self._closed,
+            "backend": "thread",
+            "epoch": self._tree_epoch(),
+            "workers": self.workers,
+        }
+
     def shutdown(self, timeout: Optional[float] = None) -> bool:
         """Stop accepting queries and drain in-flight work.  Idempotent.
 

@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import asdict, dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
@@ -691,19 +691,42 @@ class ResilientEngine:
             self._buckets[name] = bucket
         return bucket.try_acquire()
 
+    def _reject_locked(self, request: "_Request", exc: Exception) -> bool:
+        """Resolve *request*'s future with *exc*, tolerating a client cancel.
+
+        A client may cancel its future at any moment between enqueue and
+        whichever terminal path reaches the request first (shed, expiry,
+        shutdown flush).  A cancelled future refuses ``set_exception``
+        with :class:`~concurrent.futures.InvalidStateError`; that race
+        must neither crash the shedding path nor lose the request from
+        the accounting.  Returns ``True`` when the rejection landed (the
+        caller bumps its shed/shutdown counter) and ``False`` when the
+        client got there first (counted under ``cancelled`` here, keeping
+        the conservation law true).  Callers hold ``self._lock``.
+        """
+        if not request.future.cancelled():
+            try:
+                request.future.set_exception(exc)
+                return True
+            except InvalidStateError:
+                pass  # cancelled between the check and the set
+        self._cancelled += 1
+        return False
+
     def _make_room_locked(self, now: float) -> bool:
         """Try to free one queue slot per the shed policy."""
         if self.shed_policy == "adaptive-lifo":
             # Evict the oldest waiter in favor of the newcomer.
             victim = self._queue.popleft()
-            self._shed_evicted += 1
-            victim.future.set_exception(
+            if self._reject_locked(
+                victim,
                 AdmissionRejected(
                     "evicted by a newer request under overload "
                     "(adaptive-lifo)",
                     reason="queue_full",
-                )
-            )
+                ),
+            ):
+                self._shed_evicted += 1
             return True
         if self.shed_policy == "expired-drop":
             freed = False
@@ -712,13 +735,14 @@ class ResilientEngine:
                 and now >= self._queue[0].expires_at
             ):
                 expired = self._queue.popleft()
-                self._shed_expired += 1
-                expired.future.set_exception(
+                if self._reject_locked(
+                    expired,
                     AdmissionRejected(
                         "queue deadline expired before execution",
                         reason="expired",
-                    )
-                )
+                    ),
+                ):
+                    self._shed_expired += 1
                 freed = True
             return freed
         return False  # reject-newest
@@ -739,13 +763,14 @@ class ResilientEngine:
                     request.expires_at is not None
                     and now >= request.expires_at
                 ):
-                    self._shed_expired += 1
-                    request.future.set_exception(
+                    if self._reject_locked(
+                        request,
                         AdmissionRejected(
                             "queue deadline expired before execution",
                             reason="expired",
-                        )
-                    )
+                        ),
+                    ):
+                        self._shed_expired += 1
                     continue
                 if not request.future.set_running_or_notify_cancel():
                     self._cancelled += 1
@@ -884,6 +909,33 @@ class ResilientEngine:
             detail=detail,
         )
 
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`close` began: new submissions are rejected."""
+        with self._lock:
+            return self._closing
+
+    def liveness(self) -> Dict[str, Any]:
+        """Readiness hook for front doors (``/readyz``-style probes).
+
+        Composes the backend's own :meth:`liveness` (when it has one)
+        with the admission layer's drain state: an engine that started
+        closing is not ready even while its backend still drains the
+        backlog, so load balancers stop routing to it first.
+        """
+        inner_hook = getattr(self.engine, "liveness", None)
+        inner: Dict[str, Any] = (
+            inner_hook() if callable(inner_hook) else {"ready": True}
+        )
+        with self._lock:
+            draining = self._closing
+            queue_depth = len(self._queue)
+        out = dict(inner)
+        out["ready"] = bool(inner.get("ready", True)) and not draining
+        out["draining"] = draining
+        out["queue_depth"] = queue_depth
+        return out
+
     def register_metrics(
         self, registry: MetricsRegistry, prefix: str = "resilience"
     ) -> None:
@@ -911,28 +963,37 @@ class ResilientEngine:
         still queued afterwards is flushed with shutdown rejections so
         no future is ever left pending.  Returns whether every worker
         exited.
+
+        The join budget is split into equal per-thread slices, each
+        additionally clamped to the remaining overall budget.  A wedged
+        worker can therefore burn only its *own* slice — it never eats
+        the budget of later joins, so the threads behind it still get
+        their fair chance to exit and the honest answer (``False`` with
+        a survivor) arrives within roughly ``timeout / workers`` when
+        only one thread is stuck, never later than ``timeout``.
         """
         with self._work:
             self._closing = True
             self._work.notify_all()
-        deadline = (
-            None if timeout is None else time.monotonic() + timeout
-        )
-        for t in self._threads:
-            if deadline is None:
+        if timeout is None:
+            for t in self._threads:
                 t.join()
-            else:
-                t.join(max(0.0, deadline - time.monotonic()))
+        else:
+            slice_s = timeout / max(1, len(self._threads))
+            deadline = time.monotonic() + timeout
+            for t in self._threads:
+                t.join(min(slice_s, max(0.0, deadline - time.monotonic())))
         drained = all(not t.is_alive() for t in self._threads)
         with self._work:
             while self._queue:
                 request = self._queue.popleft()
-                self._shed_shutdown += 1
-                request.future.set_exception(
+                if self._reject_locked(
+                    request,
                     AdmissionRejected(
                         "engine closed before execution", reason="shutdown"
-                    )
-                )
+                    ),
+                ):
+                    self._shed_shutdown += 1
         if drained:
             self.engine.close()
         return drained

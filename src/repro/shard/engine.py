@@ -67,6 +67,7 @@ from repro.service.protocol import EngineSnapshot
 from repro.service.stats import LatencyRecorder
 from repro.shard.partition import ShardPlan, plan_shards
 from repro.shard.slab import ExportedSlab, export_slab
+from repro.shard.wire import FlatResult, flatten_result, inflate_neighbor, inflate_stats
 from repro.shard.worker import shard_worker_main
 
 __all__ = ["ShardedQueryEngine", "ShardedStats"]
@@ -316,6 +317,36 @@ class _ProcessShard:
                 )
         return fut
 
+    def submit_batch(
+        self, points: Sequence[Tuple[float, ...]], cfg: QueryConfig
+    ) -> Future:
+        """One wire round trip for a whole window of points.
+
+        Resolves to a list of columnar :data:`~repro.shard.wire
+        .FlatResult` replies, one per point in order; the same
+        reader-thread/rid plumbing as :meth:`submit`.
+        """
+        fut: Future = Future()
+        with self._send_lock:
+            if self.dead:
+                fut.set_exception(
+                    ShardLostError(f"shard {self.index} worker is dead")
+                )
+                return fut
+            rid = next(self._rids)
+            with self._pending_lock:
+                self._pending[rid] = fut
+            try:
+                self.conn.send(("query_batch", rid, list(points), cfg))
+            except (OSError, ValueError, BrokenPipeError):
+                with self._pending_lock:
+                    self._pending.pop(rid, None)
+                self._mark_dead()
+                fut.set_exception(
+                    ShardLostError(f"shard {self.index} pipe broke on send")
+                )
+        return fut
+
     # -- internals -----------------------------------------------------
     def _read_loop(self) -> None:
         conn = self.conn
@@ -402,6 +433,24 @@ class _InlineShard:
         fut: Future = Future()
         try:
             fut.set_result(run_packed_query(self.ptree, point, cfg))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            fut.set_exception(exc)
+        return fut
+
+    def submit_batch(
+        self, points: Sequence[Tuple[float, ...]], cfg: QueryConfig
+    ) -> Future:
+        fut: Future = Future()
+        try:
+            # Same wire shape as a process shard, so the batched merge
+            # is mode-agnostic (and the flatten/inflate round trip is
+            # exercised even in differential in-process tests).
+            fut.set_result(
+                [
+                    flatten_result(run_packed_query(self.ptree, p, cfg))
+                    for p in points
+                ]
+            )
         except BaseException as exc:  # noqa: BLE001 - future carries it
             fut.set_exception(exc)
         return fut
@@ -515,22 +564,34 @@ class ShardedQueryEngine:
     def _build_shards(
         self, source: List[Tuple[Any, Any]], shards: int, epoch: int
     ) -> Tuple[ShardPlan, List[PackedTree], List[ExportedSlab]]:
-        """Partition, bulk-load, pack and (in process mode) export."""
+        """Partition, bulk-load, pack and (in process mode) export.
+
+        A failure halfway through the export loop (shard ``i`` raising
+        after shards ``0..i-1`` already hit ``/dev/shm``) unwinds by
+        unlinking exactly the segments this never-published epoch
+        exported, then re-raises — the old epoch's segments are not
+        touched and keep serving.
+        """
         plan = plan_shards(source, shards, self.partitioner)
         ptrees: List[PackedTree] = []
         slabs: List[ExportedSlab] = []
-        for index, group in enumerate(plan.groups):
-            subtree = bulk_load(list(group), max_entries=self._max_entries)
-            ptree = PackedTree.from_tree(subtree)
-            # Stamp the engine's publish epoch: it keys worker ready
-            # acks, segment names and the result cache.
-            ptree.epoch = epoch
-            ptrees.append(ptree)
-            if self.processes:
-                name = f"{self._name_prefix}-e{epoch}-s{index}"
-                slabs.append(
-                    export_slab(ptree, index, plan.mbrs[index], name)
-                )
+        try:
+            for index, group in enumerate(plan.groups):
+                subtree = bulk_load(list(group), max_entries=self._max_entries)
+                ptree = PackedTree.from_tree(subtree)
+                # Stamp the engine's publish epoch: it keys worker ready
+                # acks, segment names and the result cache.
+                ptree.epoch = epoch
+                ptrees.append(ptree)
+                if self.processes:
+                    name = f"{self._name_prefix}-e{epoch}-s{index}"
+                    slabs.append(
+                        export_slab(ptree, index, plan.mbrs[index], name)
+                    )
+        except BaseException:
+            for slab in slabs:
+                slab.unlink()
+            raise
         return plan, ptrees, slabs
 
     def _publish(
@@ -538,45 +599,53 @@ class ShardedQueryEngine:
     ) -> None:
         epoch = self._epoch + 1
         plan, ptrees, slabs = self._build_shards(source, shards, epoch)
-        if not boot and plan.shards != len(self._handles):
+        try:
+            if not boot and plan.shards != len(self._handles):
+                raise InvalidParameterError(
+                    f"republish must keep the shard count: engine has "
+                    f"{len(self._handles)} shards, new plan has "
+                    f"{plan.shards} (need >= one item per shard)"
+                )
+            if boot:
+                if self.processes:
+                    self._handles = [
+                        _ProcessShard(i, self._ctx)
+                        for i in range(plan.shards)
+                    ]
+                else:
+                    self._handles = [
+                        _InlineShard(i) for i in range(plan.shards)
+                    ]
+            old_slabs = self._slabs
+            if self.processes:
+                pending: List[_ProcessShard] = []
+                for handle, slab, mbr, group in zip(
+                    self._handles, slabs, plan.mbrs, plan.groups
+                ):
+                    if boot or handle.dead:
+                        # Boot, or self-heal a dead worker on republish.
+                        handle.start(slab, mbr, len(group))
+                    else:
+                        handle.publish(slab, mbr, len(group))
+                    pending.append(handle)
+                for handle in pending:
+                    handle.wait_ready(epoch)
+            else:
+                for handle, ptree, mbr, group in zip(
+                    self._handles, ptrees, plan.mbrs, plan.groups
+                ):
+                    if boot:
+                        handle.start(ptree, mbr, len(group))
+                    else:
+                        handle.publish(ptree, mbr, len(group))
+        except BaseException:
+            # The new epoch never completed its ack-before-unlink swap:
+            # it was not published, so unwind by unlinking exactly its
+            # segments (idempotent with any partial unwind below us).
+            # The engine keeps serving the old epoch untouched.
             for slab in slabs:
                 slab.unlink()
-            raise InvalidParameterError(
-                f"republish must keep the shard count: engine has "
-                f"{len(self._handles)} shards, new plan has {plan.shards} "
-                f"(need >= one item per shard)"
-            )
-        if boot:
-            if self.processes:
-                self._handles = [
-                    _ProcessShard(i, self._ctx) for i in range(plan.shards)
-                ]
-            else:
-                self._handles = [
-                    _InlineShard(i) for i in range(plan.shards)
-                ]
-        old_slabs = self._slabs
-        if self.processes:
-            pending: List[_ProcessShard] = []
-            for handle, slab, mbr, group in zip(
-                self._handles, slabs, plan.mbrs, plan.groups
-            ):
-                if boot or handle.dead:
-                    # Boot, or self-heal a dead worker on republish.
-                    handle.start(slab, mbr, len(group))
-                else:
-                    handle.publish(slab, mbr, len(group))
-                pending.append(handle)
-            for handle in pending:
-                handle.wait_ready(epoch)
-        else:
-            for handle, ptree, mbr, group in zip(
-                self._handles, ptrees, plan.mbrs, plan.groups
-            ):
-                if boot:
-                    handle.start(ptree, mbr, len(group))
-                else:
-                    handle.publish(ptree, mbr, len(group))
+            raise
         # Every worker acknowledged the new epoch: retire the old one.
         self._plan = plan
         self._slabs = slabs
@@ -648,16 +717,78 @@ class ShardedQueryEngine:
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
     ) -> List[NNResult]:
-        """Answer a batch, one result per point, in order."""
+        """Answer a batch, one result per point, in order.
+
+        This is the amortized path the front door's micro-batch
+        coalescer dispatches through: cache misses travel as **one**
+        pickled message per live shard (the ``query_batch`` wire op)
+        instead of one round trip per query per shard, replies come
+        back in the columnar :mod:`repro.shard.wire` format, and the
+        workers run the window in parallel off the parent's GIL.  The
+        *answers* — distance sequences, truncation verdicts and
+        frontier bounds — are bit-identical to per-query :meth:`query`
+        calls (same kernels, same tie-aware merge); payloads too,
+        except under *exact* cross-shard distance ties, where the
+        per-query path's shard prune discards equal-distance candidates
+        sitting exactly on its round-1 bound that the batch fan-out
+        merges in (either pick is a correct k-NN set).  The effort
+        counters differ by design: the batch path skips the shard-level
+        P3 prune (every live shard sees every point; pruning needs a
+        per-point bound from a synchronous first round, which is
+        exactly the round trip this path amortizes away), so its
+        ``nodes_accessed`` reflects the full fan-out.  Few-large-shards
+        topologies therefore coalesce best; see ``docs/SERVING.md``.
+        """
         if not points:
             raise InvalidParameterError("points must be non-empty")
         self._ensure_open()
         cfg = self._effective_config(k, config)
-        pool = self._client_pool
-        if pool is None:
-            return [self._serve(p, cfg) for p in points]
-        futures = [pool.submit(self._serve, p, cfg) for p in points]
-        return [f.result() for f in futures]
+        start = time.perf_counter()
+        try:
+            with self._rwlock.read():
+                epoch = self._epoch
+                use_cache = self.cache.capacity > 0
+                results: List[Optional[NNResult]] = [None] * len(points)
+                hits = 0
+                keys: List[Any] = []
+                misses: List[int] = []
+                for idx, point in enumerate(points):
+                    key = (
+                        (_point_key(point), cfg.cache_key(), epoch)
+                        if use_cache
+                        else None
+                    )
+                    keys.append(key)
+                    if use_cache:
+                        cached = self.cache.get(key, _CACHE_MISS)
+                        if cached is not _CACHE_MISS:
+                            results[idx] = cached
+                            hits += 1
+                            continue
+                    misses.append(idx)
+                if misses:
+                    merged = self._scatter_batch(
+                        [_point_key(points[i]) for i in misses], cfg
+                    )
+                    for idx, result in zip(misses, merged):
+                        results[idx] = result
+                        if use_cache and not result.stats.truncated:
+                            self.cache.put(keys[idx], result)
+                with self._stats_lock:
+                    self._queries += len(points)
+                    self._cache_hits += hits
+                    self._executed += len(misses)
+                    self._pages_total += sum(
+                        results[i].stats.nodes_accessed for i in misses
+                    )
+                return results  # type: ignore[return-value]
+        except BaseException:
+            with self._stats_lock:
+                self._failures += 1
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            self._latency.record(elapsed / len(points))
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
@@ -692,6 +823,25 @@ class ShardedQueryEngine:
                 segment_bytes=seg_bytes,
                 shard_sizes=sizes,
             )
+
+    def liveness(self) -> Dict[str, Any]:
+        """Per-shard liveness surface for front doors (``/readyz``).
+
+        ``alive`` holds one boolean per shard, in shard order: a dead
+        worker degrades answers to certified-sound truncated prefixes
+        (see docs/SHARDING.md), so a front door may choose to keep
+        serving degraded (``ready`` stays ``True`` while *any* worker
+        lives) but report the per-shard detail to its probe.
+        """
+        alive = [not h.dead for h in self._handles]
+        return {
+            "ready": not self._closed and any(alive),
+            "backend": "sharded",
+            "epoch": self._epoch,
+            "shards": len(alive),
+            "alive": alive,
+            "workers_alive": sum(alive),
+        }
 
     def snapshot(self) -> EngineSnapshot:
         """What this engine serves: epoch, size, shard layout."""
@@ -877,6 +1027,93 @@ class ShardedQueryEngine:
                     "all shard workers are dead; republish() to respawn"
                 )
         return self._merge(cfg, collected, lost, pruned_minds)
+
+    def _scatter_batch(
+        self, points: List[Tuple[float, ...]], cfg: QueryConfig
+    ) -> List[NNResult]:
+        """Batched scatter-gather: one wire round trip per live shard.
+
+        Every live, non-empty shard receives the whole window and the
+        per-point answers are merged with the same tie discipline as
+        :meth:`_scatter`.  A shard that fails mid-batch degrades every
+        point in the window exactly like a lost shard on the per-query
+        path: its MBR MINDIST bounds the merged frontier, so the
+        truncated answers stay oracle-certifiable.
+        """
+        handles = self._handles
+        live: List[int] = []
+        lost_shards: List[int] = []
+        for i, handle in enumerate(handles):
+            if handle.mbr is None:
+                continue  # empty shard: nothing to ask
+            if handle.dead:
+                lost_shards.append(i)
+            else:
+                live.append(i)
+        in_flight = [
+            (i, handles[i].submit_batch(points, cfg)) for i in live
+        ]
+        per_shard: Dict[int, List[FlatResult]] = {}
+        for i, fut in in_flight:
+            try:
+                per_shard[i] = fut.result()
+            except ShardLostError:
+                lost_shards.append(i)
+        with self._stats_lock:
+            self._shards_queried += len(per_shard) * len(points)
+            if lost_shards:
+                self._degraded += len(points)
+        if not per_shard and lost_shards:
+            if all(h.dead for h in handles):
+                raise ShardLostError(
+                    "all shard workers are dead; republish() to respawn"
+                )
+        shard_order = sorted(per_shard)
+        out: List[NNResult] = []
+        for j, point in enumerate(points):
+            collected = [(i, per_shard[i][j]) for i in shard_order]
+            lost = [
+                (i, mindist_squared(point, handles[i].mbr))
+                for i in lost_shards
+            ]
+            out.append(self._merge_flat(cfg, collected, lost))
+        return out
+
+    def _merge_flat(
+        self,
+        cfg: QueryConfig,
+        collected: List[Tuple[int, FlatResult]],
+        lost: List[Tuple[int, float]],
+    ) -> NNResult:
+        """:meth:`_merge` over columnar wire replies.
+
+        Same tie discipline — ``(distance², shard, within-shard rank)``
+        — but distances are read straight out of the flat tuples and
+        ``Neighbor`` objects are constructed only for the k winners,
+        which is what makes the batched path cheap on the parent GIL.
+        """
+        stats = SearchStats()
+        entries: List[Tuple[float, int, int, FlatResult]] = []
+        for shard_index, flat in sorted(collected, key=lambda t: t[0]):
+            stats.merge(inflate_stats(flat[5]))
+            for rank, dist_sq in enumerate(flat[2]):
+                entries.append((dist_sq, shard_index, rank, flat))
+        entries.sort(key=lambda e: (e[0], e[1], e[2]))
+        neighbors = [
+            inflate_neighbor(entry[3], entry[2])
+            for entry in entries[:cfg.k]
+        ]
+
+        shard_frontiers = [
+            flat[5][8] for _, flat in collected if flat[5][6]
+        ]
+        if shard_frontiers or lost:
+            candidates = shard_frontiers + [mind for _, mind in lost]
+            stats.truncated = True
+            if lost:
+                stats.truncation_reason = "shard-lost"
+            stats.frontier_sq = min(candidates) if candidates else 0.0
+        return NNResult(neighbors=neighbors, stats=stats)
 
     def _merge(
         self,

@@ -1,0 +1,126 @@
+"""Columnar wire codec for batched shard replies.
+
+A ``query_batch`` reply does not ship :class:`~repro.core.query.NNResult`
+object graphs: unpickling one k=10 result costs ~55 us of parent-GIL
+time (each :class:`~repro.core.neighbors.Neighbor` drags a
+:class:`~repro.geometry.rect.Rect` through ``__reduce__``), which is the
+very per-query cost the micro-batch coalescer exists to amortize.
+Instead the worker flattens each result to a tuple of primitive tuples
+(~2 us to unpickle) and the parent's flat merge constructs ``Neighbor``
+objects *only for the k winners* that survive the cross-shard merge.
+
+The flat shape, one tuple per point::
+
+    (payloads, distances, distances_squared, rect_los, rect_his, stats)
+
+where the first five are parallel tuples over the result's neighbors in
+rank order, and ``stats`` is the 12-scalar flattening of
+:class:`~repro.core.stats.SearchStats` (with its nested
+:class:`~repro.core.pruning.PruningStats`) produced by
+:func:`flatten_stats`.  ``inflate_stats(flatten_stats(s))`` round-trips
+bit-for-bit, which is what keeps batched answers identical to the
+per-query wire path — the differential test in ``tests/shard`` holds
+the two pickled answers equal byte-for-byte.
+
+The single-query ``("query", ...)`` op keeps shipping rich ``NNResult``
+objects: a lone reply has no batch to amortize the codec over, and the
+per-request path is the baseline the coalescer is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.core.neighbors import Neighbor
+from repro.core.pruning import PruningStats
+from repro.core.query import NNResult
+from repro.core.stats import SearchStats
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "FlatResult",
+    "flatten_result",
+    "flatten_stats",
+    "inflate_neighbor",
+    "inflate_result",
+    "inflate_stats",
+]
+
+#: One point's flattened reply (see module docstring for the layout).
+FlatResult = Tuple[tuple, tuple, tuple, tuple, tuple, tuple]
+
+
+def flatten_stats(stats: SearchStats) -> tuple:
+    """``SearchStats`` (+ nested pruning) as a 12-scalar tuple."""
+    pruning = stats.pruning
+    return (
+        stats.nodes_accessed,
+        stats.leaf_accesses,
+        stats.internal_accesses,
+        stats.objects_examined,
+        stats.branch_entries_considered,
+        stats.pages_skipped_corrupt,
+        stats.truncated,
+        stats.truncation_reason,
+        stats.frontier_sq,
+        pruning.p1_pruned,
+        pruning.p2_bound_updates,
+        pruning.p3_pruned,
+    )
+
+
+def inflate_stats(flat: tuple) -> SearchStats:
+    """Rebuild the exact ``SearchStats`` that ``flatten_stats`` saw."""
+    return SearchStats(
+        nodes_accessed=flat[0],
+        leaf_accesses=flat[1],
+        internal_accesses=flat[2],
+        objects_examined=flat[3],
+        branch_entries_considered=flat[4],
+        pages_skipped_corrupt=flat[5],
+        truncated=flat[6],
+        truncation_reason=flat[7],
+        frontier_sq=flat[8],
+        pruning=PruningStats(
+            p1_pruned=flat[9],
+            p2_bound_updates=flat[10],
+            p3_pruned=flat[11],
+        ),
+    )
+
+
+def flatten_result(result: NNResult) -> FlatResult:
+    """Flatten one per-shard result for the batch wire (worker side)."""
+    neighbors = result.neighbors
+    return (
+        tuple(n.payload for n in neighbors),
+        tuple(n.distance for n in neighbors),
+        tuple(n.distance_squared for n in neighbors),
+        tuple(n.rect.lo for n in neighbors),
+        tuple(n.rect.hi for n in neighbors),
+        flatten_stats(result.stats),
+    )
+
+
+def inflate_neighbor(flat: FlatResult, rank: int) -> Neighbor:
+    """Construct the single ``Neighbor`` at *rank* of a flat reply.
+
+    This is the deliberate asymmetry of the codec: the merge touches
+    only distances (already primitive), so object construction is
+    deferred to the winners instead of paid for every shard's full k.
+    """
+    payloads, distances, distances_squared, los, his, _ = flat
+    return Neighbor(
+        payload=payloads[rank],
+        rect=Rect(los[rank], his[rank]),
+        distance=distances[rank],
+        distance_squared=distances_squared[rank],
+    )
+
+
+def inflate_result(flat: FlatResult) -> NNResult:
+    """Fully rebuild one ``NNResult`` (test/diagnostic helper)."""
+    neighbors: List[Any] = [
+        inflate_neighbor(flat, rank) for rank in range(len(flat[0]))
+    ]
+    return NNResult(neighbors=neighbors, stats=inflate_stats(flat[5]))

@@ -12,15 +12,26 @@ certify the degraded answer with the shard's MBR as the frontier bound
 
 Wire protocol (one pickled tuple per message, over a ``Pipe``):
 
-========================  =================================================
-parent → worker            worker → parent
-========================  =================================================
-``("query", rid, p, cfg)`` ``("ok", rid, NNResult)`` or ``("err", rid, exc)``
-``("publish", manifest)``  ``("ready", epoch)`` after the re-attach
-``("ping",)``              ``("pong",)``
-``("sleep", seconds)``     *nothing* — test hook to simulate a stall
-``("close",)``             ``("closed",)``, then the worker exits
-========================  =================================================
+=============================  ============================================
+parent → worker                 worker → parent
+=============================  ============================================
+``("query", rid, p, cfg)``      ``("ok", rid, NNResult)`` / ``("err", rid, e)``
+``("query_batch", rid, ps,      ``("ok", rid, [FlatResult, ...])`` (in order)
+cfg)``                          / ``("err", rid, e)``
+``("publish", manifest)``       ``("ready", epoch)`` after the re-attach
+``("ping",)``                   ``("pong",)``
+``("sleep", seconds)``          *nothing* — test hook to simulate a stall
+``("close",)``                  ``("closed",)``, then the worker exits
+=============================  ============================================
+
+``query_batch`` is the round-trip amortization the serving front door's
+micro-batch coalescer leans on: one pickled message per shard carries a
+whole window of points, instead of one IPC round trip per query per
+shard, and replies ship in the columnar :mod:`repro.shard.wire` format
+(~25x cheaper for the parent to unpickle than ``NNResult`` graphs).  A
+batch is all-or-nothing on the wire — any per-point failure ships one
+``err`` and the parent degrades that batch as if the shard were
+unreachable (sound: the shard's MBR MINDIST becomes the frontier).
 
 Requests carry monotonically increasing ids so the parent can pipeline:
 many queries may be in flight on one pipe, and the reader thread on the
@@ -34,6 +45,7 @@ from typing import Any, Optional
 
 from repro.packed.kernels import run_packed_query
 from repro.shard.slab import AttachedSlab, SlabManifest, attach_slab
+from repro.shard.wire import flatten_result
 
 __all__ = ["shard_worker_main"]
 
@@ -66,6 +78,19 @@ def shard_worker_main(conn: Any, manifest: SlabManifest) -> None:
                         conn.send(("err", rid, exc))
                     except Exception:
                         # Unpicklable exception: degrade to its repr.
+                        conn.send(("err", rid, RuntimeError(repr(exc))))
+            elif op == "query_batch":
+                _, rid, points, cfg = msg
+                try:
+                    results = [
+                        flatten_result(run_packed_query(slab.ptree, point, cfg))
+                        for point in points
+                    ]
+                    conn.send(("ok", rid, results))
+                except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                    try:
+                        conn.send(("err", rid, exc))
+                    except Exception:
                         conn.send(("err", rid, RuntimeError(repr(exc))))
             elif op == "publish":
                 _, new_manifest = msg

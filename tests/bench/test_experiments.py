@@ -18,10 +18,10 @@ TINY = Scale(
 
 
 class TestRegistry:
-    def test_all_eighteen_registered(self):
+    def test_all_nineteen_registered(self):
         assert sorted(EXPERIMENTS) == [
             "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
-            "E18", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+            "E18", "E19", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
         ]
 
     def test_lookup_case_insensitive(self):

@@ -7,6 +7,7 @@ must (a) emit a ``DeprecationWarning`` pointing at the migration guide,
 callers already on ``config=``.  ``k=`` stays first-class and silent.
 """
 
+import os
 import warnings
 
 import pytest
@@ -61,6 +62,58 @@ class TestSilent:
             warnings.simplefilter("error", DeprecationWarning)
             nearest(tree, QUERY, k=3)
             nearest_batch(tree, [QUERY], k=3)
+
+
+class TestWarningAttribution:
+    """Deprecation warnings must point at the *caller's* line.
+
+    A warning attributed inside ``repro`` is useless: the caller cannot
+    act on it and cannot silence it by location.  The filename on every
+    caught warning must therefore be this test file — including when an
+    internal forwarding frame (compiled against a ``repro`` source file)
+    sits between the caller and the entry point, which the old fixed
+    ``stacklevel=3`` got wrong.
+    """
+
+    def _filename(self, caught):
+        return os.path.abspath(caught[0].filename)
+
+    def test_nearest_direct_call_points_here(self, tree):
+        with pytest.warns(DeprecationWarning) as caught:
+            nearest(tree, QUERY, k=2, algorithm="best-first")
+        assert self._filename(caught) == os.path.abspath(__file__)
+
+    def test_query_object_direct_call_points_here(self, tree):
+        with pytest.warns(DeprecationWarning) as caught:
+            NearestNeighborQuery(tree, algorithm="best-first")
+        assert self._filename(caught) == os.path.abspath(__file__)
+
+    def test_nearest_batch_direct_call_points_here(self, tree):
+        with pytest.warns(DeprecationWarning) as caught:
+            nearest_batch(tree, [QUERY], k=1, ordering="mindist")
+        assert self._filename(caught) == os.path.abspath(__file__)
+
+    def test_forwarding_frames_inside_repro_are_skipped(self, tree):
+        """Regression: an intermediate repro-attributed frame must not
+        swallow the attribution.
+
+        The wrapper below is compiled against a real ``repro`` source
+        filename, exactly like an internal convenience layer forwarding
+        legacy kwargs into ``nearest``.  The warning must skip over it
+        and land on this file; with the fixed ``stacklevel=3`` it landed
+        on the wrapper's (library) file instead.
+        """
+        import repro.core.config as config_mod
+
+        source = (
+            "def forward(tree, point, _nearest):\n"
+            "    return _nearest(tree, point, k=2, algorithm='best-first')\n"
+        )
+        namespace = {}
+        exec(compile(source, config_mod.__file__, "exec"), namespace)
+        with pytest.warns(DeprecationWarning) as caught:
+            namespace["forward"](tree, QUERY, nearest)
+        assert self._filename(caught) == os.path.abspath(__file__)
 
 
 class TestSameAnswers:

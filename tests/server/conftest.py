@@ -1,0 +1,163 @@
+"""Shared fixtures for the asyncio front-door tests.
+
+The harness runs a real :class:`NNServer` on its own event loop in a
+background thread and talks to it over real sockets with
+``http.client`` — the tests exercise the exact wire path production
+traffic takes, not a mocked transport.
+"""
+
+import asyncio
+import http.client
+import json
+import math
+import threading
+
+import pytest
+
+from repro.audit.oracle import check_truncated_result
+from repro.baselines.linear_scan import linear_scan_items
+from repro.core.neighbors import Neighbor
+from repro.datasets import uniform_points
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+from repro.server import NNServer, ServerConfig
+from repro.service.engine import QueryEngine
+from repro.service.options import EngineOptions
+
+#: One fixed dataset for the whole suite; trees are rebuilt per server
+#: because a drained server closes its engine.
+DATASET_N = 400
+DATASET_SEED = 8
+_POINTS = uniform_points(DATASET_N, seed=DATASET_SEED)
+ITEMS = [(Rect.from_point(p), i) for i, p in enumerate(_POINTS)]
+
+
+def build_tree(items=None):
+    tree = RTree(max_entries=8)
+    for rect, payload in items if items is not None else ITEMS:
+        tree.insert(rect, payload=payload)
+    return tree
+
+
+def build_engine(workers=2):
+    return QueryEngine(
+        build_tree(), options=EngineOptions(packed=True, workers=workers)
+    )
+
+
+class ServerHarness:
+    """One NNServer on a private event loop in a daemon thread."""
+
+    def __init__(self, server: NNServer) -> None:
+        self.server = server
+        self.port = None
+        self.loop = None
+        self._stop = None
+        self._ready = threading.Event()
+        self._error = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced to the test thread
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def start(self) -> "ServerHarness":
+        self._thread.start()
+        assert self._ready.wait(15), "server failed to start in time"
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def begin_stop(self) -> None:
+        """Trigger the drain without waiting for it."""
+        if self.loop is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self._stop.set)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.begin_stop()
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "server thread failed to drain"
+        if self._error is not None:
+            raise self._error
+
+    # -- tiny synchronous HTTP client ---------------------------------
+    def connection(self, timeout: float = 30.0) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=timeout
+        )
+
+    def request(self, method, path, payload=None, headers=None, timeout=30.0):
+        conn = self.connection(timeout=timeout)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            conn.close()
+
+    def request_json(self, method, path, payload=None, **kwargs):
+        status, headers, raw = self.request(method, path, payload, **kwargs)
+        return status, headers, json.loads(raw)
+
+
+@pytest.fixture
+def serve():
+    """Factory: boot a server (default engine unless given one)."""
+    harnesses = []
+
+    def _serve(engine=None, config=None, registry=None):
+        if engine is None:
+            engine = build_engine()
+        harness = ServerHarness(NNServer(engine, config, registry))
+        harnesses.append(harness)
+        return harness.start()
+
+    yield _serve
+    for harness in harnesses:
+        harness.stop()
+
+
+# ---------------------------------------------------------------------
+# Oracle certification of wire-format answers
+# ---------------------------------------------------------------------
+def neighbors_from_dicts(dicts):
+    """Rebuild :class:`Neighbor` objects from ``/query`` response JSON."""
+    return [
+        Neighbor(
+            payload=d["payload"],
+            rect=Rect.from_point(d["point"]),
+            distance=float(d["distance"]),
+            distance_squared=float(d["distance"]) ** 2,
+        )
+        for d in dicts
+    ]
+
+def certify(body, point, k, combo="server", epsilon=0.0, items=None):
+    """Every served answer must be oracle-certifiable from its JSON."""
+    exact = linear_scan_items(
+        items if items is not None else ITEMS, point, k=k
+    )
+    frontier = body["frontier_distance"]
+    problems = check_truncated_result(
+        neighbors_from_dicts(body["neighbors"]),
+        point,
+        k,
+        exact,
+        combo=combo,
+        frontier=math.inf if frontier is None else float(frontier),
+        epsilon=epsilon,
+    )
+    assert problems == [], problems

@@ -1,0 +1,278 @@
+"""Micro-batch coalescing: windows, flush triggers, deadline bypass.
+
+The deadline-vs-coalescing interaction is the satellite this file pins:
+a request whose ``Budget.deadline_ms`` cannot survive the coalescing
+window must bypass it (never queued behind the window timer), and every
+answer — coalesced, bypassed, or truncated by its deadline — must stay
+certifiable by the truncated-result oracle.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.config import QueryConfig
+from repro.server import Coalescer, ServerConfig
+
+from tests.server.conftest import certify
+
+pytestmark = pytest.mark.server
+
+
+class _BatchEngine:
+    """Fake engine recording every ``query_batch`` call."""
+
+    def __init__(self):
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def query_batch(self, points, config=None):
+        with self.lock:
+            self.calls.append(list(points))
+        return [("R", tuple(p)) for p in points]
+
+
+class _SubmitEngine:
+    """Fake engine with only per-request ``submit`` (resilient shape)."""
+
+    def __init__(self, fail_for=()):
+        self.fail_for = set(fail_for)
+        self.submitted = []
+
+    def submit(self, point, config=None):
+        self.submitted.append(tuple(point))
+        future = Future()
+        if tuple(point) in self.fail_for:
+            future.set_exception(RuntimeError(f"boom at {point}"))
+        else:
+            future.set_result(("R", tuple(point)))
+        return future
+
+
+def run_coalesced(engine, coro_fn, **kwargs):
+    """Run *coro_fn(coalescer)* under a fresh loop + executor."""
+
+    async def go():
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            coalescer = Coalescer(engine, executor, **kwargs)
+            result = await coro_fn(coalescer)
+            await coalescer.drain()
+            return coalescer, result
+
+    return asyncio.run(go())
+
+
+class TestWindows:
+    def test_concurrent_arrivals_share_one_batch(self):
+        engine = _BatchEngine()
+        cfg = QueryConfig(k=2)
+        points = [(float(i), 0.0) for i in range(8)]
+
+        async def go(coalescer):
+            return await asyncio.gather(
+                *(coalescer.submit(p, cfg) for p in points)
+            )
+
+        coalescer, results = run_coalesced(
+            engine, go, max_wait_ms=50.0, max_batch=64
+        )
+        assert len(engine.calls) == 1
+        assert engine.calls[0] == [tuple(p) for p in points]
+        # Answers land with their own waiters, in order.
+        assert results == [("R", tuple(p)) for p in points]
+        assert coalescer.flush_timer == 1
+        assert coalescer.coalesced_requests == 8
+        assert coalescer.largest_batch == 8
+
+    def test_full_window_flushes_without_waiting_for_the_timer(self):
+        engine = _BatchEngine()
+        cfg = QueryConfig(k=1)
+
+        async def go(coalescer):
+            # A timer this long would hang the test; completing at all
+            # proves the max_batch flush fired.
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    *(
+                        coalescer.submit((float(i), 1.0), cfg)
+                        for i in range(4)
+                    )
+                ),
+                timeout=10.0,
+            )
+
+        coalescer, results = run_coalesced(
+            engine, go, max_wait_ms=60_000.0, max_batch=4
+        )
+        assert coalescer.flush_full == 1
+        assert len(results) == 4
+
+    def test_distinct_configs_get_distinct_windows(self):
+        engine = _BatchEngine()
+
+        async def go(coalescer):
+            return await asyncio.gather(
+                coalescer.submit((0.0, 0.0), QueryConfig(k=1)),
+                coalescer.submit((1.0, 1.0), QueryConfig(k=2)),
+                coalescer.submit((2.0, 2.0), QueryConfig(k=1)),
+            )
+
+        coalescer, _ = run_coalesced(engine, go, max_wait_ms=50.0)
+        assert coalescer.windows == 2
+        batches = sorted(engine.calls, key=len)
+        assert [len(b) for b in batches] == [1, 2]
+
+    def test_submit_only_engine_pipelines_with_per_entry_verdicts(self):
+        engine = _SubmitEngine(fail_for={(1.0, 0.0)})
+        cfg = QueryConfig(k=1)
+        points = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+
+        async def go(coalescer):
+            return await asyncio.gather(
+                *(coalescer.submit(p, cfg) for p in points),
+                return_exceptions=True,
+            )
+
+        _, results = run_coalesced(engine, go, max_wait_ms=50.0)
+        assert results[0] == ("R", (0.0, 0.0))
+        assert isinstance(results[1], RuntimeError)
+        assert results[2] == ("R", (2.0, 0.0))
+        assert engine.submitted == points
+
+    def test_drain_flushes_open_windows(self):
+        engine = _BatchEngine()
+        cfg = QueryConfig(k=1)
+
+        async def go(coalescer):
+            # Huge window: only drain() can flush it.
+            tasks = [
+                asyncio.ensure_future(coalescer.submit((float(i), 2.0), cfg))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)  # let the window collect
+            await coalescer.drain()
+            return await asyncio.gather(*tasks)
+
+        coalescer, results = run_coalesced(
+            engine, go, max_wait_ms=60_000.0, max_batch=64
+        )
+        assert coalescer.flush_drain == 1
+        assert len(results) == 3
+
+    def test_parameter_validation(self):
+        engine = _BatchEngine()
+        with pytest.raises(ValueError):
+            Coalescer(engine, None, max_wait_ms=0.0)
+        with pytest.raises(ValueError):
+            Coalescer(engine, None, max_batch=1)
+
+
+class TestDeadlineBypassRule:
+    @pytest.mark.parametrize(
+        "budget,expected",
+        [
+            (None, False),
+            (Budget(max_pages=4), False),
+            (Budget(deadline_ms=0.5), True),
+            (Budget(deadline_ms=1.0), True),  # boundary: cannot survive
+            (Budget(deadline_ms=5.0), False),
+            (Budget(deadline_ms=0.5, max_pages=4), True),
+        ],
+    )
+    def test_bypasses(self, budget, expected):
+        coalescer = Coalescer(
+            _BatchEngine(), None, max_wait_ms=1.0, max_batch=4
+        )
+        cfg = (
+            QueryConfig(k=1)
+            if budget is None
+            else QueryConfig(k=1, budget=budget)
+        )
+        assert coalescer.bypasses(cfg) is expected
+
+
+class TestEndToEndCoalescing:
+    def test_concurrent_http_queries_share_engine_batches(self, serve):
+        harness = serve(
+            config=ServerConfig(max_wait_ms=40.0, max_batch=64)
+        )
+        point, k, fan = (0.5, 0.5), 3, 12
+        bodies = [None] * fan
+        barrier = threading.Barrier(fan)
+
+        def fire(i):
+            barrier.wait()
+            status, _, body = harness.request_json(
+                "POST", "/query", {"point": list(point), "k": k}
+            )
+            assert status == 200
+            bodies[i] = body
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(fan)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        coalescer = harness.server.coalescer
+        assert coalescer.requests == fan
+        assert coalescer.largest_batch >= 2
+        assert coalescer.coalesced_requests >= 2
+        for body in bodies:
+            assert body["coalesced"] is True
+            certify(body, point, k, combo="coalesced")
+
+    # -- the satellite: deadlines vs the coalescing window -------------
+    @pytest.mark.parametrize("max_wait_ms", [0.5, 2.0, 25.0])
+    def test_deadline_vs_window_property(self, serve, max_wait_ms):
+        """Sweep window x deadline: a budget that cannot survive the
+        window must bypass coalescing, and *every* served answer —
+        coalesced, bypassed, or deadline-truncated — must be certified
+        sound by the truncated-result oracle."""
+        harness = serve(
+            config=ServerConfig(max_wait_ms=max_wait_ms, max_batch=8)
+        )
+        deadlines = [0.05, 0.5, 2.0, 25.0, 500.0]
+        probes = [(0.2, 0.8), (0.77, 0.33)]
+        k = 5
+        for deadline_ms in deadlines:
+            for point in probes:
+                status, _, body = harness.request_json(
+                    "POST",
+                    "/query",
+                    {
+                        "point": list(point),
+                        "k": k,
+                        "deadline_ms": deadline_ms,
+                    },
+                )
+                assert status == 200
+                if deadline_ms <= max_wait_ms:
+                    # The budget cannot survive the window: the request
+                    # must not have sat in it.
+                    assert body["coalesced"] is False, (
+                        f"deadline {deadline_ms}ms was coalesced into a "
+                        f"{max_wait_ms}ms window"
+                    )
+                if body["truncated"]:
+                    assert body["truncation_reason"] is not None
+                certify(
+                    body,
+                    point,
+                    k,
+                    combo=f"w{max_wait_ms}-d{deadline_ms}",
+                )
+
+    def test_bypass_counter_increments(self, serve):
+        harness = serve(config=ServerConfig(max_wait_ms=5.0))
+        harness.request_json(
+            "POST",
+            "/query",
+            {"point": [0.5, 0.5], "k": 1, "deadline_ms": 1.0},
+        )
+        collected = harness.server.registry.collect()
+        assert collected["server.deadline_bypass"] >= 1

@@ -1,0 +1,280 @@
+"""Graceful drain: SIGTERM, in-flight completion, idle-connection abort."""
+
+import json
+import os
+import queue
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.server import NNServer, ServerConfig
+from repro.server.http import Request
+
+from tests.server.conftest import build_engine
+
+pytestmark = pytest.mark.server
+
+WEDGE = (9.0, 9.0)
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+class _GateSubmitEngine:
+    """Delegates to a real engine, but wedges WEDGE submits on a gate."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.config = getattr(inner, "config", None)
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+        self.close_called = threading.Event()
+
+    def submit(self, point, config=None):
+        if tuple(point) == WEDGE:
+            future = Future()
+
+            def run():
+                self.entered.set()
+                self.gate.wait(30)
+                try:
+                    future.set_result(
+                        self.inner.query((0.5, 0.5), config=config)
+                    )
+                except BaseException as exc:  # pragma: no cover
+                    future.set_exception(exc)
+
+            threading.Thread(target=run, daemon=True).start()
+            return future
+        return self.inner.submit(point, config=config)
+
+    def close(self, timeout=None):
+        self.close_called.set()
+        return self.inner.close()
+
+
+def _wait_refused(port, timeout=10.0):
+    """True once new connections to *port* are refused."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=1)
+        except OSError:
+            return True
+        sock.close()
+        time.sleep(0.02)
+    return False
+
+
+class TestDrainSequence:
+    def test_inflight_request_completes_while_new_connections_refuse(
+        self, serve
+    ):
+        engine = _GateSubmitEngine(build_engine(workers=1))
+        harness = serve(
+            engine=engine,
+            config=ServerConfig(coalesce=False, drain_timeout=15.0),
+        )
+        port = harness.port
+        outcome = {}
+
+        def fire():
+            outcome["response"] = harness.request_json(
+                "POST", "/query", {"point": list(WEDGE), "k": 1}
+            )
+
+        inflight = threading.Thread(target=fire)
+        inflight.start()
+        assert engine.entered.wait(10), "wedged request never reached engine"
+
+        harness.begin_stop()
+        # Drain step 1: the listener closes before in-flight work is cut.
+        assert _wait_refused(port), "listener stayed open during drain"
+        assert not engine.close_called.is_set(), (
+            "engine closed while a request was still in flight"
+        )
+        engine.gate.set()
+        inflight.join(20)
+        harness.stop()
+        status, _, body = outcome["response"]
+        assert status == 200
+        assert body["neighbors"]
+        assert engine.close_called.is_set()
+
+    def test_idle_connection_is_aborted_at_drain_timeout(self, serve):
+        harness = serve(
+            config=ServerConfig(drain_timeout=0.5, coalesce=False)
+        )
+        # An idle keep-alive peer that never speaks and never hangs up.
+        idle = socket.create_connection(("127.0.0.1", harness.port))
+        try:
+            started = time.monotonic()
+            harness.stop(timeout=20.0)
+            # Drain waited the 0.5 s grace then aborted the straggler
+            # instead of hanging for the full join timeout.
+            assert time.monotonic() - started < 15.0
+        finally:
+            idle.close()
+
+    def test_routes_shed_while_draining(self):
+        """During the drain window /query sheds 503 and /readyz flips."""
+
+        async def go():
+            server = NNServer(
+                build_engine(workers=1),
+                ServerConfig(drain_timeout=2.0),
+            )
+            await server.start()
+            try:
+                server._draining = True
+                status, body, headers = await server._route(
+                    Request(
+                        method="POST",
+                        path="/query",
+                        body=b'{"point": [0.5, 0.5], "k": 1}',
+                    )
+                )
+                assert status == 503
+                assert dict(headers)["Retry-After"]
+                assert "draining" in json.loads(body)["error"]
+
+                status, body, _ = await server._route(
+                    Request(method="GET", path="/readyz")
+                )
+                assert status == 503
+                detail = json.loads(body)
+                assert detail["ready"] is False
+                assert detail["draining"] is True
+
+                # Liveness stays 200: the pod is alive, just not ready.
+                status, _, _ = await server._route(
+                    Request(method="GET", path="/healthz")
+                )
+                assert status == 200
+            finally:
+                server._draining = False
+                await server.shutdown()
+
+        import asyncio
+
+        asyncio.run(go())
+
+
+class TestSignalDriven:
+    def test_sigterm_drains_the_blocking_entry_point(self):
+        """``python -m repro.server`` + SIGTERM = clean exit 0."""
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro.server",
+                "--port",
+                "0",
+                "--n",
+                "300",
+                "--workers",
+                "1",
+            ],
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        lines = queue.Queue()
+
+        def pump():
+            for line in proc.stdout:
+                lines.put(line)
+            lines.put(None)
+
+        reader = threading.Thread(target=pump, daemon=True)
+        reader.start()
+        try:
+            match = None
+            deadline = time.monotonic() + 30.0
+            while match is None and time.monotonic() < deadline:
+                try:
+                    line = lines.get(timeout=1.0)
+                except queue.Empty:
+                    continue
+                assert line is not None, "server exited before listening"
+                match = re.search(r"listening on .*:(\d+)", line)
+            assert match is not None, "never saw the listening banner"
+            port = int(match.group(1))
+
+            import http.client
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            conn.request(
+                "POST", "/query", body='{"point": [0.5, 0.5], "k": 3}'
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            payload = json.loads(response.read())
+            assert len(payload["neighbors"]) == 3
+            conn.close()
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            output = []
+            while True:
+                line = lines.get(timeout=10.0)
+                if line is None:
+                    break
+                output.append(line)
+            text = "".join(output)
+            assert "draining" in text
+            assert "drained" in text
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+
+class TestThreadedRun:
+    def test_run_off_main_thread_serves_and_stop_drains(self):
+        """run() in a worker thread (no signal handlers possible) must
+        still serve, and stop() must trigger the identical drain."""
+        engine = build_engine(workers=1)
+        server = NNServer(engine, ServerConfig(port=0))
+        thread = threading.Thread(target=server.run)
+        thread.start()
+        try:
+            port = None
+            deadline = time.monotonic() + 10.0
+            while port is None and time.monotonic() < deadline:
+                try:
+                    port = server.port
+                except RuntimeError:
+                    time.sleep(0.01)
+            assert port is not None, "run() never bound a socket"
+
+            import http.client
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            conn.request(
+                "POST", "/query", body='{"point": [0.5, 0.5], "k": 3}'
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            assert len(json.loads(response.read())["neighbors"]) == 3
+            conn.close()
+        finally:
+            server.stop()
+            thread.join(timeout=20)
+        assert not thread.is_alive(), "stop() did not drain run()"
+        # Drain closed the engine (close_engine defaults to True).
+        assert server._closed
+
+    def test_stop_before_run_is_a_noop(self):
+        engine = build_engine(workers=1)
+        server = NNServer(engine, ServerConfig(port=0))
+        server.stop()  # nothing serving: must not raise
+        engine.close()

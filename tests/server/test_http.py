@@ -1,0 +1,137 @@
+"""HTTP/1.1 framing: parse edge cases and response rendering."""
+
+import asyncio
+
+import pytest
+
+from repro.server.http import HTTPError, read_request, render_response
+
+pytestmark = pytest.mark.server
+
+
+def parse(raw: bytes, max_body: int = 1 << 20):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body=max_body)
+
+    return asyncio.run(go())
+
+
+def parse_error(raw: bytes, max_body: int = 1 << 20) -> HTTPError:
+    with pytest.raises(HTTPError) as excinfo:
+        parse(raw, max_body=max_body)
+    return excinfo.value
+
+
+class TestParsing:
+    def test_get_with_query_string(self):
+        request = parse(b"GET /stats?fmt=prom&x=1 HTTP/1.1\r\nHost: a\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/stats"
+        assert request.query == {"fmt": "prom", "x": "1"}
+        assert request.body == b""
+
+    def test_post_with_content_length_body(self):
+        body = b'{"point":[0.5,0.5],"k":3}'
+        raw = (
+            b"POST /query HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.headers["content-type"] == "application/json"
+
+    def test_header_names_are_lowercased(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Foo-BAR:  baz \r\n\r\n")
+        assert request.headers["x-foo-bar"] == "baz"
+
+    def test_clean_eof_is_none_not_an_error(self):
+        assert parse(b"") is None
+
+    def test_method_is_uppercased(self):
+        assert parse(b"get /healthz HTTP/1.1\r\n\r\n").method == "GET"
+
+    def test_empty_path_defaults_to_root(self):
+        # urlsplit("") yields an empty path; the parser normalizes it.
+        request = parse(b"GET ?x=1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/"
+
+
+class TestRejections:
+    def test_malformed_request_line_is_400(self):
+        assert parse_error(b"GARBAGE\r\n\r\n").status == 400
+
+    def test_unsupported_protocol_is_400(self):
+        assert parse_error(b"GET / HTTP/2.0\r\n\r\n").status == 400
+        assert parse_error(b"GET / SPDY/3\r\n\r\n").status == 400
+
+    def test_chunked_transfer_encoding_is_501(self):
+        raw = b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        assert parse_error(raw).status == 501
+
+    def test_oversize_body_is_413(self):
+        raw = b"POST /query HTTP/1.1\r\nContent-Length: 1000\r\n\r\n"
+        assert parse_error(raw, max_body=999).status == 413
+
+    def test_malformed_content_length_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        assert parse_error(raw).status == 400
+
+    def test_negative_content_length_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        assert parse_error(raw).status == 400
+
+    def test_header_without_colon_is_400(self):
+        raw = b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"
+        assert parse_error(raw).status == 400
+
+    def test_too_many_headers_is_400(self):
+        headers = "".join(f"H{i}: v\r\n" for i in range(80)).encode()
+        raw = b"GET / HTTP/1.1\r\n" + headers + b"\r\n"
+        assert parse_error(raw).status == 400
+
+
+class TestKeepAliveSemantics:
+    def test_http11_defaults_to_keep_alive(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive is True
+
+    def test_connection_close_opts_out(self):
+        raw = b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"
+        assert parse(raw).keep_alive is False
+
+    def test_http10_defaults_to_close(self):
+        assert parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive is False
+
+    def test_http10_can_opt_in_to_keep_alive(self):
+        raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        assert parse(raw).keep_alive is True
+
+
+class TestRenderResponse:
+    def test_basic_shape(self):
+        payload = render_response(200, b'{"ok":true}')
+        head, _, body = payload.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 11" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok":true}'
+
+    def test_close_and_extra_headers(self):
+        payload = render_response(
+            429,
+            b"{}",
+            keep_alive=False,
+            extra_headers=(("Retry-After", "2"),),
+        )
+        head = payload.split(b"\r\n\r\n", 1)[0]
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Connection: close" in head
+        assert b"Retry-After: 2" in head
+
+    def test_unknown_status_still_renders(self):
+        assert render_response(599, b"").startswith(b"HTTP/1.1 599 Unknown")
