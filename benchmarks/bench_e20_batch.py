@@ -1,0 +1,115 @@
+"""E20 — multi-query batched traversal over the packed slab.
+
+The batch kernel amortizes the paper's best-first search across a
+window of concurrent queries: one traversal visits each node once per
+window and computes its MINDIST against every live query in a single
+strided pass.  The acceptance gate lives in ``python -m repro.bench
+batch`` (CI pins a flake-proof 1.3x on the numpy leg; the committed
+``BENCH_e20_batch.json`` baseline shows >2x at n=10^6 on 8 KiB
+pages) — here the timing benchmarks measure the solo loop and the
+batched kernel over the same window stream, and parity is asserted
+bit-for-bit before any number is trusted.
+"""
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items
+from repro.datasets.queries import query_points_uniform
+from repro.datasets.synthetic import uniform_points
+from repro.packed.batch import NUMPY_AVAILABLE, packed_nearest_batch
+from repro.packed.kernels import packed_nearest_best_first
+from repro.packed.layout import PackedTree
+from repro.storage.pager import PageModel
+
+HEADLINE_N = 50_000
+HEADLINE_K = 10
+HEADLINE_QUERIES = 64
+HEADLINE_WINDOW = 16
+HEADLINE_PAGE_SIZE = 8192
+
+
+@pytest.fixture(scope="module")
+def headline_packed():
+    points = uniform_points(HEADLINE_N, seed=200)
+    tree = build_tree(
+        points_as_items(points),
+        page_model=PageModel(page_size=HEADLINE_PAGE_SIZE),
+    )
+    return PackedTree.from_tree(tree)
+
+
+@pytest.fixture(scope="module")
+def headline_windows():
+    queries = query_points_uniform(HEADLINE_QUERIES, seed=201)
+    return [
+        queries[i:i + HEADLINE_WINDOW]
+        for i in range(0, len(queries), HEADLINE_WINDOW)
+    ]
+
+
+def test_e20_solo_benchmark(benchmark, headline_packed, headline_windows):
+    """Time the per-query best-first loop (the uncoalesced baseline)."""
+
+    def run():
+        return [
+            packed_nearest_best_first(headline_packed, q, k=HEADLINE_K)
+            for window in headline_windows
+            for q in window
+        ]
+
+    results = benchmark(run)
+    assert len(results) == HEADLINE_QUERIES
+
+
+def test_e20_batched_benchmark(benchmark, headline_packed, headline_windows):
+    """Time the batched kernel over the same window stream."""
+
+    def run():
+        out = []
+        for window in headline_windows:
+            out.extend(
+                packed_nearest_batch(headline_packed, window, k=HEADLINE_K)
+            )
+        return out
+
+    results = benchmark(run)
+    assert len(results) == HEADLINE_QUERIES
+
+
+def test_e20_bit_parity(headline_packed, headline_windows):
+    """Both batch paths match the solo kernel bit-for-bit, stats included."""
+    modes = [False] + ([True] if NUMPY_AVAILABLE else [])
+    for window in headline_windows:
+        solos = [
+            packed_nearest_best_first(headline_packed, q, k=HEADLINE_K)
+            for q in window
+        ]
+        for vectorize in modes:
+            batched = packed_nearest_batch(
+                headline_packed, window, k=HEADLINE_K, vectorize=vectorize
+            )
+            for (solo_n, solo_stats), (batch_n, batch_stats) in zip(
+                solos, batched
+            ):
+                assert [n.payload for n in batch_n] == [
+                    n.payload for n in solo_n
+                ]
+                assert [n.distance_squared for n in batch_n] == [
+                    n.distance_squared for n in solo_n
+                ]
+                assert batch_stats == solo_stats
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E20").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    windows = set(table.column("window"))
+    assert windows == {"8", "16", "32"}
+    paths = set(table.column("path"))
+    expected = {"python"} | ({"numpy"} if NUMPY_AVAILABLE else set())
+    assert paths == expected
+    # Parity is certified inside run() before any timing; a violation
+    # raises.  The speedups just need to be positive finite ratios.
+    assert all(float(v) > 0.0 for v in table.column("speedup"))

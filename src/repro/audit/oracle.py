@@ -29,6 +29,7 @@ from repro.core.knn_dfs import nearest_dfs
 from repro.core.metrics import mindist_squared
 from repro.core.neighbors import Neighbor
 from repro.core.pruning import PruningConfig
+from repro.packed.batch import NUMPY_AVAILABLE, packed_nearest_batch
 from repro.packed.kernels import (
     packed_nearest_best_first,
     packed_nearest_dfs,
@@ -482,6 +483,92 @@ _SHARDED_EPSILON_COMBOS: List[Tuple[str, Callable]] = [
 ]
 
 
+def _diff_batched(
+    backends: Backends,
+    ptree: Any,
+    points: Sequence[Sequence[float]],
+    query: Sequence[float],
+    k: int,
+    epsilon: float,
+) -> List[Discrepancy]:
+    """The batched backend: one shared traversal answering a whole window.
+
+    The window is the audit query plus up to three companions spread
+    across the workload, so the kernel's lockstep rounds run with
+    genuinely divergent frontiers.  Each window member is checked two
+    ways: against its *own* exact neighbors (the ``...@batched`` combos,
+    mirroring ``@packed``), and bit-for-bit against the solo best-first
+    kernel — payloads, squared distances, and every statistics counter
+    must be *equal*, not merely close, because bit-identity to the
+    per-query kernel is the batch kernel's core contract.  Both the
+    pure-python reference path and (when numpy is importable) the
+    vectorized path are exercised.
+    """
+    step = max(1, len(points) // 3)
+    window: List[Tuple[float, ...]] = [tuple(float(c) for c in query)]
+    window.extend(
+        tuple(float(c) for c in p) for p in list(points[::step])[:3]
+    )
+    exacts = [exact_neighbors(backends.items, w, k) for w in window]
+    solos = {
+        eps: [
+            packed_nearest_best_first(ptree, w, k=k, epsilon=eps)
+            for w in window
+        ]
+        for eps in (0.0, epsilon)
+    }
+
+    problems: List[Discrepancy] = []
+    modes = [False] + ([True] if NUMPY_AVAILABLE else [])
+    for vectorize in modes:
+        path = "np" if vectorize else "py"
+        for eps, combo in ((0.0, "best-first"), (epsilon, "best-first-eps")):
+            batched = packed_nearest_batch(
+                ptree, window, k=k, epsilon=eps, vectorize=vectorize
+            )
+            for w, exact_w, (solo_n, solo_stats), (batch_n, batch_stats) in zip(
+                window, exacts, solos[eps], batched
+            ):
+                problems.extend(
+                    check_result(
+                        batch_n,
+                        w,
+                        k,
+                        exact_w,
+                        combo=f"{combo}@batched/{path}",
+                        points=points,
+                        epsilon=eps,
+                    )
+                )
+                same = (
+                    len(batch_n) == len(solo_n)
+                    and all(
+                        b.payload == s.payload
+                        and b.distance_squared == s.distance_squared
+                        and b.rect == s.rect
+                        for b, s in zip(batch_n, solo_n)
+                    )
+                    and batch_stats == solo_stats
+                )
+                if not same:
+                    problems.append(
+                        Discrepancy(
+                            kind="batch-parity",
+                            combo=f"{combo}@batched/{path}",
+                            query=w,
+                            k=k,
+                            expected=[n.distance for n in solo_n],
+                            actual=[n.distance for n in batch_n],
+                            detail=(
+                                "batched result not bit-identical to solo "
+                                f"kernel (stats equal: "
+                                f"{batch_stats == solo_stats})"
+                            ),
+                        )
+                    )
+    return problems
+
+
 def diff_backends(
     backends: Backends,
     points: Sequence[Sequence[float]],
@@ -551,6 +638,9 @@ def diff_backends(
                     epsilon=epsilon,
                 )
             )
+        problems.extend(
+            _diff_batched(backends, ptree, points, query, k, epsilon)
+        )
 
     if backends.sharded is not None:
         engine = backends.sharded

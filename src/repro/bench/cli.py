@@ -16,6 +16,11 @@ Subcommands:
   correctness audit (same flags as ``python -m repro.audit``): replay
   seeded workloads through every algorithm and backend, certify the
   pruning invariants, and exit 1 on any diff.
+- ``batch [--window W] [--min-speedup R] ...`` — the multi-query batch
+  kernel smoke: every window member must be bit-identical to the solo
+  best-first kernel (results + statistics, vectorized and fallback
+  paths), and the windowed traversal must beat the solo loop by
+  ``--min-speedup`` when one is given.
 - ``obs [--n N] [--gate R] ...`` — the observability overhead smoke:
   times the packed DFS hot path with tracing disabled against the raw
   kernel floor and exits 1 if the disabled-tracer cost exceeds the gate
@@ -197,6 +202,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="interleaved best-of timing repetitions (default: 7)",
     )
     packed.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    batch = sub.add_parser(
+        "batch",
+        help="multi-query batch kernel smoke: bit-parity vs the solo "
+        "best-first kernel + windowed speedup gate (exit 1 on either)",
+    )
+    batch.add_argument(
+        "--n",
+        type=int,
+        default=100000,
+        help="indexed points (default: 100000)",
+    )
+    batch.add_argument(
+        "--queries",
+        type=int,
+        default=192,
+        help="total query points (default: 192)",
+    )
+    batch.add_argument(
+        "--window",
+        type=int,
+        default=16,
+        help="queries per batched traversal (default: 16)",
+    )
+    batch.add_argument(
+        "--k", type=int, default=10, help="neighbors per query (default: 10)"
+    )
+    batch.add_argument(
+        "--page-size",
+        type=int,
+        default=8192,
+        help="page model sizing the tree fanout (default: 8192)",
+    )
+    batch.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="approximation band for the parity check (default: 0.0)",
+    )
+    batch.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail below this solo/batched latency ratio on the default "
+        "path; default: report only (the committed E20 baseline carries "
+        "the 2x gate; CI smoke passes 1.3)",
+    )
+    batch.add_argument(
+        "--reps",
+        type=int,
+        default=5,
+        help="interleaved best-of timing repetitions (default: 5)",
+    )
+    batch.add_argument("--seed", type=int, default=0, help="workload seed")
 
     obs = sub.add_parser(
         "obs",
@@ -464,12 +523,24 @@ def _run_json(experiments: list, scale) -> str:
     deliberate margins).
     """
     import json
+    import os
     import platform
+
+    # Provenance: timing baselines are meaningless without knowing how
+    # many CPUs the run actually saw (cgroup-limited runners lie through
+    # os.cpu_count) and whether the vectorized kernels were in play.
+    affinity = getattr(os, "sched_getaffinity", None)
+    cpus = (
+        len(affinity(0)) if affinity is not None else (os.cpu_count() or 1)
+    )
+    from repro.packed.batch import NUMPY_AVAILABLE
 
     document = {
         "schema": "repro-bench/1",
         "scale": scale.name,
         "python": platform.python_version(),
+        "cpus": cpus,
+        "numpy": NUMPY_AVAILABLE,
         "experiments": [],
     }
     for experiment in experiments:
@@ -551,6 +622,112 @@ def _packed_command(args: argparse.Namespace) -> tuple:
     if speedup < args.min_speedup:
         lines.append(
             f"FAIL: speedup {speedup:.2f}x below threshold {args.min_speedup}x"
+        )
+        code = 1
+    if code == 0:
+        lines.append("PASS")
+    return "\n".join(lines), code
+
+
+def _batch_command(args: argparse.Namespace) -> tuple:
+    """Batch-kernel smoke: bit-parity first, then a windowed speedup gate.
+
+    Parity is the strong form — every window member must match the solo
+    best-first kernel on payloads, squared distances, *and* statistics
+    counters, on both the vectorized and the pure-python path.  Timing
+    interleaves the solo loop and the batched traversals (best-of-N
+    each) so CPU noise lands on both sides equally; the gate applies to
+    the default path (numpy when importable), with the fallback ratio
+    reported alongside.
+    """
+    from repro.bench.harness import build_tree, points_as_items
+    from repro.datasets.queries import query_points_uniform
+    from repro.datasets.synthetic import uniform_points
+    from repro.packed.batch import NUMPY_AVAILABLE, packed_nearest_batch
+    from repro.packed.kernels import packed_nearest_best_first
+    from repro.packed.layout import PackedTree
+    from repro.storage.pager import PageModel
+
+    points = uniform_points(args.n, seed=args.seed)
+    queries = query_points_uniform(args.queries, seed=args.seed + 1)
+    tree = build_tree(
+        points_as_items(points),
+        page_model=PageModel(page_size=args.page_size),
+    )
+    ptree = PackedTree.from_tree(tree)
+    k, eps = args.k, args.epsilon
+    windows = [
+        queries[i : i + args.window]
+        for i in range(0, len(queries), args.window)
+    ]
+
+    modes = [False] + ([True] if NUMPY_AVAILABLE else [])
+    mismatches = 0
+    solo_results = [
+        packed_nearest_best_first(ptree, q, k=k, epsilon=eps)
+        for q in queries
+    ]
+    for vectorize in modes:
+        cursor = 0
+        for window in windows:
+            batched = packed_nearest_batch(
+                ptree, window, k=k, epsilon=eps, vectorize=vectorize
+            )
+            for b_nb, b_stats in batched:
+                s_nb, s_stats = solo_results[cursor]
+                cursor += 1
+                if (
+                    [nb.payload for nb in b_nb] != [nb.payload for nb in s_nb]
+                    or [nb.distance_squared for nb in b_nb]
+                    != [nb.distance_squared for nb in s_nb]
+                    or b_stats != s_stats
+                ):
+                    mismatches += 1
+
+    solo_s = default_s = fallback_s = float("inf")
+    for _ in range(args.reps):
+        start = time.perf_counter()
+        for q in queries:
+            packed_nearest_best_first(ptree, q, k=k, epsilon=eps)
+        solo_s = min(solo_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        for window in windows:
+            packed_nearest_batch(ptree, window, k=k, epsilon=eps)
+        default_s = min(default_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        for window in windows:
+            packed_nearest_batch(
+                ptree, window, k=k, epsilon=eps, vectorize=False
+            )
+        fallback_s = min(fallback_s, time.perf_counter() - start)
+    speedup = solo_s / default_s if default_s else 0.0
+    fallback_speedup = solo_s / fallback_s if fallback_s else 0.0
+
+    per_query = 1e3 / len(queries)
+    path = "numpy" if NUMPY_AVAILABLE else "python fallback"
+    lines = [
+        f"batch kernel smoke — uniform n={args.n}, {len(queries)} queries "
+        f"in windows of {args.window}, k={k}, epsilon={eps}, "
+        f"page_size={args.page_size} (fanout {tree.max_entries})",
+        f"  parity       {len(queries) * len(modes) - mismatches}"
+        f"/{len(queries) * len(modes)} window members bit-identical "
+        f"to the solo kernel (results + stats, both paths)",
+        f"  solo         {solo_s * per_query:8.4f} ms/q",
+        f"  batched      {default_s * per_query:8.4f} ms/q "
+        f"({path}; {speedup:.2f}x)",
+        f"  fallback     {fallback_s * per_query:8.4f} ms/q "
+        f"({fallback_speedup:.2f}x)",
+    ]
+    code = 0
+    if mismatches:
+        lines.append(
+            f"FAIL: {mismatches} window members diverged from the solo kernel"
+        )
+        code = 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        lines.append(
+            f"FAIL: speedup {speedup:.2f}x below threshold "
+            f"{args.min_speedup}x"
         )
         code = 1
     if code == 0:
@@ -1070,6 +1247,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _engine_command(args)
     elif args.command == "packed":
         output, code = _packed_command(args)
+    elif args.command == "batch":
+        output, code = _batch_command(args)
     elif args.command == "obs":
         output, code = _obs_command(args)
     elif args.command == "resilience":

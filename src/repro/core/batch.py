@@ -14,6 +14,12 @@ historical sequential semantics and page accounting exactly.  Pass
 ``options=EngineOptions(workers=4, cache_size=4096)`` (or the matching
 legacy keywords) to opt a call site into the engine's concurrency and
 result reuse without changing the return contract.
+
+With ``packed=True`` (``EngineOptions(packed=True)`` or the legacy
+keyword) and a single worker, best-first windows additionally route
+through the multi-query batch kernel (:mod:`repro.packed.batch`): one
+shared slab traversal answers the whole window, with results and
+statistics still bit-identical to the sequential loop.
 """
 
 from __future__ import annotations

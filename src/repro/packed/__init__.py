@@ -14,11 +14,20 @@ Entry points:
 - :func:`packed_nearest_dfs` / :func:`packed_nearest_best_first` — direct
   kernel calls, mirroring :func:`repro.core.nearest_dfs` and
   :func:`repro.core.nearest_best_first`.
+- :func:`packed_nearest_batch` / :func:`run_packed_batch` — the
+  multi-query batch kernel (:mod:`repro.packed.batch`): one traversal
+  answers a whole same-config window, with the per-node MINDIST pass
+  numpy-vectorized when the ``repro[fast]`` extra is installed.
 - :class:`repro.service.QueryEngine` with ``packed=True`` and
   :func:`repro.core.nearest_batch` with ``packed=True`` — the serving
   integrations.
 """
 
+from repro.packed.batch import (
+    NUMPY_AVAILABLE,
+    packed_nearest_batch,
+    run_packed_batch,
+)
 from repro.packed.kernels import (
     packed_nearest_best_first,
     packed_nearest_dfs,
@@ -38,5 +47,8 @@ __all__ = [
     "NODE_LEAF_POINTS",
     "packed_nearest_dfs",
     "packed_nearest_best_first",
+    "packed_nearest_batch",
     "run_packed_query",
+    "run_packed_batch",
+    "NUMPY_AVAILABLE",
 ]

@@ -90,6 +90,7 @@ class PackedTree:
         "xhi",
         "yhi",
         "pages_skipped_corrupt",
+        "_np_coords",
     )
 
     def __init__(
@@ -130,6 +131,10 @@ class PackedTree:
             self.yhi = coords[3::4]
         else:
             self.xlo = self.ylo = self.xhi = self.yhi = None
+        # Lazy zero-copy numpy view of ``coords`` for the batched kernel
+        # (:mod:`repro.packed.batch`); stays None until (and unless) a
+        # vectorized batch query touches this snapshot.
+        self._np_coords = None
 
     # ------------------------------------------------------------------
     # Construction

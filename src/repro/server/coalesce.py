@@ -70,7 +70,12 @@ class Coalescer:
         self.max_batch = max_batch
         self._query_batch = getattr(engine, "query_batch", None)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._windows: Dict[QueryConfig, _Window] = {}
+        # Keyed by cfg.cache_key(), computed ONCE per arriving request:
+        # hashing the full frozen QueryConfig dataclass walks every field
+        # (pruning, budget, ...) on every dict operation, and the old
+        # keying paid that three times per request (lookup, insert,
+        # flush-time pop) on the event-loop hot path.
+        self._windows: Dict[Tuple, _Window] = {}
         self._outstanding: set = set()
         # Counters (event-loop thread only).
         self.requests = 0
@@ -104,20 +109,21 @@ class Coalescer:
         loop = asyncio.get_running_loop()
         self._loop = loop
         future: asyncio.Future = loop.create_future()
-        window = self._windows.get(cfg)
+        key = cfg.cache_key()  # once per request; reused below and in _flush
+        window = self._windows.get(key)
         if window is None:
             window = _Window(cfg)
-            self._windows[cfg] = window
+            self._windows[key] = window
             self.windows += 1
             window.handle = loop.call_later(
-                self.max_wait_ms / 1000.0, self._flush, cfg, "timer"
+                self.max_wait_ms / 1000.0, self._flush, key, "timer"
             )
         window.entries.append(
             (tuple(float(c) for c in point), future)
         )
         self.requests += 1
         if len(window.entries) >= self.max_batch:
-            self._flush(cfg, "full")
+            self._flush(key, "full")
         return await future
 
     @property
@@ -140,8 +146,8 @@ class Coalescer:
     # ------------------------------------------------------------------
     # Flushing (event-loop thread)
     # ------------------------------------------------------------------
-    def _flush(self, cfg: QueryConfig, why: str) -> None:
-        window = self._windows.pop(cfg, None)
+    def _flush(self, key: Tuple, why: str) -> None:
+        window = self._windows.pop(key, None)
         if window is None or not window.entries:
             return
         if window.handle is not None:
@@ -203,8 +209,8 @@ class Coalescer:
 
     async def drain(self) -> None:
         """Flush every open window and await all dispatched batches."""
-        for cfg in list(self._windows):
-            self._flush(cfg, "drain")
+        for key in list(self._windows):
+            self._flush(key, "drain")
         while self._outstanding:
             await asyncio.gather(
                 *list(self._outstanding), return_exceptions=True

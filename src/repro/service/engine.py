@@ -45,6 +45,7 @@ from repro.core.query import NNResult, _run_query, resolve_config
 from repro.errors import InvalidParameterError
 from repro.obs.forensics import SlowQueryLog, SlowQueryRecord
 from repro.obs.trace import Trace
+from repro.packed.batch import run_packed_batch
 from repro.packed.kernels import run_packed_query
 from repro.service.cache import ResultCache
 from repro.service.locks import ReadWriteLock
@@ -250,6 +251,20 @@ class QueryEngine:
         # the attribute between the check and the submits.
         executor = self._executor
         if executor is None:
+            if (
+                self.packed
+                and len(points) >= 2
+                and cfg.algorithm == "best-first"
+                and cfg.budget is None
+                and cfg.object_distance_sq is None
+                and self.slow_queries is None
+            ):
+                # Same-config window on a packed single-worker engine:
+                # one shared slab traversal (repro.packed.batch) under
+                # one read-lock acquisition.  Results and counters are
+                # identical to the sequential loop below; per-query
+                # latency is recorded as the batch mean.
+                return self._serve_batched(points, cfg)
             return [self._serve(p, cfg) for p in points]
 
         if self.cache.capacity == 0:
@@ -523,6 +538,81 @@ class QueryEngine:
                         trace=record_trace,
                     )
                 )
+
+    def _serve_batched(
+        self,
+        points: Sequence[Sequence[float]],
+        cfg: QueryConfig,
+    ) -> List[NNResult]:
+        """One batched traversal for a whole same-config window.
+
+        The batched mirror of a sequential :meth:`_serve` loop: one read
+        lock, per-point cache probes, then a single
+        :func:`run_packed_batch` traversal for every miss.  With caching
+        enabled, later occurrences of a point already executed in this
+        window fill from the first occurrence and count as hits —
+        exactly what the sequential loop's probe-after-fill would do.
+        Counters (queries / hits / executed / pages) match the
+        sequential loop; per-query latency is recorded as the batch
+        mean, since the traversals genuinely overlap.
+        """
+        start = time.perf_counter()
+        n = len(points)
+        self._enter_flight()
+        try:
+            with self._rwlock.read():
+                epoch = self._observe_epoch()
+                use_cache = self.cache.capacity > 0
+                results: List[Optional[NNResult]] = [None] * n
+                misses: List[int] = []
+                miss_keys: List[Any] = []
+                dups: List[Tuple[int, int]] = []  # (follower, first)
+                if use_cache:
+                    ckey = cfg.cache_key()
+                    first_of: Dict[Any, int] = {}
+                    for i, p in enumerate(points):
+                        key = (_point_key(p), ckey, epoch)
+                        cached = self.cache.get(key, _CACHE_MISS)
+                        if cached is not _CACHE_MISS:
+                            self._count_hit()
+                            results[i] = cached
+                            continue
+                        j = first_of.get(key)
+                        if j is None:
+                            first_of[key] = i
+                            misses.append(i)
+                            miss_keys.append(key)
+                        else:
+                            dups.append((i, j))
+                else:
+                    misses = list(range(n))
+                    miss_keys = [None] * n
+                if misses:
+                    executed = run_packed_batch(
+                        self.tree.packed(),
+                        [points[i] for i in misses],
+                        cfg,
+                        self.tracker,
+                    )
+                    for i, key, result in zip(misses, miss_keys, executed):
+                        results[i] = result
+                        if use_cache and not result.stats.truncated:
+                            self.cache.put(key, result)
+                        self._count_executed(result)
+                for i, j in dups:
+                    results[i] = results[j]
+                    self._count_coalesced_hit()
+                return results  # type: ignore[return-value]
+        except BaseException:
+            with self._stats_lock:
+                self._failures += 1
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            per_query = elapsed / n if n else 0.0
+            for _ in range(n):
+                self._latency.record(per_query)
+            self._exit_flight()
 
     def _observe_epoch(self) -> int:
         """Current tree epoch; purge cache entries from older epochs."""

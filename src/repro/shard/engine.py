@@ -57,6 +57,7 @@ from repro.core.query import NNResult, resolve_config
 from repro.core.stats import SearchStats
 from repro.errors import InvalidParameterError, ShardLostError
 from repro.geometry.rect import Rect
+from repro.packed.batch import run_packed_batch
 from repro.packed.kernels import run_packed_query
 from repro.packed.layout import PackedTree
 from repro.rtree.bulk import bulk_load
@@ -444,11 +445,12 @@ class _InlineShard:
         try:
             # Same wire shape as a process shard, so the batched merge
             # is mode-agnostic (and the flatten/inflate round trip is
-            # exercised even in differential in-process tests).
+            # exercised even in differential in-process tests).  Like
+            # the process worker, the window shares one slab traversal.
             fut.set_result(
                 [
-                    flatten_result(run_packed_query(self.ptree, p, cfg))
-                    for p in points
+                    flatten_result(r)
+                    for r in run_packed_batch(self.ptree, points, cfg)
                 ]
             )
         except BaseException as exc:  # noqa: BLE001 - future carries it

@@ -203,6 +203,11 @@ class AttachedSlab:
         ptree = self.ptree
         self.ptree = None
         if ptree is not None:
+            # The batched kernel may have cached numpy views over the
+            # segment (PackedTree._np_coords); drop them first so their
+            # buffer exports are released before the memoryviews and
+            # the mmap close below.
+            ptree._np_coords = None
             views = [
                 ptree.kinds, ptree.starts, ptree.page_ids,
                 ptree.coords, ptree.refs,

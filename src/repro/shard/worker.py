@@ -28,7 +28,10 @@ cfg)``                          / ``("err", rid, e)``
 micro-batch coalescer leans on: one pickled message per shard carries a
 whole window of points, instead of one IPC round trip per query per
 shard, and replies ship in the columnar :mod:`repro.shard.wire` format
-(~25x cheaper for the parent to unpickle than ``NNResult`` graphs).  A
+(~25x cheaper for the parent to unpickle than ``NNResult`` graphs).
+Since the batched kernel landed, the window also shares one slab
+traversal inside the worker (:func:`repro.packed.batch.run_packed_batch`)
+instead of running one best-first search per point.  A
 batch is all-or-nothing on the wire — any per-point failure ships one
 ``err`` and the parent degrades that batch as if the shard were
 unreachable (sound: the shard's MBR MINDIST becomes the frontier).
@@ -43,6 +46,7 @@ from __future__ import annotations
 import time
 from typing import Any, Optional
 
+from repro.packed.batch import run_packed_batch
 from repro.packed.kernels import run_packed_query
 from repro.shard.slab import AttachedSlab, SlabManifest, attach_slab
 from repro.shard.wire import flatten_result
@@ -82,9 +86,13 @@ def shard_worker_main(conn: Any, manifest: SlabManifest) -> None:
             elif op == "query_batch":
                 _, rid, points, cfg = msg
                 try:
+                    # One shared slab traversal for the whole window
+                    # (best-first configs; others fall back per-query
+                    # inside run_packed_batch) — the coalescer's window
+                    # costs one traversal per shard, not one per request.
                     results = [
-                        flatten_result(run_packed_query(slab.ptree, point, cfg))
-                        for point in points
+                        flatten_result(r)
+                        for r in run_packed_batch(slab.ptree, points, cfg)
                     ]
                     conn.send(("ok", rid, results))
                 except BaseException as exc:  # noqa: BLE001 - shipped to parent

@@ -1,0 +1,241 @@
+"""The multi-query batch kernel must reproduce the solo kernel bit-for-bit.
+
+Every parity case asserts full equality against a per-query
+:func:`packed_nearest_best_first` replay: payload order, exact squared
+distances, rect identity, and the complete :class:`SearchStats`
+dataclass — on both the vectorized path (when numpy is importable) and
+the pure-python fallback, which is the canonical reference.  The
+workloads come from :mod:`repro.audit.workloads`, whose grid-snapped
+points make exact ties plentiful: a batched kernel that breaks ties in
+any order other than the solo kernel's diverges here first.
+"""
+
+import pytest
+
+from repro.audit.backends import build_memory_tree
+from repro.audit.workloads import make_workload
+from repro.core.budget import Budget
+from repro.core.config import QueryConfig
+from repro.core.pruning import PruningConfig
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.packed import batch as batch_module
+from repro.packed.batch import (
+    NUMPY_AVAILABLE,
+    packed_nearest_batch,
+    run_packed_batch,
+)
+from repro.packed.kernels import (
+    packed_nearest_best_first,
+    run_packed_query,
+)
+from repro.packed.layout import PackedTree
+from repro.rtree.tree import RTree
+
+pytestmark = pytest.mark.packed
+
+#: Both execution paths when numpy is importable; just the reference
+#: fallback otherwise (the no-numpy CI leg still runs the whole file).
+MODES = [False] + ([True] if NUMPY_AVAILABLE else [])
+
+
+def _build(workload):
+    tree = build_memory_tree(workload.points, workload.max_entries)
+    return PackedTree.from_tree(tree)
+
+
+def _assert_identical(batch_out, solo_out):
+    b_neighbors, b_stats = batch_out
+    s_neighbors, s_stats = solo_out
+    assert [nb.payload for nb in b_neighbors] == [
+        nb.payload for nb in s_neighbors
+    ]
+    assert [nb.distance_squared for nb in b_neighbors] == [
+        nb.distance_squared for nb in s_neighbors
+    ]
+    assert [nb.distance for nb in b_neighbors] == [
+        nb.distance for nb in s_neighbors
+    ]
+    # Same rect *objects*, not just equal rects.
+    assert all(
+        a.rect is b.rect for a, b in zip(b_neighbors, s_neighbors)
+    )
+    assert b_stats == s_stats
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "clustered"])
+@pytest.mark.parametrize("case_index", range(6))
+@pytest.mark.parametrize("vectorize", MODES)
+def test_batch_parity_on_audit_workloads(distribution, case_index, vectorize):
+    workload = make_workload(1995, case_index, distribution)
+    ptree = _build(workload)
+    queries = workload.queries
+    for k in workload.ks:
+        for epsilon in (0.0, workload.epsilon):
+            solo = [
+                packed_nearest_best_first(ptree, q, k=k, epsilon=epsilon)
+                for q in queries
+            ]
+            batched = packed_nearest_batch(
+                ptree, queries, k=k, epsilon=epsilon, vectorize=vectorize
+            )
+            assert len(batched) == len(queries)
+            for pair in zip(batched, solo):
+                _assert_identical(*pair)
+
+
+@pytest.mark.parametrize("vectorize", MODES)
+@pytest.mark.parametrize("window", [1, 2, 5])
+def test_window_size_never_changes_answers(vectorize, window):
+    workload = make_workload(1995, 0, "uniform")
+    ptree = _build(workload)
+    queries = (workload.queries * 3)[:7]  # duplicates share a window
+    solo = [packed_nearest_best_first(ptree, q, k=3) for q in queries]
+    cursor = 0
+    for start in range(0, len(queries), window):
+        chunk = queries[start : start + window]
+        for pair in zip(
+            packed_nearest_batch(ptree, chunk, k=3, vectorize=vectorize),
+            solo[cursor : cursor + len(chunk)],
+        ):
+            _assert_identical(*pair)
+        cursor += len(chunk)
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="needs numpy")
+def test_vectorized_and_fallback_paths_agree():
+    workload = make_workload(2600, 3, "clustered")
+    ptree = _build(workload)
+    for epsilon in (0.0, 0.5):
+        fast = packed_nearest_batch(
+            ptree, workload.queries, k=4, epsilon=epsilon, vectorize=True
+        )
+        slow = packed_nearest_batch(
+            ptree, workload.queries, k=4, epsilon=epsilon, vectorize=False
+        )
+        for pair in zip(fast, slow):
+            _assert_identical(*pair)
+
+
+@pytest.mark.parametrize("vectorize", MODES)
+def test_shared_tracker_records_the_same_access_multiset(vectorize):
+    workload = make_workload(7, 1, "uniform")
+    ptree = _build(workload)
+    queries = workload.queries[:4]
+
+    class Recording:
+        def __init__(self):
+            self.events = []
+
+        def access(self, node_id, is_leaf):
+            self.events.append((node_id, is_leaf))
+
+    solo_tracker = Recording()
+    for q in queries:
+        packed_nearest_best_first(ptree, q, k=2, tracker=solo_tracker)
+    batch_tracker = Recording()
+    packed_nearest_batch(
+        ptree, queries, k=2, tracker=batch_tracker, vectorize=vectorize
+    )
+    # Rounds interleave queries, so order differs — the multiset must not.
+    assert sorted(batch_tracker.events) == sorted(solo_tracker.events)
+
+
+# ----------------------------------------------------------------------
+# Edge cases and validation
+# ----------------------------------------------------------------------
+def test_empty_window_returns_empty_list():
+    workload = make_workload(1995, 0, "uniform")
+    assert packed_nearest_batch(_build(workload), [], k=2) == []
+
+
+def test_empty_tree_answers_every_query_with_nothing():
+    ptree = PackedTree.from_tree(RTree())
+    out = packed_nearest_batch(ptree, [(0.0, 0.0), (1.0, 2.0)], k=3)
+    assert len(out) == 2
+    for neighbors, stats in out:
+        assert neighbors == []
+        assert stats.nodes_accessed == 0
+
+
+def test_k_exceeding_size_returns_all():
+    workload = make_workload(1995, 2, "uniform")
+    ptree = _build(workload)
+    n = ptree.size
+    for (neighbors, _), q in zip(
+        packed_nearest_batch(ptree, workload.queries, k=n + 5),
+        workload.queries,
+    ):
+        solo_neighbors, _ = packed_nearest_best_first(ptree, q, k=n + 5)
+        assert len(neighbors) == n
+        assert [nb.payload for nb in neighbors] == [
+            nb.payload for nb in solo_neighbors
+        ]
+
+
+def test_validation_matches_solo_kernel():
+    workload = make_workload(1995, 0, "uniform")
+    ptree = _build(workload)
+    with pytest.raises(InvalidParameterError):
+        packed_nearest_batch(ptree, [(0.0, 0.0)], k=0)
+    with pytest.raises(InvalidParameterError):
+        packed_nearest_batch(ptree, [(0.0, 0.0)], k=1, epsilon=-0.1)
+    with pytest.raises(DimensionMismatchError):
+        packed_nearest_batch(ptree, [(0.0, 0.0, 0.0)], k=1)
+
+
+def test_vectorize_true_without_numpy_raises(monkeypatch):
+    workload = make_workload(1995, 0, "uniform")
+    ptree = _build(workload)
+    monkeypatch.setattr(batch_module, "_np", None)
+    with pytest.raises(InvalidParameterError, match="repro\\[fast\\]"):
+        packed_nearest_batch(ptree, [(0.0, 0.0)], k=1, vectorize=True)
+
+
+# ----------------------------------------------------------------------
+# Config-window dispatch
+# ----------------------------------------------------------------------
+def _flat(result):
+    return (
+        [nb.payload for nb in result.neighbors],
+        [nb.distance_squared for nb in result.neighbors],
+        result.stats,
+    )
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [
+        QueryConfig(k=3, algorithm="best-first"),
+        QueryConfig(k=3, algorithm="best-first", epsilon=0.5),
+        QueryConfig(k=3),  # dfs: solo-loop fallback
+        QueryConfig(k=3, ordering="minmaxdist"),
+        QueryConfig(k=3, pruning=PruningConfig.none()),
+        QueryConfig(k=3, pruning=PruningConfig.only_p3()),
+        QueryConfig(
+            k=3, algorithm="best-first", budget=Budget(max_pages=4)
+        ),  # budgets truncate per-query: solo-loop fallback
+    ],
+    ids=[
+        "best-first",
+        "best-first-eps",
+        "dfs",
+        "dfs-minmaxdist",
+        "dfs-noprune",
+        "dfs-p3only",
+        "budgeted",
+    ],
+)
+def test_run_packed_batch_matches_per_query_dispatch(cfg):
+    workload = make_workload(1995, 4, "clustered")
+    ptree = _build(workload)
+    batched = run_packed_batch(ptree, workload.queries, cfg)
+    for result, q in zip(batched, workload.queries):
+        assert _flat(result) == _flat(run_packed_query(ptree, q, cfg))
+
+
+def test_run_packed_batch_rejects_object_distance_configs():
+    workload = make_workload(1995, 0, "uniform")
+    ptree = _build(workload)
+    cfg = QueryConfig(k=1, object_distance_sq=lambda q, payload, rect: 0.0)
+    with pytest.raises(InvalidParameterError):
+        run_packed_batch(ptree, workload.queries, cfg)

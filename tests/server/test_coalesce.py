@@ -169,6 +169,36 @@ class TestWindows:
         with pytest.raises(ValueError):
             Coalescer(engine, None, max_batch=1)
 
+    def test_window_key_built_once_per_request(self, monkeypatch):
+        # The window key is the hot-path cost of submit(): hashing the
+        # full frozen QueryConfig on every dict operation walks every
+        # field, so the coalescer computes cache_key() exactly once per
+        # arriving request and reuses it through lookup, insert and the
+        # flush-time pop.
+        calls = {"n": 0}
+        real_cache_key = QueryConfig.cache_key
+
+        def counting_cache_key(self):
+            calls["n"] += 1
+            return real_cache_key(self)
+
+        monkeypatch.setattr(QueryConfig, "cache_key", counting_cache_key)
+        engine = _BatchEngine()
+        cfg = QueryConfig(k=2)
+        points = [(float(i), 3.0) for i in range(6)]
+
+        async def go(coalescer):
+            return await asyncio.gather(
+                *(coalescer.submit(p, cfg) for p in points)
+            )
+
+        coalescer, results = run_coalesced(
+            engine, go, max_wait_ms=50.0, max_batch=64
+        )
+        assert len(results) == len(points)
+        assert coalescer.requests == len(points)
+        assert calls["n"] == len(points)
+
 
 class TestDeadlineBypassRule:
     @pytest.mark.parametrize(
