@@ -1,0 +1,149 @@
+"""E21 — request-span tracing overhead on the serving front door.
+
+The observability gate for the span tracer (:mod:`repro.obs.spans`):
+arming the sampler without sampling (``ServerConfig(spans=True,
+span_sample=0.0)``, the production default) must not tax the serving
+path.  The overhead assertion itself lives in ``python -m repro.bench
+spans`` (CI pins a flake-proof 1.1x; the committed
+``BENCH_e21_obs_spans.json`` baseline shows the armed-idle mode within
+noise of the ``spans=False`` floor against the tentpole's 1.05x gate)
+— here small soaks are timed for the trend and only soundness and
+ledger reconciliation are asserted, because shared runners time-share
+the server, the engine pool and the client fleet on few cores.  This
+is the same discipline E16 applies to the per-event kernel tracer,
+lifted to the request-span layer.
+"""
+
+import pytest
+
+from repro.baselines.linear_scan import linear_scan_items
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import build_tree, points_as_items
+from repro.datasets.queries import query_points_uniform
+from repro.datasets.synthetic import uniform_points
+from repro.server.soak import run_soak
+from repro.service.engine import QueryEngine
+from repro.service.options import EngineOptions
+
+HEADLINE_N = 8_192
+HEADLINE_K = 10
+HEADLINE_QUERIES = 32
+HEADLINE_CONNECTIONS = 100
+HEADLINE_REQUESTS = 3
+
+
+@pytest.fixture(scope="module")
+def headline_items():
+    return points_as_items(uniform_points(HEADLINE_N, seed=210))
+
+
+@pytest.fixture(scope="module")
+def headline_tree(headline_items):
+    return build_tree(headline_items)
+
+
+@pytest.fixture(scope="module")
+def headline_queries():
+    return query_points_uniform(HEADLINE_QUERIES, seed=211)
+
+
+@pytest.fixture(scope="module")
+def headline_exact(headline_items, headline_queries):
+    return [
+        linear_scan_items(headline_items, q, k=HEADLINE_K)
+        for q in headline_queries
+    ]
+
+
+def _soak(tree, queries, exact, spans, sample):
+    # run_soak's drain closes the engine, so every soak gets a fresh one
+    # around the shared tree.
+    return run_soak(
+        QueryEngine(tree, options=EngineOptions(workers=2, cache_size=0)),
+        connections=HEADLINE_CONNECTIONS,
+        requests_per_connection=HEADLINE_REQUESTS,
+        points=queries,
+        exact=exact,
+        k=HEADLINE_K,
+        coalesce=False,
+        spans=spans,
+        span_sample=sample,
+        span_seed=0,
+        fleet_processes=0,
+    )
+
+
+def test_e21_floor_benchmark(
+    benchmark, headline_tree, headline_queries, headline_exact
+):
+    """Time the pre-span serving path (ServerConfig(spans=False))."""
+    report = benchmark.pedantic(
+        _soak,
+        args=(headline_tree, headline_queries, headline_exact, False, 0.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.passed, report.violations
+
+
+def test_e21_armed_benchmark(
+    benchmark, headline_tree, headline_queries, headline_exact
+):
+    """Time the armed-but-idle path (the production default)."""
+    report = benchmark.pedantic(
+        _soak,
+        args=(headline_tree, headline_queries, headline_exact, True, 0.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.passed, report.violations
+
+
+def test_e21_full_sampling_benchmark(
+    benchmark, headline_tree, headline_queries, headline_exact
+):
+    """Time every-request span recording (the forensics price)."""
+    report = benchmark.pedantic(
+        _soak,
+        args=(headline_tree, headline_queries, headline_exact, True, 1.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.passed, report.violations
+
+
+def test_e21_every_answer_certified(
+    headline_tree, headline_queries, headline_exact
+):
+    """All three modes serve every request, certify every 200."""
+    total = HEADLINE_CONNECTIONS * HEADLINE_REQUESTS
+    for spans, sample in ((False, 0.0), (True, 0.0), (True, 1.0)):
+        report = _soak(
+            headline_tree, headline_queries, headline_exact, spans, sample
+        )
+        assert report.passed, report.violations
+        assert report.ok == total
+        assert report.certified == total
+        assert report.errors == 0
+
+
+def test_regenerate_table(quick_scale, capsys):
+    (table,) = get_experiment("E21").run(quick_scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+    assert table.column("mode") == [
+        "off",
+        "armed 0.0",
+        "sampled 0.125",
+        "full 1.0",
+    ]
+    qps = [float(str(v).replace(",", "")) for v in table.column("qps")]
+    assert all(v > 0.0 for v in qps)
+    # The off row is its own baseline by construction.
+    ratios = [float(v) for v in table.column("vs off")]
+    assert ratios[0] == pytest.approx(1.0)
+    # Soundness gates unconditionally (a violation raises inside run());
+    # certification totals must cover every request in every mode.
+    for cell in table.column("certified"):
+        got, want = str(cell).split("/")
+        assert got == want

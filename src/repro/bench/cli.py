@@ -437,6 +437,52 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     server.add_argument("--seed", type=int, default=0, help="workload seed")
 
+    spans = sub.add_parser(
+        "spans",
+        help="span overhead smoke: the sampling-off serving path must "
+        "stay within --gate of the spans=False front door (exit 1 "
+        "above the gate or on any soundness violation)",
+    )
+    spans.add_argument(
+        "--n", type=int, default=32768, help="indexed points (default: 32768)"
+    )
+    spans.add_argument(
+        "--connections",
+        type=int,
+        default=200,
+        help="concurrent client connections (default: 200)",
+    )
+    spans.add_argument(
+        "--requests",
+        type=int,
+        default=4,
+        help="requests per connection per soak (default: 4)",
+    )
+    spans.add_argument(
+        "--queries",
+        type=int,
+        default=128,
+        help="distinct query points, each oracle-precomputed "
+        "(default: 128)",
+    )
+    spans.add_argument(
+        "--k", type=int, default=10, help="neighbors per query (default: 10)"
+    )
+    spans.add_argument(
+        "--gate",
+        type=float,
+        default=1.05,
+        help="fail if qps(spans=False)/qps(span_sample=0) exceeds this "
+        "ratio (default: 1.05; CI smoke uses 1.1 for flake tolerance)",
+    )
+    spans.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="interleaved best-of soak repetitions per mode (default: 3)",
+    )
+    spans.add_argument("--seed", type=int, default=0, help="workload seed")
+
     run = sub.add_parser("run", help="run one experiment or 'all'")
     run.add_argument("experiment", help="experiment id (E1..E7) or 'all'")
     run.add_argument(
@@ -1130,6 +1176,100 @@ def _server_command(args: argparse.Namespace) -> tuple:
     return "\n".join(lines), code
 
 
+def _spans_command(args: argparse.Namespace) -> tuple:
+    """Span-tracing overhead gate on the serving front door.
+
+    Three interleaved best-of-N soaks through real sockets: the front
+    door with tracing compiled out (``ServerConfig(spans=False)`` — the
+    pre-span serving path and the floor), armed but idle
+    (``span_sample=0.0`` — what every production request pays: one
+    sampler decision and ``None`` checks down the stack), and fully
+    sampled (``span_sample=1.0`` — every request records its span tree;
+    reported, not gated).  The gate holds armed-idle/floor to
+    ``--gate``; every soak is still oracle-certified and
+    ledger-reconciled, so a fast-but-wrong mode cannot pass.
+    """
+    import os
+
+    from repro.baselines.linear_scan import linear_scan_items
+    from repro.bench.harness import build_tree, points_as_items
+    from repro.datasets.queries import query_points_uniform
+    from repro.datasets.synthetic import uniform_points
+    from repro.server.soak import run_soak
+    from repro.service.engine import QueryEngine
+    from repro.service.options import EngineOptions
+
+    points = uniform_points(args.n, seed=args.seed)
+    items = points_as_items(points)
+    tree = build_tree(items)
+    queries = query_points_uniform(args.queries, seed=args.seed + 1)
+    exact = [linear_scan_items(items, q, k=args.k) for q in queries]
+    affinity = getattr(os, "sched_getaffinity", None)
+    cpus = len(affinity(0)) if affinity is not None else (os.cpu_count() or 1)
+
+    modes = (("off", False, 0.0), ("armed", True, 0.0), ("full", True, 1.0))
+
+    def _soak(spans: bool, sample: float):
+        # Thread engine, no coalescing: the span instrumentation rides
+        # the per-request path (front door -> engine -> kernel), so
+        # that is the path the gate must time.
+        return run_soak(
+            QueryEngine(
+                tree, options=EngineOptions(workers=2, cache_size=0)
+            ),
+            connections=args.connections,
+            requests_per_connection=args.requests,
+            points=queries,
+            exact=exact,
+            k=args.k,
+            coalesce=False,
+            spans=spans,
+            span_sample=sample,
+            span_seed=args.seed,
+        )
+
+    best = {label: None for label, _, _ in modes}
+    violations: List[str] = []
+    for _ in range(args.reps):
+        for label, spans, sample in modes:
+            report = _soak(spans, sample)
+            violations.extend(report.violations)
+            if best[label] is None or report.qps > best[label].qps:
+                best[label] = report
+
+    floor, armed, full = best["off"], best["armed"], best["full"]
+    overhead = floor.qps / armed.qps if armed.qps else float("inf")
+    requests = args.connections * args.requests
+    lines = [
+        f"span overhead smoke — uniform n={args.n}, "
+        f"{args.connections} connections x {args.requests} requests, "
+        f"k={args.k}, {cpus} CPU(s) visible",
+        f"  spans=False          {floor.qps:8,.0f} q/s  "
+        f"p50 {floor.p50_ms:6.2f} ms  p99 {floor.p99_ms:7.2f} ms  "
+        f"({floor.certified}/{requests} certified)",
+        f"  armed, sample=0.0    {armed.qps:8,.0f} q/s  "
+        f"p50 {armed.p50_ms:6.2f} ms  p99 {armed.p99_ms:7.2f} ms  "
+        f"({overhead:.3f}x of floor, gate {args.gate}x)",
+        f"  sampled, sample=1.0  {full.qps:8,.0f} q/s  "
+        f"p50 {full.p50_ms:6.2f} ms  p99 {full.p99_ms:7.2f} ms  "
+        f"({floor.qps / full.qps if full.qps else 0.0:.2f}x)",
+    ]
+    code = 0
+    if violations:
+        for v in violations[:8]:
+            lines.append(f"FAIL: {v}")
+        code = 1
+    if overhead > args.gate:
+        lines.append(
+            f"FAIL: sampling-off span overhead {overhead:.3f}x exceeds "
+            f"gate {args.gate}x"
+        )
+        code = 1
+    if code == 0:
+        lines.append("PASS")
+    return "\n".join(lines), code
+
+
 def _viz_command(args: argparse.Namespace) -> str:
     from repro.core.query import nearest
     from repro.datasets.synthetic import (
@@ -1257,6 +1397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output, code = _shard_command(args)
     elif args.command == "server":
         output, code = _server_command(args)
+    elif args.command == "spans":
+        output, code = _spans_command(args)
     elif args.command == "audit":
         from repro.audit.__main__ import run_from_args
 

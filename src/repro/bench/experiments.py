@@ -1442,6 +1442,111 @@ def _run_e20(scale: Scale) -> List[Table]:
     return [table]
 
 
+# ---------------------------------------------------------------------------
+# E21 — request-span tracing overhead on the serving front door
+
+
+def _run_e21(scale: Scale) -> List[Table]:
+    import os
+
+    from repro.server.soak import run_soak
+    from repro.service.engine import QueryEngine
+    from repro.service.options import EngineOptions
+
+    n = scale.base_size
+    k = 10
+    full = scale.name in ("default", "full")
+    connections = 200 if full else 64
+    per_connection = 4 if full else 3
+    reps = 3 if full else 2
+    items = _uniform_items(n)
+    tree = build_tree(items)
+    queries = query_points_uniform(scale.queries, seed=_QUERY_SEED)
+    exact = [linear_scan_items(items, q, k=k) for q in queries]
+    affinity = getattr(os, "sched_getaffinity", None)
+    cpus = len(affinity(0)) if affinity is not None else (os.cpu_count() or 1)
+
+    # Thread engine, no coalescing: span instrumentation rides the
+    # per-request path (front door -> engine -> kernel), so that is the
+    # path this experiment times.  The three modes are the full knob
+    # range: tracing compiled out (the pre-span serving path), armed but
+    # idle (production default — one sampler decision per request), a
+    # production sampling rate, and every-request recording.
+    modes = (
+        ("off", False, 0.0),
+        ("armed 0.0", True, 0.0),
+        ("sampled 0.125", True, 0.125),
+        ("full 1.0", True, 1.0),
+    )
+
+    def _soak(spans: bool, sample: float) -> Any:
+        return run_soak(
+            QueryEngine(
+                tree, options=EngineOptions(workers=2, cache_size=0)
+            ),
+            connections=connections,
+            requests_per_connection=per_connection,
+            points=queries,
+            exact=exact,
+            k=k,
+            coalesce=False,
+            spans=spans,
+            span_sample=sample,
+            span_seed=0,
+        )
+
+    best: Dict[str, Any] = {label: None for label, _, _ in modes}
+    violations: List[str] = []
+    for _ in range(reps):  # interleaved best-of: noise lands everywhere
+        for label, spans, sample in modes:
+            report = _soak(spans, sample)
+            violations.extend(report.violations)
+            if best[label] is None or report.qps > best[label].qps:
+                best[label] = report
+    if violations:  # pragma: no cover - soundness is test-enforced
+        raise InvalidParameterError(
+            "E21 soak violations: " + "; ".join(violations[:3])
+        )
+
+    floor = best["off"]
+    table = Table(
+        f"E21: request-span tracing overhead on the serving front door "
+        f"(uniform n={n}, k={k}, {connections} connections x "
+        f"{per_connection} requests, thread engine, {cpus} CPU(s) "
+        f"visible)",
+        ["mode", "qps", "vs off", "p50 ms", "p99 ms", "certified"],
+        caption=(
+            "Real-socket soak of the HTTP front door with request-span "
+            "tracing compiled out (ServerConfig(spans=False), the "
+            "pre-span serving path), armed but never sampling (the "
+            "production default: one seeded sampler decision per "
+            "request, then None-checks down the stack), at a realistic "
+            "1-in-8 sampling rate, and recording every request "
+            f"(interleaved best-of-{reps} per mode).  Every served "
+            "answer is oracle-certified and the client ledger is "
+            "reconciled against server metrics before any number is "
+            "reported.  The armed-idle column is the one the repo "
+            "gates: `repro.bench spans` holds it within 5% of the "
+            "spans=False floor, the same discipline E16 applies to the "
+            "per-event kernel tracer.  Sampled modes pay for wall-clock "
+            "reads and span assembly only on sampled requests, so the "
+            "tax scales with the sampling rate, not the request rate."
+        ),
+    )
+    total = connections * per_connection
+    for label, _, _ in modes:
+        report = best[label]
+        table.add_row(
+            label,
+            report.qps,
+            report.qps / floor.qps if floor.qps else 0.0,
+            report.p50_ms,
+            report.p99_ms,
+            f"{report.certified}/{total}",
+        )
+    return [table]
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.id: exp
     for exp in (
@@ -1590,6 +1695,17 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "kernel at windows of 8/16/32, bit-identity certified "
             "before timing.",
             _run_e20,
+        ),
+        Experiment(
+            "E21",
+            "Request-span tracing overhead on the serving front door",
+            "Extension: observability (beyond the paper)",
+            "Real-socket soak of the HTTP front door with span tracing "
+            "compiled out, armed-but-idle (the production default), "
+            "sampling 1-in-8, and recording every request; the "
+            "armed-idle mode must stay within 5% of the spans=False "
+            "floor (the E16 discipline applied to the serving path).",
+            _run_e21,
         ),
         Experiment(
             "E12",

@@ -17,9 +17,24 @@ Three layers, all opt-in and zero-cost when unused:
   a bounded ring (:class:`SlowQueryLog`) of :class:`SlowQueryRecord`
   entries with tail-sampled traces, plus JSONL persistence and the
   ``repro.obs top`` summarizer.
+- :mod:`repro.obs.spans` — request-scoped distributed tracing
+  (:class:`SpanContext`): sampled requests record wall-clock stage
+  spans across the front door, coalescer, engine and shard worker
+  processes, assembled into one cross-process trace tree
+  (``repro.obs spans`` renders a JSONL dump).
+- :mod:`repro.obs.replay` — the capture/replay harness: record query
+  streams with answer digests at the engine boundary
+  (:class:`QueryRecorder`), replay them against any backend and assert
+  digest-identical answers (:func:`replay`).
+- :mod:`repro.obs.advisor` — windowed registry readings turned into
+  structured operational advice (:class:`Advisor`): re-pack /
+  re-bulk-load on pages/query drift, shard rebalance on page skew,
+  coalescer and cache tuning hints.
 
 ``python -m repro.obs trace`` renders a live query trace;
-``python -m repro.obs top`` summarizes a dumped slow-query log.
+``python -m repro.obs top`` summarizes a dumped slow-query log;
+``python -m repro.obs spans`` renders a span JSONL dump (e.g. from the
+server's ``GET /spans``).
 """
 
 from __future__ import annotations
@@ -44,22 +59,57 @@ from repro.obs.registry import (
     MetricsRegistry,
     export_jsonl,
     export_prometheus,
+    lint_prometheus,
 )
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    SpanLog,
+    SpanSampler,
+    build_span_tree,
+    load_spans_jsonl,
+    render_spans,
+)
+from repro.obs.replay import (
+    CaptureLog,
+    CapturedQuery,
+    QueryRecorder,
+    ReplayReport,
+    digest_result,
+    replay,
+)
+from repro.obs.advisor import Advisor, Recommendation
 
 __all__ = [
+    "Advisor",
+    "CaptureLog",
+    "CapturedQuery",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QueryRecorder",
+    "Recommendation",
+    "ReplayReport",
     "SlowQueryLog",
     "SlowQueryRecord",
+    "Span",
+    "SpanContext",
+    "SpanLog",
+    "SpanSampler",
     "Trace",
     "TraceNode",
+    "build_span_tree",
     "build_trace_tree",
+    "digest_result",
     "export_jsonl",
     "export_prometheus",
+    "lint_prometheus",
     "load_jsonl",
+    "load_spans_jsonl",
+    "render_spans",
     "render_top",
     "render_trace",
+    "replay",
     "summarize_records",
 ]

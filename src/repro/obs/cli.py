@@ -10,6 +10,11 @@ Subcommands:
 - ``top`` — load a slow-query log dumped with
   :meth:`repro.obs.SlowQueryLog.dump_jsonl` and print the offender
   summary (:func:`repro.obs.render_top`).
+- ``spans`` — load a span JSONL dump (a ``GET /spans`` response body,
+  or a :meth:`repro.obs.SpanLog.dump_jsonl` file) and render each trace
+  as an indented tree with durations and attributes
+  (:func:`repro.obs.render_spans`).  ``-`` reads stdin, so
+  ``curl host/spans | python -m repro.obs spans -`` works directly.
 """
 
 from __future__ import annotations
@@ -81,6 +86,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10,
         help="slowest requests to list individually (default: 10)",
     )
+
+    spans = sub.add_parser(
+        "spans", help="render a span JSONL dump as per-trace trees"
+    )
+    spans.add_argument(
+        "file", help="path to a span JSONL dump ('-' reads stdin)"
+    )
+    spans.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="most recent traces to render (default: all)",
+    )
     return parser
 
 
@@ -121,6 +139,24 @@ def _trace_command(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _spans_command(args: argparse.Namespace) -> tuple:
+    from repro.obs.spans import load_spans_jsonl, render_spans
+
+    try:
+        if args.file == "-":
+            spans = load_spans_jsonl(sys.stdin)
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                spans = load_spans_jsonl(handle)
+    except OSError as exc:
+        return f"spans: cannot read {args.file!r}: {exc}", 1
+    except ValueError as exc:
+        return f"spans: malformed span dump {args.file!r}: {exc}", 1
+    if not spans:
+        return "spans: no span records", 0
+    return render_spans(spans, limit=args.limit), 0
+
+
 def _top_command(args: argparse.Namespace) -> tuple:
     from repro.obs.forensics import load_jsonl, render_top
 
@@ -140,6 +176,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     code = 0
     if args.command == "trace":
         output = _trace_command(args)
+    elif args.command == "spans":
+        output, code = _spans_command(args)
     else:
         output, code = _top_command(args)
     try:

@@ -24,6 +24,8 @@ per collection, for append-only logs) and :func:`export_prometheus`
 from __future__ import annotations
 
 import json
+import math
+import re
 import threading
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -37,6 +39,7 @@ __all__ = [
     "MetricsRegistry",
     "export_jsonl",
     "export_prometheus",
+    "lint_prometheus",
 ]
 
 
@@ -302,13 +305,43 @@ def _prometheus_name(flat_key: str) -> str:
     return f"repro_{safe}"
 
 
+def _prometheus_value(value: Union[int, float]) -> str:
+    """Exposition-format rendering of one sample value.
+
+    Python's ``str(float("inf"))`` is ``"inf"``, which Prometheus text
+    parsers reject — the format requires ``+Inf`` / ``-Inf`` / ``NaN``.
+    Everything finite uses ``repr`` (shortest round-trip form).
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the exposition format (\\ and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def export_prometheus(registry: MetricsRegistry) -> str:
     """Prometheus text exposition of the registry's current collection.
 
     Counters get a ``# TYPE ... counter`` header, everything else is a
     gauge (histogram summaries export their derived figures — count,
     mean, percentiles — as individual gauges, which is what a fixed
-    text-format scrape can carry without native histogram types).
+    text-format scrape can carry without native histogram types).  Each
+    metric also gets a ``# HELP`` line carrying the registry's flat key,
+    so a scrape is traceable back to its source.
+
+    The output is valid exposition format by construction — see
+    :func:`lint_prometheus` for the rules: sanitized names, one
+    HELP/TYPE pair per metric name (two flat keys that sanitize to the
+    same name keep the first and drop the rest — exporting the same
+    series twice in one scrape is a protocol error), and non-finite
+    floats rendered as ``+Inf``/``-Inf``/``NaN``.
     """
     with registry._lock:
         counter_names = {
@@ -316,11 +349,105 @@ def export_prometheus(registry: MetricsRegistry) -> str:
             if isinstance(src, Counter)
         }
     lines: List[str] = []
+    emitted: Dict[str, str] = {}  # prometheus name -> flat key that won
     for key, value in sorted(registry.collect().items()):
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
         name = _prometheus_name(key)
+        winner = emitted.get(name)
+        if winner is not None:
+            # Sanitization collision (e.g. "a.b" and "a_b"): a second
+            # sample under one name without labels is invalid output.
+            continue
+        emitted[name] = key
         kind = "counter" if key in counter_names else "gauge"
+        lines.append(f"# HELP {name} {_escape_help(key)}")
         lines.append(f"# TYPE {name} {kind}")
-        lines.append(f"{name} {value}")
+        lines.append(f"{name} {_prometheus_value(value)}")
     return "\n".join(lines) + "\n"
+
+
+#: Metric-name grammar of the exposition format (no labels in this
+#: exporter, so the sample line is just ``name value``).
+_PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_VALUE = re.compile(
+    r"^(?:[+-]?Inf|NaN|[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)$"
+)
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Validate exposition text; returns problems (empty = clean).
+
+    A promtool-shaped checker for the subset this exporter emits
+    (label-less samples): metric names must match the format grammar,
+    every sample needs exactly one preceding ``# TYPE`` (and ``# HELP``)
+    for its name, HELP/TYPE must not repeat per name, TYPE must name a
+    valid metric type, values must parse (including ``+Inf``/``-Inf``/
+    ``NaN`` — and *not* Python's ``inf``/``nan`` spellings), and the
+    text must end with a newline.
+    """
+    problems: List[str] = []
+    helped: set = set()
+    typed: set = set()
+    sampled: set = set()
+    if text and not text.endswith("\n"):
+        problems.append("exposition text must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            keyword = line[2:6]
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(
+                    f"line {lineno}: malformed {keyword} line: {line!r}"
+                )
+                continue
+            _, _, name, rest = parts
+            if not _PROM_NAME.match(name):
+                problems.append(
+                    f"line {lineno}: invalid metric name {name!r}"
+                )
+            seen = helped if keyword == "HELP" else typed
+            if name in seen:
+                problems.append(
+                    f"line {lineno}: duplicate {keyword} for {name!r}"
+                )
+            if name in sampled:
+                problems.append(
+                    f"line {lineno}: {keyword} for {name!r} after its "
+                    f"samples"
+                )
+            seen.add(name)
+            if keyword == "TYPE" and rest not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(
+                    f"line {lineno}: invalid metric type {rest!r}"
+                )
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        parts = line.split()
+        if len(parts) not in (2, 3):  # name value [timestamp]
+            problems.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name, value = parts[0], parts[1]
+        if not _PROM_NAME.match(name):
+            problems.append(f"line {lineno}: invalid metric name {name!r}")
+        if not _PROM_VALUE.match(value):
+            problems.append(
+                f"line {lineno}: invalid sample value {value!r} for "
+                f"{name!r}"
+            )
+        if name in sampled:
+            problems.append(
+                f"line {lineno}: duplicate sample for {name!r} "
+                f"(label-less series may appear once)"
+            )
+        if name not in typed:
+            problems.append(
+                f"line {lineno}: sample for {name!r} without a # TYPE"
+            )
+        sampled.add(name)
+    return problems

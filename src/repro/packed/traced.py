@@ -26,6 +26,18 @@ Dispatch ordering: a query that carries *both* a trace and a
 not here — the budgeted kernels accept an optional trace, so the budget
 branch in the public kernels is checked first and these kernels only
 ever see unbudgeted queries.
+
+Relation to request spans (:mod:`repro.obs.spans`): the two tracing
+layers deliberately do not meet inside a kernel.  A sampled request's
+``kernel``/``shard.kernel`` span wraps the *whole* traversal with one
+wall-clock measurement and summarizes it from the
+:class:`~repro.core.stats.SearchStats` the untraced kernels already
+produce — zero per-node cost, which is what lets the serving span path
+pass its own disabled-overhead gate (``repro.bench spans``, experiment
+E21) the same way this module lets the event tracer pass E16.  When a
+span points at a query worth dissecting, *this* module's per-event
+stream is the drill-down: re-run the query with a ``Trace`` and render
+the node-by-node decisions the span summarized.
 """
 
 from __future__ import annotations

@@ -12,7 +12,9 @@ traffic:
 - ``GET /healthz`` — process liveness (always 200 while serving);
 - ``GET /readyz``  — load-balancer readiness: engine ``liveness()``
   hook (epoch, shard liveness) AND not draining;
-- ``GET /stats``   — Prometheus text via ``MetricsRegistry.export()``.
+- ``GET /stats``   — Prometheus text via ``MetricsRegistry.export()``;
+- ``GET /spans``   — recent sampled request traces as JSONL (see
+  :mod:`repro.obs.spans`; render with ``python -m repro.obs spans``).
 
 Admission verdicts map onto HTTP: a per-client quota breach is ``429``,
 queue-full/expired/shutdown shedding is ``503``, both with a
@@ -43,6 +45,7 @@ from repro.errors import (
     QuotaExceeded,
 )
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanContext, SpanLog, SpanSampler
 from repro.server.coalesce import Coalescer
 from repro.server.http import (
     HTTPError,
@@ -69,6 +72,19 @@ class ServerConfig:
     retry_after_s: float = 1.0
     close_engine: bool = True  # drain also closes the engine
     dispatch_threads: int = 4
+    # Distributed tracing (see repro.obs.spans).  ``spans=False`` is the
+    # master switch: no sampler, no span log, no per-request ctx plumbing
+    # at all — byte-for-byte the pre-span serving path, and the floor the
+    # E21 overhead gate measures against.  With ``spans=True`` each
+    # ``/query`` / ``/batch`` draws a sampling verdict at *span_sample*
+    # rate (0.0 still honors per-request ``"trace": true`` forcing);
+    # sampled requests carry a SpanContext through the coalescer and
+    # engine into shard workers, and finished traces land in a bounded
+    # ring exported at ``GET /spans`` as JSONL.
+    spans: bool = True
+    span_sample: float = 0.0
+    span_seed: Optional[int] = None
+    span_log: int = 256
 
     def __post_init__(self) -> None:
         if self.max_wait_ms <= 0:
@@ -82,6 +98,14 @@ class ServerConfig:
         if self.drain_timeout <= 0:
             raise InvalidParameterError(
                 f"drain_timeout must be > 0, got {self.drain_timeout}"
+            )
+        if not 0.0 <= self.span_sample <= 1.0:
+            raise InvalidParameterError(
+                f"span_sample must be in [0, 1], got {self.span_sample}"
+            )
+        if self.span_log < 1:
+            raise InvalidParameterError(
+                f"span_log must be >= 1, got {self.span_log}"
             )
 
 
@@ -117,11 +141,31 @@ class NNServer:
         self._stop_event: Optional[asyncio.Event] = None
         self._run_loop: Optional[asyncio.AbstractEventLoop] = None
         try:
-            self._accepts_client = "client" in inspect.signature(
-                engine.submit
-            ).parameters
+            params = inspect.signature(engine.submit).parameters
+            self._accepts_client = "client" in params
+            self._accepts_span = "span_ctx" in params
         except (TypeError, ValueError):  # builtins / exotic callables
             self._accepts_client = False
+            self._accepts_span = False
+        try:
+            self._batch_takes_spans = "span_ctxs" in inspect.signature(
+                getattr(engine, "query_batch")
+            ).parameters
+        except (AttributeError, TypeError, ValueError):
+            self._batch_takes_spans = False
+        # Tracing: None sampler/log means the master switch is off and
+        # the request path never touches span machinery.
+        cfg = self.config
+        self.span_sampler: Optional[SpanSampler] = (
+            SpanSampler(cfg.span_sample, seed=cfg.span_seed)
+            if cfg.spans
+            else None
+        )
+        self.span_log: Optional[SpanLog] = (
+            SpanLog(cfg.span_log) if cfg.spans else None
+        )
+        if self.span_log is not None:
+            self.registry.register("server.spans", self.span_log.stats)
         # Per-connection metrics (the repro.obs registry scheme).
         self._m_conns_open = self.registry.gauge("server.connections_open")
         self._m_conns_total = self.registry.counter("server.connections")
@@ -395,6 +439,9 @@ class NNServer:
             elif request.path == "/stats":
                 if request.method != "GET":
                     return _plain(405, "stats is GET-only")
+            elif request.path == "/spans":
+                if request.method != "GET":
+                    return _plain(405, "spans is GET-only")
             elif request.path in ("/query", "/batch"):
                 if request.method != "POST":
                     return _plain(405, f"{request.path} is POST-only")
@@ -409,6 +456,8 @@ class NNServer:
                 return 200, self.registry.export().encode("utf-8"), (
                     ("X-Content-Format", "prometheus"),
                 )
+            if request.path == "/spans":
+                return self._spans()
             if self._draining:
                 return self._unavailable("server is draining")
             payload = _parse_json(request.body)
@@ -442,6 +491,18 @@ class NNServer:
             detail.get("draining", False)
         )
         return (200 if ready else 503), _json(detail), ()
+
+    def _spans(self) -> Tuple[int, bytes, Tuple[Tuple[str, str], ...]]:
+        """Recent finished traces, one span dict per JSONL line."""
+        log = self.span_log
+        if log is None:
+            return _plain(404, "tracing is disabled (ServerConfig.spans)")
+        lines = [
+            json.dumps(span.to_dict(), separators=(",", ":"), sort_keys=True)
+            for span in log.records()
+        ]
+        body = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+        return 200, body, (("X-Content-Format", "jsonl"),)
 
     def _shed(
         self, status: int, message: str
@@ -495,12 +556,35 @@ class NNServer:
             raise HTTPError(400, "point must be a non-empty number array")
         return tuple(float(c) for c in value)
 
+    def _trace_context(
+        self, payload: Dict[str, Any]
+    ) -> Optional[SpanContext]:
+        """Sampling verdict for one request; ``None`` = not traced.
+
+        With the master switch off this is never called — the request
+        path skips span plumbing entirely.  ``"trace": true`` in the
+        payload forces a sampled context regardless of the rate, the
+        standard debug override (curl one traced request out of an
+        untraced fleet).
+        """
+        sampler = self.span_sampler
+        if sampler is None:
+            return None
+        if payload.get("trace") is True or sampler.decide():
+            return SpanContext()
+        return None
+
     async def _query(
         self, payload: Dict[str, Any]
     ) -> Tuple[int, bytes, Tuple[Tuple[str, str], ...]]:
         point = self._point(payload.get("point"))
         cfg = self._request_config(payload)
         client = payload.get("client")
+        ctx = self._trace_context(payload)
+        root = (
+            ctx.start("http.request", path="/query") if ctx is not None
+            else None
+        )
         coalescer = self.coalescer
         coalesce = (
             self.config.coalesce
@@ -508,23 +592,37 @@ class NNServer:
             and client is None  # per-client quotas need per-request verdicts
             and not coalescer.bypasses(cfg)
         )
-        if coalesce:
-            outcome = await coalescer.submit(point, cfg)
-            self._m_coalesced.inc()
-        else:
-            if (
-                self.config.coalesce
-                and coalescer is not None
-                and coalescer.bypasses(cfg)
-            ):
-                self._m_bypass.inc()
-            outcome = await self._direct(point, cfg, client)
+        try:
+            if coalesce:
+                outcome = await coalescer.submit(point, cfg, span_ctx=ctx)
+                self._m_coalesced.inc()
+            else:
+                if (
+                    self.config.coalesce
+                    and coalescer is not None
+                    and coalescer.bypasses(cfg)
+                ):
+                    self._m_bypass.inc()
+                    coalescer.note_bypass()
+                    if root is not None:
+                        root.annotate(bypass="deadline")
+                outcome = await self._direct(point, cfg, client, ctx)
+        except BaseException as exc:
+            if root is not None:
+                root.end(error=type(exc).__name__)
+                self.span_log.observe(ctx)
+            raise
         result, served = _unwrap(outcome)
         body = _result_body(result, coalesced=coalesce)
         if served is not None:
             body["wait_ms"] = served.wait_ms
             body["service_ms"] = served.service_ms
             body["brownout_level"] = served.brownout_level
+        if ctx is not None:
+            if root is not None:
+                root.end(status=200)
+            body["trace"] = ctx.trace_id
+            self.span_log.observe(ctx)
         return 200, _json(body), ()
 
     async def _direct(
@@ -532,12 +630,15 @@ class NNServer:
         point: Tuple[float, ...],
         cfg: QueryConfig,
         client: Optional[str],
+        span_ctx: Optional[SpanContext] = None,
     ) -> Any:
         """Per-request dispatch through the engine's ``submit``."""
+        kwargs: Dict[str, Any] = {}
         if self._accepts_client:
-            future = self.engine.submit(point, config=cfg, client=client)
-        else:
-            future = self.engine.submit(point, config=cfg)
+            kwargs["client"] = client
+        if span_ctx is not None and self._accepts_span:
+            kwargs["span_ctx"] = span_ctx
+        future = self.engine.submit(point, config=cfg, **kwargs)
         return await asyncio.wrap_future(future)
 
     async def _batch(
@@ -548,25 +649,53 @@ class NNServer:
             raise HTTPError(400, "points must be a non-empty array")
         points = [self._point(p) for p in raw_points]
         cfg = self._request_config(payload)
+        ctx = self._trace_context(payload)
+        root = (
+            ctx.start("http.request", path="/batch", points=len(points))
+            if ctx is not None
+            else None
+        )
         loop = asyncio.get_running_loop()
         query_batch = getattr(self.engine, "query_batch", None)
-        if query_batch is not None:
-            results = await loop.run_in_executor(
-                self._executor,
-                lambda: query_batch(points, config=cfg),
-            )
-        else:
-            futures = [
-                asyncio.wrap_future(self.engine.submit(p, config=cfg))
-                for p in points
-            ]
-            results = await asyncio.gather(*futures)
+        try:
+            if query_batch is not None:
+                if ctx is not None and self._batch_takes_spans:
+                    # One HTTP request = one trace: every point shares
+                    # the request's context (engines dedupe by identity).
+                    ctxs = [ctx] * len(points)
+                    results = await loop.run_in_executor(
+                        self._executor,
+                        lambda: query_batch(
+                            points, config=cfg, span_ctxs=ctxs
+                        ),
+                    )
+                else:
+                    results = await loop.run_in_executor(
+                        self._executor,
+                        lambda: query_batch(points, config=cfg),
+                    )
+            else:
+                futures = [
+                    asyncio.wrap_future(self.engine.submit(p, config=cfg))
+                    for p in points
+                ]
+                results = await asyncio.gather(*futures)
+        except BaseException as exc:
+            if root is not None:
+                root.end(error=type(exc).__name__)
+                self.span_log.observe(ctx)
+            raise
         body = {
             "results": [
                 _result_body(_unwrap(r)[0], coalesced=False)
                 for r in results
             ]
         }
+        if ctx is not None:
+            if root is not None:
+                root.end(status=200)
+            body["trace"] = ctx.trace_id
+            self.span_log.observe(ctx)
         return 200, _json(body), ()
 
 

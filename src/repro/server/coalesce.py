@@ -19,14 +19,21 @@ batch execution itself runs on the executor.
 from __future__ import annotations
 
 import asyncio
+import inspect
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import QueryConfig
+from repro.obs.spans import SpanContext
 
 __all__ = ["Coalescer"]
 
 #: Per-entry outcome tags produced by the executor-side batch runner.
 _OK, _ERR = "ok", "err"
+
+#: One waiting request: (point, waiter future, span context or None,
+#: enqueue wall time — 0.0 unless the context is sampled).
+_Entry = Tuple[Tuple[float, ...], asyncio.Future, Optional[SpanContext], float]
 
 
 class _Window:
@@ -34,7 +41,7 @@ class _Window:
 
     def __init__(self, cfg: QueryConfig) -> None:
         self.cfg = cfg
-        self.entries: List[Tuple[Tuple[float, ...], asyncio.Future]] = []
+        self.entries: List[_Entry] = []
         self.handle: Optional[asyncio.TimerHandle] = None
 
 
@@ -69,6 +76,13 @@ class Coalescer:
         self.max_wait_ms = max_wait_ms
         self.max_batch = max_batch
         self._query_batch = getattr(engine, "query_batch", None)
+        # Span-kwarg support is probed once — inspect per request would
+        # dominate the event-loop hot path; duck-typed doubles without
+        # the kwargs still work (spans are simply not forwarded).
+        self._batch_takes_spans = _accepts(self._query_batch, "span_ctxs")
+        self._submit_takes_span = _accepts(
+            getattr(engine, "submit", None), "span_ctx"
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         # Keyed by cfg.cache_key(), computed ONCE per arriving request:
         # hashing the full frozen QueryConfig dataclass walks every field
@@ -85,6 +99,8 @@ class Coalescer:
         self.flush_drain = 0
         self.coalesced_requests = 0  # requests sharing a window with others
         self.largest_batch = 0
+        self.flushed_requests = 0  # requests whose window already closed
+        self.bypassed = 0  # deadline-too-tight dispatches (note_bypass)
 
     # ------------------------------------------------------------------
     # Submission (event-loop thread)
@@ -98,13 +114,27 @@ class Coalescer:
             and budget.deadline_ms <= self.max_wait_ms
         )
 
-    async def submit(self, point: Sequence[float], cfg: QueryConfig) -> Any:
+    def note_bypass(self) -> None:
+        """Record one deadline-too-tight direct dispatch (front door)."""
+        self.bypassed += 1
+
+    async def submit(
+        self,
+        point: Sequence[float],
+        cfg: QueryConfig,
+        span_ctx: Optional[SpanContext] = None,
+    ) -> Any:
         """Queue one query into the current window; await its answer.
 
         The returned value is whatever the engine produced for it — an
         ``NNResult`` (thread/sharded backends) or a ``Served`` record
         (resilient backend); per-request shed verdicts raise here
         exactly as they would from a direct ``submit``.
+
+        A sampled *span_ctx* gets a ``coalesce.wait`` span (enqueue to
+        window close — the company-waiting cost this layer trades for
+        batch amortization) and rides into the engine dispatch when the
+        backend accepts span contexts.
         """
         loop = asyncio.get_running_loop()
         self._loop = loop
@@ -118,8 +148,15 @@ class Coalescer:
             window.handle = loop.call_later(
                 self.max_wait_ms / 1000.0, self._flush, key, "timer"
             )
+        if span_ctx is not None and not span_ctx.sampled:
+            span_ctx = None
         window.entries.append(
-            (tuple(float(c) for c in point), future)
+            (
+                tuple(float(c) for c in point),
+                future,
+                span_ctx,
+                time.time() if span_ctx is not None else 0.0,
+            )
         )
         self.requests += 1
         if len(window.entries) >= self.max_batch:
@@ -132,6 +169,8 @@ class Coalescer:
         return sum(len(w.entries) for w in self._windows.values())
 
     def stats(self) -> Dict[str, Any]:
+        flushes = self.flush_full + self.flush_timer + self.flush_drain
+        mean_batch = self.flushed_requests / flushes if flushes else 0.0
         return {
             "requests": self.requests,
             "windows": self.windows,
@@ -141,6 +180,15 @@ class Coalescer:
             "coalesced_requests": self.coalesced_requests,
             "largest_batch": self.largest_batch,
             "pending": self.pending,
+            "bypassed": self.bypassed,
+            "mean_batch": mean_batch,
+            # How full windows run on average, in [0, 1]: the headline
+            # tuning gauge — near 0 means max_wait_ms buys no company,
+            # near 1 means windows close on max_batch and could be
+            # larger.
+            "window_fill_rate": (
+                mean_batch / self.max_batch if flushes else 0.0
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -159,10 +207,22 @@ class Coalescer:
         else:
             self.flush_timer += 1
         size = len(window.entries)
+        self.flushed_requests += size
         if size > 1:
             self.coalesced_requests += size
         if size > self.largest_batch:
             self.largest_batch = size
+        now_s = 0.0
+        for _, _, ctx, enqueued_s in window.entries:
+            if ctx is None:
+                continue
+            if not now_s:
+                now_s = time.time()
+            ctx.add(
+                "coalesce.wait", enqueued_s,
+                max(0.0, (now_s - enqueued_s) * 1000.0),
+                attrs={"window": size, "why": why},
+            )
         assert self._loop is not None
         task = self._loop.run_in_executor(
             self.executor, self._run_batch, window
@@ -174,13 +234,27 @@ class Coalescer:
 
     def _run_batch(self, window: _Window) -> List[Tuple[str, Any]]:
         """Execute one window on the executor; one outcome per entry."""
-        points = [point for point, _ in window.entries]
+        points = [entry[0] for entry in window.entries]
+        ctxs = [entry[2] for entry in window.entries]
+        any_sampled = any(ctx is not None for ctx in ctxs)
         if self._query_batch is not None:
-            results = self._query_batch(points, config=window.cfg)
+            if any_sampled and self._batch_takes_spans:
+                results = self._query_batch(
+                    points, config=window.cfg, span_ctxs=ctxs
+                )
+            else:
+                results = self._query_batch(points, config=window.cfg)
             return [(_OK, result) for result in results]
-        submitted = [
-            self.engine.submit(point, config=window.cfg) for point in points
-        ]
+        if any_sampled and self._submit_takes_span:
+            submitted = [
+                self.engine.submit(point, config=window.cfg, span_ctx=ctx)
+                for point, ctx in zip(points, ctxs)
+            ]
+        else:
+            submitted = [
+                self.engine.submit(point, config=window.cfg)
+                for point in points
+            ]
         outcomes: List[Tuple[str, Any]] = []
         for request_future in submitted:
             try:
@@ -195,11 +269,12 @@ class Coalescer:
         try:
             outcomes = done.result()
         except BaseException as exc:  # whole-batch failure
-            for _, future in window.entries:
+            for entry in window.entries:
+                future = entry[1]
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_, future), (tag, value) in zip(window.entries, outcomes):
+        for (_, future, _, _), (tag, value) in zip(window.entries, outcomes):
             if future.done():  # waiter gone (disconnect / cancellation)
                 continue
             if tag == _OK:
@@ -215,3 +290,13 @@ class Coalescer:
             await asyncio.gather(
                 *list(self._outstanding), return_exceptions=True
             )
+
+
+def _accepts(fn: Any, kwarg: str) -> bool:
+    """Whether callable *fn* (or None) takes keyword argument *kwarg*."""
+    if fn is None:
+        return False
+    try:
+        return kwarg in inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False

@@ -456,6 +456,9 @@ def run_soak(
     dispatch_threads: int = 4,
     fleet_processes: Optional[int] = None,
     host: str = "127.0.0.1",
+    spans: bool = True,
+    span_sample: float = 0.0,
+    span_seed: Optional[int] = None,
 ) -> SoakReport:
     """Boot a server around *engine*, flood it, reconcile the ledgers.
 
@@ -470,6 +473,11 @@ def run_soak(
     in-process for small fleets and ~2500 connections per subprocess
     otherwise, so the client fleet never becomes the throughput
     bottleneck of the server under test.
+
+    *spans* / *span_sample* / *span_seed* forward to
+    :class:`~repro.server.ServerConfig` so the span-overhead gate
+    (``repro.bench spans``, experiment E21) can soak the same front
+    door with tracing compiled out, armed-but-idle, or fully sampled.
     """
     if connections < 1:
         raise InvalidParameterError(
@@ -489,6 +497,9 @@ def run_soak(
             max_wait_ms=max_wait_ms,
             max_batch=max_batch,
             dispatch_threads=dispatch_threads,
+            spans=spans,
+            span_sample=span_sample,
+            span_seed=span_seed,
         ),
         registry,
     )

@@ -44,6 +44,7 @@ from repro.core.config import QueryConfig
 from repro.core.query import NNResult, _run_query, resolve_config
 from repro.errors import InvalidParameterError
 from repro.obs.forensics import SlowQueryLog, SlowQueryRecord
+from repro.obs.spans import SpanContext
 from repro.obs.trace import Trace
 from repro.packed.batch import run_packed_batch
 from repro.packed.kernels import run_packed_query
@@ -190,6 +191,7 @@ class QueryEngine:
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
         trace: Optional[Trace] = None,
+        span_ctx: Optional[SpanContext] = None,
     ) -> NNResult:
         """Answer one k-NN query (cache-first, then search).
 
@@ -200,16 +202,22 @@ class QueryEngine:
         capture this query's event stream (the engine stamps it with the
         request id and records the cache verdict; a cache hit executes no
         search, so the trace then holds only the ``cache`` event).
+
+        *span_ctx* is the request-scoped trace context (a sampled one
+        records ``engine.query``/``kernel`` spans — wall-clock stages,
+        not kernel events; the two layers compose).  ``None`` costs one
+        ``is None`` test on the hot path.
         """
         self._ensure_open()
         cfg = self._effective_config(k, config)
-        return self._serve(point, cfg, trace)
+        return self._serve(point, cfg, trace, span_ctx)
 
     def submit(
         self,
         point: Sequence[float],
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
+        span_ctx: Optional[SpanContext] = None,
     ) -> "Future[NNResult]":
         """Asynchronous :meth:`query`: a future that never hangs.
 
@@ -221,10 +229,10 @@ class QueryEngine:
         cfg = self._effective_config(k, config)
         executor = self._executor
         if executor is not None:
-            return executor.submit(self._serve, point, cfg)
+            return executor.submit(self._serve, point, cfg, None, span_ctx)
         future: "Future[NNResult]" = Future()
         try:
-            future.set_result(self._serve(point, cfg))
+            future.set_result(self._serve(point, cfg, None, span_ctx))
         except BaseException as exc:  # delivered through the future
             future.set_exception(exc)
         return future
@@ -234,6 +242,7 @@ class QueryEngine:
         points: Sequence[Sequence[float]],
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
+        span_ctxs: Optional[Sequence[Optional[SpanContext]]] = None,
     ) -> List[NNResult]:
         """Answer a batch of queries, one result per point, in order.
 
@@ -242,11 +251,24 @@ class QueryEngine:
         (the duplicates count as cache hits).  Results are byte-identical
         to a sequential :func:`repro.core.query.nearest` loop over the
         same tree state.
+
+        *span_ctxs* (aligned with *points*) threads per-request trace
+        contexts through the batch; a request coalesced onto another
+        point's execution records a single ``engine.query`` span with
+        ``cache=coalesced``.
         """
         if not points:
             raise InvalidParameterError("points must be non-empty")
+        if span_ctxs is not None and len(span_ctxs) != len(points):
+            raise InvalidParameterError(
+                f"span_ctxs must align with points: "
+                f"{len(span_ctxs)} contexts for {len(points)} points"
+            )
         self._ensure_open()
         cfg = self._effective_config(k, config)
+        ctxs: Sequence[Optional[SpanContext]] = (
+            span_ctxs if span_ctxs is not None else [None] * len(points)
+        )
         # Snapshot the executor once: a concurrent shutdown() may null
         # the attribute between the check and the submits.
         executor = self._executor
@@ -264,33 +286,45 @@ class QueryEngine:
                 # one read-lock acquisition.  Results and counters are
                 # identical to the sequential loop below; per-query
                 # latency is recorded as the batch mean.
-                return self._serve_batched(points, cfg)
-            return [self._serve(p, cfg) for p in points]
+                return self._serve_batched(points, cfg, span_ctxs)
+            return [
+                self._serve(p, cfg, None, ctx)
+                for p, ctx in zip(points, ctxs)
+            ]
 
         if self.cache.capacity == 0:
             # No caching, no coalescing: every occurrence executes, in
             # the legacy one-search-per-point accounting.
             submitted = [
-                executor.submit(self._serve, p, cfg) for p in points
+                executor.submit(self._serve, p, cfg, None, ctx)
+                for p, ctx in zip(points, ctxs)
             ]
             return [future.result() for future in submitted]
 
         # Coalesce duplicates: the first occurrence of each point runs,
         # later occurrences share its future (and count as cache hits).
         primary: Dict[Tuple[float, ...], Any] = {}
-        slots: List[Tuple[Tuple[float, ...], bool]] = []
-        for p in points:
+        slots: List[Tuple[Tuple[float, ...], bool, Optional[SpanContext]]] = []
+        for p, ctx in zip(points, ctxs):
             key = _point_key(p)
             if key not in primary:
-                primary[key] = executor.submit(self._serve, p, cfg)
-                slots.append((key, False))
+                # The first occurrence's span context rides the execution.
+                primary[key] = executor.submit(self._serve, p, cfg, None, ctx)
+                slots.append((key, False, None))
             else:
-                slots.append((key, True))
+                slots.append((key, True, ctx))
         results: List[NNResult] = []
-        for key, coalesced in slots:
+        for key, coalesced, ctx in slots:
+            start_s = time.time() if ctx is not None else 0.0
             result = primary[key].result()
             if coalesced:
                 self._count_coalesced_hit()
+                if ctx is not None and ctx.sampled:
+                    ctx.add(
+                        "engine.query", start_s,
+                        (time.time() - start_s) * 1000.0,
+                        attrs={"cache": "coalesced"},
+                    )
             results.append(result)
         return results
 
@@ -454,6 +488,7 @@ class QueryEngine:
         point: Sequence[float],
         cfg: QueryConfig,
         trace: Optional[Trace] = None,
+        span_ctx: Optional[SpanContext] = None,
     ) -> NNResult:
         """One query: read lock, cache probe, search, cache fill.
 
@@ -472,6 +507,13 @@ class QueryEngine:
         request_id = next(self._request_ids)
         if trace is not None:
             trace.request_id = request_id
+        if span_ctx is not None and not span_ctx.sampled:
+            span_ctx = None
+        serve_span = (
+            span_ctx.start("engine.query", backend="thread")
+            if span_ctx is not None
+            else None
+        )
         record_trace: Optional[Trace] = None
         executed: Optional[NNResult] = None
         try:
@@ -485,12 +527,17 @@ class QueryEngine:
                         self._count_hit()
                         if trace is not None:
                             trace.cache("hit")
+                        if serve_span is not None:
+                            serve_span.annotate(cache="hit", epoch=epoch)
                         return cached
                 if trace is not None:
                     trace.cache("miss")
                     record_trace = trace
                 elif self.slow_queries is not None:
                     record_trace = Trace(request_id=request_id)
+                if serve_span is not None:
+                    kernel_t0 = time.perf_counter()
+                    kernel_s = time.time()
                 if self.packed and cfg.object_distance_sq is None:
                     # tree.packed() is epoch-keyed: first query after a
                     # mutation recompiles (under this read lock, so the
@@ -503,6 +550,24 @@ class QueryEngine:
                     result = _run_query(
                         self.tree, point, cfg, self.tracker, record_trace
                     )
+                if serve_span is not None:
+                    stats = result.stats
+                    span_ctx.add(
+                        "kernel", kernel_s,
+                        (time.perf_counter() - kernel_t0) * 1000.0,
+                        parent=serve_span.id,
+                        attrs={
+                            "pages": stats.nodes_accessed,
+                            "objects": stats.objects_examined,
+                            "p1": stats.pruning.p1_pruned,
+                            "p3": stats.pruning.p3_pruned,
+                            "truncated": int(stats.truncated),
+                        },
+                    )
+                    serve_span.annotate(
+                        cache="miss", epoch=epoch,
+                        pages=stats.nodes_accessed,
+                    )
                 if use_cache and not result.stats.truncated:
                     # Truncated results are never cached: where the
                     # search stopped depends on wall-clock luck (for
@@ -514,13 +579,17 @@ class QueryEngine:
                 self._count_executed(result)
                 executed = result
                 return result
-        except BaseException:
+        except BaseException as exc:
             # Surface worker failures in the stats (the future still
             # carries the exception to its caller — never a hang).
             with self._stats_lock:
                 self._failures += 1
+            if serve_span is not None:
+                serve_span.annotate(error=type(exc).__name__)
             raise
         finally:
+            if serve_span is not None:
+                serve_span.end()
             elapsed = time.perf_counter() - start
             self._latency.record(elapsed)
             self._exit_flight()
@@ -543,6 +612,7 @@ class QueryEngine:
         self,
         points: Sequence[Sequence[float]],
         cfg: QueryConfig,
+        span_ctxs: Optional[Sequence[Optional[SpanContext]]] = None,
     ) -> List[NNResult]:
         """One batched traversal for a whole same-config window.
 
@@ -554,9 +624,12 @@ class QueryEngine:
         exactly what the sequential loop's probe-after-fill would do.
         Counters (queries / hits / executed / pages) match the
         sequential loop; per-query latency is recorded as the batch
-        mean, since the traversals genuinely overlap.
+        mean, since the traversals genuinely overlap.  Each sampled
+        span context receives one ``engine.batch`` span — the window
+        shares a traversal, so per-point kernel spans would be fiction.
         """
         start = time.perf_counter()
+        start_s = time.time() if span_ctxs is not None else 0.0
         n = len(points)
         self._enter_flight()
         try:
@@ -602,6 +675,21 @@ class QueryEngine:
                 for i, j in dups:
                     results[i] = results[j]
                     self._count_coalesced_hit()
+                if span_ctxs is not None:
+                    missed = set(misses)
+                    batch_ms = (time.perf_counter() - start) * 1000.0
+                    for i, ctx in enumerate(span_ctxs):
+                        if ctx is not None and ctx.sampled:
+                            ctx.add(
+                                "engine.batch", start_s, batch_ms,
+                                attrs={
+                                    "window": n,
+                                    "cache": (
+                                        "miss" if i in missed else "hit"
+                                    ),
+                                    "epoch": epoch,
+                                },
+                            )
                 return results  # type: ignore[return-value]
         except BaseException:
             with self._stats_lock:

@@ -61,6 +61,7 @@ from repro.core.budget import Budget
 from repro.core.config import QueryConfig
 from repro.core.query import NNResult, resolve_config
 from repro.errors import AdmissionRejected, InvalidParameterError, QuotaExceeded
+from repro.obs.spans import SpanContext
 from repro.service.engine import DEFAULT_CACHE_SIZE, QueryEngine
 from repro.service.options import EngineOptions
 from repro.service.protocol import Engine, EngineSnapshot
@@ -396,6 +397,7 @@ class _Request:
     enqueued_at: float
     expires_at: Optional[float]
     client: Optional[str] = None
+    span_ctx: Optional[SpanContext] = None
     # deque.remove uses __eq__; identity is the only sane equality here.
     __hash__ = object.__hash__
     __eq__ = object.__eq__
@@ -558,6 +560,18 @@ class ResilientEngine:
         self.wait_times = Histogram("resilience_wait")
         self.service_times = Histogram("resilience_service")
         self.deadline_miss_overshoot = Histogram("resilience_deadline_miss")
+        # Does the backend's query() accept a span context?  Checked once
+        # here (inspect is too slow for the per-request path); duck-typed
+        # so protocol-shaped test doubles without the kwarg still work.
+        import inspect
+
+        try:
+            self._inner_takes_span = (
+                "span_ctx"
+                in inspect.signature(self.engine.query).parameters
+            )
+        except (TypeError, ValueError):
+            self._inner_takes_span = False
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -579,6 +593,7 @@ class ResilientEngine:
         config: Optional[QueryConfig] = None,
         budget: Optional[Budget] = None,
         client: Optional[str] = None,
+        span_ctx: Optional[SpanContext] = None,
     ) -> "Future[Served]":
         """Submit one query through admission control.
 
@@ -589,6 +604,13 @@ class ResilientEngine:
         query error if execution failed.  Shedding *never* raises out of
         ``submit`` itself — backpressure is delivered through the
         future, so producers and the admission path stay decoupled.
+
+        A sampled *span_ctx* rides the request: serving records
+        ``resilience.queue`` (true admission-queue wait) and
+        ``resilience.serve`` spans, and the context is forwarded to the
+        backend when its ``query`` accepts one — so one trace crosses
+        the admission layer into the engine (and, for a sharded
+        backend, its worker processes).
         """
         future: "Future[Served]" = Future()
         cfg = self._effective_config(k, config)
@@ -608,6 +630,11 @@ class ResilientEngine:
                 else None
             ),
             client=client,
+            span_ctx=(
+                span_ctx
+                if span_ctx is not None and span_ctx.sampled
+                else None
+            ),
         )
         with self._work:
             self._submitted += 1
@@ -652,10 +679,12 @@ class ResilientEngine:
         budget: Optional[Budget] = None,
         client: Optional[str] = None,
         timeout: Optional[float] = None,
+        span_ctx: Optional[SpanContext] = None,
     ) -> Served:
         """Synchronous :meth:`submit` — blocks for the served record."""
         return self.submit(
-            point, k=k, config=config, budget=budget, client=client
+            point, k=k, config=config, budget=budget, client=client,
+            span_ctx=span_ctx,
         ).result(timeout)
 
     def _effective_config(
@@ -803,15 +832,40 @@ class ResilientEngine:
         brownout = self.brownout
         effective = brownout.apply(requested) if brownout is not None else requested
         level = brownout.level if brownout is not None else 0
+        ctx = request.span_ctx
+        started_wall = time.time() if ctx is not None else 0.0
+        if ctx is not None:
+            # The queue span is backdated from the measured wait — the
+            # submit path never touches the wall clock for unsampled
+            # (or absent) contexts.
+            ctx.add(
+                "resilience.queue", started_wall - wait_s, wait_s * 1000.0,
+                attrs={"policy": self.shed_policy},
+            )
+            serve_span = ctx.start(
+                "resilience.serve", brownout=level,
+                degraded=int(effective is not requested),
+            )
+        else:
+            serve_span = None
         try:
-            result = self.engine.query(request.point, config=effective)
+            if ctx is not None and self._inner_takes_span:
+                result = self.engine.query(
+                    request.point, config=effective, span_ctx=ctx
+                )
+            else:
+                result = self.engine.query(request.point, config=effective)
         except BaseException as exc:
+            if serve_span is not None:
+                serve_span.end(error=type(exc).__name__)
             with self._lock:
                 self._failed += 1
                 self._inflight -= 1
             request.future.set_exception(exc)
         else:
             service_s = max(0.0, self._clock() - started)
+            if serve_span is not None:
+                serve_span.end(truncated=int(result.stats.truncated))
             with self._lock:
                 self._served += 1
                 self._inflight -= 1
@@ -944,8 +998,11 @@ class ResilientEngine:
         Registers the counter snapshot (shed counts, brownout level,
         breaker state gauge — all numeric, so the Prometheus exporter
         picks them up), the queue-wait and service-time histograms, and
-        the deadline-miss overshoot histogram.  The inner engine's stats
-        can be registered separately via ``engine.stats``.
+        the deadline-miss overshoot histogram.  When the backend has a
+        ``register_metrics`` hook of its own (the sharded engine's adds
+        per-shard depth/request/page gauges), it is forwarded the same
+        registry; otherwise the backend's ``stats()`` snapshot is
+        registered under ``"engine"``.
         """
         registry.register(prefix, lambda: self.stats().as_dict())
         registry.register(f"{prefix}.wait", self.wait_times)
@@ -953,6 +1010,15 @@ class ResilientEngine:
         registry.register(
             f"{prefix}.deadline_miss", self.deadline_miss_overshoot
         )
+        inner_hook = getattr(self.engine, "register_metrics", None)
+        if callable(inner_hook):
+            inner_hook(registry)
+        else:
+            inner_stats = getattr(self.engine, "stats", None)
+            if callable(inner_stats):
+                registry.register(
+                    "engine", lambda: self.engine.stats().as_dict()
+                )
 
     def close(self, timeout: Optional[float] = None) -> bool:
         """Drain workers, resolve every remaining future.  Idempotent.

@@ -57,6 +57,7 @@ from repro.core.query import NNResult, resolve_config
 from repro.core.stats import SearchStats
 from repro.errors import InvalidParameterError, ShardLostError
 from repro.geometry.rect import Rect
+from repro.obs.spans import WIRE_PARENT, SpanContext
 from repro.packed.batch import run_packed_batch
 from repro.packed.kernels import run_packed_query
 from repro.packed.layout import PackedTree
@@ -68,7 +69,13 @@ from repro.service.protocol import EngineSnapshot
 from repro.service.stats import LatencyRecorder
 from repro.shard.partition import ShardPlan, plan_shards
 from repro.shard.slab import ExportedSlab, export_slab
-from repro.shard.wire import FlatResult, flatten_result, inflate_neighbor, inflate_stats
+from repro.shard.wire import (
+    FlatResult,
+    flatten_result,
+    flatten_spans,
+    inflate_neighbor,
+    inflate_stats,
+)
 from repro.shard.worker import shard_worker_main
 
 __all__ = ["ShardedQueryEngine", "ShardedStats"]
@@ -296,36 +303,16 @@ class _ProcessShard:
         self._mark_dead()
 
     # -- request path --------------------------------------------------
-    def submit(self, point: Tuple[float, ...], cfg: QueryConfig) -> Future:
-        fut: Future = Future()
-        with self._send_lock:
-            if self.dead:
-                fut.set_exception(
-                    ShardLostError(f"shard {self.index} worker is dead")
-                )
-                return fut
-            rid = next(self._rids)
-            with self._pending_lock:
-                self._pending[rid] = fut
-            try:
-                self.conn.send(("query", rid, point, cfg))
-            except (OSError, ValueError, BrokenPipeError):
-                with self._pending_lock:
-                    self._pending.pop(rid, None)
-                self._mark_dead()
-                fut.set_exception(
-                    ShardLostError(f"shard {self.index} pipe broke on send")
-                )
-        return fut
-
-    def submit_batch(
-        self, points: Sequence[Tuple[float, ...]], cfg: QueryConfig
+    def submit(
+        self,
+        point: Tuple[float, ...],
+        cfg: QueryConfig,
+        sent_at: Optional[float] = None,
     ) -> Future:
-        """One wire round trip for a whole window of points.
+        """Send one query; *sent_at* (wall clock) requests worker spans.
 
-        Resolves to a list of columnar :data:`~repro.shard.wire
-        .FlatResult` replies, one per point in order; the same
-        reader-thread/rid plumbing as :meth:`submit`.
+        A plain submit resolves to the ``NNResult``; a span-sampled one
+        (``sent_at`` set) resolves to ``(NNResult, wire_spans)``.
         """
         fut: Future = Future()
         with self._send_lock:
@@ -338,7 +325,51 @@ class _ProcessShard:
             with self._pending_lock:
                 self._pending[rid] = fut
             try:
-                self.conn.send(("query_batch", rid, list(points), cfg))
+                if sent_at is None:
+                    self.conn.send(("query", rid, point, cfg))
+                else:
+                    self.conn.send(("query", rid, point, cfg, sent_at))
+            except (OSError, ValueError, BrokenPipeError):
+                with self._pending_lock:
+                    self._pending.pop(rid, None)
+                self._mark_dead()
+                fut.set_exception(
+                    ShardLostError(f"shard {self.index} pipe broke on send")
+                )
+        return fut
+
+    def submit_batch(
+        self,
+        points: Sequence[Tuple[float, ...]],
+        cfg: QueryConfig,
+        sent_at: Optional[float] = None,
+    ) -> Future:
+        """One wire round trip for a whole window of points.
+
+        Resolves to a list of columnar :data:`~repro.shard.wire
+        .FlatResult` replies, one per point in order; the same
+        reader-thread/rid plumbing as :meth:`submit`.  With *sent_at*
+        (a span-sampled window) it resolves to ``(replies, wire_spans)``
+        instead — one span set for the window, because the worker runs
+        one shared traversal for it.
+        """
+        fut: Future = Future()
+        with self._send_lock:
+            if self.dead:
+                fut.set_exception(
+                    ShardLostError(f"shard {self.index} worker is dead")
+                )
+                return fut
+            rid = next(self._rids)
+            with self._pending_lock:
+                self._pending[rid] = fut
+            try:
+                if sent_at is None:
+                    self.conn.send(("query_batch", rid, list(points), cfg))
+                else:
+                    self.conn.send(
+                        ("query_batch", rid, list(points), cfg, sent_at)
+                    )
             except (OSError, ValueError, BrokenPipeError):
                 with self._pending_lock:
                     self._pending.pop(rid, None)
@@ -366,6 +397,11 @@ class _ProcessShard:
                 fut = self._pop(msg[1])
                 if fut is not None:
                     fut.set_result(msg[2])
+            elif tag == "oks":
+                # Span-sampled reply: payload plus compact worker spans.
+                fut = self._pop(msg[1])
+                if fut is not None:
+                    fut.set_result((msg[2], msg[3]))
             elif tag == "err":
                 fut = self._pop(msg[1])
                 if fut is not None:
@@ -430,16 +466,55 @@ class _InlineShard:
         self.ptree = None
         self.dead = True
 
-    def submit(self, point: Tuple[float, ...], cfg: QueryConfig) -> Future:
+    def _spans(
+        self, sent_at: float, recv_s: float, kernel_ms: float,
+        stats: SearchStats, points: int,
+    ) -> tuple:
+        """Compact span records matching the process worker's shape."""
+        pruning = stats.pruning
+        return flatten_spans([
+            ("shard.queue", WIRE_PARENT, sent_at,
+             max(0.0, (recv_s - sent_at) * 1000.0), ()),
+            ("shard.kernel", WIRE_PARENT, recv_s, kernel_ms, (
+                ("pages", stats.nodes_accessed),
+                ("leaves", stats.leaf_accesses),
+                ("objects", stats.objects_examined),
+                ("p1", pruning.p1_pruned),
+                ("p3", pruning.p3_pruned),
+                ("truncated", int(stats.truncated)),
+                ("epoch", getattr(self.ptree, "epoch", 0)),
+                ("points", points),
+            )),
+        ])
+
+    def submit(
+        self,
+        point: Tuple[float, ...],
+        cfg: QueryConfig,
+        sent_at: Optional[float] = None,
+    ) -> Future:
         fut: Future = Future()
         try:
-            fut.set_result(run_packed_query(self.ptree, point, cfg))
+            if sent_at is None:
+                fut.set_result(run_packed_query(self.ptree, point, cfg))
+            else:
+                recv_s = time.time()
+                t0 = time.perf_counter()
+                result = run_packed_query(self.ptree, point, cfg)
+                kernel_ms = (time.perf_counter() - t0) * 1000.0
+                fut.set_result((
+                    result,
+                    self._spans(sent_at, recv_s, kernel_ms, result.stats, 1),
+                ))
         except BaseException as exc:  # noqa: BLE001 - future carries it
             fut.set_exception(exc)
         return fut
 
     def submit_batch(
-        self, points: Sequence[Tuple[float, ...]], cfg: QueryConfig
+        self,
+        points: Sequence[Tuple[float, ...]],
+        cfg: QueryConfig,
+        sent_at: Optional[float] = None,
     ) -> Future:
         fut: Future = Future()
         try:
@@ -447,12 +522,27 @@ class _InlineShard:
             # is mode-agnostic (and the flatten/inflate round trip is
             # exercised even in differential in-process tests).  Like
             # the process worker, the window shares one slab traversal.
-            fut.set_result(
-                [
-                    flatten_result(r)
-                    for r in run_packed_batch(self.ptree, points, cfg)
-                ]
-            )
+            if sent_at is None:
+                fut.set_result(
+                    [
+                        flatten_result(r)
+                        for r in run_packed_batch(self.ptree, points, cfg)
+                    ]
+                )
+            else:
+                recv_s = time.time()
+                t0 = time.perf_counter()
+                raw = run_packed_batch(self.ptree, points, cfg)
+                kernel_ms = (time.perf_counter() - t0) * 1000.0
+                window = SearchStats()
+                for r in raw:
+                    window.merge(r.stats)
+                fut.set_result((
+                    [flatten_result(r) for r in raw],
+                    self._spans(
+                        sent_at, recv_s, kernel_ms, window, len(points)
+                    ),
+                ))
         except BaseException as exc:  # noqa: BLE001 - future carries it
             fut.set_exception(exc)
         return fut
@@ -543,6 +633,10 @@ class ShardedQueryEngine:
         self._shards_pruned = 0
         self._degraded = 0
         self._pages_total = 0
+        # Per-shard cumulative request/page counters (under _stats_lock)
+        # — the /stats per-shard gauges and the advisor's balance signal.
+        self._shard_requests: List[int] = []
+        self._shard_pages: List[int] = []
         source = list(tree.items()) if tree is not None else list(items)
         try:
             self._publish(source, shards, boot=True)
@@ -652,6 +746,12 @@ class ShardedQueryEngine:
         self._plan = plan
         self._slabs = slabs
         self._epoch = epoch
+        if len(self._shard_requests) != plan.shards:
+            # Boot only: republish keeps the shard count, so the
+            # cumulative per-shard counters survive epoch swaps.
+            with self._stats_lock:
+                self._shard_requests = [0] * plan.shards
+                self._shard_pages = [0] * plan.shards
         for slab in old_slabs:
             slab.unlink()
         if self.cache.capacity > 0:
@@ -688,17 +788,26 @@ class ShardedQueryEngine:
         point: Sequence[float],
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
+        span_ctx: Optional[SpanContext] = None,
     ) -> NNResult:
-        """Answer one k-NN query (cache-first, then scatter-gather)."""
+        """Answer one k-NN query (cache-first, then scatter-gather).
+
+        *span_ctx* is the request-scoped trace context: when sampled,
+        the serve records an ``engine.query`` span with scatter / per-
+        shard RPC / merge children (worker spans included — see
+        :mod:`repro.obs.spans`).  ``None`` (the default) costs one
+        ``is None`` test; experiment E21 gates that path.
+        """
         self._ensure_open()
         cfg = self._effective_config(k, config)
-        return self._serve(point, cfg)
+        return self._serve(point, cfg, span_ctx)
 
     def submit(
         self,
         point: Sequence[float],
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
+        span_ctx: Optional[SpanContext] = None,
     ) -> "Future[NNResult]":
         """Asynchronous :meth:`query`; the future never hangs."""
         self._ensure_open()
@@ -707,17 +816,18 @@ class ShardedQueryEngine:
         if pool is None:
             fut: Future = Future()
             try:
-                fut.set_result(self._serve(point, cfg))
+                fut.set_result(self._serve(point, cfg, span_ctx))
             except BaseException as exc:  # noqa: BLE001 - future carries it
                 fut.set_exception(exc)
             return fut
-        return pool.submit(self._serve, point, cfg)
+        return pool.submit(self._serve, point, cfg, span_ctx)
 
     def query_batch(
         self,
         points: Sequence[Sequence[float]],
         k: Optional[int] = None,
         config: Optional[QueryConfig] = None,
+        span_ctxs: Optional[Sequence[Optional[SpanContext]]] = None,
     ) -> List[NNResult]:
         """Answer a batch, one result per point, in order.
 
@@ -743,9 +853,15 @@ class ShardedQueryEngine:
         """
         if not points:
             raise InvalidParameterError("points must be non-empty")
+        if span_ctxs is not None and len(span_ctxs) != len(points):
+            raise InvalidParameterError(
+                f"span_ctxs must align with points: "
+                f"{len(span_ctxs)} contexts for {len(points)} points"
+            )
         self._ensure_open()
         cfg = self._effective_config(k, config)
         start = time.perf_counter()
+        start_s = time.time() if span_ctxs is not None else 0.0
         try:
             with self._rwlock.read():
                 epoch = self._epoch
@@ -770,12 +886,33 @@ class ShardedQueryEngine:
                     misses.append(idx)
                 if misses:
                     merged = self._scatter_batch(
-                        [_point_key(points[i]) for i in misses], cfg
+                        [_point_key(points[i]) for i in misses],
+                        cfg,
+                        (
+                            [span_ctxs[i] for i in misses]
+                            if span_ctxs is not None
+                            else None
+                        ),
                     )
                     for idx, result in zip(misses, merged):
                         results[idx] = result
                         if use_cache and not result.stats.truncated:
                             self.cache.put(keys[idx], result)
+                if span_ctxs is not None:
+                    missed = set(misses)
+                    batch_ms = (time.perf_counter() - start) * 1000.0
+                    for idx, ctx in enumerate(span_ctxs):
+                        if ctx is not None and ctx.sampled:
+                            ctx.add(
+                                "engine.batch", start_s, batch_ms,
+                                attrs={
+                                    "window": len(points),
+                                    "cache": (
+                                        "miss" if idx in missed else "hit"
+                                    ),
+                                    "epoch": epoch,
+                                },
+                            )
                 with self._stats_lock:
                     self._queries += len(points)
                     self._cache_hits += hits
@@ -825,6 +962,43 @@ class ShardedQueryEngine:
                 segment_bytes=seg_bytes,
                 shard_sizes=sizes,
             )
+
+    def shard_metrics(self) -> Dict[str, Any]:
+        """Per-shard gauges, flat (``shard0.pages``-style keys).
+
+        The load-balance surface behind the front door's ``/stats`` and
+        the advisor's rebalance signal: cumulative requests and logical
+        pages served per shard, current item count, pipe queue depth
+        (in-flight requests awaiting a reply) and liveness.
+        """
+        with self._stats_lock:
+            requests = list(self._shard_requests)
+            pages = list(self._shard_pages)
+        out: Dict[str, Any] = {}
+        for i, handle in enumerate(self._handles):
+            depth = 0
+            pending = getattr(handle, "_pending", None)
+            if pending is not None:
+                depth = len(pending)
+            out[f"shard{i}.size"] = handle.size
+            out[f"shard{i}.alive"] = int(not handle.dead)
+            out[f"shard{i}.depth"] = depth
+            out[f"shard{i}.requests"] = requests[i] if i < len(requests) else 0
+            out[f"shard{i}.pages"] = pages[i] if i < len(pages) else 0
+        return out
+
+    def register_metrics(
+        self, registry: Any, prefix: str = "engine"
+    ) -> None:
+        """Wire the engine's signals into a metrics registry.
+
+        Registers the aggregate snapshot under *prefix* and the
+        per-shard gauges under ``"shards"`` — both as callables, so the
+        registry re-reads live values on every collection (the
+        :class:`~repro.obs.MetricsRegistry` contract).
+        """
+        registry.register(prefix, lambda: self.stats().as_dict())
+        registry.register("shards", self.shard_metrics)
 
     def liveness(self) -> Dict[str, Any]:
         """Per-shard liveness surface for front doors (``/readyz``).
@@ -921,8 +1095,20 @@ class ShardedQueryEngine:
         if self._closed:
             raise InvalidParameterError("ShardedQueryEngine is closed")
 
-    def _serve(self, point: Sequence[float], cfg: QueryConfig) -> NNResult:
+    def _serve(
+        self,
+        point: Sequence[float],
+        cfg: QueryConfig,
+        span_ctx: Optional[SpanContext] = None,
+    ) -> NNResult:
         start = time.perf_counter()
+        if span_ctx is not None and not span_ctx.sampled:
+            span_ctx = None  # honor an upstream "no" without re-checking
+        serve_span = (
+            span_ctx.start("engine.query", backend="sharded")
+            if span_ctx is not None
+            else None
+        )
         try:
             with self._rwlock.read():
                 epoch = self._epoch
@@ -934,23 +1120,45 @@ class ShardedQueryEngine:
                         with self._stats_lock:
                             self._queries += 1
                             self._cache_hits += 1
+                        if serve_span is not None:
+                            serve_span.annotate(cache="hit", epoch=epoch)
                         return cached
-                result = self._scatter(_point_key(point), cfg)
+                result = self._scatter(
+                    _point_key(point), cfg, span_ctx,
+                    serve_span.id if serve_span is not None else None,
+                )
                 if use_cache and not result.stats.truncated:
                     self.cache.put(key, result)
                 with self._stats_lock:
                     self._queries += 1
                     self._executed += 1
                     self._pages_total += result.stats.nodes_accessed
+                if serve_span is not None:
+                    serve_span.annotate(
+                        cache="miss",
+                        epoch=epoch,
+                        pages=result.stats.nodes_accessed,
+                        truncated=int(result.stats.truncated),
+                    )
                 return result
-        except BaseException:
+        except BaseException as exc:
             with self._stats_lock:
                 self._failures += 1
+            if serve_span is not None:
+                serve_span.annotate(error=type(exc).__name__)
             raise
         finally:
+            if serve_span is not None:
+                serve_span.end()
             self._latency.record(time.perf_counter() - start)
 
-    def _scatter(self, point: Tuple[float, ...], cfg: QueryConfig) -> NNResult:
+    def _scatter(
+        self,
+        point: Tuple[float, ...],
+        cfg: QueryConfig,
+        span_ctx: Optional[SpanContext] = None,
+        parent_span: Optional[int] = None,
+    ) -> NNResult:
         handles = self._handles
         minds = [
             mindist_squared(point, h.mbr) if h.mbr is not None else _INF
@@ -964,10 +1172,36 @@ class ShardedQueryEngine:
         # Shard pruning is the paper's P3 lifted to shard MBRs; respect
         # a pruning config that turned P3 off (audit parity).
         use_prune = cfg.pruning is None or cfg.pruning.use_p3
+        sampled = span_ctx is not None
+        scatter_span = (
+            span_ctx.start("scatter", parent=parent_span) if sampled else None
+        )
+        scatter_id = scatter_span.id if scatter_span is not None else None
 
         collected: List[Tuple[int, NNResult]] = []
         lost: List[Tuple[int, float]] = []
         pruned_minds: List[float] = []
+
+        def _resolve(i: int, fut: Future, sent_s: float) -> None:
+            """Collect one shard reply (grafting its spans when sampled)."""
+            try:
+                reply = fut.result()
+            except ShardLostError:
+                lost.append((i, minds[i]))
+                return
+            if sampled:
+                result, wire_spans = reply
+                rpc_id = span_ctx.add(
+                    f"shard{i}.rpc",
+                    sent_s,
+                    (time.time() - sent_s) * 1000.0,
+                    parent=scatter_id,
+                    attrs={"shard": i},
+                )
+                span_ctx.graft(wire_spans, parent=rpc_id)
+            else:
+                result = reply
+            collected.append((i, result))
 
         # Round 1: nearest live shard, synchronously — its k-th distance
         # is the bound that prunes the rest.
@@ -980,12 +1214,16 @@ class ShardedQueryEngine:
             if handle.dead:
                 lost.append((i, minds[i]))
                 continue
-            try:
-                first = handle.submit(point, cfg).result()
-            except ShardLostError:
-                lost.append((i, minds[i]))
-                continue
-            collected.append((i, first))
+            sent_s = time.time() if sampled else 0.0
+            before = len(collected)
+            _resolve(
+                i,
+                handle.submit(point, cfg, sent_s if sampled else None),
+                sent_s,
+            )
+            if len(collected) == before:
+                continue  # shard was lost mid-request: try the next one
+            first = collected[-1][1]
             if (
                 use_prune
                 and len(first.neighbors) >= cfg.k
@@ -996,7 +1234,7 @@ class ShardedQueryEngine:
             break
 
         # Round 2: prune, then scatter the survivors in parallel.
-        in_flight: List[Tuple[int, Future]] = []
+        in_flight: List[Tuple[int, Future, float]] = []
         for i in rest:
             if minds[i] == _INF:
                 continue
@@ -1007,31 +1245,60 @@ class ShardedQueryEngine:
             if handle.dead:
                 lost.append((i, minds[i]))
                 continue
-            in_flight.append((i, handle.submit(point, cfg)))
-        for i, fut in in_flight:
-            try:
-                collected.append((i, fut.result()))
-            except ShardLostError:
-                lost.append((i, minds[i]))
+            sent_s = time.time() if sampled else 0.0
+            in_flight.append(
+                (i, handle.submit(point, cfg, sent_s if sampled else None),
+                 sent_s)
+            )
+        for i, fut, sent_s in in_flight:
+            _resolve(i, fut, sent_s)
 
         with self._stats_lock:
             self._shards_queried += len(collected)
             self._shards_pruned += len(pruned_minds)
             if lost:
                 self._degraded += 1
+            for i, result in collected:
+                self._shard_requests[i] += 1
+                self._shard_pages[i] += result.stats.nodes_accessed
 
         if not collected and lost:
             # Every reachable shard died under us: the merged "answer"
             # would be vacuous.  Still degrade soundly rather than raise
             # — unless literally no shard is left to recover on.
             if all(h.dead for h in handles):
+                if scatter_span is not None:
+                    scatter_span.end(error="ShardLostError")
                 raise ShardLostError(
                     "all shard workers are dead; republish() to respawn"
                 )
+        if scatter_span is not None:
+            scatter_span.end(
+                queried=len(collected),
+                pruned=len(pruned_minds),
+                lost=len(lost),
+            )
+        if sampled:
+            merge_start = time.time()
+            t0 = time.perf_counter()
+            merged = self._merge(cfg, collected, lost, pruned_minds)
+            span_ctx.add(
+                "merge",
+                merge_start,
+                (time.perf_counter() - t0) * 1000.0,
+                parent=parent_span,
+                attrs={"candidates": sum(
+                    len(r.neighbors) for _, r in collected
+                )},
+            )
+            return merged
         return self._merge(cfg, collected, lost, pruned_minds)
 
     def _scatter_batch(
-        self, points: List[Tuple[float, ...]], cfg: QueryConfig
+        self,
+        points: List[Tuple[float, ...]],
+        cfg: QueryConfig,
+        span_ctxs: Optional[List[Optional[SpanContext]]] = None,
     ) -> List[NNResult]:
         """Batched scatter-gather: one wire round trip per live shard.
 
@@ -1041,8 +1308,22 @@ class ShardedQueryEngine:
         point in the window exactly like a lost shard on the per-query
         path: its MBR MINDIST bounds the merged frontier, so the
         truncated answers stay oracle-certifiable.
+
+        Span accounting is window-shaped, like the execution: one worker
+        traversal serves every point, so each sampled context in
+        *span_ctxs* receives the same per-shard RPC spans (kernel
+        attributes summarize the whole window, ``points=N``).
         """
         handles = self._handles
+        # The distinct sampled contexts of this window (identity-deduped:
+        # the front door's /batch passes one context for every point).
+        sampled: List[SpanContext] = []
+        if span_ctxs is not None:
+            seen: set = set()
+            for ctx in span_ctxs:
+                if ctx is not None and ctx.sampled and id(ctx) not in seen:
+                    seen.add(id(ctx))
+                    sampled.append(ctx)
         live: List[int] = []
         lost_shards: List[int] = []
         for i, handle in enumerate(handles):
@@ -1052,19 +1333,41 @@ class ShardedQueryEngine:
                 lost_shards.append(i)
             else:
                 live.append(i)
+        sent_s = time.time() if sampled else 0.0
         in_flight = [
-            (i, handles[i].submit_batch(points, cfg)) for i in live
+            (
+                i,
+                handles[i].submit_batch(
+                    points, cfg, sent_s if sampled else None
+                ),
+            )
+            for i in live
         ]
         per_shard: Dict[int, List[FlatResult]] = {}
         for i, fut in in_flight:
             try:
-                per_shard[i] = fut.result()
+                reply = fut.result()
             except ShardLostError:
                 lost_shards.append(i)
+                continue
+            if sampled:
+                per_shard[i], wire_spans = reply
+                rpc_ms = (time.time() - sent_s) * 1000.0
+                for ctx in sampled:
+                    rpc_id = ctx.add(
+                        f"shard{i}.rpc", sent_s, rpc_ms,
+                        attrs={"shard": i, "points": len(points)},
+                    )
+                    ctx.graft(wire_spans, parent=rpc_id)
+            else:
+                per_shard[i] = reply
         with self._stats_lock:
             self._shards_queried += len(per_shard) * len(points)
             if lost_shards:
                 self._degraded += len(points)
+            for i, flats in per_shard.items():
+                self._shard_requests[i] += len(points)
+                self._shard_pages[i] += sum(flat[5][0] for flat in flats)
         if not per_shard and lost_shards:
             if all(h.dead for h in handles):
                 raise ShardLostError(

@@ -25,29 +25,48 @@ the two pickled answers equal byte-for-byte.
 The single-query ``("query", ...)`` op keeps shipping rich ``NNResult``
 objects: a lone reply has no batch to amortize the codec over, and the
 per-request path is the baseline the coalescer is measured against.
+
+Sampled requests additionally ship **compact span records** back from
+the worker (the ``("oks", ...)`` reply variants — see
+:mod:`repro.shard.worker`): each record is the 5-tuple ``(name,
+parent_rel, start_s, duration_ms, attrs_items)`` defined by
+:mod:`repro.obs.spans`, with ``parent_rel`` a *relative* link inside the
+shipped batch (workers cannot allocate parent-side span ids).
+:func:`flatten_spans`/:func:`inflate_spans` are the codec for one such
+batch; the parent re-roots it with
+:meth:`~repro.obs.spans.SpanContext.graft`.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.core.neighbors import Neighbor
 from repro.core.pruning import PruningStats
 from repro.core.query import NNResult
 from repro.core.stats import SearchStats
+from repro.errors import InvalidParameterError
 from repro.geometry.rect import Rect
+from repro.obs.spans import WIRE_PARENT
 
 __all__ = [
     "FlatResult",
+    "WireSpan",
     "flatten_result",
+    "flatten_spans",
     "flatten_stats",
     "inflate_neighbor",
     "inflate_result",
+    "inflate_spans",
     "inflate_stats",
 ]
 
 #: One point's flattened reply (see module docstring for the layout).
 FlatResult = Tuple[tuple, tuple, tuple, tuple, tuple, tuple]
+
+#: One compact span record: (name, parent_rel, start_s, duration_ms,
+#: attrs_items) — the wire shape of a worker-side span.
+WireSpan = Tuple[str, int, float, float, tuple]
 
 
 def flatten_stats(stats: SearchStats) -> tuple:
@@ -124,3 +143,33 @@ def inflate_result(flat: FlatResult) -> NNResult:
         inflate_neighbor(flat, rank) for rank in range(len(flat[0]))
     ]
     return NNResult(neighbors=neighbors, stats=inflate_stats(flat[5]))
+
+
+def flatten_spans(spans: Sequence[Sequence[Any]]) -> Tuple[WireSpan, ...]:
+    """Normalize worker span records to the compact wire shape.
+
+    Validates the relative-parent invariant (a record may only point at
+    an *earlier* record in the same batch, or :data:`WIRE_PARENT`) and
+    coerces attribute mappings to item tuples, so a reply is always a
+    tuple of 5-tuples of primitives — cheap to pickle and stable under
+    ``inflate_spans(flatten_spans(s)) == flatten_spans(s)``.
+    """
+    out: List[WireSpan] = []
+    for index, record in enumerate(spans):
+        name, parent_rel, start_s, duration_ms, attrs = record
+        if parent_rel != WIRE_PARENT and not 0 <= parent_rel < index:
+            raise InvalidParameterError(
+                f"span record {index} ({name!r}) has parent_rel="
+                f"{parent_rel}; must be {WIRE_PARENT} or an earlier index"
+            )
+        items = tuple(attrs.items()) if hasattr(attrs, "items") else tuple(attrs)
+        out.append(
+            (str(name), int(parent_rel), float(start_s),
+             float(duration_ms), items)
+        )
+    return tuple(out)
+
+
+def inflate_spans(flat: Sequence[WireSpan]) -> List[WireSpan]:
+    """The reader side of :func:`flatten_spans` (validation included)."""
+    return list(flatten_spans(flat))

@@ -1,0 +1,179 @@
+"""Promtool-style validation of the Prometheus exposition exporter.
+
+Satellite of the observability PR: the registry's ``export()`` text is
+what a real scraper ingests, so the exporter is held to the exposition
+format by an in-repo linter — and the linter itself is proven against
+crafted-bad documents for every rule it claims to check.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, export_prometheus, lint_prometheus
+
+pytestmark = pytest.mark.obs
+
+
+def _serving_registry():
+    """A registry shaped like the full serving stack's wiring."""
+    registry = MetricsRegistry()
+    registry.counter("server.requests").inc(41)
+    registry.gauge("server.connections_open").set(3)
+    registry.histogram("server.latency_s").observe(0.004)
+    registry.register(
+        "engine",
+        {
+            "queries": 100,
+            "cache_hits": 7,
+            "pages_per_query": 11.25,
+            "ready": True,  # skipped: booleans are not samples
+        },
+    )
+    registry.register(
+        "server.coalescer",
+        {"requests": 90, "window_fill_rate": 0.31, "bypassed": 4},
+    )
+    registry.register(
+        "shards", {"shard0.pages": 1200, "shard1.pages": 1180}
+    )
+    return registry
+
+
+class TestExporterIsLintClean:
+    def test_full_serving_registry_passes(self):
+        text = export_prometheus(_serving_registry())
+        assert lint_prometheus(text) == []
+
+    def test_every_sample_has_help_and_type(self):
+        text = export_prometheus(_serving_registry())
+        samples = [
+            line.split()[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert samples, text
+        for name in samples:
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+
+    def test_help_carries_the_flat_key(self):
+        text = export_prometheus(_serving_registry())
+        assert "# HELP repro_server_coalescer_window_fill_rate " \
+            "server.coalescer.window_fill_rate" in text
+
+    def test_non_finite_values_render_as_exposition_tokens(self):
+        registry = MetricsRegistry()
+        registry.register(
+            "edge",
+            {
+                "pos": math.inf,
+                "neg": -math.inf,
+                "nan": math.nan,
+            },
+        )
+        text = export_prometheus(registry)
+        assert "repro_edge_pos +Inf" in text
+        assert "repro_edge_neg -Inf" in text
+        assert "repro_edge_nan NaN" in text
+        # Python float spellings must never leak into a scrape.
+        assert " inf" not in text and " nan" not in text
+        assert lint_prometheus(text) == []
+
+    def test_sanitization_collision_emits_one_series(self):
+        # "a.b" and "a_b" both sanitize to repro_a_b; two label-less
+        # samples under one name are a protocol error, so the exporter
+        # keeps the first flat key and drops the rest.
+        registry = MetricsRegistry()
+        registry.register("a", {"b": 1})
+        registry.gauge("a_b").set(2)
+        text = export_prometheus(registry)
+        assert text.count("\nrepro_a_b ") + text.startswith("repro_a_b ") == 1
+        assert lint_prometheus(text) == []
+
+    def test_help_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.register("odd", {"k\\ey\nline": 1})
+        text = export_prometheus(registry)
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                assert "\\n" in line or "\n" not in line
+        assert lint_prometheus(text) == []
+
+    def test_trailing_newline(self):
+        assert export_prometheus(MetricsRegistry()).endswith("\n")
+
+
+class TestLintCatchesBadDocuments:
+    def test_clean_minimal_document(self):
+        text = (
+            "# HELP m a metric\n"
+            "# TYPE m gauge\n"
+            "m 1\n"
+        )
+        assert lint_prometheus(text) == []
+
+    def test_missing_trailing_newline(self):
+        text = "# HELP m x\n# TYPE m gauge\nm 1"
+        assert any("newline" in p for p in lint_prometheus(text))
+
+    def test_invalid_metric_name(self):
+        text = "# HELP 9bad x\n# TYPE 9bad gauge\n9bad 1\n"
+        problems = lint_prometheus(text)
+        assert any("invalid metric name" in p for p in problems)
+
+    def test_python_float_spellings_rejected(self):
+        for bad in ("inf", "nan", "-inf"):
+            text = f"# HELP m x\n# TYPE m gauge\nm {bad}\n"
+            assert any(
+                "invalid sample value" in p for p in lint_prometheus(text)
+            ), bad
+
+    def test_exposition_tokens_accepted(self):
+        for good in ("+Inf", "-Inf", "NaN", "1.5e-3", "-2", ".5"):
+            text = f"# HELP m x\n# TYPE m gauge\nm {good}\n"
+            assert lint_prometheus(text) == [], good
+
+    def test_duplicate_help_and_type(self):
+        text = (
+            "# HELP m x\n# HELP m y\n"
+            "# TYPE m gauge\n# TYPE m gauge\nm 1\n"
+        )
+        problems = lint_prometheus(text)
+        assert any("duplicate HELP" in p for p in problems)
+        assert any("duplicate TYPE" in p for p in problems)
+
+    def test_duplicate_labelless_sample(self):
+        text = "# HELP m x\n# TYPE m gauge\nm 1\nm 2\n"
+        assert any(
+            "duplicate sample" in p for p in lint_prometheus(text)
+        )
+
+    def test_type_after_samples(self):
+        text = "m 1\n# TYPE m gauge\n"
+        problems = lint_prometheus(text)
+        assert any("after its samples" in p for p in problems)
+        assert any("without a # TYPE" in p for p in problems)
+
+    def test_invalid_metric_type(self):
+        text = "# HELP m x\n# TYPE m metervalue\nm 1\n"
+        assert any(
+            "invalid metric type" in p for p in lint_prometheus(text)
+        )
+
+    def test_malformed_help_and_sample_lines(self):
+        problems = lint_prometheus("# HELP m\nm 1 2 3 4\n")
+        assert any("malformed HELP" in p for p in problems)
+        assert any("malformed sample" in p for p in problems)
+
+    def test_timestamped_sample_allowed(self):
+        text = "# HELP m x\n# TYPE m gauge\nm 1 1700000000\n"
+        assert lint_prometheus(text) == []
+
+    def test_plain_comments_ignored(self):
+        text = "# scraped by test\n# HELP m x\n# TYPE m gauge\nm 1\n"
+        assert lint_prometheus(text) == []
+
+    def test_empty_document_is_clean(self):
+        assert lint_prometheus("") == []
+        assert lint_prometheus("\n") == []

@@ -1,0 +1,254 @@
+"""Capture/replay harness: digests, config round-trip, recorder, replay."""
+
+import io
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.config import QueryConfig
+from repro.core.neighbors import Neighbor
+from repro.core.pruning import PruningConfig
+from repro.core.query import NNResult
+from repro.core.stats import SearchStats
+from repro.datasets import uniform_points
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.obs.replay import (
+    CaptureLog,
+    CapturedQuery,
+    QueryRecorder,
+    config_from_dict,
+    config_to_dict,
+    digest_result,
+    replay,
+)
+from repro.rtree.tree import RTree
+from repro.service.engine import QueryEngine
+from repro.service.options import EngineOptions
+
+pytestmark = pytest.mark.obs
+
+
+def _result(pairs, truncated=False):
+    neighbors = [
+        Neighbor(
+            payload=payload,
+            rect=Rect.from_point((0.0, 0.0)),
+            distance=d_sq ** 0.5,
+            distance_squared=d_sq,
+        )
+        for payload, d_sq in pairs
+    ]
+    stats = SearchStats()
+    stats.truncated = truncated
+    return NNResult(neighbors=neighbors, stats=stats)
+
+
+def _build_engine(n=300, seed=5, **options):
+    points = uniform_points(n, seed=seed)
+    tree = RTree(max_entries=8)
+    for i, p in enumerate(points):
+        tree.insert(p, payload=i)
+    return QueryEngine(tree, options=EngineOptions(**options))
+
+
+class TestDigest:
+    def test_digest_is_deterministic(self):
+        a = digest_result(_result([(1, 0.25), (2, 0.5)]))
+        b = digest_result(_result([(1, 0.25), (2, 0.5)]))
+        assert a == b
+
+    def test_digest_covers_payload_distance_order_and_truncation(self):
+        base = digest_result(_result([(1, 0.25), (2, 0.5)]))
+        assert digest_result(_result([(9, 0.25), (2, 0.5)])) != base
+        assert digest_result(_result([(1, 0.26), (2, 0.5)])) != base
+        assert digest_result(_result([(2, 0.5), (1, 0.25)])) != base
+        assert (
+            digest_result(_result([(1, 0.25), (2, 0.5)], truncated=True))
+            != base
+        )
+
+    def test_digest_excludes_stats_page_counts(self):
+        # Backends disagree on page counts (sharding splits the
+        # traversal); the digest must not see them.
+        one = _result([(1, 0.25)])
+        other = _result([(1, 0.25)])
+        other.stats.nodes_accessed = 999
+        assert digest_result(one) == digest_result(other)
+
+    def test_digest_distinguishes_distance_bit_patterns(self):
+        assert (
+            digest_result(_result([(1, 0.1 + 0.2)]))
+            != digest_result(_result([(1, 0.3)]))
+        )
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            QueryConfig(),
+            QueryConfig(k=7, algorithm="best-first", epsilon=0.25),
+            QueryConfig(
+                k=3,
+                ordering="minmaxdist",
+                pruning=PruningConfig(use_p1=False, use_p2=True, use_p3=True),
+            ),
+            QueryConfig(
+                k=5, budget=Budget(max_pages=64, on_exhausted="truncate")
+            ),
+        ],
+    )
+    def test_round_trip(self, cfg):
+        rebuilt = config_from_dict(config_to_dict(cfg))
+        assert config_to_dict(rebuilt) == config_to_dict(cfg)
+        assert rebuilt.k == cfg.k
+        assert rebuilt.algorithm == cfg.algorithm
+        assert rebuilt.epsilon == cfg.epsilon
+
+    def test_object_distance_hook_rejected(self):
+        cfg = QueryConfig(object_distance_sq=lambda q, rect: 0.0)
+        with pytest.raises(InvalidParameterError):
+            config_to_dict(cfg)
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        cfg = QueryConfig(k=2, budget=Budget(deadline_ms=10.0))
+        json.dumps(config_to_dict(cfg))
+
+
+class TestCaptureLog:
+    def _record(self, i=0):
+        return CapturedQuery(
+            point=(float(i), 0.5),
+            config=config_to_dict(QueryConfig(k=3)),
+            epoch=1,
+            digest="ab" * 32,
+        )
+
+    def test_jsonl_round_trip(self):
+        log = CaptureLog([self._record(i) for i in range(4)])
+        buf = io.StringIO()
+        assert log.dump_jsonl(buf) == 4
+        buf.seek(0)
+        loaded = CaptureLog.load_jsonl(buf)
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in log]
+
+    def test_malformed_line_reports_line_number(self):
+        buf = io.StringIO('{"point": [0, 0]}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            CaptureLog.load_jsonl(buf)
+
+
+class TestRecorderAndReplay:
+    def test_recorder_captures_and_passes_through(self):
+        engine = _build_engine(cache_size=0)
+        recorder = QueryRecorder(engine)
+        try:
+            result = recorder.query((0.5, 0.5), config=QueryConfig(k=3))
+            assert len(result.neighbors) == 3
+            recorder.query_batch(
+                [(0.1, 0.1), (0.9, 0.9)], config=QueryConfig(k=2)
+            )
+        finally:
+            engine.close()
+        assert len(recorder.log) == 3
+        first = recorder.log.records[0]
+        assert first.point == (0.5, 0.5)
+        assert first.config["k"] == 3
+        assert first.digest
+
+    def test_recorder_delegates_unknown_attributes(self):
+        engine = _build_engine(cache_size=0)
+        recorder = QueryRecorder(engine)
+        try:
+            assert recorder.snapshot().epoch == engine.snapshot().epoch
+        finally:
+            engine.close()
+
+    def test_replay_matches_against_fresh_identical_engine(self):
+        first = _build_engine(cache_size=0)
+        recorder = QueryRecorder(first)
+        queries = uniform_points(20, seed=9)
+        try:
+            for q in queries:
+                recorder.query(q, config=QueryConfig(k=5))
+        finally:
+            first.close()
+
+        second = _build_engine(cache_size=0)
+        try:
+            report = replay(second, recorder.log)
+        finally:
+            second.close()
+        assert report.ok, report.render()
+        assert report.matched == len(queries)
+        assert report.mismatches == []
+
+    def test_replay_is_deterministic(self):
+        engine = _build_engine(cache_size=0)
+        recorder = QueryRecorder(engine)
+        try:
+            for q in uniform_points(15, seed=11):
+                recorder.query(q, config=QueryConfig(k=4))
+            first = replay(engine, recorder.log)
+            second = replay(engine, recorder.log)
+        finally:
+            engine.close()
+        assert first.stream_digest == second.stream_digest
+        assert first.ok and second.ok
+
+    def test_replay_detects_divergent_state(self):
+        engine = _build_engine(seed=5, cache_size=0)
+        recorder = QueryRecorder(engine)
+        try:
+            for q in uniform_points(10, seed=13):
+                recorder.query(q, config=QueryConfig(k=3))
+        finally:
+            engine.close()
+
+        other = _build_engine(seed=6, cache_size=0)  # different dataset
+        try:
+            report = replay(other, recorder.log)
+        finally:
+            other.close()
+        assert not report.ok
+        assert report.mismatches
+        miss = report.mismatches[0]
+        assert miss.expected != miss.actual
+        assert "mismatch" in report.render()
+
+    def test_replay_epoch_skip(self):
+        engine = _build_engine(cache_size=0)
+        recorder = QueryRecorder(engine)
+        try:
+            recorder.query((0.5, 0.5), config=QueryConfig(k=2))
+            stale = CapturedQuery(
+                point=(0.5, 0.5),
+                config=config_to_dict(QueryConfig(k=2)),
+                epoch=recorder.log.records[0].epoch + 7,
+                digest="00" * 32,
+            )
+            recorder.log.append(stale)
+            report = replay(engine, recorder.log, check_epoch=True)
+        finally:
+            engine.close()
+        assert report.epoch_skipped == 1
+        assert report.matched == 1
+        assert report.ok
+
+    def test_cache_does_not_change_digests(self):
+        # A caching engine must replay identically: cached answers are
+        # still the same answers.
+        engine = _build_engine(cache_size=64)
+        recorder = QueryRecorder(engine)
+        try:
+            for _ in range(2):  # second pass hits the cache
+                recorder.query((0.25, 0.75), config=QueryConfig(k=3))
+            report = replay(engine, recorder.log)
+        finally:
+            engine.close()
+        assert report.ok, report.render()
+        digests = [r.digest for r in recorder.log]
+        assert digests[0] == digests[1]

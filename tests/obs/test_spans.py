@@ -1,0 +1,270 @@
+"""Request-span primitives: context, sampler, log, assembly, JSONL."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    SpanLog,
+    SpanSampler,
+    WIRE_PARENT,
+    build_span_tree,
+    group_traces,
+    load_spans_jsonl,
+    new_trace_id,
+    render_spans,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpanContext:
+    def test_start_end_records_a_span(self):
+        ctx = SpanContext()
+        open_span = ctx.start("http.request", path="/query")
+        open_span.annotate(status=200)
+        span_id = open_span.end(bytes_out=64)
+        (span,) = ctx.spans()
+        assert span.span_id == span_id
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_id is None
+        assert span.name == "http.request"
+        assert span.attrs == {"path": "/query", "status": 200, "bytes_out": 64}
+        assert span.duration_ms >= 0.0
+
+    def test_parent_links_form_a_tree(self):
+        ctx = SpanContext()
+        root = ctx.start("root")
+        child = ctx.start("child", parent=root.id)
+        child.end()
+        ctx.add("leaf", 0.0, 1.0, parent=child.id)
+        root.end()
+        by_name = {s.name: s for s in ctx.spans()}
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["leaf"].parent_id == by_name["child"].span_id
+
+    def test_ids_are_unique_and_monotonic(self):
+        ctx = SpanContext()
+        ids = [ctx.start(f"s{i}").end() for i in range(32)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 32
+
+    def test_add_records_premeasured_span(self):
+        ctx = SpanContext()
+        span_id = ctx.add(
+            "queue", 123.0, 4.5, attrs={"policy": "lifo"}
+        )
+        (span,) = ctx.spans()
+        assert span.span_id == span_id
+        assert span.start_s == 123.0
+        assert span.duration_ms == 4.5
+        assert span.attrs == {"policy": "lifo"}
+
+    def test_context_manager_records_errors(self):
+        ctx = SpanContext()
+        with pytest.raises(RuntimeError):
+            with ctx.start("work"):
+                raise RuntimeError("boom")
+        (span,) = ctx.spans()
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_unsampled_context_is_inert(self):
+        ctx = SpanContext(sampled=False)
+        assert ctx.start("root") is None
+        assert ctx.add("queue", 0.0, 1.0) is None
+        ctx.graft([("w", WIRE_PARENT, 0.0, 1.0, ())])
+        assert ctx.spans() == []
+
+    def test_explicit_trace_id_is_kept(self):
+        ctx = SpanContext(trace_id="deadbeefdeadbeef")
+        assert ctx.trace_id == "deadbeefdeadbeef"
+
+    def test_new_trace_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            int(trace_id, 16)
+            assert len(trace_id) == 16
+
+
+class TestGraft:
+    def test_wire_records_reroot_under_parent(self):
+        ctx = SpanContext()
+        rpc = ctx.start("shard0.rpc")
+        ctx.graft(
+            [
+                ("shard.queue", WIRE_PARENT, 10.0, 1.0, (("depth", 2),)),
+                ("shard.kernel", 0, 10.001, 3.0, (("pages", 7),)),
+            ],
+            parent=rpc.id,
+        )
+        rpc.end()
+        by_name = {s.name: s for s in ctx.spans()}
+        assert by_name["shard.queue"].parent_id == by_name["shard0.rpc"].span_id
+        # Relative link 0 resolves to the first record *of the batch*.
+        assert (
+            by_name["shard.kernel"].parent_id
+            == by_name["shard.queue"].span_id
+        )
+        assert by_name["shard.kernel"].attrs == {"pages": 7}
+
+    def test_concurrent_batches_get_fresh_ids(self):
+        ctx = SpanContext()
+        for shard in range(3):
+            ctx.graft(
+                [("shard.kernel", WIRE_PARENT, 0.0, 1.0, ())], parent=None
+            )
+        ids = [s.span_id for s in ctx.spans()]
+        assert len(set(ids)) == 3
+
+    def test_forward_parent_rel_rejected(self):
+        ctx = SpanContext()
+        with pytest.raises(InvalidParameterError):
+            ctx.graft([("bad", 0, 0.0, 1.0, ())])
+        with pytest.raises(InvalidParameterError):
+            ctx.graft(
+                [
+                    ("a", WIRE_PARENT, 0.0, 1.0, ()),
+                    ("b", 5, 0.0, 1.0, ()),
+                ]
+            )
+
+
+class TestSpanSampler:
+    def test_rate_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SpanSampler(-0.1)
+        with pytest.raises(InvalidParameterError):
+            SpanSampler(1.1)
+
+    def test_rate_zero_never_samples(self):
+        sampler = SpanSampler(0.0)
+        assert not any(sampler.decide() for _ in range(100))
+
+    def test_rate_one_always_samples(self):
+        sampler = SpanSampler(1.0)
+        assert all(sampler.decide() for _ in range(100))
+
+    def test_seed_makes_decisions_reproducible(self):
+        first = SpanSampler(0.5, seed=42)
+        second = SpanSampler(0.5, seed=42)
+        a = [first.decide() for _ in range(64)]
+        b = [second.decide() for _ in range(64)]
+        assert a == b
+        assert any(a) and not all(a)
+
+
+class TestSpanLog:
+    def _trace(self, name="root"):
+        ctx = SpanContext()
+        ctx.start(name).end()
+        return ctx
+
+    def test_capacity_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SpanLog(0)
+
+    def test_ring_keeps_most_recent_traces(self):
+        log = SpanLog(capacity=2)
+        first = self._trace("first")
+        log.observe(first)
+        log.observe(self._trace("second"))
+        log.observe(self._trace("third"))
+        names = [s.name for s in log.records()]
+        assert names == ["second", "third"]
+        assert log.stats() == {"observed": 3, "kept": 2}
+
+    def test_empty_context_not_observed(self):
+        log = SpanLog()
+        log.observe(SpanContext(sampled=False))
+        assert log.stats() == {"observed": 0, "kept": 0}
+
+    def test_dump_jsonl_round_trips(self):
+        log = SpanLog()
+        log.observe(self._trace())
+        buf = io.StringIO()
+        assert log.dump_jsonl(buf) == 1
+        buf.seek(0)
+        (span,) = load_spans_jsonl(buf)
+        assert span.name == "root"
+
+
+class TestAssemblyAndRendering:
+    def test_build_span_tree_children_and_orphans(self):
+        ctx = SpanContext()
+        root = ctx.start("root")
+        ctx.add("child", 1.0, 1.0, parent=root.id)
+        root.end()
+        # A span whose parent never made it into the dump (truncated
+        # trace) must be promoted to a root, not dropped.
+        orphan = Span(ctx.trace_id, 99, 42, "orphan", 2.0, 1.0)
+        roots = build_span_tree(ctx.spans() + [orphan])
+        names = {node.span.name for node in roots}
+        assert names == {"root", "orphan"}
+        (root_node,) = [n for n in roots if n.span.name == "root"]
+        assert [c.span.name for c in root_node.children] == ["child"]
+
+    def test_group_traces_preserves_order(self):
+        spans = [
+            Span("t1", 1, None, "a", 0.0, 1.0),
+            Span("t2", 1, None, "b", 0.0, 1.0),
+            Span("t1", 2, 1, "c", 0.0, 1.0),
+        ]
+        groups = group_traces(spans)
+        assert list(groups) == ["t1", "t2"]
+        assert [s.name for s in groups["t1"]] == ["a", "c"]
+
+    def test_render_spans_shows_names_attrs_and_limit(self):
+        traces = []
+        for i in range(3):
+            ctx = SpanContext()
+            span = ctx.start(f"req{i}", path="/query")
+            ctx.add("kernel", 0.0, 1.0, parent=span.id, attrs={"pages": i})
+            span.end()
+            traces.extend(ctx.spans())
+        text = render_spans(traces)
+        assert "req0" in text and "req2" in text
+        assert "pages=2" in text and "path=/query" in text
+        tail = render_spans(traces, limit=1)
+        assert "req2" in tail and "req0" not in tail
+
+    def test_render_spans_empty_input(self):
+        assert render_spans([]) == ""
+
+
+class TestJsonl:
+    def test_context_dump_and_load_round_trip(self):
+        ctx = SpanContext()
+        root = ctx.start("http.request", path="/batch")
+        ctx.add("kernel", 5.0, 2.5, parent=root.id, attrs={"pages": 3})
+        root.end(status=200)
+        buf = io.StringIO()
+        assert ctx.dump_jsonl(buf) == 2
+        buf.seek(0)
+        loaded = load_spans_jsonl(buf)
+        assert [s.to_dict() for s in loaded] == ctx.to_dicts()
+
+    def test_blank_lines_skipped(self):
+        ctx = SpanContext()
+        ctx.start("root").end()
+        buf = io.StringIO()
+        ctx.dump_jsonl(buf)
+        buf.write("\n\n")
+        buf.seek(0)
+        assert len(load_spans_jsonl(buf)) == 1
+
+    def test_malformed_line_reports_line_number(self):
+        good = json.dumps(
+            Span("t", 1, None, "a", 0.0, 1.0).to_dict()
+        )
+        buf = io.StringIO(good + "\n{not json}\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_spans_jsonl(buf)
+
+    def test_span_dict_round_trip(self):
+        span = Span("t", 3, 1, "kernel", 1.5, 2.0, {"pages": 4})
+        assert Span.from_dict(span.to_dict()) == span

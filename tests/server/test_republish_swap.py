@@ -1,0 +1,203 @@
+"""Probes during a republish: no torn reads, honest shard liveness.
+
+``ShardedQueryEngine.republish`` swaps the served snapshot under its
+write lock while the front door keeps answering ``/readyz`` and
+``/stats``.  These tests hammer both probes (and ``/query``) from
+client threads across repeated epoch swaps and hold every single
+response to the contract: readiness bodies are complete and internally
+consistent, every ``/stats`` scrape is lint-clean Prometheus text, the
+reported epoch is only ever one that was actually published, and a
+killed shard worker shows up truthfully in the ``alive`` vector.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, lint_prometheus
+from repro.service.options import EngineOptions
+from repro.shard import ShardedQueryEngine
+
+from tests.server.conftest import ITEMS, certify
+
+pytestmark = [pytest.mark.server, pytest.mark.shard]
+
+SHARDS = 2
+
+
+def _build_sharded(processes=False):
+    return ShardedQueryEngine(
+        items=ITEMS,
+        shards=SHARDS,
+        processes=processes,
+        options=EngineOptions(cache_size=0),
+    )
+
+
+def _sample_value(text, name):
+    """The value of a label-less sample in Prometheus exposition text."""
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    raise AssertionError(f"no sample {name} in scrape:\n{text}")
+
+
+def _check_readyz(body, epochs):
+    assert body["ready"] is True
+    assert body["draining"] is False
+    assert body["backend"] == "sharded"
+    assert body["shards"] == SHARDS
+    assert len(body["alive"]) == SHARDS
+    assert all(isinstance(a, bool) for a in body["alive"])
+    assert body["workers_alive"] == sum(body["alive"])
+    assert body["epoch"] in epochs
+
+
+class TestEpochSwapProbes:
+    def test_readyz_tracks_republish_epoch(self, serve):
+        engine = _build_sharded()
+        harness = serve(engine=engine)
+        status, _, before = harness.request_json("GET", "/readyz")
+        assert status == 200
+        _check_readyz(before, {engine.snapshot().epoch})
+
+        new_epoch = engine.republish(items=ITEMS)
+        assert new_epoch == before["epoch"] + 1
+        status, _, after = harness.request_json("GET", "/readyz")
+        assert status == 200
+        _check_readyz(after, {new_epoch})
+
+    def test_probes_coherent_under_concurrent_swaps(self, serve):
+        engine = _build_sharded()
+        registry = MetricsRegistry()
+        harness = serve(engine=engine, registry=registry)
+        first_epoch = engine.snapshot().epoch
+        swaps = 6
+        # Every epoch that will ever be published; a probe reporting
+        # anything else has seen torn state.
+        epochs = set(range(first_epoch, first_epoch + swaps + 1))
+
+        stop = threading.Event()
+        failures = []
+
+        def _hammer_readyz():
+            last = first_epoch
+            while not stop.is_set():
+                try:
+                    status, _, body = harness.request_json("GET", "/readyz")
+                    assert status == 200
+                    _check_readyz(body, epochs)
+                    # Epochs only move forward: a swap is atomic under
+                    # the engine's write lock, never half-applied.
+                    assert body["epoch"] >= last
+                    last = body["epoch"]
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        def _hammer_stats():
+            while not stop.is_set():
+                try:
+                    status, headers, raw = harness.request("GET", "/stats")
+                    assert status == 200
+                    assert headers.get("X-Content-Format") == "prometheus"
+                    text = raw.decode("utf-8")
+                    assert lint_prometheus(text) == []
+                    assert _sample_value(text, "repro_engine_epoch") in epochs
+                    for shard in range(SHARDS):
+                        _sample_value(text, f"repro_shards_shard{shard}_pages")
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        def _hammer_query():
+            while not stop.is_set():
+                try:
+                    status, _, body = harness.request_json(
+                        "POST", "/query", {"point": [0.4, 0.6], "k": 5}
+                    )
+                    assert status == 200
+                    # Every republish serves the same items, so answers
+                    # are oracle-certifiable whichever epoch served them.
+                    certify(body, (0.4, 0.6), 5, combo="mid-swap")
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=t)
+            for t in (_hammer_readyz, _hammer_stats, _hammer_query)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(swaps):
+                engine.republish(items=ITEMS)
+                time.sleep(0.02)  # let probes land between swaps too
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30.0)
+        assert not failures, failures[0]
+        assert engine.snapshot().epoch == first_epoch + swaps
+
+        # Post-swap scrape agrees with the final published epoch.
+        _, _, raw = harness.request("GET", "/stats")
+        assert _sample_value(
+            raw.decode("utf-8"), "repro_engine_epoch"
+        ) == first_epoch + swaps
+
+
+class TestHonestShardLiveness:
+    def test_dead_worker_surfaces_in_readyz(self, serve):
+        engine = _build_sharded(processes=True)
+        harness = serve(engine=engine)
+        status, _, body = harness.request_json("GET", "/readyz")
+        assert status == 200
+        assert body["alive"] == [True] * SHARDS
+
+        victim = engine._handles[0]
+        victim.proc.kill()
+        victim.proc.join(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while not victim.dead and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert victim.dead
+
+        status, _, body = harness.request_json("GET", "/readyz")
+        # Degraded, not down: the survivor keeps serving certified
+        # truncated answers, and the probe says exactly which shard died.
+        assert status == 200
+        assert body["ready"] is True
+        assert body["alive"] == [False, True]
+        assert body["workers_alive"] == 1
+
+        status, _, answer = harness.request_json(
+            "POST", "/query", {"point": [0.5, 0.5], "k": 3}
+        )
+        assert status == 200
+        assert answer["truncated"] is True
+        assert answer["truncation_reason"] == "shard-lost"
+
+    def test_republish_respawns_dead_worker(self, serve):
+        engine = _build_sharded(processes=True)
+        harness = serve(engine=engine)
+        victim = engine._handles[0]
+        victim.proc.kill()
+        victim.proc.join(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while not victim.dead and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        engine.republish(items=ITEMS)
+        status, _, body = harness.request_json("GET", "/readyz")
+        assert status == 200
+        assert body["alive"] == [True] * SHARDS
+        assert body["workers_alive"] == SHARDS
+
+        status, _, answer = harness.request_json(
+            "POST", "/query", {"point": [0.5, 0.5], "k": 3}
+        )
+        assert status == 200
+        certify(answer, (0.5, 0.5), 3, combo="post-respawn")

@@ -1,0 +1,148 @@
+"""Worker span shipping: the wire codec and the cross-process trace tree.
+
+Worker processes cannot share the parent's span-id allocator, so they
+ship compact 5-tuple records over the reply pipe and the parent grafts
+them under its RPC span.  These tests hold the codec to its validation
+contract and then prove the end-to-end property: one sampled query
+through a real multi-process engine assembles into a single trace tree
+whose worker spans carry the kernel's page accounting — while the
+answers stay bit-identical to an unsampled run.
+"""
+
+import pytest
+
+from repro.core.config import QueryConfig
+from repro.datasets import uniform_points
+from repro.errors import InvalidParameterError
+from repro.geometry.rect import Rect
+from repro.obs.spans import SpanContext, WIRE_PARENT, build_span_tree
+from repro.shard import ShardedQueryEngine
+from repro.shard.wire import flatten_spans, inflate_spans
+from repro.service.options import EngineOptions
+
+pytestmark = [pytest.mark.shard, pytest.mark.obs]
+
+
+class TestWireCodec:
+    def test_flatten_normalizes_attr_mappings(self):
+        flat = flatten_spans(
+            [
+                ("shard.queue", WIRE_PARENT, 1.0, 0.5, {"depth": 2}),
+                ("shard.kernel", 0, 1.001, 3.0, (("pages", 7),)),
+            ]
+        )
+        assert flat == (
+            ("shard.queue", WIRE_PARENT, 1.0, 0.5, (("depth", 2),)),
+            ("shard.kernel", 0, 1.001, 3.0, (("pages", 7),)),
+        )
+
+    def test_round_trip_is_stable(self):
+        records = [
+            ("a", WIRE_PARENT, 0.0, 1.0, ()),
+            ("b", 0, 0.5, 0.25, (("n", 1),)),
+        ]
+        flat = flatten_spans(records)
+        assert tuple(inflate_spans(flat)) == flat
+
+    def test_forward_and_self_parent_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            flatten_spans([("a", 0, 0.0, 1.0, ())])  # self-reference
+        with pytest.raises(InvalidParameterError):
+            flatten_spans(
+                [
+                    ("a", WIRE_PARENT, 0.0, 1.0, ()),
+                    ("b", 2, 0.0, 1.0, ()),  # forward reference
+                ]
+            )
+
+    def test_primitives_coerced(self):
+        (record,) = flatten_spans([("k", -1, 1, 2, {})])
+        name, parent_rel, start_s, duration_ms, attrs = record
+        assert isinstance(start_s, float)
+        assert isinstance(duration_ms, float)
+        assert attrs == ()
+
+
+class TestCrossProcessTrace:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        points = uniform_points(500, seed=51)
+        items = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+        engine = ShardedQueryEngine(
+            items=items,
+            shards=2,
+            options=EngineOptions(cache_size=0),
+        )
+        yield engine
+        engine.close()
+
+    def test_sampled_query_assembles_one_tree(self, engine):
+        ctx = SpanContext()
+        result = engine.query(
+            (0.4, 0.6), config=QueryConfig(k=5), span_ctx=ctx
+        )
+        assert len(result.neighbors) == 5
+
+        spans = ctx.spans()
+        names = [s.name for s in spans]
+        assert "engine.query" in names
+        assert "scatter" in names
+        assert "merge" in names
+        assert any(n.startswith("shard") and n.endswith(".rpc")
+                   for n in names)
+        # Worker-side spans crossed the process boundary and were
+        # grafted under their RPC span.
+        kernel_spans = [s for s in spans if s.name == "shard.kernel"]
+        assert kernel_spans
+        by_id = {s.span_id: s for s in spans}
+        for kernel in kernel_spans:
+            assert kernel.attrs["pages"] >= 1
+            parent = by_id[kernel.parent_id]
+            assert parent.name.endswith(".rpc")
+        # One trace, one root request tree below engine.query.
+        assert len({s.trace_id for s in spans}) == 1
+        roots = build_span_tree(spans)
+        assert "engine.query" in {n.span.name for n in roots}
+
+    def test_shard_page_attrs_sum_to_engine_accounting(self, engine):
+        before = engine.stats().pages_per_query * engine.stats().executed
+        ctx = SpanContext()
+        engine.query((0.7, 0.2), config=QueryConfig(k=3), span_ctx=ctx)
+        after = engine.stats().pages_per_query * engine.stats().executed
+        kernel_pages = sum(
+            s.attrs["pages"] for s in ctx.spans() if s.name == "shard.kernel"
+        )
+        assert kernel_pages == pytest.approx(after - before)
+
+    def test_sampling_does_not_change_answers(self, engine):
+        cfg = QueryConfig(k=7)
+        for point in [(0.1, 0.9), (0.5, 0.5), (0.95, 0.05)]:
+            plain = engine.query(point, config=cfg)
+            ctx = SpanContext()
+            traced = engine.query(point, config=cfg, span_ctx=ctx)
+            assert (
+                [n.payload for n in traced.neighbors]
+                == [n.payload for n in plain.neighbors]
+            )
+            assert (
+                [n.distance_squared for n in traced.neighbors]
+                == [n.distance_squared for n in plain.neighbors]
+            )
+            assert ctx.spans()
+
+    def test_unsampled_context_stays_empty(self, engine):
+        ctx = SpanContext(sampled=False)
+        engine.query((0.3, 0.3), config=QueryConfig(k=2), span_ctx=ctx)
+        assert ctx.spans() == []
+
+    def test_batch_spans_grafted_per_window(self, engine):
+        ctx = SpanContext()
+        points = [(0.2, 0.2), (0.8, 0.8), (0.5, 0.1)]
+        results = engine.query_batch(
+            points,
+            config=QueryConfig(k=4, algorithm="best-first"),
+            span_ctxs=[ctx] * len(points),
+        )
+        assert len(results) == len(points)
+        names = [s.name for s in ctx.spans()]
+        assert "engine.batch" in names
